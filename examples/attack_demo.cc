@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Hardware-attack gallery against the secure memory, including the
+ * counter replay attack the paper identifies in Section 4.3.
+ *
+ * Four attacks are staged against real DRAM contents:
+ *   1. snooping       — passive read of the bus (defeated by encryption)
+ *   2. tampering      — flip ciphertext bits (defeated by GCM tags)
+ *   3. data replay    — roll a block back to an old value (defeated by
+ *                       the Merkle tree)
+ *   4. counter replay — roll a COUNTER back to force pad reuse; this
+ *                       breaks secrecy when counters are not
+ *                       authenticated, and is caught when they are —
+ *                       the paper's Section 4.3 contribution.
+ *
+ *   ./build/examples/attack_demo
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/controller.hh"
+#include "crypto/bytes.hh"
+
+using namespace secmem;
+
+namespace
+{
+
+Block64
+blockFromString(const std::string &s)
+{
+    Block64 b{};
+    std::memcpy(b.b.data(), s.data(), std::min(s.size(), kBlockBytes));
+    return b;
+}
+
+SecureMemConfig
+demoConfig(bool authenticate_counters)
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 32 << 20;
+    cfg.authenticateCounters = authenticate_counters;
+    return cfg;
+}
+
+void
+banner(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Hardware attacks vs split-counter + GCM memory ===\n");
+    int broken = 0;
+
+    banner("attack 1: bus snooping");
+    {
+        SecureMemoryController ctrl(demoConfig(true));
+        Block64 secret = blockFromString("wire $1M to account 12345678");
+        ctrl.writeBlock(0x1000, secret, 1);
+        Block64 snooped = ctrl.dram().snoop(0x1000);
+        bool leaked = snooped == secret;
+        std::printf("snooped bytes: %s...\n",
+                    toHex(snooped.b.data(), 16).c_str());
+        std::printf("secrecy %s\n", leaked ? "BROKEN" : "held: ciphertext only");
+        broken += leaked;
+    }
+
+    banner("attack 2: ciphertext tampering");
+    {
+        SecureMemoryController ctrl(demoConfig(true));
+        Tick t = ctrl.writeBlock(0x2000, blockFromString("balance: 100"), 1);
+        ctrl.dram().tamperXor(0x2000, 9, 0x08); // try to edit the balance
+        Block64 out;
+        AccessTiming at = ctrl.readBlock(0x2000, t + 1, &out);
+        std::printf("integrity %s\n",
+                    at.authOk ? "BROKEN: tamper accepted"
+                              : "held: tamper detected by GCM tag");
+        broken += at.authOk;
+    }
+
+    banner("attack 3: data replay (rollback)");
+    {
+        SecureMemoryController ctrl(demoConfig(true));
+        Tick t = ctrl.writeBlock(0x3000, blockFromString("balance: 100"), 1);
+        Block64 rich = ctrl.dram().snoop(0x3000);
+        t = ctrl.writeBlock(0x3000, blockFromString("balance: 0"), t + 1);
+        ctrl.dram().replay(0x3000, rich); // roll the spend back
+        Block64 out;
+        AccessTiming at = ctrl.readBlock(0x3000, t + 1, &out);
+        std::printf("freshness %s\n",
+                    at.authOk ? "BROKEN: stale data accepted"
+                              : "held: replay detected by Merkle tree");
+        broken += at.authOk;
+    }
+
+    banner("attack 4: counter replay (paper Section 4.3)");
+    for (bool protected_ctrs : {false, true}) {
+        SecureMemoryController ctrl(demoConfig(protected_ctrs));
+        const Addr addr = 0x4000;
+        const Addr ctr_addr = ctrl.map().ctrBlockAddrFor(addr);
+        Block64 p1 = blockFromString("PIN = 4921; do not disclose");
+        Block64 p2 = blockFromString("PIN = ????; redacted value!");
+
+        Tick t = ctrl.writeBlock(addr, Block64{}, 1); // counter -> 1
+        ctrl.evictCounterBlock(addr);                 // counter to DRAM
+        Block64 old_ctr = ctrl.dram().snoop(ctr_addr);
+
+        t = ctrl.writeBlock(addr, p1, t + 1); // pad(counter=2) used
+        Block64 ct1 = ctrl.dram().snoop(addr);
+
+        ctrl.evictCounterBlock(addr);        // counter leaves the chip
+        ctrl.dram().replay(ctr_addr, old_ctr); // attacker rolls it back
+
+        std::uint64_t fails = ctrl.authFailures();
+        t = ctrl.writeBlock(addr, p2, t + 1); // pad(counter=2) REUSED
+        Block64 ct2 = ctrl.dram().snoop(addr);
+
+        bool detected = ctrl.authFailures() > fails;
+        Block64 leak = ct1 ^ ct2; // == p1 ^ p2 under pad reuse
+        bool pad_reused = leak == (p1 ^ p2);
+
+        std::printf("counters %sauthenticated: %s",
+                    protected_ctrs ? "" : "NOT ",
+                    detected ? "rollback DETECTED before use\n"
+                             : "rollback unnoticed");
+        if (!detected) {
+            std::printf(" -> pad reuse %s", pad_reused ? "achieved" : "failed");
+            if (pad_reused) {
+                // With p2 known/guessable, the attacker recovers p1.
+                Block64 recovered = leak ^ p2;
+                std::printf("; attacker recovers: \"%.28s\"",
+                            reinterpret_cast<const char *>(
+                                recovered.b.data()));
+                broken += std::memcmp(recovered.b.data(), p1.b.data(),
+                                      28) == 0;
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\n=== %d attack(s) succeeded against the full scheme; "
+                "counter replay succeeds only with Section-4.3 "
+                "protection disabled ===\n",
+                broken - 1); // the unprotected variant is the demo
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the SecureMemory byte-level API in five minutes.
+ *
+ * Creates a protected memory using the paper's full scheme (split
+ * counters + GCM Merkle tree), stores a secret, shows that DRAM holds
+ * only ciphertext, reads it back, and demonstrates that a one-bit
+ * hardware tamper is detected.
+ *
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/secure_memory.hh"
+#include "crypto/bytes.hh"
+
+using namespace secmem;
+
+int
+main()
+{
+    // The default configuration is the paper's: AES counter-mode
+    // encryption with split counters (7-bit minors + shared 64-bit
+    // major per 4 KB page) and a GCM-tag Merkle tree over data and
+    // counters. Every knob lives in SecureMemConfig.
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 64 << 20; // 64 MB protected space
+    SecureMemory mem(cfg);
+
+    std::printf("secure memory: %s, %zu MB protected\n",
+                cfg.schemeName().c_str(), cfg.memoryBytes >> 20);
+
+    // 1. Store a secret through the secure path.
+    const std::string secret =
+        "the launch code is 0000 (please rotate soon)";
+    const Addr addr = 0x1000;
+    mem.write(addr, secret.data(), secret.size());
+    std::printf("\nwrote   %zu bytes at 0x%llx\n", secret.size(),
+                static_cast<unsigned long long>(addr));
+
+    // 2. What the attacker on the memory bus sees: ciphertext only.
+    Block64 raw = mem.dram().readBlock(addr);
+    std::printf("DRAM    %s...\n", toHex(raw.b.data(), 24).c_str());
+    bool leaked = std::memcmp(raw.b.data(), secret.data(), 16) == 0;
+    std::printf("plaintext visible in DRAM? %s\n", leaked ? "YES" : "no");
+
+    // 3. Read back: decrypts and authenticates through the Merkle tree.
+    std::string back(secret.size(), '\0');
+    mem.read(addr, back.data(), back.size());
+    std::printf("\nread    \"%s\"\n", back.c_str());
+    std::printf("authenticated: %s\n", mem.lastAuthOk() ? "yes" : "NO");
+
+    // 4. A hardware attack: flip one ciphertext bit on the bus.
+    mem.dram().tamperXor(addr, 7, 0x20);
+    mem.read(addr, back.data(), back.size());
+    std::printf("\nafter 1-bit tamper: authenticated: %s "
+                "(failures so far: %llu)\n",
+                mem.lastAuthOk() ? "yes (BROKEN!)" : "no - detected",
+                static_cast<unsigned long long>(mem.authFailures()));
+
+    // 5. Counters are the freshness mechanism: each write-back of a
+    //    block advances its (split) counter.
+    SecureMemoryController &ctrl = mem.controller();
+    std::printf("\nblock counter after %s writes: %llu "
+                "(major<<7 | minor)\n",
+                "two", static_cast<unsigned long long>(ctrl.counterOf(addr)));
+
+    return mem.lastAuthOk() ? 1 : 0; // tamper must have been caught
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scheme explorer: interactive-grade sweep over the configuration
+ * space for one workload — counter organisations, counter-cache sizes,
+ * MAC sizes and authentication requirements — printing the cost of
+ * each choice. A miniature version of the paper's whole evaluation for
+ * a single application.
+ *
+ *   ./build/examples/scheme_explorer [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+using namespace secmem;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "equake";
+    setenv("SECMEM_SIM_INSTRS", "300000", 0);
+    setenv("SECMEM_WARMUP_INSTRS", "300000", 0);
+    const SpecProfile &p = profileByName(workload);
+
+    std::printf("=== Scheme explorer: %s ===\n\n", workload.c_str());
+    RunOutput base = runWorkload(p, SecureMemConfig::baseline());
+
+    auto nipc = [&](const SecureMemConfig &cfg) {
+        return fmtDouble(normalizedIpc(runWorkload(p, cfg), base));
+    };
+
+    std::printf("-- encryption only --\n");
+    TextTable enc({"scheme", "normalized IPC"});
+    enc.addRow({"direct AES", nipc(SecureMemConfig::direct())});
+    for (unsigned bits : {8u, 16u, 32u, 64u})
+        enc.addRow({"mono " + std::to_string(bits) + "b",
+                    nipc(SecureMemConfig::mono(bits))});
+    enc.addRow({"split (paper)", nipc(SecureMemConfig::split())});
+    enc.addRow({"prediction [16]", nipc(SecureMemConfig::pred(1))});
+    enc.print();
+
+    std::printf("\n-- split counters: counter-cache size --\n");
+    TextTable cc({"ctr cache", "normalized IPC"});
+    for (std::size_t kb : {8u, 16u, 32u, 64u, 128u}) {
+        SecureMemConfig cfg = SecureMemConfig::split();
+        cfg.ctrCacheBytes = kb << 10;
+        cc.addRow({std::to_string(kb) + "KB", nipc(cfg)});
+    }
+    cc.print();
+
+    std::printf("\n-- combined scheme: MAC size (tree arity) --\n");
+    TextTable mac({"MAC bits", "tree levels", "normalized IPC"});
+    for (unsigned bits : {128u, 64u, 32u}) {
+        SecureMemConfig cfg = SecureMemConfig::splitGcm();
+        cfg.macBits = bits;
+        AddressMap map(cfg);
+        mac.addRow({std::to_string(bits), std::to_string(map.numLevels()),
+                    nipc(cfg)});
+    }
+    mac.print();
+
+    std::printf("\n-- combined scheme: authentication requirement --\n");
+    TextTable mode({"mode", "Split+GCM", "Mono+SHA"});
+    for (AuthMode m : {AuthMode::Lazy, AuthMode::Commit, AuthMode::Safe}) {
+        SecureMemConfig g = SecureMemConfig::splitGcm();
+        SecureMemConfig s = SecureMemConfig::monoSha();
+        g.authMode = m;
+        s.authMode = m;
+        mode.addRow({toString(m), nipc(g), nipc(s)});
+    }
+    mode.print();
+
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tour of the timing simulator: runs one SPEC-like workload through a
+ * few representative configurations and walks through the statistics
+ * the paper's evaluation is built from — normalized IPC, counter-cache
+ * behaviour, timely pad generation, MAC-tree traffic and bus load.
+ *
+ *   ./build/examples/simulation_tour [workload] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/system.hh"
+#include "workload/spec_profiles.hh"
+
+using namespace secmem;
+
+namespace
+{
+
+struct TourResult
+{
+    std::string label;
+    CoreRunResult run;
+    double ctrHit;
+    double macHit;
+    double timely;
+    double busUtil;
+    std::uint64_t authFails;
+};
+
+TourResult
+tour(const SpecProfile &profile, const SecureMemConfig &cfg,
+     std::uint64_t instrs)
+{
+    SecureSystem sys(cfg);
+    SpecWorkload gen(profile);
+    TourResult r;
+    r.label = cfg.schemeName();
+    r.run = sys.run(gen, instrs / 2, instrs);
+    SecureMemoryController &ctrl = sys.controller();
+    r.ctrHit = ctrl.ctrCache().hitRate();
+    r.macHit = ctrl.macCache().hitRate();
+    std::uint64_t pt = ctrl.stats().counterValue("pad_total");
+    r.timely = pt ? double(ctrl.stats().counterValue("pad_timely")) / pt : 0;
+    r.busUtil = ctrl.bus().utilization(r.run.finalTick);
+    r.authFails = ctrl.authFailures();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "twolf";
+    std::uint64_t instrs = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                    : 400'000;
+    const SpecProfile &profile = profileByName(workload);
+
+    std::printf("=== Simulation tour: %s, %llu measured instructions ===\n",
+                workload.c_str(), static_cast<unsigned long long>(instrs));
+    std::printf("3-issue OoO @5GHz | L1 16KB | L2 1MB | ctr cache 32KB | "
+                "bus 128b@600MHz | mem 200cyc | AES 80cyc | SHA-1 320cyc\n\n");
+
+    TourResult base = tour(profile, SecureMemConfig::baseline(), instrs);
+
+    std::printf("%-12s %6s %8s %7s %7s %7s %6s %6s\n", "scheme", "IPC",
+                "normIPC", "ctrHit", "macHit", "timely", "bus", "fails");
+    auto show = [&](const TourResult &r) {
+        std::printf("%-12s %6.3f %8.3f %6.1f%% %6.1f%% %6.1f%% %5.1f%% %6llu\n",
+                    r.label.c_str(), r.run.ipc, r.run.ipc / base.run.ipc,
+                    r.ctrHit * 100, r.macHit * 100, r.timely * 100,
+                    r.busUtil * 100,
+                    static_cast<unsigned long long>(r.authFails));
+    };
+    show(base);
+    show(tour(profile, SecureMemConfig::direct(), instrs));
+    show(tour(profile, SecureMemConfig::mono(64), instrs));
+    show(tour(profile, SecureMemConfig::split(), instrs));
+    show(tour(profile, SecureMemConfig::gcmAuthOnly(), instrs));
+    show(tour(profile, SecureMemConfig::sha1AuthOnly(320), instrs));
+    show(tour(profile, SecureMemConfig::splitGcm(), instrs));
+    show(tour(profile, SecureMemConfig::monoSha(), instrs));
+
+    std::printf(
+        "\nHow to read this: Split hides pad generation behind the fetch\n"
+        "(high 'timely'), so its normalized IPC stays near 1.0 while\n"
+        "Direct pays serial AES latency. GCM authentication rides the\n"
+        "same AES engine and overlaps the walk; SHA-1 at 320 cycles\n"
+        "cannot. Split+GCM is the paper's combined scheme. 'fails' must\n"
+        "be 0 in any untampered run.\n");
+    return 0;
+}

@@ -1,0 +1,199 @@
+#include "core/config.hh"
+
+#include "enc/counters.hh"
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+const char *
+toString(EncKind k)
+{
+    switch (k) {
+      case EncKind::None: return "None";
+      case EncKind::Direct: return "Direct";
+      case EncKind::CtrMono: return "Mono";
+      case EncKind::CtrSplit: return "Split";
+      case EncKind::CtrPred: return "Pred";
+    }
+    return "?";
+}
+
+const char *
+toString(AuthKind k)
+{
+    switch (k) {
+      case AuthKind::None: return "None";
+      case AuthKind::Gcm: return "GCM";
+      case AuthKind::Sha1: return "SHA1";
+    }
+    return "?";
+}
+
+const char *
+toString(AuthMode m)
+{
+    switch (m) {
+      case AuthMode::Lazy: return "lazy";
+      case AuthMode::Commit: return "commit";
+      case AuthMode::Safe: return "safe";
+    }
+    return "?";
+}
+
+unsigned
+SecureMemConfig::blocksPerCtrBlock() const
+{
+    if (enc == EncKind::CtrMono)
+        return 512 / monoBits;
+    // Split counters (also the counter structure backing GCM-only auth).
+    return kBlocksPerPage;
+}
+
+std::string
+SecureMemConfig::schemeName() const
+{
+    std::string name = toString(enc);
+    if (enc == EncKind::CtrMono)
+        name += std::to_string(monoBits) + "b";
+    if (enc == EncKind::CtrPred && aesEngines > 1)
+        name += "(" + std::to_string(aesEngines) + "Eng)";
+    if (auth != AuthKind::None)
+        name += std::string("+") + toString(auth);
+    return name;
+}
+
+void
+SecureMemConfig::validate() const
+{
+    if (enc == EncKind::CtrMono) {
+        SECMEM_ASSERT(monoBits == 8 || monoBits == 16 || monoBits == 32 ||
+                          monoBits == 64,
+                      "monolithic counter width %u unsupported", monoBits);
+    }
+    if (enc == EncKind::CtrPred) {
+        SECMEM_ASSERT(auth == AuthKind::None,
+                      "counter prediction is an encryption-only baseline");
+        SECMEM_ASSERT(predDepth >= 1 && predDepth <= 16,
+                      "prediction depth %u out of range", predDepth);
+    }
+    SECMEM_ASSERT(macBits == 128 || macBits == 64 || macBits == 32,
+                  "MAC size %u must be 128, 64 or 32", macBits);
+    SECMEM_ASSERT(isPowerOfTwo(memoryBytes), "memory size must be 2^k");
+    SECMEM_ASSERT(memoryBytes >= (1u << 20), "memory too small");
+}
+
+SecureMemConfig
+SecureMemConfig::baseline()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::None;
+    c.auth = AuthKind::None;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::direct()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::Direct;
+    c.auth = AuthKind::None;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::mono(unsigned bits)
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrMono;
+    c.monoBits = bits;
+    c.auth = AuthKind::None;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::split()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrSplit;
+    c.auth = AuthKind::None;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::pred(unsigned engines)
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrPred;
+    c.auth = AuthKind::None;
+    c.aesEngines = engines;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::gcmAuthOnly()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::None;
+    c.auth = AuthKind::Gcm;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::sha1AuthOnly(Tick latency)
+{
+    SecureMemConfig c;
+    c.enc = EncKind::None;
+    c.auth = AuthKind::Sha1;
+    c.shaLatency = latency;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::splitGcm()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrSplit;
+    c.auth = AuthKind::Gcm;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::monoGcm()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrMono;
+    c.monoBits = 64;
+    c.auth = AuthKind::Gcm;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::splitSha()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrSplit;
+    c.auth = AuthKind::Sha1;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::monoSha()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::CtrMono;
+    c.monoBits = 64;
+    c.auth = AuthKind::Sha1;
+    return c;
+}
+
+SecureMemConfig
+SecureMemConfig::xomSha()
+{
+    SecureMemConfig c;
+    c.enc = EncKind::Direct;
+    c.auth = AuthKind::Sha1;
+    return c;
+}
+
+} // namespace secmem

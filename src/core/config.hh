@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Configuration for the secure memory subsystem.
+ *
+ * One SecureMemConfig describes a complete scheme under study:
+ * encryption kind (direct AES, counter mode with monolithic or split
+ * counters, counter prediction), authentication kind (GCM or SHA-1
+ * Merkle tree), the authentication requirement (lazy / commit / safe),
+ * and all structural parameters of the platform. Factory helpers build
+ * the named configurations used across the paper's figures.
+ */
+
+#ifndef SECMEM_CORE_CONFIG_HH
+#define SECMEM_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bytes.hh"
+#include "mem/bus.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Memory encryption scheme. */
+enum class EncKind
+{
+    None,     ///< no encryption (baseline)
+    Direct,   ///< direct AES on each block (XOM-style)
+    CtrMono,  ///< counter mode, monolithic per-block counters
+    CtrSplit, ///< counter mode, split counters (this paper)
+    CtrPred,  ///< counter prediction + pad precomputation (Shi et al. [16])
+};
+
+/** Memory authentication scheme. */
+enum class AuthKind
+{
+    None, ///< no authentication
+    Gcm,  ///< GCM tags over the Merkle tree (this paper)
+    Sha1, ///< SHA-1 MACs over the Merkle tree (prior schemes)
+};
+
+/** When an authenticated load may proceed (paper Figure 8). */
+enum class AuthMode
+{
+    Lazy,   ///< use and retire immediately; authenticate in background
+    Commit, ///< data may be used speculatively, retire waits for auth
+    Safe,   ///< data may not even be used until authenticated
+};
+
+const char *toString(EncKind k);
+const char *toString(AuthKind k);
+const char *toString(AuthMode m);
+
+/** Full description of one secure-memory configuration. */
+struct SecureMemConfig
+{
+    // ---- scheme selection --------------------------------------------
+    EncKind enc = EncKind::CtrSplit;
+    /** Monolithic counter width in bits (8/16/32/64) for CtrMono. */
+    unsigned monoBits = 64;
+    AuthKind auth = AuthKind::None;
+    AuthMode authMode = AuthMode::Commit;
+    /** Authenticate all missing tree levels in parallel (paper §3). */
+    bool treeParallel = true;
+    /** Authentication code size in bits: 128, 64 (default) or 32. */
+    unsigned macBits = 64;
+    /** Authenticate counter blocks when fetched on-chip (§4.3 fix). */
+    bool authenticateCounters = true;
+
+    // ---- structural parameters (paper Section 5) ----------------------
+    std::size_t memoryBytes = 512ull << 20; ///< protected memory size
+    std::size_t ctrCacheBytes = 32 << 10;
+    unsigned ctrCacheAssoc = 8;
+    std::size_t macCacheBytes = 256 << 10;
+    unsigned macCacheAssoc = 8;
+
+    Tick aesLatency = 80; ///< 16-stage AES pipe, 80-cycle latency
+    unsigned aesStages = 16;
+    unsigned aesEngines = 1;
+    Tick shaLatency = 320; ///< 32-stage SHA-1 pipe (varied in Fig 7)
+    unsigned shaStages = 32;
+    /** Single-cycle GF(2^128) multiply per 16-byte GHASH chunk. */
+    Tick ghashCyclesPerChunk = 1;
+
+    unsigned numRsrs = 8;    ///< re-encryption status registers
+    unsigned predDepth = 5;  ///< N precomputed pads for CtrPred
+
+    MemTimingParams memTiming{};
+
+    // ---- keys and IVs --------------------------------------------------
+    Block16 dataKey{{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}};
+    Block16 macKey{{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                    0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}};
+    std::uint8_t eivByte = 0x5a; ///< encryption initialization vector
+    std::uint8_t aivByte = 0xa5; ///< authentication initialization vector
+
+    // ---- derived -------------------------------------------------------
+    /** True when the scheme maintains per-block counters. */
+    bool
+    usesCounters() const
+    {
+        return enc == EncKind::CtrMono || enc == EncKind::CtrSplit ||
+               enc == EncKind::CtrPred || auth == AuthKind::Gcm;
+    }
+
+    /** True when counters live in cacheable counter blocks. */
+    bool
+    usesCounterCache() const
+    {
+        return usesCounters() && enc != EncKind::CtrPred;
+    }
+
+    /**
+     * Data blocks covered per counter block: the encryption page for
+     * split counters, 512/W for W-bit monolithic counters.
+     */
+    unsigned blocksPerCtrBlock() const;
+
+    /** Human-readable scheme label, e.g. "Split+GCM". */
+    std::string schemeName() const;
+
+    /** Abort with a clear message if the combination is unsupported. */
+    void validate() const;
+
+    // ---- factories for the paper's named configurations ---------------
+    static SecureMemConfig baseline();                  ///< no enc, no auth
+    static SecureMemConfig direct();                    ///< Direct AES
+    static SecureMemConfig mono(unsigned bits);         ///< Mono{8..64}
+    static SecureMemConfig split();                     ///< Split
+    static SecureMemConfig pred(unsigned engines = 1);  ///< prediction [16]
+    static SecureMemConfig gcmAuthOnly();               ///< Fig 7 GCM
+    static SecureMemConfig sha1AuthOnly(Tick latency);  ///< Fig 7 SHA-1
+    static SecureMemConfig splitGcm();                  ///< Split+GCM
+    static SecureMemConfig monoGcm();                   ///< Mono+GCM
+    static SecureMemConfig splitSha();                  ///< Split+SHA
+    static SecureMemConfig monoSha();                   ///< Mono+SHA
+    static SecureMemConfig xomSha();                    ///< XOM+SHA
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CORE_CONFIG_HH

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * SecureMemoryController: the paper's combined memory encryption +
+ * authentication engine, both functional (bit-exact crypto, real
+ * counter/MAC state in DRAM) and timed (bus, DRAM, counter cache,
+ * MAC cache, pipelined AES/SHA engines, RSRs).
+ *
+ * The controller sits below the L2: it services L2 miss fills and L2
+ * dirty write-backs. For each operation it
+ *
+ *  1. performs the real state changes — fetching/updating counter
+ *     blocks, generating pads, encrypting/decrypting with AES counter
+ *     mode (or direct AES), computing/verifying GCM or SHA-1 tags, and
+ *     walking/updating the Merkle tree whose leaves are data blocks and
+ *     direct counter blocks (paper Figure 3); and
+ *
+ *  2. computes when each step finishes on the modelled hardware, using
+ *     resource reservations on the shared bus, the DRAM channel and the
+ *     crypto pipelines.
+ *
+ * Reads return a pair of ticks: when the plaintext is usable
+ * (dataReady) and when its authentication chain up to the first
+ * on-chip tree node is complete (authDone). The CPU model interprets
+ * these according to the authentication requirement (lazy / commit /
+ * safe).
+ *
+ * Split-counter page re-encryptions run in the background through
+ * re-encryption status register (RSR) windows exactly as in paper
+ * Section 4.2: on-chip blocks are lazily re-encrypted by marking them
+ * dirty; off-chip blocks are fetched, re-encrypted and written back
+ * without polluting the cache.
+ */
+
+#ifndef SECMEM_CORE_CONTROLLER_HH
+#define SECMEM_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/layout.hh"
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+#include "enc/counters.hh"
+#include "enc/crypto_engine.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Completion times of an L2-miss fill. */
+struct AccessTiming
+{
+    Tick dataReady = 0; ///< plaintext available for use
+    Tick authDone = 0;  ///< authentication chain complete
+    bool authOk = true; ///< all verified tags matched
+};
+
+/** Callbacks into the L2 for page re-encryption (paper Section 4.2). */
+struct L2Hooks
+{
+    std::function<bool(Addr)> contains = [](Addr) { return false; };
+    std::function<void(Addr)> markDirty = [](Addr) {};
+};
+
+/** The combined encryption/authentication memory controller. */
+class SecureMemoryController
+{
+  public:
+    explicit SecureMemoryController(const SecureMemConfig &cfg);
+
+    SecureMemoryController(const SecureMemoryController &) = delete;
+    SecureMemoryController &operator=(const SecureMemoryController &) = delete;
+
+    // ---- main datapath -------------------------------------------------
+    /**
+     * Service an L2 miss for the data block at @p addr, issued at
+     * @p now. @p out (optional) receives the decrypted plaintext.
+     */
+    AccessTiming readBlock(Addr addr, Tick now, Block64 *out = nullptr);
+
+    /**
+     * Service an L2 dirty write-back of plaintext @p data at @p addr,
+     * issued at @p now. Fire-and-forget for the CPU; the returned tick
+     * (when the ciphertext is in DRAM) is for instrumentation.
+     */
+    Tick writeBlock(Addr addr, const Block64 &data, Tick now);
+
+    /** Attach the L2 probe used by RSR page re-encryption. */
+    void setL2Hooks(L2Hooks hooks) { l2_ = std::move(hooks); }
+
+    // ---- inspection / attack surface ------------------------------------
+    /** The DRAM under attack (ciphertext, counters, MACs). */
+    Dram &dram() { return dram_; }
+    const AddressMap &map() const { return map_; }
+    const SecureMemConfig &config() const { return cfg_; }
+
+    /** Number of Merkle/GCM verification failures observed so far. */
+    std::uint64_t authFailures() const { return authFailures_; }
+
+    /** Current counter value of a data block (functional probe). */
+    std::uint64_t counterOf(Addr data_addr);
+
+    /** Force-evict a counter block from the counter cache (tests). */
+    void evictCounterBlock(Addr data_addr);
+    /** Force-evict all MAC blocks (tests). */
+    void flushMacCache();
+
+    // ---- statistics -----------------------------------------------------
+    stats::Group &stats() { return stats_; }
+    Cache &ctrCache() { return ctrCache_; }
+    Cache &macCache() { return macCache_; }
+    CryptoEngine &aesEngine() { return aes_; }
+    CryptoEngine &shaEngine() { return sha_; }
+    Bus &bus() { return channel_.bus(); }
+
+    /** Total data-block write-backs serviced. */
+    std::uint64_t totalWritebacks() const { return totalWritebacks_; }
+    /** Largest number of write-backs any single data block received. */
+    std::uint64_t maxBlockWritebacks() const { return maxBlockWritebacks_; }
+    /** Whole-memory re-encryption "freezes" (monolithic overflow). */
+    std::uint64_t freezeCount() const { return freezes_; }
+    /** Split-counter page re-encryptions triggered. */
+    std::uint64_t pageReencCount() const { return pageReencs_; }
+
+  private:
+    // ---- node identity in the authentication tree -----------------------
+    enum class NodeKind { Data, CtrBlock, MacBlock };
+
+    struct NodeRef
+    {
+        NodeKind kind;
+        Addr addr;           ///< block address in its region
+        unsigned level;      ///< MAC level (MacBlock only)
+        std::uint64_t index; ///< MAC block index (MacBlock only)
+    };
+
+    // ---- counter access --------------------------------------------------
+    struct CtrAccess
+    {
+        Block64 *line = nullptr; ///< counter block payload in the cache
+        Tick ready = 0;          ///< content available on-chip
+        Tick authDone = 0;       ///< verified (== ready if auth off)
+        bool hit = false;
+        bool halfMiss = false;
+        bool authOk = true;      ///< verification outcome on fill
+    };
+
+    /** Get (and if needed fetch + authenticate) a counter block. */
+    CtrAccess getCtrBlock(Addr ctr_addr, Tick now, bool for_write);
+
+    /** Get a derivative counter; returns (value-ready tick, value ptr). */
+    struct DerivAccess
+    {
+        Tick ready = 0;
+        std::uint64_t value = 0;
+    };
+    /** Region-stored derivative counters (counter-block leaves only). */
+    DerivAccess getDerivCtr(std::uint64_t deriv_idx, Tick now);
+    void bumpDerivCtr(std::uint64_t deriv_idx, Tick now);
+
+    /** Embedded derivative counter of a MAC block (leading 8 bytes). */
+    static std::uint64_t macEmbeddedCtr(const Block64 &blk);
+    static void setMacEmbeddedCtr(Block64 &blk, std::uint64_t v);
+    /**
+     * On-chip derivative-counter hint table: lets GCM authentication
+     * pads for MAC blocks start before the block arrives (the embedded
+     * counter itself travels with the block). Direct-mapped.
+     */
+    Tick derivHintReady(Addr mac_addr, std::uint64_t actual, Tick early,
+                        Tick arrive);
+    void derivHintUpdate(Addr mac_addr, std::uint64_t value);
+
+    // ---- tree operations --------------------------------------------------
+    /**
+     * Authenticate @p node whose content arrived on-chip at
+     * @p arrive; walks up fetching missing MAC blocks until the first
+     * on-chip node (paper Section 3), in parallel or sequentially.
+     *
+     * @param counter_ready tick at which the node's freshness counter
+     *                      (direct or derivative) is known on-chip,
+     *                      gating GCM authentication-pad generation
+     * @return tick at which the whole chain is verified.
+     */
+    Tick authenticateFetched(const NodeRef &node, const Block64 &content,
+                             std::uint64_t leaf_counter,
+                             std::uint8_t leaf_epoch, Tick issue,
+                             Tick arrive, Tick counter_ready, bool *ok);
+
+    /** Compute the tag of a node's content (GCM or SHA-1). */
+    Block16 nodeTag(const NodeRef &node, const Block64 &content,
+                    std::uint64_t counter, std::uint8_t epoch) const;
+
+    /** Expected-tag storage helpers. */
+    TagLocation tagLocationOf(const NodeRef &node) const;
+    Block16 readTagSlot(const TagLocation &loc) const;
+    void writeTagSlot(const TagLocation &loc, const Block16 &tag);
+    /**
+     * Zero-cost tag store used by lazy boot-time formatting and as the
+     * recursion-depth fallback: updates the logical location (pinned
+     * top / cached line / DRAM) and functionally refreshes ancestor
+     * tags when writing straight to DRAM.
+     */
+    void functionalTagStore(const TagLocation &loc, const Block16 &tag);
+
+    /**
+     * Get a MAC block on-chip for reading/updating; fetches (with
+     * authentication) on miss. Returns payload pointer and ready tick.
+     */
+    struct MacAccess
+    {
+        Block64 *line = nullptr;
+        Tick ready = 0;
+        Tick authDone = 0;
+        bool hit = false;
+    };
+    MacAccess getMacBlock(const TagLocation &loc, Tick now, bool for_write,
+                          bool authenticate);
+
+    /** Write back a dirty MAC block evicted from the MAC cache. */
+    void writebackMacBlock(Addr mac_addr, const Block64 &data, Tick now);
+    /** Write back a dirty counter block evicted from the counter cache. */
+    void writebackCtrBlock(Addr ctr_addr, const Block64 &data, Tick now);
+    /** Dispatch either of the above based on region. */
+    void writebackMetaBlock(Addr addr, const Block64 &data, Tick now);
+
+    /** Update the stored tag of a leaf after its content changed. */
+    Tick updateLeafTag(const NodeRef &node, const Block64 &content,
+                       std::uint64_t counter, Tick now, Tick content_ready);
+
+    // ---- data-path helpers -------------------------------------------------
+    /** Lazily format a data block (plus tags) the first time it is seen. */
+    void ensureDataInit(Addr addr);
+
+    std::uint64_t dataCounter(Addr addr, const Block64 &ctr_line) const;
+    /** Functional encrypt/decrypt for the configured scheme. */
+    Block64 encryptData(Addr addr, const Block64 &pt, std::uint64_t ctr,
+                        std::uint8_t epoch) const;
+    Block64 decryptData(Addr addr, const Block64 &ct, std::uint64_t ctr,
+                        std::uint8_t epoch) const;
+
+    /** Split-counter page re-encryption through an RSR (Section 4.2). */
+    Tick triggerPageReenc(Addr ctr_addr, Tick now);
+
+    /** Gate for reads of blocks inside an active re-encryption window. */
+    Tick rsrWaitFor(Addr data_addr, Tick now);
+
+    /** Epoch (whole-memory re-encryption generation) of a block. */
+    std::uint8_t epochOf(Addr data_addr) const;
+
+    // ---- counter prediction (Shi et al. [16]) -------------------------------
+    struct PredResult
+    {
+        Tick padReady;
+        bool predicted;
+    };
+    PredResult predictPads(Addr addr, std::uint64_t actual_ctr, Tick now);
+
+    // ---- members -------------------------------------------------------------
+    SecureMemConfig cfg_;
+    AddressMap map_;
+    Dram dram_;
+    Cache ctrCache_;
+    Cache macCache_;
+    /**
+     * Derivative counters get their own small cache: sharing the direct
+     * counter cache would let tree-walk fills evict the counter block a
+     * data access is actively using. The paper leaves their placement
+     * unspecified (see DESIGN.md).
+     */
+    Cache derivCache_;
+    MemChannel channel_;
+    CryptoEngine aes_;
+    CryptoEngine sha_;
+
+    Aes128 dataAes_;   ///< data encryption + GCM pads
+    Block16 hashSubkey_{}; ///< GCM H = AES_K(0)
+
+    L2Hooks l2_;
+
+    /** Pinned on-chip top-of-tree block. */
+    Block64 pinnedTop_{};
+
+    /** In-flight fill arrival times (half-miss modelling). */
+    std::unordered_map<Addr, Tick> inflight_;
+
+    /** Lazily formatted data blocks. */
+    std::unordered_set<Addr> initialized_;
+    /** Nodes whose stored tags are valid (lazy tree format). */
+    std::unordered_set<Addr> hasTag_;
+    /** Tag slot key for leaves that share a MAC block: child address. */
+
+    /** Whole-memory re-encryption epoch per block (monolithic freeze). */
+    std::unordered_map<Addr, std::uint8_t> blockEpoch_;
+    std::uint8_t epoch_ = 0;
+
+    /** Per-block write-back counts (Table 2 growth rates). */
+    std::unordered_map<Addr, std::uint64_t> wbCounts_;
+    std::uint64_t totalWritebacks_ = 0;
+    std::uint64_t maxBlockWritebacks_ = 0;
+    std::uint64_t freezes_ = 0;
+    std::uint64_t pageReencs_ = 0;
+    std::uint64_t authFailures_ = 0;
+
+    /** Derivative-counter hint table (see derivHintReady). */
+    struct DerivHint
+    {
+        Addr addr = kAddrInvalid;
+        std::uint64_t value = 0;
+    };
+    std::vector<DerivHint> derivHints_ = std::vector<DerivHint>(4096);
+
+    /** RSR state: active page re-encryption windows. */
+    struct Rsr
+    {
+        bool valid = false;
+        Addr page = kAddrInvalid; ///< first data address of the page
+        Tick freeAt = 0;
+        std::vector<Tick> blockReady; ///< per in-page block index
+    };
+    std::vector<Rsr> rsrs_;
+
+    /** Counter-prediction state: per-block counters and page bases. */
+    std::unordered_map<Addr, std::uint64_t> predCtr_;
+    std::unordered_map<Addr, std::uint64_t> predBase_;
+
+    stats::Group stats_;
+    unsigned updateDepth_ = 0; ///< recursion guard for tree updates
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CORE_CONTROLLER_HH

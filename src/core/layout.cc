@@ -1,0 +1,149 @@
+#include "core/layout.hh"
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+AddressMap::AddressMap(const SecureMemConfig &cfg)
+{
+    blocksPerCtr_ = cfg.blocksPerCtrBlock();
+    numDataBlocks_ = cfg.memoryBytes / kBlockBytes;
+    numCtrBlocks_ = cfg.usesCounterCache()
+                        ? (numDataBlocks_ + blocksPerCtr_ - 1) / blocksPerCtr_
+                        : 0;
+    macSlotBytes_ = cfg.macBits / 8;
+    // GCM MAC blocks embed their own 64-bit derivative counter in the
+    // leading eight bytes, shrinking the tag capacity (see DESIGN.md);
+    // SHA-1 blocks need no freshness counter of their own.
+    embeddedDeriv_ = cfg.auth == AuthKind::Gcm;
+    arity_ = (static_cast<unsigned>(kBlockBytes) - (embeddedDeriv_ ? 8 : 0)) /
+             macSlotBytes_;
+
+    ctrBase_ = static_cast<Addr>(numDataBlocks_) * kBlockBytes;
+    Addr cursor = ctrBase_ + numCtrBlocks_ * kBlockBytes;
+
+    // Merkle levels: leaves are data blocks plus direct counter blocks.
+    if (cfg.auth != AuthKind::None) {
+        std::uint64_t n = numDataBlocks_ + numCtrBlocks_;
+        while (n > 1) {
+            n = (n + arity_ - 1) / arity_;
+            macBase_.push_back(cursor);
+            levelCount_.push_back(n);
+            cursor += n * kBlockBytes;
+        }
+        SECMEM_ASSERT(!levelCount_.empty() && levelCount_.back() == 1,
+                      "tree did not converge to a single top block");
+    }
+    if (macBase_.empty()) {
+        // Keep region predicates well-defined when auth is off.
+        macBase_.push_back(cursor);
+    }
+
+    // Derivative counters in their own region exist only for counter
+    // block leaves (full 64-byte counter blocks have no room to embed
+    // one); MAC blocks embed theirs.
+    derivBase_ = cursor;
+    std::uint64_t deriv_blocks = (numCtrBlocks_ + 7) / 8;
+    end_ = derivBase_ + deriv_blocks * kBlockBytes;
+    totalBlocks_ = end_ / kBlockBytes;
+}
+
+Addr
+AddressMap::ctrBlockAddrFor(Addr data_addr) const
+{
+    SECMEM_ASSERT(isData(data_addr), "not a data address: %llx",
+                  static_cast<unsigned long long>(data_addr));
+    std::uint64_t block = data_addr / kBlockBytes;
+    return ctrBase_ + (block / blocksPerCtr_) * kBlockBytes;
+}
+
+unsigned
+AddressMap::ctrSlotFor(Addr data_addr) const
+{
+    std::uint64_t block = data_addr / kBlockBytes;
+    return static_cast<unsigned>(block % blocksPerCtr_);
+}
+
+Addr
+AddressMap::firstDataBlockOf(Addr ctr_addr) const
+{
+    SECMEM_ASSERT(isCtr(ctr_addr), "not a counter address");
+    std::uint64_t idx = (ctr_addr - ctrBase_) / kBlockBytes;
+    return idx * blocksPerCtr_ * kBlockBytes;
+}
+
+std::uint64_t
+AddressMap::leafIndexOfData(Addr data_addr) const
+{
+    return data_addr / kBlockBytes;
+}
+
+std::uint64_t
+AddressMap::leafIndexOfCtrBlock(Addr ctr_addr) const
+{
+    SECMEM_ASSERT(isCtr(ctr_addr), "not a counter address");
+    return numDataBlocks_ + (ctr_addr - ctrBase_) / kBlockBytes;
+}
+
+Addr
+AddressMap::macBlockAddr(unsigned level, std::uint64_t idx) const
+{
+    SECMEM_ASSERT(level >= 1 && level <= numLevels(), "bad MAC level %u",
+                  level);
+    SECMEM_ASSERT(idx < levelCount_[level - 1], "MAC index out of range");
+    return macBase_[level - 1] + idx * kBlockBytes;
+}
+
+std::pair<unsigned, std::uint64_t>
+AddressMap::macLevelOf(Addr mac_addr) const
+{
+    SECMEM_ASSERT(isMac(mac_addr), "not a MAC address: %llx",
+                  static_cast<unsigned long long>(mac_addr));
+    for (unsigned level = numLevels(); level >= 1; --level) {
+        if (mac_addr >= macBase_[level - 1]) {
+            return {level, (mac_addr - macBase_[level - 1]) / kBlockBytes};
+        }
+    }
+    SECMEM_PANIC("unreachable: MAC address classification failed");
+}
+
+TagLocation
+AddressMap::tagOfLeaf(std::uint64_t leaf_idx) const
+{
+    TagLocation loc;
+    loc.level = 1;
+    loc.blockIdx = leaf_idx / arity_;
+    loc.slot = static_cast<unsigned>(leaf_idx % arity_);
+    loc.blockAddr = macBlockAddr(1, loc.blockIdx);
+    loc.pinned = isTopLevel(1);
+    return loc;
+}
+
+TagLocation
+AddressMap::tagOfMacBlock(unsigned level, std::uint64_t idx) const
+{
+    SECMEM_ASSERT(!isTopLevel(level), "top MAC block has no stored tag");
+    TagLocation loc;
+    loc.level = level + 1;
+    loc.blockIdx = idx / arity_;
+    loc.slot = static_cast<unsigned>(idx % arity_);
+    loc.blockAddr = macBlockAddr(level + 1, loc.blockIdx);
+    loc.pinned = isTopLevel(level + 1);
+    return loc;
+}
+
+std::uint64_t
+AddressMap::derivIdxOfCtrBlock(Addr ctr_addr) const
+{
+    SECMEM_ASSERT(isCtr(ctr_addr), "not a counter address");
+    return (ctr_addr - ctrBase_) / kBlockBytes;
+}
+
+Addr
+AddressMap::derivCtrBlockAddr(std::uint64_t deriv_idx) const
+{
+    return derivBase_ + (deriv_idx / 8) * kBlockBytes;
+}
+
+} // namespace secmem

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Physical address map of the protected memory.
+ *
+ * The protected space contains, in order:
+ *
+ *   [data]               application data blocks (ciphertext)
+ *   [direct counters]    one counter block per encryption page
+ *   [MAC level 1..L]     the Merkle tree (paper Figure 3): level-1
+ *                        blocks hold tags of the leaves (data blocks
+ *                        AND direct counter blocks); level l+1 holds
+ *                        tags of level-l MAC blocks; the single top
+ *                        block is pinned on-chip
+ *   [derivative ctrs]    64-bit freshness counters for GCM tags of
+ *                        non-data blocks (counter blocks and MAC
+ *                        blocks), packed eight per block
+ *
+ * All regions are block-granular and live in the same DRAM, so an
+ * attacker on the memory bus can tamper with any of them; only the
+ * pinned top level is beyond reach.
+ */
+
+#ifndef SECMEM_CORE_LAYOUT_HH
+#define SECMEM_CORE_LAYOUT_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Location of one authentication tag inside the tree. */
+struct TagLocation
+{
+    unsigned level = 0;          ///< MAC level holding the tag (1..top)
+    std::uint64_t blockIdx = 0;  ///< MAC block index within that level
+    unsigned slot = 0;           ///< tag slot within the MAC block
+    Addr blockAddr = kAddrInvalid; ///< address of the MAC block
+    bool pinned = false;         ///< the MAC block is the on-chip top
+};
+
+/** Region/index arithmetic for the protected address space. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const SecureMemConfig &cfg);
+
+    // ---- geometry ------------------------------------------------------
+    std::uint64_t numDataBlocks() const { return numDataBlocks_; }
+    std::uint64_t numCtrBlocks() const { return numCtrBlocks_; }
+    unsigned arity() const { return arity_; }
+    /** MAC tree levels, including the pinned top (0 when auth is off). */
+    unsigned numLevels() const { return static_cast<unsigned>(levelCount_.size()); }
+    std::uint64_t
+    macBlocksAtLevel(unsigned level) const
+    {
+        return levelCount_[level - 1];
+    }
+    unsigned macSlotBytes() const { return macSlotBytes_; }
+    /** Total blocks the map addresses (for sizing sanity checks). */
+    std::uint64_t totalBlocks() const { return totalBlocks_; }
+
+    // ---- region classification ----------------------------------------
+    bool isData(Addr a) const { return a < ctrBase_; }
+    bool isCtr(Addr a) const { return a >= ctrBase_ && a < macBase_.front(); }
+    bool isMac(Addr a) const { return a >= macBase_.front() && a < derivBase_; }
+    bool isDerivCtr(Addr a) const { return a >= derivBase_ && a < end_; }
+
+    // ---- direct counters ------------------------------------------------
+    /** Counter block whose slots cover the data block at @p data_addr. */
+    Addr ctrBlockAddrFor(Addr data_addr) const;
+    /** Slot of @p data_addr's counter within its counter block. */
+    unsigned ctrSlotFor(Addr data_addr) const;
+    /** First data-block address covered by counter block @p ctr_addr. */
+    Addr firstDataBlockOf(Addr ctr_addr) const;
+
+    // ---- Merkle tree ----------------------------------------------------
+    std::uint64_t leafIndexOfData(Addr data_addr) const;
+    std::uint64_t leafIndexOfCtrBlock(Addr ctr_addr) const;
+    Addr macBlockAddr(unsigned level, std::uint64_t idx) const;
+    /** Map a MAC-region address back to (level, block index). */
+    std::pair<unsigned, std::uint64_t> macLevelOf(Addr mac_addr) const;
+    /** Where the tag of leaf @p leaf_idx is stored. */
+    TagLocation tagOfLeaf(std::uint64_t leaf_idx) const;
+    /** Where the tag of MAC block (level, idx) is stored. */
+    TagLocation tagOfMacBlock(unsigned level, std::uint64_t idx) const;
+    /** True iff @p level is the pinned top level. */
+    bool isTopLevel(unsigned level) const { return level == numLevels(); }
+
+    /**
+     * Byte offset of tag slot @p slot inside a MAC block. With GCM the
+     * first eight bytes of every MAC block hold its embedded derivative
+     * counter, so tags start at offset 8 and the arity shrinks
+     * accordingly; SHA-1 MAC blocks are tags end to end.
+     */
+    unsigned
+    macSlotOffset(unsigned slot) const
+    {
+        return (embeddedDeriv_ ? 8 : 0) + slot * macSlotBytes_;
+    }
+    /** True when MAC blocks carry an embedded derivative counter. */
+    bool embeddedDeriv() const { return embeddedDeriv_; }
+
+    // ---- derivative counters for counter-block leaves -------------------
+    std::uint64_t derivIdxOfCtrBlock(Addr ctr_addr) const;
+    Addr derivCtrBlockAddr(std::uint64_t deriv_idx) const;
+    unsigned derivSlot(std::uint64_t deriv_idx) const
+    {
+        return static_cast<unsigned>(deriv_idx % 8);
+    }
+
+  private:
+    unsigned blocksPerCtr_;
+    std::uint64_t numDataBlocks_;
+    std::uint64_t numCtrBlocks_;
+    unsigned arity_;
+    unsigned macSlotBytes_;
+    bool embeddedDeriv_;
+    Addr ctrBase_;
+    std::vector<Addr> macBase_;             ///< per level (1-based - 1)
+    std::vector<std::uint64_t> levelCount_; ///< MAC blocks per level
+    Addr derivBase_;
+    Addr end_;
+    std::uint64_t totalBlocks_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CORE_LAYOUT_HH

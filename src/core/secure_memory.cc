@@ -1,0 +1,70 @@
+#include "core/secure_memory.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+void
+SecureMemory::writeBlock(Addr addr, const Block64 &data)
+{
+    Addr base = blockBase(addr);
+    SECMEM_ASSERT(base < config().memoryBytes, "address out of range");
+    tick_ = ctrl_.writeBlock(base, data, tick_ + 1);
+}
+
+Block64
+SecureMemory::readBlock(Addr addr)
+{
+    Addr base = blockBase(addr);
+    SECMEM_ASSERT(base < config().memoryBytes, "address out of range");
+    Block64 out;
+    AccessTiming t = ctrl_.readBlock(base, tick_ + 1, &out);
+    tick_ = t.authDone;
+    lastAuthOk_ = t.authOk;
+    return out;
+}
+
+void
+SecureMemory::write(Addr addr, const void *src, std::size_t n)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        Addr base = blockBase(addr);
+        std::size_t off = blockOffset(addr);
+        std::size_t take = std::min(n, kBlockBytes - off);
+        Block64 blk;
+        if (take != kBlockBytes) {
+            // Partial block: read-modify-write through the secure path.
+            blk = readBlock(base);
+        }
+        std::memcpy(blk.b.data() + off, p, take);
+        writeBlock(base, blk);
+        addr += take;
+        p += take;
+        n -= take;
+    }
+}
+
+void
+SecureMemory::read(Addr addr, void *dst, std::size_t n)
+{
+    std::uint8_t *p = static_cast<std::uint8_t *>(dst);
+    bool all_ok = true;
+    while (n > 0) {
+        Addr base = blockBase(addr);
+        std::size_t off = blockOffset(addr);
+        std::size_t take = std::min(n, kBlockBytes - off);
+        Block64 blk = readBlock(base);
+        all_ok = all_ok && lastAuthOk_;
+        std::memcpy(p, blk.b.data() + off, take);
+        addr += take;
+        p += take;
+        n -= take;
+    }
+    lastAuthOk_ = all_ok;
+}
+
+} // namespace secmem

@@ -1,0 +1,172 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+SecureSystem::SecureSystem(const SecureMemConfig &cfg,
+                           const SystemParams &params)
+    : params_(params),
+      ctrl_(cfg),
+      l1_("l1d", params.l1Bytes, params.l1Assoc),
+      l2_("l2", params.l2Bytes, params.l2Assoc),
+      stats_("system")
+{
+    L2Hooks hooks;
+    hooks.contains = [this](Addr a) {
+        return l2_.contains(a) || l1_.contains(a);
+    };
+    hooks.markDirty = [this](Addr a) {
+        l2_.markDirty(a);
+        l1_.markDirty(a);
+    };
+    ctrl_.setL2Hooks(std::move(hooks));
+}
+
+void
+SecureSystem::stampStore(Block64 &line, Addr addr, Tick now)
+{
+    // Mix the address and time into the stored value: keeps block
+    // contents diverse so the crypto path is exercised on non-trivial
+    // data during timing runs.
+    std::uint64_t v = addr * 0x9e3779b97f4a7c15ull ^ now;
+    for (int i = 0; i < 8; ++i)
+        line.b[i] ^= static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+SecureSystem::insertL2(Addr base, const Block64 &data, bool dirty, Tick now)
+{
+    Eviction ev = l2_.insert(base, data, dirty);
+    if (!ev.valid)
+        return;
+    // Enforce inclusion: the L1 copy (possibly newer) leaves with it.
+    Block64 victim = ev.data;
+    bool victim_dirty = ev.dirty;
+    Eviction l1ev = l1_.invalidate(ev.addr);
+    if (l1ev.valid && l1ev.dirty) {
+        victim = l1ev.data;
+        victim_dirty = true;
+    }
+    if (victim_dirty)
+        ctrl_.writeBlock(ev.addr, victim, now);
+    l2Inflight_.erase(ev.addr);
+}
+
+void
+SecureSystem::fillL1(Addr base, const Block64 &data, bool dirty, Tick now)
+{
+    Eviction ev = l1_.insert(base, data, dirty);
+    if (!ev.valid || !ev.dirty)
+        return;
+    // Dirty L1 victim merges into the (inclusive) L2.
+    if (Block64 *line = l2_.peek(ev.addr)) {
+        *line = ev.data;
+        l2_.markDirty(ev.addr);
+    } else {
+        // Inclusion was broken by a concurrent L2 eviction; write back.
+        ctrl_.writeBlock(ev.addr, ev.data, now);
+    }
+}
+
+MemAccess
+SecureSystem::access(Addr addr, bool is_write, Tick now)
+{
+    Addr base = blockBase(addr);
+    SECMEM_ASSERT(base < ctrl_.config().memoryBytes,
+                  "access outside protected data region: %llx",
+                  static_cast<unsigned long long>(addr));
+    stats_.counter(is_write ? "stores" : "loads").inc();
+
+    // L1 lookup. A hit on a line whose fill is still in flight must
+    // wait for the fill (the line was inserted functionally at request
+    // time).
+    if (Block64 *line = l1_.access(base, is_write)) {
+        if (is_write)
+            stampStore(*line, base, now);
+        Tick done = now + params_.l1Latency;
+        Tick auth_done = done;
+        auto it = l2Inflight_.find(base);
+        if (it != l2Inflight_.end()) {
+            if (it->second.authDone <= now && it->second.dataReady <= now) {
+                l2Inflight_.erase(it);
+            } else {
+                done = std::max(done, it->second.dataReady);
+                auth_done = std::max(done, it->second.authDone);
+            }
+        }
+        return {done, auth_done, false};
+    }
+
+    Tick l2_at = now + params_.l1Latency;
+
+    // L2 lookup.
+    if (Block64 *line = l2_.access(base, is_write)) {
+        Tick ready = l2_at + params_.l2Latency;
+        Tick auth_ready = ready;
+        auto it = l2Inflight_.find(base);
+        if (it != l2Inflight_.end()) {
+            if (it->second.authDone <= now && it->second.dataReady <= now) {
+                l2Inflight_.erase(it);
+            } else {
+                // Hit under an in-flight fill: merge with it.
+                ready = std::max(ready, it->second.dataReady);
+                auth_ready = std::max(auth_ready, it->second.authDone);
+            }
+        }
+        if (is_write)
+            stampStore(*line, base, now);
+        fillL1(base, *line, is_write, now);
+        return {ready, std::max(ready, auth_ready), false};
+    }
+
+    // L2 miss: the secure memory controller takes over.
+    Tick issue = l2_at + params_.l2Latency;
+    Block64 data;
+    AccessTiming timing = ctrl_.readBlock(base, issue, &data);
+    if (is_write)
+        stampStore(data, base, now);
+    insertL2(base, data, is_write, now);
+    fillL1(base, data, is_write, now);
+    l2Inflight_[base] = {timing.dataReady, timing.authDone};
+    return {timing.dataReady, timing.authDone, true};
+}
+
+CoreRunResult
+SecureSystem::run(WorkloadGenerator &gen, std::uint64_t warmup,
+                  std::uint64_t measured, const CoreParams &core_params,
+                  Tick start_tick)
+{
+    OooCore core(core_params, *this, ctrl_.config().authMode);
+    return core.run(gen, warmup, measured, start_tick);
+}
+
+void
+SecureSystem::dumpStats(std::ostream &os) const
+{
+    auto &self = const_cast<SecureSystem &>(*this);
+    self.l1_.stats().dump(os);
+    self.l2_.stats().dump(os);
+    SecureMemoryController &c = self.ctrl_;
+    c.ctrCache().stats().dump(os);
+    c.macCache().stats().dump(os);
+    c.aesEngine().stats().dump(os);
+    c.shaEngine().stats().dump(os);
+    c.bus().stats().dump(os);
+    c.stats().dump(os);
+}
+
+double
+SecureSystem::l2MissRate() const
+{
+    std::uint64_t acc = l2_.stats().counterValue("accesses");
+    if (!acc)
+        return 0.0;
+    return static_cast<double>(l2_.stats().counterValue("misses")) /
+           static_cast<double>(acc);
+}
+
+} // namespace secmem

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SecureSystem: the full simulated machine below the core — L1D, the
+ * unified L2 and the secure memory controller — exposed to the OoO
+ * core through the MemorySystem interface.
+ *
+ * Caches carry real (plaintext) payloads; everything below the L2 is
+ * ciphertext + counters + MACs in DRAM. The system enforces L1/L2
+ * inclusion and feeds L2 hooks to the controller so split-counter page
+ * re-encryption can probe and lazily dirty cached blocks.
+ */
+
+#ifndef SECMEM_CORE_SYSTEM_HH
+#define SECMEM_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+
+#include "core/controller.hh"
+#include "cpu/memory_system.hh"
+#include "cpu/ooo_core.hh"
+#include "cpu/trace.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+
+namespace secmem
+{
+
+/** Cache hierarchy parameters (paper Section 5). */
+struct SystemParams
+{
+    std::size_t l1Bytes = 16 << 10;
+    unsigned l1Assoc = 4;
+    Tick l1Latency = 2;
+    std::size_t l2Bytes = 1 << 20;
+    unsigned l2Assoc = 8;
+    Tick l2Latency = 10;
+};
+
+/** One processor + memory-hierarchy instance. */
+class SecureSystem : public MemorySystem
+{
+  public:
+    explicit SecureSystem(const SecureMemConfig &cfg,
+                          const SystemParams &params = {});
+
+    MemAccess access(Addr addr, bool is_write, Tick now) override;
+
+    /** Run a workload on a fresh core attached to this system. */
+    CoreRunResult run(WorkloadGenerator &gen, std::uint64_t warmup,
+                      std::uint64_t measured,
+                      const CoreParams &core_params = {},
+                      Tick start_tick = 0);
+
+    SecureMemoryController &controller() { return ctrl_; }
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    const SystemParams &params() const { return params_; }
+
+    /** L2 demand miss rate over the run so far. */
+    double l2MissRate() const;
+
+    /** Dump every statistics group (caches, engines, bus, controller). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void fillL1(Addr base, const Block64 &data, bool dirty, Tick now);
+    void insertL2(Addr base, const Block64 &data, bool dirty, Tick now);
+    /** Stamp store-dependent bytes so ciphertexts stay diverse. */
+    static void stampStore(Block64 &line, Addr addr, Tick now);
+
+    SystemParams params_;
+    SecureMemoryController ctrl_;
+    Cache l1_;
+    Cache l2_;
+
+    struct Pending
+    {
+        Tick dataReady;
+        Tick authDone;
+    };
+    /** In-flight L2 fills, for hit-under-miss merging. */
+    std::unordered_map<Addr, Pending> l2Inflight_;
+
+    stats::Group stats_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CORE_SYSTEM_HH

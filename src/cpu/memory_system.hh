@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Interface between the core model and the memory hierarchy.
+ */
+
+#ifndef SECMEM_CPU_MEMORY_SYSTEM_HH
+#define SECMEM_CPU_MEMORY_SYSTEM_HH
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Timing outcome of one memory operation. */
+struct MemAccess
+{
+    Tick dataReady = 0; ///< value available to dependent instructions
+    Tick authDone = 0;  ///< authentication complete (== dataReady if off)
+    bool l2Miss = false;
+};
+
+/** Anything the core can issue loads and stores to. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Perform a load/store issued at @p now. */
+    virtual MemAccess access(Addr addr, bool is_write, Tick now) = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CPU_MEMORY_SYSTEM_HH

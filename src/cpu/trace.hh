@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instruction-trace abstraction driving the out-of-order core model.
+ *
+ * The simulator is trace-driven: a WorkloadGenerator emits one
+ * instruction per call — either a non-memory instruction or a load /
+ * store with a physical block address and a dependence flag. The
+ * generators in src/workload synthesize streams whose memory behaviour
+ * (miss rate, write-back locality, dependence chains) matches the
+ * paper's SPEC CPU 2000 benchmarks; see DESIGN.md for the substitution
+ * argument.
+ */
+
+#ifndef SECMEM_CPU_TRACE_HH
+#define SECMEM_CPU_TRACE_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** One dynamic instruction. */
+struct TraceOp
+{
+    bool isMem = false;
+    bool isStore = false;
+    /** Load address depends on the previous load's value (pointer chase). */
+    bool dependsOnPrev = false;
+    Addr addr = 0;
+
+    static TraceOp
+    alu()
+    {
+        return {};
+    }
+
+    static TraceOp
+    load(Addr a, bool dep = false)
+    {
+        TraceOp op;
+        op.isMem = true;
+        op.addr = a;
+        op.dependsOnPrev = dep;
+        return op;
+    }
+
+    static TraceOp
+    store(Addr a)
+    {
+        TraceOp op;
+        op.isMem = true;
+        op.isStore = true;
+        op.addr = a;
+        return op;
+    }
+};
+
+/** Deterministic instruction-stream source. */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /** Produce the next dynamic instruction. */
+    virtual TraceOp next() = 0;
+
+    /** Workload label for reports. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CPU_TRACE_HH

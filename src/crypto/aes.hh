@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Software AES-128 block cipher (FIPS-197).
+ *
+ * Bit-exact implementation used by the functional model: counter-mode
+ * pad generation, GCM hash-subkey derivation and direct (XOM-style)
+ * block encryption all run through this class. Hardware latency is
+ * modelled separately by enc/AesEngine; this class is purely functional.
+ */
+
+#ifndef SECMEM_CRYPTO_AES_HH
+#define SECMEM_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+
+namespace secmem
+{
+
+/** AES-128 with precomputed round keys for both directions. */
+class Aes128
+{
+  public:
+    static constexpr std::size_t kKeyBytes = 16;
+    static constexpr int kRounds = 10;
+
+    Aes128() = default;
+    explicit Aes128(const std::uint8_t key[kKeyBytes]) { setKey(key); }
+    explicit Aes128(const Block16 &key) { setKey(key.b.data()); }
+
+    /** Expand @p key into encryption and decryption round keys. */
+    void setKey(const std::uint8_t key[kKeyBytes]);
+
+    /** Encrypt one 16-byte chunk. In-place operation is allowed. */
+    void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    /** Decrypt one 16-byte chunk. In-place operation is allowed. */
+    void decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    Block16
+    encrypt(const Block16 &in) const
+    {
+        Block16 out;
+        encryptBlock(in.b.data(), out.b.data());
+        return out;
+    }
+
+    Block16
+    decrypt(const Block16 &in) const
+    {
+        Block16 out;
+        decryptBlock(in.b.data(), out.b.data());
+        return out;
+    }
+
+  private:
+    /** Encryption round keys: (kRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, (kRounds + 1) * 16> rk_{};
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_AES_HH

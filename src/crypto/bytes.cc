@@ -1,0 +1,62 @@
+#include "crypto/bytes.hh"
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+std::string
+toHex(const std::uint8_t *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+namespace
+{
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::size_t
+fromHex(const std::string &hex, std::uint8_t *out, std::size_t cap)
+{
+    SECMEM_ASSERT(hex.size() % 2 == 0, "odd-length hex string");
+    std::size_t n = hex.size() / 2;
+    SECMEM_ASSERT(n <= cap, "hex string too long for buffer");
+    for (std::size_t i = 0; i < n; ++i) {
+        int hi = hexVal(hex[2 * i]);
+        int lo = hexVal(hex[2 * i + 1]);
+        SECMEM_ASSERT(hi >= 0 && lo >= 0, "bad hex digit in '%s'", hex.c_str());
+        out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    return n;
+}
+
+Block16
+block16FromHex(const std::string &hex)
+{
+    Block16 x;
+    std::size_t n = fromHex(hex, x.b.data(), x.b.size());
+    SECMEM_ASSERT(n == kChunkBytes, "Block16 hex must be 32 digits");
+    return x;
+}
+
+} // namespace secmem

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Small byte-array value types shared by the crypto layer.
+ *
+ * Block16 is one AES chunk; Block64 is one cache block worth of data.
+ * Both are plain aggregates with value semantics so they can flow through
+ * the functional model and be compared in tests.
+ */
+
+#ifndef SECMEM_CRYPTO_BYTES_HH
+#define SECMEM_CRYPTO_BYTES_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** One 16-byte AES chunk. */
+struct Block16
+{
+    std::array<std::uint8_t, kChunkBytes> b{};
+
+    bool operator==(const Block16 &) const = default;
+
+    Block16
+    operator^(const Block16 &o) const
+    {
+        Block16 r;
+        for (std::size_t i = 0; i < kChunkBytes; ++i)
+            r.b[i] = b[i] ^ o.b[i];
+        return r;
+    }
+
+    Block16 &
+    operator^=(const Block16 &o)
+    {
+        for (std::size_t i = 0; i < kChunkBytes; ++i)
+            b[i] ^= o.b[i];
+        return *this;
+    }
+};
+
+/** One 64-byte cache block. */
+struct Block64
+{
+    std::array<std::uint8_t, kBlockBytes> b{};
+
+    bool operator==(const Block64 &) const = default;
+
+    /** Extract AES chunk @p i (0..3). */
+    Block16
+    chunk(std::size_t i) const
+    {
+        Block16 c;
+        std::memcpy(c.b.data(), b.data() + i * kChunkBytes, kChunkBytes);
+        return c;
+    }
+
+    /** Store AES chunk @p i (0..3). */
+    void
+    setChunk(std::size_t i, const Block16 &c)
+    {
+        std::memcpy(b.data() + i * kChunkBytes, c.b.data(), kChunkBytes);
+    }
+
+    Block64
+    operator^(const Block64 &o) const
+    {
+        Block64 r;
+        for (std::size_t i = 0; i < kBlockBytes; ++i)
+            r.b[i] = b[i] ^ o.b[i];
+        return r;
+    }
+};
+
+/** Render bytes as lowercase hex (for tests and examples). */
+std::string toHex(const std::uint8_t *data, std::size_t n);
+
+inline std::string
+toHex(const Block16 &x)
+{
+    return toHex(x.b.data(), x.b.size());
+}
+
+inline std::string
+toHex(const Block64 &x)
+{
+    return toHex(x.b.data(), x.b.size());
+}
+
+/** Parse lowercase/uppercase hex into bytes; returns bytes written. */
+std::size_t fromHex(const std::string &hex, std::uint8_t *out, std::size_t cap);
+
+/** Parse a 32-hex-digit string into a Block16. */
+Block16 block16FromHex(const std::string &hex);
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_BYTES_HH

@@ -1,0 +1,87 @@
+#include "crypto/gcm.hh"
+
+#include <cstring>
+
+#include "crypto/ghash.hh"
+
+namespace secmem
+{
+
+Gcm::Gcm(const Block16 &key) : aes_(key)
+{
+    Block16 zero{};
+    h_ = aes_.encrypt(zero);
+}
+
+Block16
+Gcm::counterPad(const std::uint8_t *iv96, std::uint32_t ctr) const
+{
+    Block16 j;
+    std::memcpy(j.b.data(), iv96, 12);
+    j.b[12] = static_cast<std::uint8_t>(ctr >> 24);
+    j.b[13] = static_cast<std::uint8_t>(ctr >> 16);
+    j.b[14] = static_cast<std::uint8_t>(ctr >> 8);
+    j.b[15] = static_cast<std::uint8_t>(ctr);
+    return aes_.encrypt(j);
+}
+
+Block16
+Gcm::ghashAll(const std::vector<std::uint8_t> &aad,
+              const std::vector<std::uint8_t> &ct) const
+{
+    Ghash gh(h_);
+    auto absorb = [&gh](const std::vector<std::uint8_t> &data) {
+        for (std::size_t off = 0; off < data.size(); off += 16) {
+            Block16 chunk{};
+            std::size_t n = std::min<std::size_t>(16, data.size() - off);
+            std::memcpy(chunk.b.data(), data.data() + off, n);
+            gh.update(chunk);
+        }
+    };
+    absorb(aad);
+    absorb(ct);
+    gh.updateLengths(static_cast<std::uint64_t>(aad.size()) * 8,
+                     static_cast<std::uint64_t>(ct.size()) * 8);
+    return gh.digest();
+}
+
+GcmSealed
+Gcm::seal(const std::uint8_t *iv96,
+          const std::vector<std::uint8_t> &plaintext,
+          const std::vector<std::uint8_t> &aad) const
+{
+    GcmSealed out;
+    out.ciphertext.resize(plaintext.size());
+    std::uint32_t ctr = 2; // counter 1 is reserved for the tag pad
+    for (std::size_t off = 0; off < plaintext.size(); off += 16, ++ctr) {
+        Block16 pad = counterPad(iv96, ctr);
+        std::size_t n = std::min<std::size_t>(16, plaintext.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out.ciphertext[off + i] = plaintext[off + i] ^ pad.b[i];
+    }
+    out.tag = ghashAll(aad, out.ciphertext) ^ counterPad(iv96, 1);
+    return out;
+}
+
+bool
+Gcm::open(const std::uint8_t *iv96,
+          const std::vector<std::uint8_t> &ciphertext,
+          const Block16 &tag,
+          std::vector<std::uint8_t> &plaintext_out,
+          const std::vector<std::uint8_t> &aad) const
+{
+    Block16 expect = ghashAll(aad, ciphertext) ^ counterPad(iv96, 1);
+    if (!(expect == tag))
+        return false;
+    plaintext_out.resize(ciphertext.size());
+    std::uint32_t ctr = 2;
+    for (std::size_t off = 0; off < ciphertext.size(); off += 16, ++ctr) {
+        Block16 pad = counterPad(iv96, ctr);
+        std::size_t n = std::min<std::size_t>(16, ciphertext.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            plaintext_out[off + i] = ciphertext[off + i] ^ pad.b[i];
+    }
+    return true;
+}
+
+} // namespace secmem

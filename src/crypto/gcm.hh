@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AES-128 Galois/Counter Mode (GCM) authenticated encryption
+ * (McGrew & Viega; NIST SP 800-38D).
+ *
+ * This general-purpose implementation (arbitrary-length plaintext, AAD,
+ * 96-bit IVs) exists to validate the crypto substrate against the
+ * published test vectors. The memory-authentication path in src/core uses
+ * the same primitives (Aes128, Ghash) directly with the block-address /
+ * counter seed construction from crypto/seed.hh.
+ */
+
+#ifndef SECMEM_CRYPTO_GCM_HH
+#define SECMEM_CRYPTO_GCM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+
+namespace secmem
+{
+
+/** Result of a GCM encryption: ciphertext plus 128-bit tag. */
+struct GcmSealed
+{
+    std::vector<std::uint8_t> ciphertext;
+    Block16 tag;
+};
+
+/** AES-128 GCM with 96-bit IVs. */
+class Gcm
+{
+  public:
+    explicit Gcm(const Block16 &key);
+
+    /** Encrypt @p plaintext and authenticate (@p aad, ciphertext). */
+    GcmSealed seal(const std::uint8_t *iv96, // 12 bytes
+                   const std::vector<std::uint8_t> &plaintext,
+                   const std::vector<std::uint8_t> &aad = {}) const;
+
+    /**
+     * Verify the tag and decrypt.
+     * @retval true  tag matched; @p plaintext_out holds the plaintext.
+     * @retval false authentication failed; @p plaintext_out untouched.
+     */
+    bool open(const std::uint8_t *iv96,
+              const std::vector<std::uint8_t> &ciphertext,
+              const Block16 &tag,
+              std::vector<std::uint8_t> &plaintext_out,
+              const std::vector<std::uint8_t> &aad = {}) const;
+
+    /** The hash subkey H = AES_K(0^128), exposed for tests. */
+    const Block16 &hashSubkey() const { return h_; }
+
+  private:
+    Block16 counterPad(const std::uint8_t *iv96, std::uint32_t ctr) const;
+    Block16 ghashAll(const std::vector<std::uint8_t> &aad,
+                     const std::vector<std::uint8_t> &ct) const;
+
+    Aes128 aes_;
+    Block16 h_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_GCM_HH

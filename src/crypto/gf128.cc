@@ -1,0 +1,52 @@
+#include "crypto/gf128.hh"
+
+namespace secmem
+{
+
+Gf128
+Gf128::fromBlock(const Block16 &blk)
+{
+    Gf128 g;
+    for (int i = 0; i < 8; ++i)
+        g.hi = (g.hi << 8) | blk.b[i];
+    for (int i = 8; i < 16; ++i)
+        g.lo = (g.lo << 8) | blk.b[i];
+    return g;
+}
+
+Block16
+Gf128::toBlock() const
+{
+    Block16 blk;
+    for (int i = 0; i < 8; ++i)
+        blk.b[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+        blk.b[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    return blk;
+}
+
+Gf128
+gf128Mul(const Gf128 &x, const Gf128 &y)
+{
+    // Right-shift algorithm from SP 800-38D, Section 6.3. V starts as y
+    // and is multiplied by x one bit at a time, MSB of the byte-stream
+    // first (which is the x^0 coefficient in GCM's reflected convention).
+    Gf128 z{0, 0};
+    Gf128 v = y;
+    for (int i = 0; i < 128; ++i) {
+        bool xbit = i < 64 ? ((x.hi >> (63 - i)) & 1)
+                           : ((x.lo >> (127 - i)) & 1);
+        if (xbit) {
+            z.hi ^= v.hi;
+            z.lo ^= v.lo;
+        }
+        bool lsb = v.lo & 1;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ull; // R = 11100001 || 0^120
+    }
+    return z;
+}
+
+} // namespace secmem

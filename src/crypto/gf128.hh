@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Arithmetic in GF(2^128) as specified for GCM (NIST SP 800-38D).
+ *
+ * Elements are 128-bit strings with the GCM bit convention: the first
+ * (leftmost) bit of the byte stream is the coefficient of x^0. The
+ * reduction polynomial is x^128 + x^7 + x^2 + x + 1.
+ */
+
+#ifndef SECMEM_CRYPTO_GF128_HH
+#define SECMEM_CRYPTO_GF128_HH
+
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+
+namespace secmem
+{
+
+/** A GF(2^128) element stored as two big-endian 64-bit halves. */
+struct Gf128
+{
+    std::uint64_t hi = 0; ///< Bytes 0..7 of the block (big-endian).
+    std::uint64_t lo = 0; ///< Bytes 8..15 of the block (big-endian).
+
+    bool operator==(const Gf128 &) const = default;
+
+    static Gf128 fromBlock(const Block16 &b);
+    Block16 toBlock() const;
+
+    Gf128
+    operator^(const Gf128 &o) const
+    {
+        return Gf128{hi ^ o.hi, lo ^ o.lo};
+    }
+};
+
+/** GCM GF(2^128) product of @p x and @p y. */
+Gf128 gf128Mul(const Gf128 &x, const Gf128 &y);
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_GF128_HH

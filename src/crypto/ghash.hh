@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The GHASH universal hash from GCM (NIST SP 800-38D).
+ *
+ * GHASH_H(X) = X1*H^m + X2*H^(m-1) + ... + Xm*H over GF(2^128),
+ * computed incrementally: Y_i = (Y_{i-1} ^ X_i) * H.
+ *
+ * In the memory-authentication setting of Yan et al. each chunk update
+ * corresponds to one single-cycle Galois-field multiply-accumulate in
+ * hardware; the timing model charges one cycle per update.
+ */
+
+#ifndef SECMEM_CRYPTO_GHASH_HH
+#define SECMEM_CRYPTO_GHASH_HH
+
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
+
+namespace secmem
+{
+
+/** Incremental GHASH computation under a fixed hash subkey H. */
+class Ghash
+{
+  public:
+    explicit Ghash(const Block16 &h) : h_(Gf128::fromBlock(h)) {}
+
+    /** Absorb one 16-byte chunk. */
+    void
+    update(const Block16 &chunk)
+    {
+        y_ = gf128Mul(y_ ^ Gf128::fromBlock(chunk), h_);
+    }
+
+    /** Absorb a GCM length block for @p aad_bits and @p ct_bits. */
+    void
+    updateLengths(std::uint64_t aad_bits, std::uint64_t ct_bits)
+    {
+        update(Gf128{aad_bits, ct_bits}.toBlock());
+    }
+
+    /** Current hash value. */
+    Block16 digest() const { return y_.toBlock(); }
+
+    /** Restart the accumulator (same subkey). */
+    void reset() { y_ = Gf128{0, 0}; }
+
+  private:
+    Gf128 h_;
+    Gf128 y_{0, 0};
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_GHASH_HH

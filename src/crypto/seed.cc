@@ -1,0 +1,93 @@
+#include "crypto/seed.hh"
+
+#include "crypto/ghash.hh"
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+Block16
+makeSeed(Addr block_addr, std::uint64_t counter, unsigned chunk,
+         SeedDomain domain, std::uint8_t iv_byte)
+{
+    SECMEM_ASSERT(chunk < kChunksPerBlock, "chunk index %u out of range",
+                  chunk);
+    Block16 seed{};
+    std::uint64_t block_index = block_addr >> log2i(kBlockBytes);
+    for (int i = 0; i < 6; ++i)
+        seed.b[i] = static_cast<std::uint8_t>(block_index >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        seed.b[6 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    seed.b[14] = static_cast<std::uint8_t>(
+        chunk | (domain == SeedDomain::Auth ? 0x80 : 0x00));
+    seed.b[15] = iv_byte;
+    return seed;
+}
+
+Block64
+makePad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+        std::uint8_t iv_byte)
+{
+    Block64 pad;
+    for (unsigned c = 0; c < kChunksPerBlock; ++c) {
+        Block16 s = makeSeed(block_addr, counter, c, SeedDomain::Encrypt,
+                             iv_byte);
+        pad.setChunk(c, aes.encrypt(s));
+    }
+    return pad;
+}
+
+Block64
+ctrCrypt(const Aes128 &aes, const Block64 &in, Addr block_addr,
+         std::uint64_t counter, std::uint8_t iv_byte)
+{
+    return in ^ makePad(aes, block_addr, counter, iv_byte);
+}
+
+Block16
+gcmBlockTag(const Aes128 &aes, const Block16 &hash_subkey,
+            const Block64 &ciphertext, Addr block_addr,
+            std::uint64_t counter, std::uint8_t iv_byte)
+{
+    Ghash gh(hash_subkey);
+    for (unsigned c = 0; c < kChunksPerBlock; ++c)
+        gh.update(ciphertext.chunk(c));
+    gh.updateLengths(0, kBlockBytes * 8);
+    Block16 auth_pad = aes.encrypt(
+        makeSeed(block_addr, counter, 0, SeedDomain::Auth, iv_byte));
+    return gh.digest() ^ auth_pad;
+}
+
+Block16
+sha1BlockTag(const Block16 &key, const Block64 &ciphertext, Addr block_addr,
+             std::uint64_t counter, std::uint8_t epoch)
+{
+    Sha1 h;
+    h.update(key.b.data(), key.b.size());
+    std::uint8_t meta[17];
+    for (int i = 0; i < 8; ++i)
+        meta[i] = static_cast<std::uint8_t>(block_addr >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        meta[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    meta[16] = epoch;
+    h.update(meta, sizeof(meta));
+    h.update(ciphertext.b.data(), ciphertext.b.size());
+    Sha1::Digest d = h.final();
+    Block16 tag;
+    for (std::size_t i = 0; i < kChunkBytes; ++i)
+        tag.b[i] = d[i];
+    return tag;
+}
+
+Block16
+clipTag(const Block16 &tag, unsigned mac_bits)
+{
+    SECMEM_ASSERT(mac_bits >= 8 && mac_bits <= 128 && mac_bits % 8 == 0,
+                  "unsupported MAC size %u", mac_bits);
+    Block16 out{};
+    for (unsigned i = 0; i < mac_bits / 8; ++i)
+        out.b[i] = tag.b[i];
+    return out;
+}
+
+} // namespace secmem

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Counter-mode seed construction and per-block pad/MAC helpers.
+ *
+ * Following Yan et al. (ISCA 2006), the seed fed to AES when
+ * encrypting chunk i of the cache block at address A with counter c is
+ * the concatenation of the chunk address, the block counter and a
+ * constant initialization vector. We pack these injectively into one
+ * 16-byte AES input:
+ *
+ *   bytes  0..5   block index (A >> 6), little-endian, 48 bits
+ *   bytes  6..13  block counter, little-endian, 64 bits
+ *   byte   14     chunk index (bits 0..1) | domain (bit 7)
+ *   byte   15     initialization-vector byte (EIV / AIV)
+ *
+ * The domain bit separates encryption pads from GCM authentication
+ * pads so the two can never collide for the same (address, counter).
+ * For split counters the 64-bit counter field carries
+ * (major << minorBits) | minor, which is injective as long as the
+ * major counter stays below 2^(64 - minorBits) — i.e. for millennia.
+ */
+
+#ifndef SECMEM_CRYPTO_SEED_HH
+#define SECMEM_CRYPTO_SEED_HH
+
+#include <cstdint>
+
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+#include "crypto/sha1.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Which pad a seed generates. */
+enum class SeedDomain : std::uint8_t
+{
+    Encrypt = 0, ///< data-encryption pad (EIV)
+    Auth = 1,    ///< GCM authentication pad (AIV)
+};
+
+/** Build the 16-byte AES input for (block, counter, chunk, domain). */
+Block16 makeSeed(Addr block_addr, std::uint64_t counter, unsigned chunk,
+                 SeedDomain domain, std::uint8_t iv_byte);
+
+/** Generate the four-chunk encryption pad for one cache block. */
+Block64 makePad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+                std::uint8_t iv_byte);
+
+/** Counter-mode encrypt (or decrypt — the operation is its own inverse). */
+Block64 ctrCrypt(const Aes128 &aes, const Block64 &in, Addr block_addr,
+                 std::uint64_t counter, std::uint8_t iv_byte);
+
+/**
+ * GCM authentication tag for one cache block.
+ *
+ * tag = GHASH_H(C1..C4, len) ^ AES_K(seed(addr, counter, Auth)).
+ * The counter binds the tag to the encryption counter, which is what
+ * makes the counter "indirectly authenticated" (paper Section 4.3).
+ */
+Block16 gcmBlockTag(const Aes128 &aes, const Block16 &hash_subkey,
+                    const Block64 &ciphertext, Addr block_addr,
+                    std::uint64_t counter, std::uint8_t iv_byte);
+
+/**
+ * SHA-1 MAC baseline: SHA1(key || addr || counter || epoch || ct),
+ * truncated to 16 bytes for storage symmetry with GCM tags. The epoch
+ * byte tracks whole-memory re-encryption generations.
+ */
+Block16 sha1BlockTag(const Block16 &key, const Block64 &ciphertext,
+                     Addr block_addr, std::uint64_t counter,
+                     std::uint8_t epoch = 0);
+
+/** Zero all but the leading @p mac_bits bits of @p tag (tag clipping). */
+Block16 clipTag(const Block16 &tag, unsigned mac_bits);
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_SEED_HH

@@ -1,0 +1,119 @@
+#include "crypto/sha1.hh"
+
+#include <cstring>
+
+namespace secmem
+{
+
+namespace
+{
+
+inline std::uint32_t
+rotl(std::uint32_t v, int k)
+{
+    return (v << k) | (v >> (32 - k));
+}
+
+} // namespace
+
+void
+Sha1::reset()
+{
+    h_[0] = 0x67452301u;
+    h_[1] = 0xefcdab89u;
+    h_[2] = 0x98badcfeu;
+    h_[3] = 0x10325476u;
+    h_[4] = 0xc3d2e1f0u;
+    bufLen_ = 0;
+    totalBits_ = 0;
+}
+
+void
+Sha1::processChunk(const std::uint8_t chunk[64])
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(chunk[4 * i]) << 24) |
+               (std::uint32_t(chunk[4 * i + 1]) << 16) |
+               (std::uint32_t(chunk[4 * i + 2]) << 8) |
+               std::uint32_t(chunk[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+void
+Sha1::update(const std::uint8_t *data, std::size_t n)
+{
+    totalBits_ += static_cast<std::uint64_t>(n) * 8;
+    while (n > 0) {
+        std::size_t take = std::min<std::size_t>(64 - bufLen_, n);
+        std::memcpy(buf_ + bufLen_, data, take);
+        bufLen_ += take;
+        data += take;
+        n -= take;
+        if (bufLen_ == 64) {
+            processChunk(buf_);
+            bufLen_ = 0;
+        }
+    }
+}
+
+Sha1::Digest
+Sha1::final()
+{
+    std::uint64_t bits = totalBits_;
+    std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    std::uint8_t zero = 0;
+    while (bufLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len[8];
+    for (int i = 0; i < 8; ++i)
+        len[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    // Bypass update() for the length field so totalBits_ bookkeeping
+    // doesn't matter anymore.
+    std::memcpy(buf_ + 56, len, 8);
+    processChunk(buf_);
+    bufLen_ = 0;
+
+    Digest d;
+    for (int i = 0; i < 5; ++i) {
+        d[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
+        d[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+        d[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+        d[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+    }
+    return d;
+}
+
+} // namespace secmem

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SHA-1 message digest (FIPS 180-1).
+ *
+ * Used functionally by the SHA-1 MAC baseline that the paper compares
+ * GCM against. As with AES, hardware latency (80..640 cycles, 32-stage
+ * pipeline) is modelled separately by the timing layer.
+ */
+
+#ifndef SECMEM_CRYPTO_SHA1_HH
+#define SECMEM_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secmem
+{
+
+/** Streaming SHA-1 with the usual update/final interface. */
+class Sha1
+{
+  public:
+    static constexpr std::size_t kDigestBytes = 20;
+    using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+    Sha1() { reset(); }
+
+    /** Restart hashing. */
+    void reset();
+
+    /** Absorb @p n bytes. */
+    void update(const std::uint8_t *data, std::size_t n);
+
+    void
+    update(const std::string &s)
+    {
+        update(reinterpret_cast<const std::uint8_t *>(s.data()), s.size());
+    }
+
+    /** Finish and return the digest; the object needs reset() to reuse. */
+    Digest final();
+
+    /** One-shot convenience. */
+    static Digest
+    digestOf(const std::uint8_t *data, std::size_t n)
+    {
+        Sha1 h;
+        h.update(data, n);
+        return h.final();
+    }
+
+  private:
+    void processChunk(const std::uint8_t chunk[64]);
+
+    std::uint32_t h_[5];
+    std::uint8_t buf_[64];
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalBits_ = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_SHA1_HH

@@ -1,0 +1,107 @@
+#include "enc/counters.hh"
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+std::uint64_t
+SplitCounterBlock::major() const
+{
+    std::uint64_t m = 0;
+    for (int i = 0; i < 8; ++i)
+        m |= static_cast<std::uint64_t>(raw_.b[i]) << (8 * i);
+    return m;
+}
+
+void
+SplitCounterBlock::setMajor(std::uint64_t m)
+{
+    for (int i = 0; i < 8; ++i)
+        raw_.b[i] = static_cast<std::uint8_t>(m >> (8 * i));
+}
+
+unsigned
+SplitCounterBlock::minor(unsigned i) const
+{
+    SECMEM_ASSERT(i < kBlocksPerPage, "minor index %u out of range", i);
+    // Minor counters are a 448-bit little-endian bit field starting at
+    // byte 8: minor i occupies bits [7i, 7i+7).
+    unsigned bit = i * kMinorBits;
+    unsigned byte = 8 + bit / 8;
+    unsigned shift = bit % 8;
+    unsigned lo = raw_.b[byte] >> shift;
+    unsigned hi = (byte + 1 < kBlockBytes)
+                      ? static_cast<unsigned>(raw_.b[byte + 1]) << (8 - shift)
+                      : 0;
+    return (lo | hi) & maxMinor();
+}
+
+void
+SplitCounterBlock::setMinor(unsigned i, unsigned value)
+{
+    SECMEM_ASSERT(i < kBlocksPerPage, "minor index %u out of range", i);
+    SECMEM_ASSERT(value <= maxMinor(), "minor value %u overflows field",
+                  value);
+    unsigned bit = i * kMinorBits;
+    unsigned byte = 8 + bit / 8;
+    unsigned shift = bit % 8;
+    unsigned mask = maxMinor() << shift;
+    unsigned cur = raw_.b[byte] | (byte + 1 < kBlockBytes
+                       ? static_cast<unsigned>(raw_.b[byte + 1]) << 8
+                       : 0);
+    cur = (cur & ~mask) | (value << shift);
+    raw_.b[byte] = static_cast<std::uint8_t>(cur);
+    if (byte + 1 < kBlockBytes && shift + kMinorBits > 8)
+        raw_.b[byte + 1] = static_cast<std::uint8_t>(cur >> 8);
+}
+
+void
+SplitCounterBlock::clearMinors()
+{
+    for (std::size_t i = 8; i < kBlockBytes; ++i)
+        raw_.b[i] = 0;
+}
+
+MonoCounterBlock::MonoCounterBlock(unsigned width_bits, Block64 raw)
+    : width_(width_bits), raw_(raw)
+{
+    SECMEM_ASSERT(width_bits == 8 || width_bits == 16 || width_bits == 32 ||
+                      width_bits == 64,
+                  "unsupported monolithic counter width %u", width_bits);
+}
+
+std::uint64_t
+MonoCounterBlock::counter(unsigned i) const
+{
+    SECMEM_ASSERT(i < countersPerBlock(), "counter slot %u out of range", i);
+    unsigned bytes = width_ / 8;
+    std::uint64_t v = 0;
+    for (unsigned k = 0; k < bytes; ++k)
+        v |= static_cast<std::uint64_t>(raw_.b[i * bytes + k]) << (8 * k);
+    return v;
+}
+
+void
+MonoCounterBlock::setCounter(unsigned i, std::uint64_t value)
+{
+    SECMEM_ASSERT(i < countersPerBlock(), "counter slot %u out of range", i);
+    unsigned bytes = width_ / 8;
+    for (unsigned k = 0; k < bytes; ++k)
+        raw_.b[i * bytes + k] = static_cast<std::uint8_t>(value >> (8 * k));
+}
+
+bool
+MonoCounterBlock::increment(unsigned i)
+{
+    std::uint64_t v = counter(i) + 1;
+    bool wrapped = width_ < 64 && v >= (std::uint64_t(1) << width_);
+    if (width_ == 64)
+        wrapped = v == 0;
+    if (wrapped)
+        v = 0;
+    setCounter(i, v);
+    return wrapped;
+}
+
+} // namespace secmem

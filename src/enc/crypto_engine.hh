@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Timing models for pipelined cryptographic hardware engines.
+ *
+ * The paper's platform has a 128-bit AES engine with a 16-stage
+ * pipeline and 80-cycle total latency (one new operation may enter
+ * every 80/16 = 5 cycles), and a SHA-1 engine with a 32-stage pipeline
+ * and a 320-cycle latency (one op per 10 cycles). GCM reuses the AES
+ * engine for authentication pads, which is one of its cost advantages.
+ *
+ * Each pipe is modelled as an issue-slot calendar: one operation may
+ * enter per issue interval, and an operation whose operands are ready
+ * at tick R occupies the first free slot at or after R. The calendar
+ * backfills — an operation waiting on a far-future operand does not
+ * block the pipe for operations that are ready sooner (the hardware
+ * pipeline has no such coupling either).
+ *
+ * Two priority classes exist: demand (read-path pads, tag checks) and
+ * background (write-back encryption, tag generation, re-encryption).
+ * Background work is additionally serialized against itself so a burst
+ * of write-backs cannot monopolize future issue slots.
+ */
+
+#ifndef SECMEM_ENC_CRYPTO_ENGINE_HH
+#define SECMEM_ENC_CRYPTO_ENGINE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** A bank of identical fully-pipelined fixed-latency functional units. */
+class CryptoEngine
+{
+  public:
+    /**
+     * @param name     stats group name ("aes", "sha1")
+     * @param latency  ticks from issue to result
+     * @param stages   pipeline depth; issue interval = latency / stages
+     * @param engines  number of parallel pipes
+     */
+    CryptoEngine(std::string name, Tick latency, unsigned stages,
+                 unsigned engines = 1)
+        : latency_(latency),
+          interval_(std::max<Tick>(1, latency / stages)),
+          pipes_(engines),
+          stats_(std::move(name))
+    {
+        SECMEM_ASSERT(stages >= 1 && engines >= 1,
+                      "bad engine shape: stages=%u engines=%u", stages,
+                      engines);
+    }
+
+    /**
+     * Issue one demand operation whose operands are ready at @p ready.
+     * @return the tick at which the result is available.
+     */
+    Tick
+    schedule(Tick ready)
+    {
+        Tick start = reserveEarliest(ready);
+        stats_.counter("ops").inc();
+        if (start > ready)
+            stats_.counter("issue_stall_ticks").inc(start - ready);
+        return start + latency_;
+    }
+
+    /**
+     * Issue one background (write-back / re-encryption) operation.
+     * Background operations serialize against each other so queued
+     * write-back work trickles into the pipe instead of flooding it.
+     */
+    Tick
+    scheduleBackground(Tick ready)
+    {
+        Tick start = reserveEarliest(std::max(ready, nextBackground_));
+        nextBackground_ = start + interval_;
+        stats_.counter("background_ops").inc();
+        return start + latency_;
+    }
+
+    /**
+     * Issue @p n back-to-back operations (e.g. the four pad chunks of
+     * one cache block); returns when the last result is available.
+     */
+    Tick
+    scheduleBurst(Tick ready, unsigned n)
+    {
+        Tick done = ready;
+        for (unsigned i = 0; i < n; ++i)
+            done = std::max(done, schedule(ready));
+        return done;
+    }
+
+    /** Background variant of scheduleBurst. */
+    Tick
+    scheduleBackgroundBurst(Tick ready, unsigned n)
+    {
+        Tick done = ready;
+        for (unsigned i = 0; i < n; ++i)
+            done = std::max(done, scheduleBackground(ready));
+        return done;
+    }
+
+    Tick latency() const { return latency_; }
+    Tick issueInterval() const { return interval_; }
+    unsigned engines() const { return static_cast<unsigned>(pipes_.size()); }
+
+    void
+    reset()
+    {
+        for (auto &pipe : pipes_)
+            pipe.busy.clear();
+        nextBackground_ = 0;
+        stats_.reset();
+    }
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    struct Pipe
+    {
+        std::set<std::uint64_t> busy; ///< occupied issue-slot indices
+    };
+
+    /** First free slot index at or after @p earliest on one pipe. */
+    std::uint64_t
+    probe(const Pipe &pipe, Tick earliest) const
+    {
+        std::uint64_t idx = (earliest + interval_ - 1) / interval_;
+        while (pipe.busy.count(idx))
+            ++idx;
+        return idx;
+    }
+
+    Tick
+    reserveEarliest(Tick ready)
+    {
+        Pipe *best = &pipes_.front();
+        std::uint64_t best_idx = probe(*best, ready);
+        for (std::size_t i = 1; i < pipes_.size(); ++i) {
+            std::uint64_t idx = probe(pipes_[i], ready);
+            if (idx < best_idx) {
+                best_idx = idx;
+                best = &pipes_[i];
+            }
+        }
+        best->busy.insert(best_idx);
+        // Bound the calendar: drop slots far behind the issue horizon
+        // (nothing is ever requested that far in the past).
+        if (best->busy.size() > kCalendarSlots) {
+            std::uint64_t horizon =
+                best_idx > kCalendarSlots ? best_idx - kCalendarSlots : 0;
+            best->busy.erase(best->busy.begin(),
+                             best->busy.lower_bound(horizon));
+        }
+        return best_idx * interval_;
+    }
+
+    static constexpr std::size_t kCalendarSlots = 16384;
+
+    Tick latency_;
+    Tick interval_;
+    std::vector<Pipe> pipes_;
+    Tick nextBackground_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_ENC_CRYPTO_ENGINE_HH

@@ -1,0 +1,140 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || parsed == 0) {
+        SECMEM_WARN("ignoring bad %s='%s'", name, v);
+        return fallback;
+    }
+    return parsed;
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+} // namespace
+
+std::uint64_t
+simInstructions()
+{
+    return envCount("SECMEM_SIM_INSTRS", 800'000);
+}
+
+std::uint64_t
+warmupInstructions()
+{
+    return envCount("SECMEM_WARMUP_INSTRS", 600'000);
+}
+
+RunOutput
+runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
+            const CoreParams &core, const SystemParams &sys)
+{
+    SecureSystem system(cfg, sys);
+    SpecWorkload gen(profile);
+    CoreRunResult r =
+        system.run(gen, warmupInstructions(), simInstructions(), core);
+
+    SecureMemoryController &ctrl = system.controller();
+    const stats::Group &cs = ctrl.stats();
+
+    RunOutput out;
+    out.workload = profile.name;
+    out.scheme = cfg.schemeName();
+    out.ipc = r.ipc;
+    out.instructions = r.instructions;
+    out.cycles = r.cycles;
+    out.simSeconds =
+        static_cast<double>(r.finalTick) / static_cast<double>(kCoreHz);
+
+    out.l2MissRate = system.l2MissRate();
+    out.ctrHitRate = ctrl.ctrCache().hitRate();
+    {
+        std::uint64_t acc = ctrl.ctrCache().stats().counterValue("accesses");
+        out.ctrHalfMissRate = ratio(cs.counterValue("ctr_halfmiss"), acc);
+    }
+    out.macHitRate = ctrl.macCache().hitRate();
+    out.timelyPadRate =
+        ratio(cs.counterValue("pad_timely"), cs.counterValue("pad_total"));
+    out.predRate =
+        ratio(cs.counterValue("pred_hits"), cs.counterValue("pred_total"));
+    out.busUtilization = ctrl.bus().utilization(r.finalTick);
+
+    // stats::Group is logically const here; samples are read-only uses.
+    auto &mutable_cs = const_cast<stats::Group &>(cs);
+    out.avgAuthLevels = mutable_cs.sample("auth_walk_levels").mean();
+    out.reencAvgCycles = mutable_cs.sample("reenc_duration").mean();
+    out.reencAvgConcurrent = mutable_cs.sample("reenc_concurrent").mean();
+
+    out.writebacks = ctrl.totalWritebacks();
+    out.maxBlockWritebacks = ctrl.maxBlockWritebacks();
+    out.freezes = ctrl.freezeCount();
+    out.pageReencs = ctrl.pageReencCount();
+    out.authFailures = ctrl.authFailures();
+    {
+        std::uint64_t on = cs.counterValue("reenc_onchip_blocks");
+        std::uint64_t off = cs.counterValue("reenc_offchip_blocks");
+        out.reencOnchipFraction = ratio(on, on + off);
+    }
+    out.reencRsrStalls = cs.counterValue("reenc_rsr_stalls");
+    out.reencPageConflicts = cs.counterValue("reenc_page_conflicts");
+
+    if (out.simSeconds > 0) {
+        out.counterGrowthPerSec =
+            static_cast<double>(out.maxBlockWritebacks) / out.simSeconds;
+        out.writebackRatePerSec =
+            static_cast<double>(out.writebacks) / out.simSeconds;
+    }
+    return out;
+}
+
+std::vector<RunOutput>
+runSweep(const std::vector<SpecProfile> &workloads,
+         const SecureMemConfig &cfg)
+{
+    std::vector<RunOutput> results;
+    results.reserve(workloads.size());
+    for (const SpecProfile &p : workloads)
+        results.push_back(runWorkload(p, cfg));
+    return results;
+}
+
+double
+normalizedIpc(const RunOutput &run, const RunOutput &baseline)
+{
+    return baseline.ipc > 0 ? run.ipc / baseline.ipc : 0.0;
+}
+
+const RunOutput &
+BaselineCache::get(const SpecProfile &profile)
+{
+    auto it = cache_.find(profile.name);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(profile.name,
+                          runWorkload(profile, SecureMemConfig::baseline()))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace secmem

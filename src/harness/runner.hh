@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment harness: runs (scheme x workload) sweeps and extracts the
+ * metrics the paper's tables and figures report.
+ *
+ * Simulation length is controlled by the SECMEM_SIM_INSTRS and
+ * SECMEM_WARMUP_INSTRS environment variables (defaults: 1,000,000
+ * measured after 100,000 warm-up — the paper used 1 B after 5 B of
+ * fast-forward; see EXPERIMENTS.md for the scaling discussion).
+ */
+
+#ifndef SECMEM_HARNESS_RUNNER_HH
+#define SECMEM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+
+/** Everything a figure might want from one simulation run. */
+struct RunOutput
+{
+    std::string workload;
+    std::string scheme;
+
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double simSeconds = 0.0; ///< cycles / 5 GHz
+
+    double l2MissRate = 0.0;
+    double ctrHitRate = 0.0;
+    double ctrHalfMissRate = 0.0;
+    double macHitRate = 0.0;
+    double timelyPadRate = 0.0;
+    double predRate = 0.0;
+    double busUtilization = 0.0;
+    double avgAuthLevels = 0.0;
+
+    std::uint64_t writebacks = 0;
+    std::uint64_t maxBlockWritebacks = 0;
+    std::uint64_t freezes = 0;
+    std::uint64_t pageReencs = 0;
+    std::uint64_t authFailures = 0;
+    double reencOnchipFraction = 0.0;
+    double reencAvgCycles = 0.0;
+    double reencAvgConcurrent = 0.0;
+    std::uint64_t reencRsrStalls = 0;
+    std::uint64_t reencPageConflicts = 0;
+
+    /** Fastest-counter growth rate per simulated second (Table 2). */
+    double counterGrowthPerSec = 0.0;
+    /** Global-counter (total write-back) rate per second (Table 2). */
+    double writebackRatePerSec = 0.0;
+};
+
+/** Measured-instruction count from the environment (default 1M). */
+std::uint64_t simInstructions();
+/** Warm-up instruction count from the environment (default 100k). */
+std::uint64_t warmupInstructions();
+
+/** Run @p profile on a fresh system configured by @p cfg. */
+RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
+                      const CoreParams &core = {},
+                      const SystemParams &sys = {});
+
+/**
+ * Run a whole sweep: every profile in @p workloads against @p cfg.
+ * Results arrive in workload order.
+ */
+std::vector<RunOutput> runSweep(const std::vector<SpecProfile> &workloads,
+                                const SecureMemConfig &cfg);
+
+/** Normalized-IPC helper: ipc(run) / ipc(baseline of same workload). */
+double normalizedIpc(const RunOutput &run, const RunOutput &baseline);
+
+/**
+ * Cache of baseline (no enc, no auth) runs keyed by workload name, so
+ * figures that share the baseline don't re-simulate it.
+ */
+class BaselineCache
+{
+  public:
+    const RunOutput &get(const SpecProfile &profile);
+
+  private:
+    std::map<std::string, RunOutput> cache_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_HARNESS_RUNNER_HH

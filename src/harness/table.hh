@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for the figure/table reproduction
+ * binaries: fixed-width ASCII output plus optional CSV dumping.
+ */
+
+#ifndef SECMEM_HARNESS_TABLE_HH
+#define SECMEM_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace secmem
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmtDouble(double v, int precision = 3);
+std::string fmtPercent(double v, int precision = 1);
+
+} // namespace secmem
+
+#endif // SECMEM_HARNESS_TABLE_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Processor-memory bus and DRAM timing models.
+ *
+ * The platform of Yan et al. has a 128-bit data bus at 600 MHz under a
+ * 5 GHz core: one bus beat moves 16 bytes and lasts 25/3 core ticks.
+ * Bus time is tracked internally in thirds of a tick so repeated
+ * transfers accumulate no rounding drift. The bus is a single shared
+ * resource: data fetches, write-backs, counter fetches and MAC-tree
+ * fetches all contend for it, which is what makes small split counters
+ * cheaper than 64-bit monolithic ones at equal hit rates (paper §6.1).
+ */
+
+#ifndef SECMEM_MEM_BUS_HH
+#define SECMEM_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Timing parameters for the memory subsystem. */
+struct MemTimingParams
+{
+    /** Bus beat width in bytes (128-bit bus). */
+    std::uint32_t busBytesPerBeat = 16;
+    /** Core ticks per bus beat, as a ratio (5 GHz / 600 MHz = 25/3). */
+    std::uint32_t beatTicksNum = 25;
+    std::uint32_t beatTicksDen = 3;
+    /** Uncontended DRAM round trip below the bus (paper: 200 cycles). */
+    Tick dramLatency = 200;
+};
+
+/**
+ * A single shared split-transaction bus.
+ *
+ * acquire() reserves the bus for a transfer of a given size at the
+ * earliest opportunity at or after @p earliest, first-come-first-served
+ * in call order (callers invoke it in simulated-time order).
+ */
+class Bus
+{
+  public:
+    explicit Bus(const MemTimingParams &params = {})
+        : params_(params), stats_("bus")
+    {}
+
+    /**
+     * Reserve the bus for @p bytes starting no earlier than @p earliest.
+     * @return the tick at which the transfer completes.
+     */
+    Tick
+    acquire(Tick earliest, std::uint32_t bytes)
+    {
+        std::uint64_t earliest3 = static_cast<std::uint64_t>(earliest) * 3;
+        std::uint64_t start3 = std::max(nextFree3_, earliest3);
+        std::uint64_t beats =
+            (bytes + params_.busBytesPerBeat - 1) / params_.busBytesPerBeat;
+        std::uint64_t dur3 =
+            beats * params_.beatTicksNum * 3 / params_.beatTicksDen;
+        nextFree3_ = start3 + dur3;
+        stats_.counter("bytes").inc(bytes);
+        stats_.counter("transfers").inc();
+        stats_.counter("busy_thirds").inc(dur3);
+        if (start3 > earliest3)
+            stats_.counter("contention_thirds").inc(start3 - earliest3);
+        // Completion rounds up to a whole tick.
+        return static_cast<Tick>((nextFree3_ + 2) / 3);
+    }
+
+    /** Tick at which the bus next becomes free. */
+    Tick nextFree() const { return static_cast<Tick>((nextFree3_ + 2) / 3); }
+
+    /** Fraction of [0, now] the bus spent busy. */
+    double
+    utilization(Tick now) const
+    {
+        if (now == 0)
+            return 0.0;
+        return static_cast<double>(stats_.counterValue("busy_thirds")) /
+               (3.0 * static_cast<double>(now));
+    }
+
+    void
+    reset()
+    {
+        nextFree3_ = 0;
+        stats_.reset();
+    }
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    MemTimingParams params_;
+    std::uint64_t nextFree3_ = 0; ///< next-free time in thirds of a tick
+    stats::Group stats_;
+};
+
+/**
+ * Timing front-end for main memory, with separate address and data
+ * channels (as on a real front-side bus): a read sends its command on
+ * the address channel, waits the DRAM access latency, then returns the
+ * block on the data channel. The data channel is the contended
+ * resource — demand fetches, write-backs, counter fetches and MAC-tree
+ * fetches all share it, so metadata traffic slows data traffic exactly
+ * as in the paper. The DRAM array itself is treated as fully banked
+ * (no inter-access conflicts beyond the channels).
+ */
+class MemChannel
+{
+  public:
+    explicit MemChannel(const MemTimingParams &params = {})
+        : params_(params), addrBus_(params), dataBus_(params)
+    {}
+
+    /**
+     * Schedule a read of @p bytes issued at @p when; returns the tick
+     * at which the data is fully on-chip.
+     */
+    Tick
+    readTiming(Tick when, std::uint32_t bytes)
+    {
+        // Command on the address channel.
+        Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
+        // DRAM access below the bus, then the data transfer back.
+        return dataBus_.acquire(req_done + params_.dramLatency, bytes);
+    }
+
+    /** Schedule a write of @p bytes issued at @p when; returns done tick. */
+    Tick
+    writeTiming(Tick when, std::uint32_t bytes)
+    {
+        Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
+        return dataBus_.acquire(req_done, bytes);
+    }
+
+    /** Schedule a block read issued at @p when; returns data-on-chip tick. */
+    Tick readBlockTiming(Tick when) { return readTiming(when, kBlockBytes); }
+
+    /** Schedule a block write-back issued at @p when; returns done tick. */
+    Tick writeBlockTiming(Tick when) { return writeTiming(when, kBlockBytes); }
+
+    /** The contended data channel (utilization / contention stats). */
+    Bus &bus() { return dataBus_; }
+    const MemTimingParams &params() const { return params_; }
+
+    void
+    reset()
+    {
+        addrBus_.reset();
+        dataBus_.reset();
+    }
+
+  private:
+    MemTimingParams params_;
+    Bus addrBus_;
+    Bus dataBus_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_MEM_BUS_HH

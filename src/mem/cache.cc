@@ -1,0 +1,218 @@
+#include "mem/cache.hh"
+
+#include <functional>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
+    : assoc_(assoc), stats_(std::move(name))
+{
+    SECMEM_ASSERT(assoc >= 1, "associativity must be >= 1");
+    SECMEM_ASSERT(size_bytes % (assoc * kBlockBytes) == 0,
+                  "cache size %zu not a multiple of assoc*block",
+                  size_bytes);
+    std::size_t n_sets = size_bytes / (assoc * kBlockBytes);
+    SECMEM_ASSERT(isPowerOfTwo(n_sets), "set count %zu not a power of two",
+                  n_sets);
+    sets_.resize(n_sets);
+    for (auto &set : sets_)
+        set.ways.resize(assoc);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> log2i(kBlockBytes)) & (sets_.size() - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr base = blockBase(addr);
+    for (auto &line : sets_[setIndex(addr)].ways) {
+        if (line.valid && line.tag == base)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    Addr base = blockBase(addr);
+    for (const auto &line : sets_[setIndex(addr)].ways) {
+        if (line.valid && line.tag == base)
+            return &line;
+    }
+    return nullptr;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+Block64 *
+Cache::access(Addr addr, bool is_write)
+{
+    stats_.counter("accesses").inc();
+    if (is_write)
+        stats_.counter("writes").inc();
+    Line *line = findLine(addr);
+    if (!line) {
+        stats_.counter("misses").inc();
+        return nullptr;
+    }
+    stats_.counter("hits").inc();
+    line->lru = ++lruClock_;
+    if (is_write)
+        line->dirty = true;
+    return &line->data;
+}
+
+const Block64 *
+Cache::peek(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? &line->data : nullptr;
+}
+
+Block64 *
+Cache::peek(Addr addr)
+{
+    Line *line = findLine(addr);
+    return line ? &line->data : nullptr;
+}
+
+Eviction
+Cache::insert(Addr addr, const Block64 &data, bool dirty)
+{
+    Addr base = blockBase(addr);
+    if (Line *line = findLine(base)) {
+        line->data = data;
+        line->dirty = line->dirty || dirty;
+        line->lru = ++lruClock_;
+        return {};
+    }
+
+    Set &set = sets_[setIndex(base)];
+    Line *victim = nullptr;
+    for (auto &line : set.ways) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.addr = victim->tag;
+        ev.data = victim->data;
+        stats_.counter("evictions").inc();
+        if (victim->dirty)
+            stats_.counter("writebacks").inc();
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = base;
+    victim->lru = ++lruClock_;
+    victim->data = data;
+    stats_.counter("fills").inc();
+    return ev;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = true;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->dirty;
+}
+
+Eviction
+Cache::invalidate(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return {};
+    Eviction ev;
+    ev.valid = true;
+    ev.dirty = line->dirty;
+    ev.addr = line->tag;
+    ev.data = line->data;
+    line->valid = false;
+    line->dirty = false;
+    return ev;
+}
+
+void
+Cache::forEachLine(
+    const std::function<void(Addr, const Block64 &, bool)> &fn) const
+{
+    for (const auto &set : sets_) {
+        for (const auto &line : set.ways) {
+            if (line.valid)
+                fn(line.tag, line.data, line.dirty);
+        }
+    }
+}
+
+std::vector<Eviction>
+Cache::flush()
+{
+    std::vector<Eviction> dirty;
+    for (auto &set : sets_) {
+        for (auto &line : set.ways) {
+            if (!line.valid)
+                continue;
+            if (line.dirty) {
+                Eviction ev;
+                ev.valid = true;
+                ev.dirty = true;
+                ev.addr = line.tag;
+                ev.data = line.data;
+                dirty.push_back(ev);
+            }
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    return dirty;
+}
+
+void
+Cache::clear()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set.ways) {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+double
+Cache::hitRate() const
+{
+    std::uint64_t acc = stats_.counterValue("accesses");
+    return acc ? static_cast<double>(stats_.counterValue("hits")) /
+                     static_cast<double>(acc)
+               : 0.0;
+}
+
+} // namespace secmem

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Generic set-associative write-back cache with LRU replacement.
+ *
+ * One class serves all on-chip block stores in the platform: the L1s,
+ * the unified L2, the 32 KB counter cache and the MAC cache. Lines
+ * carry real 64-byte payloads so the functional model keeps distinct
+ * on-chip vs. in-memory state — which is exactly what the counter
+ * replay attack of paper Section 4.3 exploits.
+ *
+ * The cache is purely structural: it never talks to memory itself.
+ * Misses and evictions are reported to the caller, which performs the
+ * fill/writeback (and accounts for their latency).
+ */
+
+#ifndef SECMEM_MEM_CACHE_HH
+#define SECMEM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Outcome of inserting a block: possibly an evicted dirty victim. */
+struct Eviction
+{
+    bool valid = false;      ///< a line was displaced
+    bool dirty = false;      ///< ... and it needs writing back
+    Addr addr = kAddrInvalid;
+    Block64 data{};
+};
+
+/** Set-associative LRU cache of 64-byte blocks with payload storage. */
+class Cache
+{
+  public:
+    /**
+     * @param name        stats group name (e.g. "l2", "ctrcache")
+     * @param size_bytes  total capacity; must be a multiple of
+     *                    assoc * kBlockBytes
+     * @param assoc       associativity (1 = direct-mapped)
+     */
+    Cache(std::string name, std::size_t size_bytes, unsigned assoc);
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets_.size(); }
+    unsigned assoc() const { return assoc_; }
+    std::size_t capacityBytes() const { return numSets() * assoc_ * kBlockBytes; }
+
+    /** True iff the block at @p addr is resident (no LRU update). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Look up a block; on hit, updates LRU and returns a pointer to the
+     * line payload (mutable). On miss returns nullptr. Counts stats.
+     */
+    Block64 *access(Addr addr, bool is_write);
+
+    /** Look up without touching LRU or stats (for probes / RSR scans). */
+    const Block64 *peek(Addr addr) const;
+    Block64 *peek(Addr addr);
+
+    /**
+     * Insert a block (fill after miss). The victim, if dirty, is
+     * returned for write-back. Inserting an already-resident block
+     * overwrites its payload in place.
+     */
+    Eviction insert(Addr addr, const Block64 &data, bool dirty);
+
+    /** Mark a resident block dirty; no-op if absent. */
+    void markDirty(Addr addr);
+
+    /** Dirty status of a resident block (false if absent). */
+    bool isDirty(Addr addr) const;
+
+    /** Remove a block if resident; returns its eviction record. */
+    Eviction invalidate(Addr addr);
+
+    /** Apply @p fn(addr, data, dirty) to every valid line. */
+    void forEachLine(
+        const std::function<void(Addr, const Block64 &, bool)> &fn) const;
+
+    /** Evict everything, returning dirty victims in eviction order. */
+    std::vector<Eviction> flush();
+
+    /** Invalidate all lines without returning victims (test support). */
+    void clear();
+
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    /** Hit rate across all accesses so far. */
+    double hitRate() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0; ///< larger = more recently used
+        Block64 data{};
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    unsigned assoc_;
+    std::vector<Set> sets_;
+    std::uint64_t lruClock_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_MEM_CACHE_HH

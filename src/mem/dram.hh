@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Main-memory functional store.
+ *
+ * A sparse block-granular byte store covering the protected physical
+ * address space (data region, counter region, MAC-tree regions). The
+ * secure-memory controller writes only ciphertext, counters and MACs
+ * here, so everything in this object models what a hardware attacker
+ * positioned on the memory bus can see and modify.
+ *
+ * The tamper API (tamperXor / rawWrite / snapshot + replay) exists for
+ * security tests and the attack-demo example; the simulated processor
+ * never calls it.
+ */
+
+#ifndef SECMEM_MEM_DRAM_HH
+#define SECMEM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/bytes.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Sparse functional DRAM with an attacker-facing tamper interface. */
+class Dram
+{
+  public:
+    Dram() : stats_("dram") {}
+
+    /** Read a 64-byte block; untouched blocks read as zero. */
+    Block64
+    readBlock(Addr addr) const
+    {
+        auto it = blocks_.find(blockBase(addr));
+        return it == blocks_.end() ? Block64{} : it->second;
+    }
+
+    /** Write a 64-byte block. */
+    void
+    writeBlock(Addr addr, const Block64 &data)
+    {
+        blocks_[blockBase(addr)] = data;
+    }
+
+    /** Number of blocks ever written (footprint metric). */
+    std::size_t footprintBlocks() const { return blocks_.size(); }
+
+    // ---- attacker interface -------------------------------------------
+
+    /** Flip bits: data[offset] ^= mask (a bus/mod-chip active attack). */
+    void
+    tamperXor(Addr addr, std::size_t offset, std::uint8_t mask)
+    {
+        Block64 blk = readBlock(addr);
+        blk.b[offset % kBlockBytes] ^= mask;
+        writeBlock(addr, blk);
+    }
+
+    /** Record the current value of a block (snooping). */
+    Block64 snoop(Addr addr) const { return readBlock(addr); }
+
+    /** Replay a previously snooped value (replay attack). */
+    void replay(Addr addr, const Block64 &old) { writeBlock(addr, old); }
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    std::unordered_map<Addr, Block64> blocks_;
+    stats::Group stats_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_MEM_DRAM_HH

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SECMEM_ASSERT(when >= now_,
+        "event scheduled in the past: when=%llu now=%llu",
+        static_cast<unsigned long long>(when),
+        static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    if (now_ < limit && limit != kTickNever)
+        now_ = limit;
+    return now_;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    seq_ = 0;
+}
+
+} // namespace secmem

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-per-system EventQueue orders callbacks by (tick,
+ * insertion sequence). Components schedule work in the future; the
+ * system driver advances simulated time by draining events. Ties are
+ * broken by insertion order, which makes runs fully deterministic.
+ */
+
+#ifndef SECMEM_SIM_EVENT_QUEUE_HH
+#define SECMEM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Deterministic min-heap event queue keyed by tick. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     * Events scheduled exactly at @p limit still run.
+     * @return the final simulated time.
+     */
+    Tick runUntil(Tick limit = kTickNever);
+
+    /** Run exactly one event (if any); returns false when empty. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something suspicious but survivable happened.
+ * inform() — plain status output.
+ */
+
+#ifndef SECMEM_SIM_LOG_HH
+#define SECMEM_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace secmem
+{
+
+namespace log_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace log_detail
+
+#define SECMEM_PANIC(...) \
+    ::secmem::log_detail::panicImpl(__FILE__, __LINE__, \
+        ::secmem::log_detail::format(__VA_ARGS__))
+
+#define SECMEM_FATAL(...) \
+    ::secmem::log_detail::fatalImpl(__FILE__, __LINE__, \
+        ::secmem::log_detail::format(__VA_ARGS__))
+
+#define SECMEM_WARN(...) \
+    ::secmem::log_detail::warnImpl(::secmem::log_detail::format(__VA_ARGS__))
+
+#define SECMEM_INFORM(...) \
+    ::secmem::log_detail::informImpl(::secmem::log_detail::format(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message on failure. */
+#define SECMEM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SECMEM_PANIC("assertion '%s' failed: %s", #cond, \
+                ::secmem::log_detail::format(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_LOG_HH

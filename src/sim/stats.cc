@@ -1,0 +1,23 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace secmem::stats
+{
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : samples_) {
+        const Sample &s = kv.second;
+        os << name_ << '.' << kv.first
+           << " mean=" << std::setprecision(6) << s.mean()
+           << " count=" << s.count()
+           << " min=" << s.min()
+           << " max=" << s.max() << '\n';
+    }
+}
+
+} // namespace secmem::stats

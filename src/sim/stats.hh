@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lightweight statistics package: scalar counters, means, ratios and
+ * fixed-bucket histograms, grouped per component and dumpable as text.
+ *
+ * Components own Stats::Group instances; the experiment harness reads
+ * them after a run. No global registry — a simulated system carries its
+ * stats explicitly, so multiple systems can coexist in one process.
+ */
+
+#ifndef SECMEM_SIM_STATS_HH
+#define SECMEM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secmem::stats
+{
+
+/** Monotonic scalar count (events, bytes, cycles...). */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Sample
+{
+  public:
+    void
+    record(double v)
+    {
+        sum_ += v;
+        ++count_;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width bucket histogram over [0, bucketWidth * nBuckets). */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t n_buckets = 32)
+        : width_(bucket_width), buckets_(n_buckets, 0)
+    {}
+
+    void
+    record(double v)
+    {
+        sample_.record(v);
+        std::size_t idx = v < 0 ? 0 : static_cast<std::size_t>(v / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+
+    const Sample &sample() const { return sample_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    double bucketWidth() const { return width_; }
+
+    void
+    reset()
+    {
+        sample_.reset();
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+    }
+
+  private:
+    Sample sample_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+};
+
+/**
+ * Named collection of stats belonging to one component.
+ *
+ * Stats are registered lazily by name; dump() emits "group.name value"
+ * lines suitable for diffing across runs.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Sample &sample(const std::string &name) { return samples_[name]; }
+
+    const std::string &name() const { return name_; }
+
+    /** Value of a counter, 0 if never touched. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    void dump(std::ostream &os) const;
+
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : samples_)
+            kv.second.reset();
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Sample> samples_;
+};
+
+} // namespace secmem::stats
+
+#endif // SECMEM_SIM_STATS_HH

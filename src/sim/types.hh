@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental scalar types and global constants for the secmem simulator.
+ *
+ * Everything in the simulator is expressed in processor clock ticks
+ * (Tick) and byte addresses (Addr). The structural constants below mirror
+ * the experimental platform of Yan et al., ISCA 2006, Section 5.
+ */
+
+#ifndef SECMEM_SIM_TYPES_HH
+#define SECMEM_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace secmem
+{
+
+/** Simulated processor cycle count. The core runs at 5 GHz. */
+using Tick = std::uint64_t;
+
+/** Physical byte address within the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick" / "not scheduled". */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Sentinel for "no address". */
+constexpr Addr kAddrInvalid = ~Addr(0);
+
+/** Cache block size used throughout the platform (L1, L2, counter cache). */
+constexpr std::size_t kBlockBytes = 64;
+
+/** AES operates on 16-byte chunks; a block holds four of them. */
+constexpr std::size_t kChunkBytes = 16;
+constexpr std::size_t kChunksPerBlock = kBlockBytes / kChunkBytes;
+
+/** Simulated core clock (Hz): 5 GHz as in the paper. */
+constexpr std::uint64_t kCoreHz = 5'000'000'000ull;
+
+/** Round an address down to its block base. */
+constexpr Addr
+blockBase(Addr a)
+{
+    return a & ~Addr(kBlockBytes - 1);
+}
+
+/** Byte offset of an address within its block. */
+constexpr std::size_t
+blockOffset(Addr a)
+{
+    return static_cast<std::size_t>(a & (kBlockBytes - 1));
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_TYPES_HH

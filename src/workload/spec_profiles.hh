@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic stand-ins for the paper's 21 SPEC CPU 2000 benchmarks.
+ *
+ * We do not have SPEC binaries or an ISA simulator; instead each
+ * benchmark is modelled as a parameterised address-stream generator
+ * whose memory behaviour — L2 miss rate, store fraction, write-back
+ * locality, streaming vs. random access, pointer-chase dependence —
+ * is tuned to reproduce the qualitative behaviour the paper reports
+ * (e.g. mcf is dependence-bound and counter-cache hungry; swim and
+ * applu stream through large arrays; equake and twolf write small hot
+ * sets frequently). DESIGN.md documents why this substitution
+ * preserves the experiments.
+ */
+
+#ifndef SECMEM_WORKLOAD_SPEC_PROFILES_HH
+#define SECMEM_WORKLOAD_SPEC_PROFILES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "enc/counters.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** Tunable description of one benchmark's memory behaviour. */
+struct SpecProfile
+{
+    std::string name;
+    std::size_t workingSetKB;  ///< total touched footprint
+    double memFraction;        ///< memory ops per instruction
+    double storeFraction;      ///< stores among memory ops
+    double streamFraction;     ///< sequential-scan share of accesses
+    double chaseFraction;      ///< dependent (pointer-chase) loads
+    double hotFraction;        ///< accesses hitting the hot set
+    std::size_t hotKB;         ///< hot-set size
+    double hotStoreBoost;      ///< extra store probability in hot set
+    double burst;              ///< mean consecutive accesses per block
+    std::size_t warmKB;        ///< warm (roughly L2-sized) region
+    double warmFraction;       ///< non-hot, non-stream share going warm
+    std::uint64_t seed;
+    /** Stream advance per access: 8 = word-sequential (spatial
+     *  locality), 64 = block-per-access (maximum eviction pressure). */
+    std::size_t streamStepBytes = 8;
+};
+
+/** The 21 benchmarks of paper Table 1, in its order. */
+const std::vector<SpecProfile> &specProfiles();
+
+/** Profile lookup by name; aborts on unknown names. */
+const SpecProfile &profileByName(const std::string &name);
+
+/** The benchmarks the paper plots individually in Figure 4/7/9. */
+const std::vector<std::string> &memoryIntensiveNames();
+
+/** An artificially write-hot profile for the re-encryption ablation. */
+SpecProfile writeHotProfile();
+
+/** Generator implementing a SpecProfile. */
+class SpecWorkload : public WorkloadGenerator
+{
+  public:
+    explicit SpecWorkload(const SpecProfile &profile);
+
+    TraceOp next() override;
+    const std::string &name() const override { return profile_.name; }
+
+    const SpecProfile &profile() const { return profile_; }
+
+  private:
+    Addr randomBlockIn(Addr base, std::size_t bytes);
+    Addr skewedBlockIn(Addr base, std::size_t bytes);
+
+    SpecProfile profile_;
+    Rng rng_;
+    Addr wsBytes_;
+    Addr hotBytes_;
+    Addr warmBytes_;
+    Addr streamCursor_ = 0;
+
+    // Burst state: consecutive accesses to the current block model the
+    // intra-block spatial/temporal locality real programs have (without
+    // it the L1 would be useless and every scheme would look identical).
+    Addr curBlock_ = 0;
+    unsigned remBurst_ = 0;
+    bool curHot_ = false;
+
+    // Cold-region page clustering (pool-allocation locality).
+    Addr coldPage_ = 0;
+    unsigned coldPageRem_ = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_WORKLOAD_SPEC_PROFILES_HH

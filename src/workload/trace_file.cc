@@ -1,0 +1,108 @@
+#include "workload/trace_file.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path) : name_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        SECMEM_FATAL("cannot open trace file '%s'", path.c_str());
+    char line[128];
+    std::size_t line_no = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        ++line_no;
+        char kind = line[0];
+        if (kind == '#' || kind == '\n' || kind == '\0')
+            continue;
+        std::uint64_t value = 0;
+        if (std::sscanf(line + 1, "%" SCNx64, &value) != 1 &&
+            kind != 'A') {
+            std::fclose(f);
+            SECMEM_FATAL("%s:%zu: malformed record '%s'", path.c_str(),
+                         line_no, line);
+        }
+        switch (kind) {
+          case 'A': {
+            std::uint64_t count = 0;
+            if (std::sscanf(line + 1, "%" SCNu64, &count) != 1) {
+                std::fclose(f);
+                SECMEM_FATAL("%s:%zu: malformed A-record", path.c_str(),
+                             line_no);
+            }
+            for (std::uint64_t i = 0; i < count; ++i)
+                ops_.push_back(TraceOp::alu());
+            break;
+          }
+          case 'L':
+            ops_.push_back(TraceOp::load(value));
+            break;
+          case 'D':
+            ops_.push_back(TraceOp::load(value, true));
+            break;
+          case 'S':
+            ops_.push_back(TraceOp::store(value));
+            break;
+          default:
+            std::fclose(f);
+            SECMEM_FATAL("%s:%zu: unknown record kind '%c'", path.c_str(),
+                         line_no, kind);
+        }
+    }
+    std::fclose(f);
+    if (ops_.empty())
+        SECMEM_FATAL("trace file '%s' contains no instructions",
+                     path.c_str());
+}
+
+TraceFileWorkload::TraceFileWorkload(std::string name,
+                                     std::vector<TraceOp> ops)
+    : name_(std::move(name)), ops_(std::move(ops))
+{
+    SECMEM_ASSERT(!ops_.empty(), "empty programmatic trace");
+}
+
+TraceOp
+TraceFileWorkload::next()
+{
+    TraceOp op = ops_[cursor_];
+    cursor_ = (cursor_ + 1) % ops_.size();
+    return op;
+}
+
+void
+recordTrace(WorkloadGenerator &gen, std::uint64_t n,
+            const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        SECMEM_FATAL("cannot create trace file '%s'", path.c_str());
+    std::fprintf(f, "# secmem trace recorded from '%s'\n",
+                 gen.name().c_str());
+    std::uint64_t alu_run = 0;
+    auto flush_alu = [&] {
+        if (alu_run > 0) {
+            std::fprintf(f, "A %" PRIu64 "\n", alu_run);
+            alu_run = 0;
+        }
+    };
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceOp op = gen.next();
+        if (!op.isMem) {
+            ++alu_run;
+            continue;
+        }
+        flush_alu();
+        char kind = op.isStore ? 'S' : (op.dependsOnPrev ? 'D' : 'L');
+        std::fprintf(f, "%c %" PRIx64 "\n", kind, op.addr);
+    }
+    flush_alu();
+    std::fclose(f);
+}
+
+} // namespace secmem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace-file workloads: record any generator's instruction stream to a
+ * portable text format and replay it later, so users can drive the
+ * simulator with traces captured from real programs (e.g. via Pin or
+ * valgrind) instead of the synthetic SPEC profiles.
+ *
+ * Format: one record per line.
+ *   A <count>        — <count> non-memory instructions
+ *   L <hex-addr>     — load
+ *   D <hex-addr>     — dependent load (address depends on prior load)
+ *   S <hex-addr>     — store
+ * Lines starting with '#' are comments. The stream loops when replay
+ * reaches the end, so short traces can drive long simulations.
+ */
+
+#ifndef SECMEM_WORKLOAD_TRACE_FILE_HH
+#define SECMEM_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace secmem
+{
+
+/** Replay a recorded trace, looping at end-of-trace. */
+class TraceFileWorkload : public WorkloadGenerator
+{
+  public:
+    /** Load a trace from @p path; aborts on parse errors. */
+    explicit TraceFileWorkload(const std::string &path);
+
+    /** Build from an in-memory op list (testing / programmatic use). */
+    TraceFileWorkload(std::string name, std::vector<TraceOp> ops);
+
+    TraceOp next() override;
+    const std::string &name() const override { return name_; }
+
+    /** Number of (expanded) instructions per loop iteration. */
+    std::size_t length() const { return ops_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceOp> ops_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Record @p n instructions of @p gen to @p path in the format above
+ * (runs of non-memory instructions are compressed into A-records).
+ */
+void recordTrace(WorkloadGenerator &gen, std::uint64_t n,
+                 const std::string &path);
+
+} // namespace secmem
+
+#endif // SECMEM_WORKLOAD_TRACE_FILE_HH

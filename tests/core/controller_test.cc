@@ -1,0 +1,369 @@
+/**
+ * @file
+ * SecureMemoryController functional and timing tests across all
+ * encryption/authentication schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/controller.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+shrink(SecureMemConfig cfg)
+{
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+Block64
+randomBlock(Rng &rng)
+{
+    Block64 b;
+    for (auto &byte : b.b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+/** All scheme combinations the paper evaluates. */
+std::vector<SecureMemConfig>
+allSchemes()
+{
+    return {
+        shrink(SecureMemConfig::baseline()),
+        shrink(SecureMemConfig::direct()),
+        shrink(SecureMemConfig::mono(8)),
+        shrink(SecureMemConfig::mono(16)),
+        shrink(SecureMemConfig::mono(32)),
+        shrink(SecureMemConfig::mono(64)),
+        shrink(SecureMemConfig::split()),
+        shrink(SecureMemConfig::pred(1)),
+        shrink(SecureMemConfig::gcmAuthOnly()),
+        shrink(SecureMemConfig::sha1AuthOnly(320)),
+        shrink(SecureMemConfig::splitGcm()),
+        shrink(SecureMemConfig::monoGcm()),
+        shrink(SecureMemConfig::splitSha()),
+        shrink(SecureMemConfig::monoSha()),
+        shrink(SecureMemConfig::xomSha()),
+    };
+}
+
+class SchemeTest : public ::testing::TestWithParam<SecureMemConfig>
+{
+};
+
+TEST_P(SchemeTest, WriteReadRoundTrip)
+{
+    SecureMemoryController ctrl(GetParam());
+    Rng rng(1);
+    Tick t = 0;
+    std::vector<std::pair<Addr, Block64>> written;
+    for (int i = 0; i < 50; ++i) {
+        Addr a = rng.below(1024) * kBlockBytes;
+        Block64 v = randomBlock(rng);
+        t = ctrl.writeBlock(a, v, t + 1);
+        written.emplace_back(a, v);
+    }
+    for (auto &[a, v] : written) {
+        Block64 out;
+        AccessTiming at = ctrl.readBlock(a, t + 1, &out);
+        t = at.authDone;
+        // Later writes may have overwritten the block; only check the
+        // final value per address.
+        Block64 expect{};
+        for (auto &[a2, v2] : written) {
+            if (a2 == a)
+                expect = v2;
+        }
+        EXPECT_EQ(out, expect);
+        EXPECT_TRUE(at.authOk);
+    }
+    EXPECT_EQ(ctrl.authFailures(), 0u);
+}
+
+TEST_P(SchemeTest, UnwrittenBlocksReadZero)
+{
+    SecureMemoryController ctrl(GetParam());
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x8000, 1, &out);
+    EXPECT_EQ(out, Block64{});
+    EXPECT_TRUE(at.authOk);
+}
+
+TEST_P(SchemeTest, TimingIsCausal)
+{
+    SecureMemoryController ctrl(GetParam());
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x4000, 100, &out);
+    EXPECT_GT(at.dataReady, 100u);
+    EXPECT_GE(at.authDone, at.dataReady);
+    Tick w = ctrl.writeBlock(0x4000, out, at.authDone + 1);
+    EXPECT_GT(w, at.authDone);
+}
+
+TEST_P(SchemeTest, CiphertextDiffersFromPlaintextWhenEncrypted)
+{
+    const SecureMemConfig &cfg = GetParam();
+    if (cfg.enc == EncKind::None)
+        GTEST_SKIP() << "no encryption in this scheme";
+    SecureMemoryController ctrl(cfg);
+    Rng rng(2);
+    Block64 pt = randomBlock(rng);
+    ctrl.writeBlock(0x1000, pt, 1);
+    EXPECT_NE(ctrl.dram().readBlock(0x1000), pt);
+}
+
+TEST_P(SchemeTest, PlaintextStoredWhenNotEncrypted)
+{
+    const SecureMemConfig &cfg = GetParam();
+    if (cfg.enc != EncKind::None)
+        GTEST_SKIP();
+    SecureMemoryController ctrl(cfg);
+    Rng rng(3);
+    Block64 pt = randomBlock(rng);
+    ctrl.writeBlock(0x1000, pt, 1);
+    EXPECT_EQ(ctrl.dram().readBlock(0x1000), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeTest, ::testing::ValuesIn(allSchemes()),
+    [](const ::testing::TestParamInfo<SecureMemConfig> &info) {
+        std::string name = info.param.schemeName();
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        if (info.param.enc == EncKind::CtrMono)
+            return name;
+        if (info.param.auth == AuthKind::Sha1 &&
+            info.param.enc == EncKind::None)
+            name += std::to_string(info.param.shaLatency);
+        return name;
+    });
+
+TEST(Controller, CounterIncrementsPerWriteback)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Addr a = 0x2000;
+    EXPECT_EQ(ctrl.counterOf(a), 0u);
+    Tick t = 0;
+    for (int i = 1; i <= 5; ++i) {
+        t = ctrl.writeBlock(a, Block64{}, t + 1);
+        EXPECT_EQ(ctrl.counterOf(a), static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(Controller, CountersAreIndependentPerBlock)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    ctrl.writeBlock(0x0000, Block64{}, 1);
+    ctrl.writeBlock(0x0000, Block64{}, 100);
+    ctrl.writeBlock(0x0040, Block64{}, 200);
+    EXPECT_EQ(ctrl.counterOf(0x0000), 2u);
+    EXPECT_EQ(ctrl.counterOf(0x0040), 1u);
+}
+
+TEST(Controller, MinorOverflowTriggersPageReencryption)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Rng rng(7);
+    // Write several blocks in one page so re-encryption has real work.
+    std::vector<Block64> vals(4);
+    Tick t = 0;
+    for (int j = 0; j < 4; ++j) {
+        vals[j] = randomBlock(rng);
+        t = ctrl.writeBlock(j * kBlockBytes, vals[j], t + 1);
+    }
+    // Drive block 0's minor counter to overflow: 127 more write-backs.
+    Block64 hot = vals[0];
+    for (int i = 0; i < 130; ++i) {
+        hot.b[0] = static_cast<std::uint8_t>(i);
+        t = ctrl.writeBlock(0, hot, t + 1);
+    }
+    EXPECT_GE(ctrl.pageReencCount(), 1u);
+    // All page blocks still decrypt correctly after re-encryption.
+    for (int j = 1; j < 4; ++j) {
+        Block64 out;
+        ctrl.readBlock(j * kBlockBytes, t + 1, &out);
+        EXPECT_EQ(out, vals[j]) << "block " << j;
+    }
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0, t + 1, &out);
+    EXPECT_EQ(out, hot);
+    EXPECT_TRUE(at.authOk);
+    EXPECT_EQ(ctrl.authFailures(), 0u);
+    // Major counter advanced; minor reset below overflow.
+    EXPECT_GE(ctrl.counterOf(0) >> kMinorBits, 1u);
+}
+
+TEST(Controller, MonoOverflowCountsFreezeAndStaysDecryptable)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::mono(8)));
+    Rng rng(8);
+    Block64 cold = randomBlock(rng);
+    Tick t = ctrl.writeBlock(0x10000, cold, 1); // untouched thereafter
+    Block64 hot = randomBlock(rng);
+    for (int i = 0; i < 300; ++i) {
+        hot.b[1] = static_cast<std::uint8_t>(i);
+        t = ctrl.writeBlock(0, hot, t + 1);
+    }
+    EXPECT_GE(ctrl.freezeCount(), 1u);
+    // Both the wrapped-counter block and the cold block still decrypt
+    // (the paper's instantaneous whole-memory re-encryption).
+    Block64 out;
+    ctrl.readBlock(0, t + 1, &out);
+    EXPECT_EQ(out, hot);
+    ctrl.readBlock(0x10000, t + 2, &out);
+    EXPECT_EQ(out, cold);
+}
+
+TEST(Controller, SplitNeverFreezesWholeMemory)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Tick t = 0;
+    Block64 v{};
+    for (int i = 0; i < 300; ++i)
+        t = ctrl.writeBlock(0, v, t + 1);
+    EXPECT_EQ(ctrl.freezeCount(), 0u);
+    EXPECT_GE(ctrl.pageReencCount(), 2u);
+}
+
+TEST(Controller, CtrModeDecryptionOverlapsFetch)
+{
+    // With a warm counter cache the pad is generated during the fetch:
+    // dataReady should track the memory latency, not add AES latency.
+    SecureMemConfig cfg = shrink(SecureMemConfig::split());
+    SecureMemoryController split(cfg);
+    SecureMemoryController direct(shrink(SecureMemConfig::direct()));
+    SecureMemoryController plain(shrink(SecureMemConfig::baseline()));
+
+    // Warm the counter cache.
+    Block64 out;
+    split.writeBlock(0x1000, {}, 1);
+    Tick t0 = 10'000;
+    Tick split_ready = split.readBlock(0x1000, t0, &out).dataReady;
+    Tick plain_ready = plain.readBlock(0x1000, t0, &out).dataReady;
+    Tick direct_ready = direct.readBlock(0x1000, t0, &out).dataReady;
+
+    EXPECT_LE(split_ready - plain_ready, 3u)
+        << "counter-mode latency must hide under the fetch";
+    EXPECT_GE(direct_ready - plain_ready, cfg.aesLatency)
+        << "direct encryption adds serial AES latency";
+}
+
+TEST(Controller, ColdCounterMissDelaysPad)
+{
+    SecureMemConfig cfg = shrink(SecureMemConfig::split());
+    SecureMemoryController ctrl(cfg);
+    Block64 out;
+    // Cold access: the counter block itself must be fetched first.
+    Tick cold = ctrl.readBlock(0x3000, 1000, &out).dataReady;
+    // Warm access to a neighbouring block on the same page.
+    Tick warm = ctrl.readBlock(0x3040, cold + 1, &out).dataReady - (cold + 1);
+    EXPECT_GT(cold - 1000, warm);
+}
+
+TEST(Controller, TimelyPadStatisticsTracked)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Block64 out;
+    Tick t = 0;
+    for (int i = 0; i < 20; ++i)
+        t = ctrl.readBlock(i * kBlockBytes, t + 500, &out).authDone;
+    EXPECT_EQ(ctrl.stats().counterValue("pad_total"), 20u);
+    EXPECT_GT(ctrl.stats().counterValue("pad_timely"), 0u);
+}
+
+TEST(Controller, PredictionFunctionalRoundTrip)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::pred(1)));
+    Rng rng(9);
+    Block64 v = randomBlock(rng);
+    Tick t = ctrl.writeBlock(0x5000, v, 1);
+    Block64 out;
+    ctrl.readBlock(0x5000, t + 1, &out);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(ctrl.stats().counterValue("pred_total"), 1u);
+}
+
+TEST(Controller, PredictionMissesWhenCounterOutruns)
+{
+    SecureMemConfig cfg = shrink(SecureMemConfig::pred(1));
+    SecureMemoryController ctrl(cfg);
+    Tick t = 0;
+    // Two blocks in one page: one written many times, one never after
+    // the first write. The page base follows the hot block.
+    for (int i = 0; i < 30; ++i)
+        t = ctrl.writeBlock(0x0000, {}, t + 1);
+    t = ctrl.writeBlock(0x0040, {}, t + 1);
+    Block64 out;
+    ctrl.readBlock(0x0040, t + 1, &out); // laggard: mispredicted
+    ctrl.readBlock(0x0000, t + 500, &out); // hot: predicted
+    EXPECT_EQ(ctrl.stats().counterValue("pred_total"), 2u);
+    EXPECT_EQ(ctrl.stats().counterValue("pred_hits"), 1u);
+}
+
+TEST(Controller, EvictCounterBlockForcesRefetch)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Block64 out;
+    ctrl.writeBlock(0x7000, {}, 1);
+    std::uint64_t fetches0 = ctrl.stats().counterValue("ctr_fetches");
+    ctrl.evictCounterBlock(0x7000);
+    ctrl.readBlock(0x7000, 1000, &out);
+    EXPECT_EQ(ctrl.stats().counterValue("ctr_fetches"), fetches0 + 1);
+}
+
+TEST(Controller, RsrLimitsConcurrentReencryptions)
+{
+    SecureMemConfig cfg = shrink(SecureMemConfig::split());
+    cfg.numRsrs = 2;
+    SecureMemoryController ctrl(cfg);
+    Tick t = 0;
+    // Overflow minors on four different pages in quick succession.
+    for (int page = 0; page < 4; ++page) {
+        Addr a = static_cast<Addr>(page) * kPageBytes;
+        for (int i = 0; i < 128; ++i)
+            t = ctrl.writeBlock(a, {}, t + 1);
+    }
+    EXPECT_EQ(ctrl.pageReencCount(), 4u);
+    EXPECT_EQ(ctrl.authFailures(), 0u);
+}
+
+TEST(Controller, GcmOnlyCountsCounterTraffic)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::gcmAuthOnly()));
+    Block64 out;
+    ctrl.readBlock(0x9000, 1, &out);
+    EXPECT_GT(ctrl.stats().counterValue("ctr_fetches"), 0u)
+        << "GCM-only authentication still maintains counters";
+}
+
+TEST(Controller, Sha1OnlyHasNoCounterTraffic)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::sha1AuthOnly(320)));
+    Block64 out;
+    ctrl.readBlock(0x9000, 1, &out);
+    EXPECT_EQ(ctrl.stats().counterValue("ctr_fetches"), 0u);
+}
+
+TEST(Controller, WritebackGrowthStatsTracked)
+{
+    SecureMemoryController ctrl(shrink(SecureMemConfig::split()));
+    Tick t = 0;
+    for (int i = 0; i < 7; ++i)
+        t = ctrl.writeBlock(0, {}, t + 1);
+    t = ctrl.writeBlock(kBlockBytes, {}, t + 1);
+    EXPECT_EQ(ctrl.totalWritebacks(), 8u);
+    EXPECT_EQ(ctrl.maxBlockWritebacks(), 7u);
+}
+
+} // namespace
+} // namespace secmem

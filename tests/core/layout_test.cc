@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Address-map tests: region disjointness, counter-block mapping,
+ * Merkle-tree geometry and tag-location chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layout.hh"
+#include "enc/counters.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+smallGcm()
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+TEST(AddressMap, GeometryBasicsGcm)
+{
+    AddressMap map(smallGcm());
+    EXPECT_EQ(map.numDataBlocks(), (16u << 20) / kBlockBytes);
+    EXPECT_EQ(map.numCtrBlocks(), map.numDataBlocks() / kBlocksPerPage);
+    // 64-bit MACs with an embedded 8-byte derivative counter: arity 7.
+    EXPECT_EQ(map.arity(), 7u);
+    EXPECT_TRUE(map.embeddedDeriv());
+    EXPECT_GE(map.numLevels(), 5u);
+    EXPECT_EQ(map.macBlocksAtLevel(map.numLevels()), 1u);
+}
+
+TEST(AddressMap, GeometrySha)
+{
+    SecureMemConfig cfg = SecureMemConfig::splitSha();
+    cfg.memoryBytes = 16 << 20;
+    AddressMap map(cfg);
+    EXPECT_EQ(map.arity(), 8u); // no embedded counter
+    EXPECT_FALSE(map.embeddedDeriv());
+    EXPECT_EQ(map.macSlotOffset(0), 0u);
+}
+
+TEST(AddressMap, MacSlotOffsetsSkipEmbeddedCounter)
+{
+    AddressMap map(smallGcm());
+    EXPECT_EQ(map.macSlotOffset(0), 8u);
+    EXPECT_EQ(map.macSlotOffset(6), 8u + 6 * 8);
+    // Last slot must fit inside the block.
+    EXPECT_LE(map.macSlotOffset(map.arity() - 1) + map.macSlotBytes(),
+              kBlockBytes);
+}
+
+TEST(AddressMap, RegionsAreDisjointAndOrdered)
+{
+    AddressMap map(smallGcm());
+    Addr data_end = map.numDataBlocks() * kBlockBytes;
+    EXPECT_TRUE(map.isData(0));
+    EXPECT_TRUE(map.isData(data_end - 1));
+    EXPECT_TRUE(map.isCtr(data_end));
+    Addr ctr_block = map.ctrBlockAddrFor(0);
+    EXPECT_TRUE(map.isCtr(ctr_block));
+    Addr mac1 = map.macBlockAddr(1, 0);
+    EXPECT_TRUE(map.isMac(mac1));
+    EXPECT_FALSE(map.isData(mac1));
+    EXPECT_FALSE(map.isCtr(mac1));
+    Addr deriv = map.derivCtrBlockAddr(0);
+    EXPECT_TRUE(map.isDerivCtr(deriv));
+}
+
+TEST(AddressMap, CtrBlockMappingCoversPages)
+{
+    AddressMap map(smallGcm());
+    // Blocks 0..63 share one counter block; block 64 starts the next.
+    Addr c0 = map.ctrBlockAddrFor(0);
+    EXPECT_EQ(map.ctrBlockAddrFor(63 * kBlockBytes), c0);
+    EXPECT_NE(map.ctrBlockAddrFor(64 * kBlockBytes), c0);
+    EXPECT_EQ(map.ctrSlotFor(0), 0u);
+    EXPECT_EQ(map.ctrSlotFor(63 * kBlockBytes), 63u);
+    EXPECT_EQ(map.ctrSlotFor(64 * kBlockBytes), 0u);
+    EXPECT_EQ(map.firstDataBlockOf(c0), 0u);
+    EXPECT_EQ(map.firstDataBlockOf(map.ctrBlockAddrFor(kPageBytes)),
+              kPageBytes);
+}
+
+TEST(AddressMap, LeafIndicesDistinct)
+{
+    AddressMap map(smallGcm());
+    std::uint64_t data_leaf = map.leafIndexOfData(0);
+    std::uint64_t ctr_leaf = map.leafIndexOfCtrBlock(map.ctrBlockAddrFor(0));
+    EXPECT_EQ(data_leaf, 0u);
+    EXPECT_EQ(ctr_leaf, map.numDataBlocks());
+}
+
+TEST(AddressMap, MacLevelOfRoundTrips)
+{
+    AddressMap map(smallGcm());
+    for (unsigned level = 1; level <= map.numLevels(); ++level) {
+        std::uint64_t count = map.macBlocksAtLevel(level);
+        for (std::uint64_t idx : {std::uint64_t(0), count / 2, count - 1}) {
+            Addr a = map.macBlockAddr(level, idx);
+            auto [l2, i2] = map.macLevelOf(a);
+            EXPECT_EQ(l2, level);
+            EXPECT_EQ(i2, idx);
+        }
+    }
+}
+
+TEST(AddressMap, TagChainConvergesToPinnedTop)
+{
+    AddressMap map(smallGcm());
+    TagLocation loc = map.tagOfLeaf(12345);
+    unsigned steps = 0;
+    while (!loc.pinned) {
+        auto [level, idx] = map.macLevelOf(loc.blockAddr);
+        loc = map.tagOfMacBlock(level, idx);
+        ASSERT_LT(++steps, 20u) << "tag chain failed to converge";
+    }
+    EXPECT_TRUE(map.isTopLevel(loc.level));
+}
+
+TEST(AddressMap, SiblingLeavesShareMacBlock)
+{
+    AddressMap map(smallGcm());
+    unsigned arity = map.arity();
+    TagLocation a = map.tagOfLeaf(0);
+    TagLocation b = map.tagOfLeaf(arity - 1);
+    TagLocation c = map.tagOfLeaf(arity);
+    EXPECT_EQ(a.blockAddr, b.blockAddr);
+    EXPECT_NE(a.slot, b.slot);
+    EXPECT_NE(a.blockAddr, c.blockAddr);
+}
+
+TEST(AddressMap, LevelCountsShrinkByArity)
+{
+    AddressMap map(smallGcm());
+    std::uint64_t leaves = map.numDataBlocks() + map.numCtrBlocks();
+    std::uint64_t expect = leaves;
+    for (unsigned level = 1; level <= map.numLevels(); ++level) {
+        expect = (expect + map.arity() - 1) / map.arity();
+        EXPECT_EQ(map.macBlocksAtLevel(level), expect);
+    }
+    EXPECT_EQ(expect, 1u);
+}
+
+TEST(AddressMap, DerivCtrMappingForCtrBlocks)
+{
+    AddressMap map(smallGcm());
+    Addr c0 = map.ctrBlockAddrFor(0);
+    Addr c1 = map.ctrBlockAddrFor(kPageBytes);
+    std::uint64_t d0 = map.derivIdxOfCtrBlock(c0);
+    std::uint64_t d1 = map.derivIdxOfCtrBlock(c1);
+    EXPECT_EQ(d1, d0 + 1);
+    // Eight derivative counters per block.
+    EXPECT_EQ(map.derivCtrBlockAddr(0), map.derivCtrBlockAddr(7));
+    EXPECT_NE(map.derivCtrBlockAddr(0), map.derivCtrBlockAddr(8));
+    EXPECT_EQ(map.derivSlot(13), 5u);
+}
+
+TEST(AddressMap, MonoCounterGeometry)
+{
+    SecureMemConfig cfg = SecureMemConfig::mono(8);
+    cfg.memoryBytes = 16 << 20;
+    AddressMap map8(cfg);
+    EXPECT_EQ(map8.numCtrBlocks(), map8.numDataBlocks() / 64);
+
+    cfg = SecureMemConfig::mono(64);
+    cfg.memoryBytes = 16 << 20;
+    AddressMap map64(cfg);
+    EXPECT_EQ(map64.numCtrBlocks(), map64.numDataBlocks() / 8);
+}
+
+TEST(AddressMap, NoAuthMeansNoTree)
+{
+    SecureMemConfig cfg = SecureMemConfig::split();
+    cfg.memoryBytes = 16 << 20;
+    AddressMap map(cfg);
+    EXPECT_EQ(map.numLevels(), 0u);
+    EXPECT_GT(map.numCtrBlocks(), 0u);
+}
+
+TEST(AddressMap, NoCountersForDirectEncryption)
+{
+    SecureMemConfig cfg = SecureMemConfig::direct();
+    cfg.memoryBytes = 16 << 20;
+    AddressMap map(cfg);
+    EXPECT_EQ(map.numCtrBlocks(), 0u);
+}
+
+TEST(AddressMap, MacSizeControlsArity)
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    cfg.macBits = 128;
+    EXPECT_EQ(AddressMap(cfg).arity(), 3u); // (64-8)/16
+    cfg.macBits = 32;
+    EXPECT_EQ(AddressMap(cfg).arity(), 14u); // (64-8)/4
+    cfg.auth = AuthKind::Sha1;
+    cfg.macBits = 32;
+    EXPECT_EQ(AddressMap(cfg).arity(), 16u); // 64/4
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Byte-level SecureMemory facade tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/secure_memory.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+smallCfg()
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+TEST(SecureMemory, ByteRoundTrip)
+{
+    SecureMemory mem(smallCfg());
+    const std::string msg = "attack at dawn";
+    mem.write(0x1234, msg.data(), msg.size());
+    std::vector<char> buf(msg.size());
+    mem.read(0x1234, buf.data(), buf.size());
+    EXPECT_EQ(std::string(buf.begin(), buf.end()), msg);
+    EXPECT_TRUE(mem.lastAuthOk());
+}
+
+TEST(SecureMemory, CrossBlockSpans)
+{
+    SecureMemory mem(smallCfg());
+    std::vector<std::uint8_t> data(1000);
+    Rng rng(1);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    mem.write(kBlockBytes - 13, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    mem.read(kBlockBytes - 13, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(SecureMemory, PartialWritesPreserveNeighbours)
+{
+    SecureMemory mem(smallCfg());
+    std::uint8_t all[64];
+    std::memset(all, 0xaa, sizeof(all));
+    mem.write(0x2000, all, sizeof(all));
+    std::uint8_t mid = 0x55;
+    mem.write(0x2010, &mid, 1);
+    std::uint8_t back[64];
+    mem.read(0x2000, back, sizeof(back));
+    EXPECT_EQ(back[0x0f], 0xaa);
+    EXPECT_EQ(back[0x10], 0x55);
+    EXPECT_EQ(back[0x11], 0xaa);
+}
+
+TEST(SecureMemory, BlockApiMatchesByteApi)
+{
+    SecureMemory mem(smallCfg());
+    Block64 v;
+    for (std::size_t i = 0; i < kBlockBytes; ++i)
+        v.b[i] = static_cast<std::uint8_t>(i * 3);
+    mem.writeBlock(0x3000, v);
+    std::uint8_t buf[64];
+    mem.read(0x3000, buf, sizeof(buf));
+    EXPECT_EQ(std::memcmp(buf, v.b.data(), 64), 0);
+    EXPECT_EQ(mem.readBlock(0x3000), v);
+}
+
+TEST(SecureMemory, DramHoldsOnlyCiphertext)
+{
+    SecureMemory mem(smallCfg());
+    std::vector<std::uint8_t> secret(256, 0);
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        secret[i] = static_cast<std::uint8_t>(i);
+    mem.write(0x4000, secret.data(), secret.size());
+    // Scan the whole DRAM data region for the plaintext run.
+    for (Addr a = 0x4000; a < 0x4100; a += kBlockBytes) {
+        Block64 ct = mem.dram().readBlock(a);
+        EXPECT_NE(std::memcmp(ct.b.data(), secret.data() + (a - 0x4000),
+                              kBlockBytes),
+                  0)
+            << "plaintext visible at " << a;
+    }
+}
+
+TEST(SecureMemory, TamperDetectionSurfacesInLastAuthOk)
+{
+    SecureMemory mem(smallCfg());
+    std::uint8_t v[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.write(0x5000, v, sizeof(v));
+    mem.dram().tamperXor(0x5000, 2, 0x40);
+    std::uint8_t back[8];
+    mem.read(0x5000, back, sizeof(back));
+    EXPECT_FALSE(mem.lastAuthOk());
+    EXPECT_GE(mem.authFailures(), 1u);
+}
+
+TEST(SecureMemory, LargeRandomImageRoundTrip)
+{
+    SecureMemory mem(smallCfg());
+    Rng rng(7);
+    std::vector<std::uint8_t> image(32 << 10);
+    for (auto &b : image)
+        b = static_cast<std::uint8_t>(rng.next());
+    mem.write(0x10000, image.data(), image.size());
+    std::vector<std::uint8_t> back(image.size());
+    mem.read(0x10000, back.data(), back.size());
+    EXPECT_EQ(back, image);
+    EXPECT_EQ(mem.authFailures(), 0u);
+}
+
+TEST(SecureMemory, DefaultConfigIsSplitGcm)
+{
+    SecureMemory mem;
+    EXPECT_EQ(mem.config().enc, EncKind::CtrSplit);
+    EXPECT_EQ(mem.config().auth, AuthKind::Gcm);
+}
+
+TEST(SecureMemory, WorksWithEveryNamedScheme)
+{
+    for (auto cfg :
+         {SecureMemConfig::direct(), SecureMemConfig::mono(16),
+          SecureMemConfig::splitSha(), SecureMemConfig::xomSha()}) {
+        cfg.memoryBytes = 16 << 20;
+        SecureMemory mem(cfg);
+        std::uint32_t v = 0xdeadbeef, back = 0;
+        mem.write(0x100, &v, sizeof(v));
+        mem.read(0x100, &back, sizeof(back));
+        EXPECT_EQ(back, v) << cfg.schemeName();
+    }
+}
+
+} // namespace
+} // namespace secmem

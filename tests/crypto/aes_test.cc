@@ -1,0 +1,122 @@
+/**
+ * @file
+ * AES-128 validation against FIPS-197 vectors plus round-trip and
+ * diffusion property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    // FIPS-197 Appendix C.1: AES-128 known-answer test.
+    Block16 key = block16FromHex("000102030405060708090a0b0c0d0e0f");
+    Block16 pt = block16FromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key);
+    EXPECT_EQ(toHex(aes.encrypt(pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    // FIPS-197 Appendix B worked example.
+    Block16 key = block16FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Block16 pt = block16FromHex("3243f6a8885a308d313198a2e0370734");
+    Aes128 aes(key);
+    EXPECT_EQ(toHex(aes.encrypt(pt)), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, GcmHashSubkeyVector)
+{
+    // McGrew-Viega GCM test case 1: H = AES_K(0) for the zero key.
+    Block16 key{};
+    Block16 zero{};
+    Aes128 aes(key);
+    EXPECT_EQ(toHex(aes.encrypt(zero)),
+              "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        Block16 key, pt;
+        for (auto &byte : key.b)
+            byte = static_cast<std::uint8_t>(rng.next());
+        for (auto &byte : pt.b)
+            byte = static_cast<std::uint8_t>(rng.next());
+        Aes128 aes(key);
+        EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+}
+
+TEST(Aes128, InPlaceOperationWorks)
+{
+    Block16 key = block16FromHex("000102030405060708090a0b0c0d0e0f");
+    Block16 buf = block16FromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key);
+    aes.encryptBlock(buf.b.data(), buf.b.data());
+    EXPECT_EQ(toHex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes.decryptBlock(buf.b.data(), buf.b.data());
+    EXPECT_EQ(toHex(buf), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, SingleBitKeyChangeDiffuses)
+{
+    Block16 key{};
+    Block16 pt{};
+    Aes128 a(key);
+    key.b[0] ^= 1;
+    Aes128 b(key);
+    Block16 ca = a.encrypt(pt), cb = b.encrypt(pt);
+    int differing_bits = 0;
+    for (std::size_t i = 0; i < kChunkBytes; ++i)
+        differing_bits += __builtin_popcount(ca.b[i] ^ cb.b[i]);
+    // Avalanche: expect roughly half of 128 bits to flip.
+    EXPECT_GT(differing_bits, 30);
+    EXPECT_LT(differing_bits, 98);
+}
+
+TEST(Aes128, SingleBitPlaintextChangeDiffuses)
+{
+    Block16 key = block16FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 aes(key);
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block16 pt;
+        for (auto &byte : pt.b)
+            byte = static_cast<std::uint8_t>(rng.next());
+        Block16 pt2 = pt;
+        pt2.b[rng.below(16)] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        Block16 ca = aes.encrypt(pt), cb = aes.encrypt(pt2);
+        int differing_bits = 0;
+        for (std::size_t i = 0; i < kChunkBytes; ++i)
+            differing_bits += __builtin_popcount(ca.b[i] ^ cb.b[i]);
+        EXPECT_GT(differing_bits, 30);
+    }
+}
+
+TEST(Aes128, RekeyingChangesOutput)
+{
+    Block16 pt = block16FromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes;
+    Block16 k1 = block16FromHex("000102030405060708090a0b0c0d0e0f");
+    Block16 k2 = block16FromHex("0f0e0d0c0b0a09080706050403020100");
+    aes.setKey(k1.b.data());
+    Block16 c1 = aes.encrypt(pt);
+    aes.setKey(k2.b.data());
+    Block16 c2 = aes.encrypt(pt);
+    EXPECT_NE(c1, c2);
+    aes.setKey(k1.b.data());
+    EXPECT_EQ(aes.encrypt(pt), c1);
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Byte-container and hex-codec tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Bytes, HexRoundTrip)
+{
+    std::uint8_t data[4] = {0x00, 0x7f, 0x80, 0xff};
+    EXPECT_EQ(toHex(data, 4), "007f80ff");
+    std::uint8_t back[4];
+    EXPECT_EQ(fromHex("007f80ff", back, 4), 4u);
+    EXPECT_EQ(std::memcmp(back, data, 4), 0);
+}
+
+TEST(Bytes, FromHexAcceptsUppercase)
+{
+    std::uint8_t out[2];
+    fromHex("ABcd", out, 2);
+    EXPECT_EQ(out[0], 0xab);
+    EXPECT_EQ(out[1], 0xcd);
+}
+
+TEST(Bytes, Block16FromHex)
+{
+    Block16 b = block16FromHex("000102030405060708090a0b0c0d0e0f");
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(b.b[i], i);
+}
+
+TEST(Bytes, Block16Xor)
+{
+    Block16 a = block16FromHex("ffffffffffffffffffffffffffffffff");
+    Block16 b = block16FromHex("0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f");
+    Block16 c = a ^ b;
+    for (auto byte : c.b)
+        EXPECT_EQ(byte, 0xf0);
+    a ^= b;
+    EXPECT_EQ(a, c);
+}
+
+TEST(Bytes, Block64ChunkAccessors)
+{
+    Block64 blk;
+    for (std::size_t i = 0; i < kBlockBytes; ++i)
+        blk.b[i] = static_cast<std::uint8_t>(i);
+    for (unsigned c = 0; c < kChunksPerBlock; ++c) {
+        Block16 chunk = blk.chunk(c);
+        for (unsigned i = 0; i < kChunkBytes; ++i)
+            EXPECT_EQ(chunk.b[i], c * 16 + i);
+    }
+    Block16 replacement{};
+    for (auto &byte : replacement.b)
+        byte = 0xee;
+    blk.setChunk(2, replacement);
+    EXPECT_EQ(blk.chunk(2), replacement);
+    EXPECT_EQ(blk.b[31], 31); // neighbour chunk untouched
+    EXPECT_EQ(blk.b[48], 48);
+}
+
+TEST(Bytes, Block64XorIsElementwise)
+{
+    Rng rng(5);
+    Block64 a, b;
+    for (std::size_t i = 0; i < kBlockBytes; ++i) {
+        a.b[i] = static_cast<std::uint8_t>(rng.next());
+        b.b[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    Block64 c = a ^ b;
+    for (std::size_t i = 0; i < kBlockBytes; ++i)
+        EXPECT_EQ(c.b[i], a.b[i] ^ b.b[i]);
+    // Self-inverse.
+    EXPECT_EQ((c ^ b), a);
+}
+
+TEST(Bytes, EqualityIsValueBased)
+{
+    Block64 a{}, b{};
+    EXPECT_EQ(a, b);
+    b.b[63] = 1;
+    EXPECT_NE(a, b);
+}
+
+TEST(Types, BlockBaseAndOffset)
+{
+    EXPECT_EQ(blockBase(0x1234), 0x1200u);
+    EXPECT_EQ(blockOffset(0x1234), 0x34u);
+    EXPECT_EQ(blockBase(0x1200), 0x1200u);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(1ull << 32), 32u);
+}
+
+} // namespace
+} // namespace secmem

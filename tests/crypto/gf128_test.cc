@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GF(2^128) algebraic property tests and a known product from the
+ * GCM specification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+Gf128
+randomElem(Rng &rng)
+{
+    return Gf128{rng.next(), rng.next()};
+}
+
+TEST(Gf128, BlockRoundTrip)
+{
+    Block16 b = block16FromHex("0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(Gf128::fromBlock(b).toBlock(), b);
+}
+
+TEST(Gf128, MulByZeroIsZero)
+{
+    Rng rng(11);
+    Gf128 zero{0, 0};
+    for (int i = 0; i < 20; ++i) {
+        Gf128 x = randomElem(rng);
+        EXPECT_EQ(gf128Mul(x, zero), zero);
+        EXPECT_EQ(gf128Mul(zero, x), zero);
+    }
+}
+
+TEST(Gf128, MulByOneIsIdentity)
+{
+    // In GCM's reflected convention the element "1" is the block
+    // 0x80000000...0 (leftmost bit set = coefficient of x^0).
+    Gf128 one{0x8000000000000000ull, 0};
+    Rng rng(12);
+    for (int i = 0; i < 20; ++i) {
+        Gf128 x = randomElem(rng);
+        EXPECT_EQ(gf128Mul(x, one), x);
+        EXPECT_EQ(gf128Mul(one, x), x);
+    }
+}
+
+TEST(Gf128, Commutative)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        Gf128 x = randomElem(rng), y = randomElem(rng);
+        EXPECT_EQ(gf128Mul(x, y), gf128Mul(y, x));
+    }
+}
+
+TEST(Gf128, Associative)
+{
+    Rng rng(14);
+    for (int i = 0; i < 30; ++i) {
+        Gf128 x = randomElem(rng), y = randomElem(rng), z = randomElem(rng);
+        EXPECT_EQ(gf128Mul(gf128Mul(x, y), z), gf128Mul(x, gf128Mul(y, z)));
+    }
+}
+
+TEST(Gf128, DistributesOverXor)
+{
+    Rng rng(15);
+    for (int i = 0; i < 30; ++i) {
+        Gf128 x = randomElem(rng), y = randomElem(rng), z = randomElem(rng);
+        EXPECT_EQ(gf128Mul(x, y ^ z), gf128Mul(x, y) ^ gf128Mul(x, z));
+    }
+}
+
+TEST(Gf128, KnownProductFromGcmSpec)
+{
+    // From the GCM spec's worked example (test case 2 intermediate):
+    // X1 = C1 = 0388dace60b6a392f328c2b971b2fe78,
+    // H = 66e94bd4ef8a2c3b884cfa59ca342b2e,
+    // X1 * H = 5e2ec746917062882c85b0685353deb7.
+    Gf128 c1 = Gf128::fromBlock(
+        block16FromHex("0388dace60b6a392f328c2b971b2fe78"));
+    Gf128 h = Gf128::fromBlock(
+        block16FromHex("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+    EXPECT_EQ(toHex(gf128Mul(c1, h).toBlock()),
+              "5e2ec746917062882c85b0685353deb7");
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SHA-1 validation against FIPS 180-1 vectors plus streaming-equivalence
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hh"
+#include "crypto/sha1.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+std::string
+hexDigest(const Sha1::Digest &d)
+{
+    return toHex(d.data(), d.size());
+}
+
+TEST(Sha1, EmptyString)
+{
+    Sha1 h;
+    EXPECT_EQ(hexDigest(h.final()),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc)
+{
+    Sha1 h;
+    h.update("abc");
+    EXPECT_EQ(hexDigest(h.final()),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage)
+{
+    Sha1 h;
+    h.update("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+    EXPECT_EQ(hexDigest(h.final()),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs)
+{
+    Sha1 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(hexDigest(h.final()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot)
+{
+    Rng rng(3);
+    std::vector<std::uint8_t> data(1 << 12);
+    for (auto &byte : data)
+        byte = static_cast<std::uint8_t>(rng.next());
+
+    Sha1::Digest oneshot = Sha1::digestOf(data.data(), data.size());
+
+    // Feed in randomly sized pieces.
+    Sha1 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        std::size_t n = 1 + rng.below(97);
+        n = std::min(n, data.size() - off);
+        h.update(data.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(h.final(), oneshot);
+}
+
+TEST(Sha1, ResetAllowsReuse)
+{
+    Sha1 h;
+    h.update("abc");
+    (void)h.final();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(hexDigest(h.final()),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, LengthExtensionBoundaries)
+{
+    // Hash messages of every length around the 55/56/64-byte padding
+    // boundaries; verify streaming equals one-shot at each.
+    for (std::size_t len = 50; len <= 70; ++len) {
+        std::vector<std::uint8_t> msg(len, 0x5a);
+        Sha1 stream;
+        for (std::size_t i = 0; i < len; ++i)
+            stream.update(&msg[i], 1);
+        EXPECT_EQ(stream.final(), Sha1::digestOf(msg.data(), msg.size()))
+            << "length " << len;
+    }
+}
+
+} // namespace
+} // namespace secmem

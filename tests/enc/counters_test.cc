@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Split and monolithic counter-block codec tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "enc/counters.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(SplitCounterBlock, LayoutIsExactlyOneBlock)
+{
+    // 64-bit major + 64 x 7-bit minors = 8 + 56 bytes = 64 bytes.
+    static_assert(8 + kBlocksPerPage * kMinorBits / 8 == kBlockBytes);
+    EXPECT_EQ(SplitCounterBlock::maxMinor(), 127u);
+}
+
+TEST(SplitCounterBlock, MajorRoundTrip)
+{
+    SplitCounterBlock cb;
+    cb.setMajor(0x0123456789abcdefULL);
+    EXPECT_EQ(cb.major(), 0x0123456789abcdefULL);
+}
+
+TEST(SplitCounterBlock, MinorsIndependent)
+{
+    SplitCounterBlock cb;
+    for (unsigned i = 0; i < kBlocksPerPage; ++i)
+        cb.setMinor(i, (i * 37 + 5) % 128);
+    for (unsigned i = 0; i < kBlocksPerPage; ++i)
+        EXPECT_EQ(cb.minor(i), (i * 37 + 5) % 128) << "minor " << i;
+    // Major untouched by minor writes.
+    EXPECT_EQ(cb.major(), 0u);
+}
+
+TEST(SplitCounterBlock, MinorWritesDoNotClobberNeighbours)
+{
+    Rng rng(4);
+    SplitCounterBlock cb;
+    std::vector<unsigned> shadow(kBlocksPerPage, 0);
+    for (int op = 0; op < 2000; ++op) {
+        unsigned i = static_cast<unsigned>(rng.below(kBlocksPerPage));
+        unsigned v = static_cast<unsigned>(rng.below(128));
+        cb.setMinor(i, v);
+        shadow[i] = v;
+        unsigned j = static_cast<unsigned>(rng.below(kBlocksPerPage));
+        EXPECT_EQ(cb.minor(j), shadow[j]);
+    }
+}
+
+TEST(SplitCounterBlock, CounterForConcatenatesMajorMinor)
+{
+    SplitCounterBlock cb;
+    cb.setMajor(5);
+    cb.setMinor(10, 3);
+    EXPECT_EQ(cb.counterFor(10), (5ull << kMinorBits) | 3u);
+}
+
+TEST(SplitCounterBlock, ClearMinorsZeroesAllKeepsMajor)
+{
+    SplitCounterBlock cb;
+    cb.setMajor(42);
+    for (unsigned i = 0; i < kBlocksPerPage; ++i)
+        cb.setMinor(i, 127);
+    cb.clearMinors();
+    for (unsigned i = 0; i < kBlocksPerPage; ++i)
+        EXPECT_EQ(cb.minor(i), 0u);
+    EXPECT_EQ(cb.major(), 42u);
+}
+
+TEST(SplitCounterBlock, RawRoundTrip)
+{
+    SplitCounterBlock a;
+    a.setMajor(77);
+    a.setMinor(0, 1);
+    a.setMinor(63, 127);
+    SplitCounterBlock b(a.raw());
+    EXPECT_EQ(b.major(), 77u);
+    EXPECT_EQ(b.minor(0), 1u);
+    EXPECT_EQ(b.minor(63), 127u);
+}
+
+class MonoWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MonoWidthTest, CountersPerBlock)
+{
+    MonoCounterBlock cb(GetParam());
+    EXPECT_EQ(cb.countersPerBlock(), 512 / GetParam());
+}
+
+TEST_P(MonoWidthTest, SetGetRoundTrip)
+{
+    unsigned w = GetParam();
+    MonoCounterBlock cb(w);
+    std::uint64_t mask = w == 64 ? ~0ull : ((1ull << w) - 1);
+    for (unsigned i = 0; i < cb.countersPerBlock(); ++i)
+        cb.setCounter(i, (0x123456789abcdefull * (i + 1)) & mask);
+    for (unsigned i = 0; i < cb.countersPerBlock(); ++i)
+        EXPECT_EQ(cb.counter(i), (0x123456789abcdefull * (i + 1)) & mask);
+}
+
+TEST_P(MonoWidthTest, IncrementWrapsAtWidth)
+{
+    unsigned w = GetParam();
+    MonoCounterBlock cb(w);
+    std::uint64_t max = w == 64 ? ~0ull : ((1ull << w) - 1);
+    cb.setCounter(0, max);
+    EXPECT_TRUE(cb.increment(0)) << "wrap must be reported";
+    EXPECT_EQ(cb.counter(0), 0u);
+    EXPECT_FALSE(cb.increment(0));
+    EXPECT_EQ(cb.counter(0), 1u);
+}
+
+TEST_P(MonoWidthTest, IncrementIsolatedToSlot)
+{
+    unsigned w = GetParam();
+    MonoCounterBlock cb(w);
+    for (unsigned i = 0; i < cb.countersPerBlock(); ++i)
+        cb.setCounter(i, i);
+    cb.increment(1);
+    for (unsigned i = 0; i < cb.countersPerBlock(); ++i)
+        EXPECT_EQ(cb.counter(i), i == 1 ? i + 1 : i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MonoWidthTest,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace secmem

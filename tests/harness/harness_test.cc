@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment harness tests: table formatting and end-to-end runs with
+ * tiny instruction budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+namespace secmem
+{
+namespace
+{
+
+class HarnessEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setenv("SECMEM_SIM_INSTRS", "40000", 1);
+        setenv("SECMEM_WARMUP_INSTRS", "10000", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("SECMEM_SIM_INSTRS");
+        unsetenv("SECMEM_WARMUP_INSTRS");
+    }
+};
+
+TEST_F(HarnessEnv, EnvControlsInstructionCounts)
+{
+    EXPECT_EQ(simInstructions(), 40000u);
+    EXPECT_EQ(warmupInstructions(), 10000u);
+}
+
+TEST_F(HarnessEnv, RunWorkloadFillsMetrics)
+{
+    RunOutput out =
+        runWorkload(profileByName("gzip"), SecureMemConfig::split());
+    EXPECT_EQ(out.workload, "gzip");
+    EXPECT_EQ(out.scheme, "Split");
+    EXPECT_GT(out.ipc, 0.0);
+    EXPECT_EQ(out.instructions, 40000u);
+    EXPECT_GT(out.ctrHitRate, 0.0);
+    EXPECT_GT(out.simSeconds, 0.0);
+    EXPECT_EQ(out.authFailures, 0u);
+}
+
+TEST_F(HarnessEnv, NormalizedIpcAgainstBaseline)
+{
+    BaselineCache baselines;
+    const SpecProfile &p = profileByName("gzip");
+    const RunOutput &base = baselines.get(p);
+    RunOutput enc = runWorkload(p, SecureMemConfig::direct());
+    double n = normalizedIpc(enc, base);
+    EXPECT_GT(n, 0.1);
+    EXPECT_LT(n, 1.2);
+}
+
+TEST_F(HarnessEnv, BaselineCacheMemoizes)
+{
+    BaselineCache baselines;
+    const SpecProfile &p = profileByName("eon");
+    const RunOutput &a = baselines.get(p);
+    const RunOutput &b = baselines.get(p);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST_F(HarnessEnv, SweepCoversAllWorkloads)
+{
+    std::vector<SpecProfile> two = {profileByName("eon"),
+                                    profileByName("mesa")};
+    auto results = runSweep(two, SecureMemConfig::baseline());
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].workload, "eon");
+    EXPECT_EQ(results[1].workload, "mesa");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"app", "ipc"});
+    t.addRow({"swim", "0.95"});
+    t.addRow({"mcf", "0.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("swim  0.95"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(fmtDouble(0.123456, 3), "0.123");
+    EXPECT_EQ(fmtPercent(0.0512), "5.1%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Bus and memory-channel timing model tests: beat arithmetic,
+ * first-come-first-served contention, utilization accounting and the
+ * read/write channel composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Bus, SingleBlockTransferDuration)
+{
+    // 64 bytes = 4 beats x 25/3 ticks = 33.3 ticks, rounded up to 34.
+    Bus bus;
+    Tick done = bus.acquire(0, kBlockBytes);
+    EXPECT_EQ(done, 34u);
+}
+
+TEST(Bus, SingleBeatDuration)
+{
+    // 16 bytes = 1 beat = 8.33 ticks -> 9.
+    Bus bus;
+    EXPECT_EQ(bus.acquire(0, 16), 9u);
+}
+
+TEST(Bus, BackToBackTransfersAccumulateWithoutDrift)
+{
+    Bus bus;
+    Tick done = 0;
+    for (int i = 0; i < 3; ++i)
+        done = bus.acquire(0, kBlockBytes);
+    // 3 x 100/3 ticks = exactly 100 — thirds bookkeeping avoids drift.
+    EXPECT_EQ(done, 100u);
+}
+
+TEST(Bus, ContentionDelaysSecondRequest)
+{
+    Bus bus;
+    bus.acquire(0, kBlockBytes); // busy until 33.3
+    Tick done = bus.acquire(10, kBlockBytes);
+    EXPECT_EQ(done, 67u); // starts at 33.3, ends at 66.7 -> 67
+    EXPECT_GT(bus.stats().counterValue("contention_thirds"), 0u);
+}
+
+TEST(Bus, IdleGapRespected)
+{
+    Bus bus;
+    bus.acquire(0, kBlockBytes);
+    Tick done = bus.acquire(1000, kBlockBytes);
+    EXPECT_EQ(done, 1034u);
+}
+
+TEST(Bus, UtilizationFractionIsSane)
+{
+    Bus bus;
+    for (int i = 0; i < 10; ++i)
+        bus.acquire(i * 100, kBlockBytes);
+    double util = bus.utilization(1000);
+    EXPECT_NEAR(util, 10 * (100.0 / 3.0) / 1000.0, 0.01);
+}
+
+TEST(Bus, ResetClearsState)
+{
+    Bus bus;
+    bus.acquire(0, kBlockBytes);
+    bus.reset();
+    EXPECT_EQ(bus.nextFree(), 0u);
+    EXPECT_EQ(bus.acquire(0, 16), 9u);
+}
+
+TEST(MemChannel, UncontendedReadLatency)
+{
+    // Request beat (9) + DRAM (200) + data transfer (34) ~= 243.
+    MemChannel ch;
+    Tick done = ch.readBlockTiming(0);
+    EXPECT_EQ(done, 243u);
+}
+
+TEST(MemChannel, ReadsPipelineOverDram)
+{
+    MemChannel ch;
+    Tick first = ch.readBlockTiming(0);
+    Tick second = ch.readBlockTiming(1);
+    // The second read overlaps the first's DRAM access; it finishes one
+    // data-transfer slot later, not a full round trip later.
+    EXPECT_EQ(first, 243u);
+    EXPECT_LT(second, first + 50);
+    EXPECT_GT(second, first);
+}
+
+TEST(MemChannel, WriteOccupiesDataBus)
+{
+    MemChannel ch;
+    Tick w = ch.writeBlockTiming(0);
+    EXPECT_GE(w, 34u);
+    EXPECT_LE(w, 50u);
+}
+
+TEST(MemChannel, WiderReadTakesLonger)
+{
+    MemChannel a, b;
+    Tick t64 = a.readTiming(0, 64);
+    Tick t72 = b.readTiming(0, 72); // data + 8-byte counter (CtrPred)
+    EXPECT_GT(t72, t64);
+}
+
+TEST(MemChannel, CustomTimingParams)
+{
+    MemTimingParams p;
+    p.dramLatency = 100;
+    MemChannel ch(p);
+    EXPECT_EQ(ch.readBlockTiming(0), 143u);
+}
+
+TEST(Dram, ReadsBackWrites)
+{
+    Dram d;
+    Block64 val;
+    val.b[0] = 0xab;
+    val.b[63] = 0xcd;
+    d.writeBlock(0x1000, val);
+    EXPECT_EQ(d.readBlock(0x1000), val);
+    EXPECT_EQ(d.readBlock(0x1040), Block64{});
+}
+
+TEST(Dram, SubBlockAddressesAlias)
+{
+    Dram d;
+    Block64 val;
+    val.b[5] = 0x5a;
+    d.writeBlock(0x1008, val);
+    EXPECT_EQ(d.readBlock(0x1000), val);
+}
+
+TEST(Dram, TamperXorFlipsBits)
+{
+    Dram d;
+    Block64 val{};
+    d.writeBlock(0x2000, val);
+    d.tamperXor(0x2000, 3, 0x80);
+    EXPECT_EQ(d.readBlock(0x2000).b[3], 0x80);
+    d.tamperXor(0x2000, 3, 0x80);
+    EXPECT_EQ(d.readBlock(0x2000).b[3], 0x00);
+}
+
+TEST(Dram, SnoopAndReplay)
+{
+    Dram d;
+    Block64 v1, v2;
+    v1.b[0] = 1;
+    v2.b[0] = 2;
+    d.writeBlock(0x3000, v1);
+    Block64 old = d.snoop(0x3000);
+    d.writeBlock(0x3000, v2);
+    d.replay(0x3000, old);
+    EXPECT_EQ(d.readBlock(0x3000), v1);
+}
+
+TEST(Dram, FootprintCountsBlocks)
+{
+    Dram d;
+    EXPECT_EQ(d.footprintBlocks(), 0u);
+    d.writeBlock(0, {});
+    d.writeBlock(64, {});
+    d.writeBlock(0, {}); // same block
+    EXPECT_EQ(d.footprintBlocks(), 2u);
+}
+
+} // namespace
+} // namespace secmem

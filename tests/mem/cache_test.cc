@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Set-associative cache behaviour: LRU, write-back, eviction,
+ * invalidation and flushing, across several geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+Block64
+pattern(std::uint8_t seed)
+{
+    Block64 b;
+    for (std::size_t i = 0; i < kBlockBytes; ++i)
+        b.b[i] = static_cast<std::uint8_t>(seed + i);
+    return b;
+}
+
+TEST(Cache, MissThenHitAfterInsert)
+{
+    Cache c("t", 4096, 4);
+    EXPECT_EQ(c.access(0x100, false), nullptr);
+    c.insert(0x100, pattern(1), false);
+    Block64 *line = c.access(0x100, false);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(*line, pattern(1));
+}
+
+TEST(Cache, SubBlockAddressesAlias)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x140, pattern(2), false);
+    EXPECT_NE(c.access(0x147, false), nullptr);
+    EXPECT_NE(c.access(0x17f, true), nullptr);
+    EXPECT_TRUE(c.isDirty(0x140));
+}
+
+TEST(Cache, LruEvictsLeastRecent)
+{
+    // Direct construct a 2-way cache with 1 set: 128 bytes total.
+    Cache c("t", 128, 2);
+    ASSERT_EQ(c.numSets(), 1u);
+    c.insert(0x000, pattern(0), false);
+    c.insert(0x040, pattern(1), false);
+    // Touch block 0 so block 1 becomes LRU.
+    c.access(0x000, false);
+    Eviction ev = c.insert(0x080, pattern(2), false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0x040u);
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_TRUE(c.contains(0x080));
+}
+
+TEST(Cache, DirtyVictimReturnsData)
+{
+    Cache c("t", 128, 2);
+    c.insert(0x000, pattern(7), true);
+    c.insert(0x040, pattern(8), false);
+    Eviction ev = c.insert(0x080, pattern(9), false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.addr, 0x000u);
+    EXPECT_EQ(ev.data, pattern(7));
+}
+
+TEST(Cache, CleanVictimNotDirty)
+{
+    Cache c("t", 128, 2);
+    c.insert(0x000, pattern(7), false);
+    c.insert(0x040, pattern(8), false);
+    Eviction ev = c.insert(0x080, pattern(9), false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_FALSE(ev.dirty);
+}
+
+TEST(Cache, InsertExistingOverwritesInPlace)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x100, pattern(1), false);
+    Eviction ev = c.insert(0x100, pattern(2), true);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(*c.peek(0x100), pattern(2));
+    EXPECT_TRUE(c.isDirty(0x100));
+}
+
+TEST(Cache, InsertExistingKeepsDirtyBit)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x100, pattern(1), true);
+    c.insert(0x100, pattern(2), false);
+    EXPECT_TRUE(c.isDirty(0x100)) << "dirty must not be lost by a refill";
+}
+
+TEST(Cache, WriteAccessSetsDirty)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x100, pattern(1), false);
+    EXPECT_FALSE(c.isDirty(0x100));
+    c.access(0x100, true);
+    EXPECT_TRUE(c.isDirty(0x100));
+}
+
+TEST(Cache, PeekDoesNotTouchLru)
+{
+    Cache c("t", 128, 2);
+    c.insert(0x000, pattern(0), false);
+    c.insert(0x040, pattern(1), false);
+    // Peek block 0 (no LRU update): it stays LRU and gets evicted.
+    c.peek(0x000);
+    Eviction ev = c.insert(0x080, pattern(2), false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0x000u);
+}
+
+TEST(Cache, InvalidateRemovesAndReports)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x200, pattern(3), true);
+    Eviction ev = c.invalidate(0x200);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.data, pattern(3));
+    EXPECT_FALSE(c.contains(0x200));
+    EXPECT_FALSE(c.invalidate(0x200).valid);
+}
+
+TEST(Cache, FlushReturnsOnlyDirtyLines)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x000, pattern(0), true);
+    c.insert(0x040, pattern(1), false);
+    c.insert(0x080, pattern(2), true);
+    auto dirty = c.flush();
+    EXPECT_EQ(dirty.size(), 2u);
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x040));
+}
+
+TEST(Cache, StatsCountHitsAndMisses)
+{
+    Cache c("t", 4096, 4);
+    c.access(0x100, false); // miss
+    c.insert(0x100, pattern(1), false);
+    c.access(0x100, false); // hit
+    c.access(0x100, true);  // hit
+    EXPECT_EQ(c.stats().counterValue("accesses"), 3u);
+    EXPECT_EQ(c.stats().counterValue("hits"), 2u);
+    EXPECT_EQ(c.stats().counterValue("misses"), 1u);
+    EXPECT_NEAR(c.hitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Cache, ForEachLineVisitsAllValid)
+{
+    Cache c("t", 4096, 4);
+    c.insert(0x000, pattern(0), false);
+    c.insert(0x040, pattern(1), true);
+    std::set<Addr> seen;
+    int dirty_count = 0;
+    c.forEachLine([&](Addr a, const Block64 &, bool dirty) {
+        seen.insert(a);
+        dirty_count += dirty;
+    });
+    EXPECT_EQ(seen, (std::set<Addr>{0x000, 0x040}));
+    EXPECT_EQ(dirty_count, 1);
+}
+
+struct CacheGeom
+{
+    std::size_t size;
+    unsigned assoc;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheGeometryTest, CapacityIsRespected)
+{
+    auto [size, assoc] = GetParam();
+    Cache c("t", size, assoc);
+    EXPECT_EQ(c.capacityBytes(), size);
+    std::size_t blocks = size / kBlockBytes;
+    // Fill exactly to capacity with a stride hitting all sets evenly.
+    for (std::size_t i = 0; i < blocks; ++i)
+        c.insert(i * kBlockBytes, pattern(static_cast<std::uint8_t>(i)),
+                 false);
+    for (std::size_t i = 0; i < blocks; ++i)
+        EXPECT_TRUE(c.contains(i * kBlockBytes)) << i;
+    // One more block must evict something.
+    Eviction ev = c.insert(blocks * kBlockBytes, pattern(0xee), false);
+    EXPECT_TRUE(ev.valid);
+}
+
+TEST_P(CacheGeometryTest, RandomizedContentsConsistent)
+{
+    auto [size, assoc] = GetParam();
+    Cache c("t", size, assoc);
+    Rng rng(99);
+    std::unordered_map<Addr, Block64> shadow;
+    for (int op = 0; op < 4000; ++op) {
+        Addr a = rng.below(512) * kBlockBytes;
+        if (rng.chance(0.5)) {
+            Block64 val = pattern(static_cast<std::uint8_t>(rng.next()));
+            Eviction ev = c.insert(a, val, rng.chance(0.5));
+            shadow[a] = val;
+            if (ev.valid)
+                shadow.erase(ev.addr);
+        } else if (Block64 *line = c.access(a, false)) {
+            auto it = shadow.find(a);
+            ASSERT_NE(it, shadow.end());
+            EXPECT_EQ(*line, it->second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometryTest,
+                         ::testing::Values(CacheGeom{1024, 1},
+                                           CacheGeom{4096, 4},
+                                           CacheGeom{16384, 8},
+                                           CacheGeom{32768, 16}));
+
+} // namespace
+} // namespace secmem

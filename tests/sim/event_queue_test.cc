@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Event-queue ordering, determinism and time-advancement tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runUntil();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(q.now() + 1, [&] { ++fired; });
+    });
+    q.runUntil();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 15u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventAtLimitRuns)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(10, [&] { fired = true; });
+    q.runUntil(10);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StepRunsOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.runUntil();
+    EXPECT_EQ(q.now(), 5u);
+    q.reset();
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleInUsesNow)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(7, [&] { q.scheduleIn(3, [&] { seen = q.now(); }); });
+    q.runUntil();
+    EXPECT_EQ(seen, 10u);
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Determinism and distribution sanity for the workload RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(8);
+    std::vector<int> hist(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.below(8)];
+    for (int count : hist) {
+        EXPECT_GT(count, n / 8 - n / 80);
+        EXPECT_LT(count, n / 8 + n / 80);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(10);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(123);
+    std::uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(123);
+    EXPECT_EQ(rng.next(), first);
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Statistics-package behaviour tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(StatsCounter, IncrementsAndResets)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsSample, TracksMeanMinMax)
+{
+    stats::Sample s;
+    s.record(2.0);
+    s.record(4.0);
+    s.record(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsSample, EmptyIsZero)
+{
+    stats::Sample s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsHistogram, BucketsValues)
+{
+    stats::Histogram h(10.0, 4);
+    h.record(5.0);   // bucket 0
+    h.record(15.0);  // bucket 1
+    h.record(39.9);  // bucket 3
+    h.record(400.0); // clamps to last bucket
+    h.record(-1.0);  // clamps to first bucket
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 0u);
+    EXPECT_EQ(h.buckets()[3], 2u);
+    EXPECT_EQ(h.sample().count(), 5u);
+}
+
+TEST(StatsGroup, LazyRegistrationAndLookup)
+{
+    stats::Group g("l2");
+    g.counter("hits").inc(3);
+    g.counter("misses").inc();
+    EXPECT_EQ(g.counterValue("hits"), 3u);
+    EXPECT_EQ(g.counterValue("misses"), 1u);
+    EXPECT_EQ(g.counterValue("nonexistent"), 0u);
+}
+
+TEST(StatsGroup, DumpFormat)
+{
+    stats::Group g("bus");
+    g.counter("bytes").inc(128);
+    g.sample("occupancy").record(0.5);
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("bus.bytes 128"), std::string::npos);
+    EXPECT_NE(out.find("bus.occupancy mean=0.5"), std::string::npos);
+}
+
+TEST(StatsGroup, ResetClearsAll)
+{
+    stats::Group g("x");
+    g.counter("c").inc(5);
+    g.sample("s").record(1.0);
+    g.reset();
+    EXPECT_EQ(g.counterValue("c"), 0u);
+    EXPECT_EQ(g.sample("s").count(), 0u);
+}
+
+} // namespace
+} // namespace secmem

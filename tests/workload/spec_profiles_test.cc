@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Workload-generator tests: determinism, parameter fidelity and
+ * address-range discipline for all 21 profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(SpecProfiles, TwentyOneBenchmarks)
+{
+    EXPECT_EQ(specProfiles().size(), 21u);
+    std::set<std::string> names;
+    for (const auto &p : specProfiles())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 21u);
+    // Spot-check the paper's Table 1 membership.
+    for (const char *n : {"bzip2", "mcf", "twolf", "ammp", "swim",
+                          "wupwise", "mesa", "apsi"})
+        EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(SpecProfiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_GT(profileByName("mcf").chaseFraction, 0.3);
+    EXPECT_GT(profileByName("swim").workingSetKB, 32768u);
+}
+
+TEST(SpecProfiles, MemoryIntensiveSubsetIsValid)
+{
+    for (const auto &n : memoryIntensiveNames())
+        EXPECT_NO_FATAL_FAILURE(profileByName(n));
+    EXPECT_GE(memoryIntensiveNames().size(), 10u);
+}
+
+TEST(SpecProfiles, ParametersWellFormed)
+{
+    for (const auto &p : specProfiles()) {
+        EXPECT_GT(p.memFraction, 0.0) << p.name;
+        EXPECT_LT(p.memFraction, 1.0) << p.name;
+        EXPECT_LE(p.storeFraction, 1.0) << p.name;
+        EXPECT_LT(p.hotKB + p.warmKB, p.workingSetKB) << p.name;
+        EXPECT_GE(p.burst, 1.0) << p.name;
+    }
+}
+
+TEST(SpecWorkload, DeterministicStream)
+{
+    SpecWorkload a(profileByName("twolf"));
+    SpecWorkload b(profileByName("twolf"));
+    for (int i = 0; i < 10000; ++i) {
+        TraceOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.isMem, y.isMem);
+        EXPECT_EQ(x.isStore, y.isStore);
+        EXPECT_EQ(x.addr, y.addr);
+    }
+}
+
+TEST(SpecWorkload, DifferentSeedsDiffer)
+{
+    SpecProfile p = profileByName("twolf");
+    SpecWorkload a(p);
+    p.seed += 1;
+    SpecWorkload b(p);
+    int same = 0, mem = 0;
+    for (int i = 0; i < 5000; ++i) {
+        TraceOp x = a.next(), y = b.next();
+        if (x.isMem && y.isMem) {
+            ++mem;
+            same += x.addr == y.addr;
+        }
+    }
+    EXPECT_LT(same, mem / 4);
+}
+
+class ProfileTest : public ::testing::TestWithParam<SpecProfile>
+{
+};
+
+TEST_P(ProfileTest, AddressesStayInWorkingSet)
+{
+    SpecWorkload gen(GetParam());
+    Addr limit = static_cast<Addr>(GetParam().workingSetKB) * 1024;
+    for (int i = 0; i < 50000; ++i) {
+        TraceOp op = gen.next();
+        if (op.isMem) {
+            EXPECT_LT(op.addr, limit);
+        }
+    }
+}
+
+TEST_P(ProfileTest, MemFractionApproximatelyMet)
+{
+    SpecWorkload gen(GetParam());
+    int mem = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        mem += gen.next().isMem;
+    EXPECT_NEAR(static_cast<double>(mem) / n, GetParam().memFraction, 0.02);
+}
+
+TEST_P(ProfileTest, StoresPresentButMinority)
+{
+    SpecWorkload gen(GetParam());
+    int stores = 0, mem = 0;
+    for (int i = 0; i < 200000; ++i) {
+        TraceOp op = gen.next();
+        mem += op.isMem;
+        stores += op.isStore;
+    }
+    EXPECT_GT(stores, 0);
+    EXPECT_LT(stores, mem);
+}
+
+TEST_P(ProfileTest, DependentLoadsMatchChaseIntent)
+{
+    const SpecProfile &p = GetParam();
+    SpecWorkload gen(p);
+    int deps = 0;
+    for (int i = 0; i < 200000; ++i)
+        deps += gen.next().dependsOnPrev;
+    if (p.chaseFraction > 0.2) {
+        EXPECT_GT(deps, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All21, ProfileTest, ::testing::ValuesIn(specProfiles()),
+    [](const ::testing::TestParamInfo<SpecProfile> &info) {
+        return info.param.name;
+    });
+
+TEST(SpecWorkload, IntraBlockLocalityExists)
+{
+    SpecWorkload gen(profileByName("crafty"));
+    Addr prev_block = kAddrInvalid;
+    int same_block = 0, mem = 0;
+    for (int i = 0; i < 100000; ++i) {
+        TraceOp op = gen.next();
+        if (!op.isMem)
+            continue;
+        ++mem;
+        same_block += blockBase(op.addr) == prev_block;
+        prev_block = blockBase(op.addr);
+    }
+    EXPECT_GT(static_cast<double>(same_block) / mem, 0.5)
+        << "burst locality keeps the L1 useful";
+}
+
+TEST(SpecWorkload, HotSetPopularitySkewed)
+{
+    // The hottest block in the hot set must be touched far more often
+    // than the median (drives Table 2 and Figure 6(b)).
+    SpecProfile p = profileByName("twolf");
+    SpecWorkload gen(p);
+    std::map<Addr, int> counts;
+    Addr hot_limit = static_cast<Addr>(p.hotKB) * 1024;
+    for (int i = 0; i < 400000; ++i) {
+        TraceOp op = gen.next();
+        if (op.isMem && op.addr < hot_limit)
+            ++counts[blockBase(op.addr)];
+    }
+    int max = 0;
+    long total = 0;
+    for (auto &kv : counts) {
+        max = std::max(max, kv.second);
+        total += kv.second;
+    }
+    double mean = static_cast<double>(total) / counts.size();
+    EXPECT_GT(max, mean * 2.0);
+}
+
+TEST(SpecWorkload, WriteHotProfileOverflowsQuickly)
+{
+    SpecProfile p = writeHotProfile();
+    EXPECT_GT(p.storeFraction, 0.4);
+    EXPECT_LE(p.hotKB, 32u);
+    SpecWorkload gen(p);
+    for (int i = 0; i < 1000; ++i)
+        gen.next();
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace record/replay tests: round-trip fidelity, looping, format
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "workload/spec_profiles.hh"
+#include "workload/trace_file.hh"
+
+namespace secmem
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath(const std::string &tag)
+    {
+        return ::testing::TempDir() + "secmem_trace_" + tag + ".txt";
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    makeTrace(const std::string &tag, const std::string &content)
+    {
+        std::string path = tmpPath(tag);
+        std::ofstream(path) << content;
+        created_.push_back(path);
+        return path;
+    }
+
+    std::vector<std::string> created_;
+};
+
+TEST_F(TraceFileTest, ParsesAllRecordKinds)
+{
+    std::string path = makeTrace("kinds",
+                                 "# comment\n"
+                                 "A 3\n"
+                                 "L 1000\n"
+                                 "D 2040\n"
+                                 "S 30c0\n");
+    TraceFileWorkload w(path);
+    EXPECT_EQ(w.length(), 6u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(w.next().isMem);
+    TraceOp l = w.next();
+    EXPECT_TRUE(l.isMem);
+    EXPECT_FALSE(l.isStore);
+    EXPECT_FALSE(l.dependsOnPrev);
+    EXPECT_EQ(l.addr, 0x1000u);
+    TraceOp d = w.next();
+    EXPECT_TRUE(d.dependsOnPrev);
+    EXPECT_EQ(d.addr, 0x2040u);
+    TraceOp s = w.next();
+    EXPECT_TRUE(s.isStore);
+    EXPECT_EQ(s.addr, 0x30c0u);
+}
+
+TEST_F(TraceFileTest, LoopsAtEnd)
+{
+    std::string path = makeTrace("loop", "L 40\nS 80\n");
+    TraceFileWorkload w(path);
+    for (int rep = 0; rep < 3; ++rep) {
+        EXPECT_EQ(w.next().addr, 0x40u);
+        EXPECT_EQ(w.next().addr, 0x80u);
+    }
+}
+
+TEST_F(TraceFileTest, RecordReplayRoundTrip)
+{
+    SpecWorkload source(profileByName("gzip"));
+    std::string path = tmpPath("roundtrip");
+    created_.push_back(path);
+    recordTrace(source, 20000, path);
+
+    SpecWorkload reference(profileByName("gzip"));
+    TraceFileWorkload replay(path);
+    for (int i = 0; i < 20000; ++i) {
+        TraceOp a = reference.next();
+        TraceOp b = replay.next();
+        ASSERT_EQ(a.isMem, b.isMem) << "instruction " << i;
+        if (a.isMem) {
+            EXPECT_EQ(a.addr, b.addr);
+            EXPECT_EQ(a.isStore, b.isStore);
+            EXPECT_EQ(a.dependsOnPrev, b.dependsOnPrev);
+        }
+    }
+}
+
+TEST_F(TraceFileTest, ProgrammaticTrace)
+{
+    TraceFileWorkload w("synthetic", {TraceOp::load(0x100),
+                                      TraceOp::store(0x140)});
+    EXPECT_EQ(w.name(), "synthetic");
+    EXPECT_EQ(w.next().addr, 0x100u);
+    EXPECT_TRUE(w.next().isStore);
+    EXPECT_EQ(w.next().addr, 0x100u); // looped
+}
+
+TEST_F(TraceFileTest, AluRunsCompressed)
+{
+    SpecWorkload source(profileByName("eon"));
+    std::string path = tmpPath("compress");
+    created_.push_back(path);
+    recordTrace(source, 5000, path);
+    // The file must be much smaller than one line per instruction.
+    std::ifstream in(path);
+    std::size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_LT(lines, 3000u);
+}
+
+} // namespace
+} // namespace secmem
