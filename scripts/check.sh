@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 build + tests, a sanitizer build of
+# the same test suite, and a fault-injection campaign smoke run that
+# asserts 100% detection (the fault_campaign binary exits non-zero on
+# any undetected or unattributed tampering).
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitize=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+    sanitize=0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1 build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+    echo "== sanitizer build + tests (ASan + UBSan) =="
+    cmake -B build-asan -S . -DSECMEM_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j "$jobs"
+    # Death tests fork under ASan; keep them on the fast path.
+    ASAN_OPTIONS=detect_leaks=1 \
+        ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+echo "== fault-injection campaign smoke =="
+./build/examples/fault_campaign --seed 7 --ops 6000 --every 32 \
+    --scheme splitGcm >/dev/null
+./build/examples/fault_campaign --seed 7 --ops 4000 --every 32 \
+    --scheme splitGcm --policy retry --transient 0.4 >/dev/null
+
+echo "check.sh: all green"

@@ -1,0 +1,382 @@
+#include "attack/injector.hh"
+
+#include <string>
+
+#include "enc/counters.hh"
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+const char *
+toString(AttackKind k)
+{
+    switch (k) {
+      case AttackKind::BitFlip:
+        return "bitflip";
+      case AttackKind::ByteCorrupt:
+        return "bytecorrupt";
+      case AttackKind::Splice:
+        return "splice";
+      case AttackKind::DataReplay:
+        return "datareplay";
+      case AttackKind::CtrRollback:
+        return "ctrrollback";
+      case AttackKind::MacReplay:
+        return "macreplay";
+      case AttackKind::RegionFuzz:
+        return "regionfuzz";
+    }
+    SECMEM_PANIC("bad AttackKind");
+}
+
+TamperInjector::TamperInjector(SecureMemoryController &ctrl,
+                               std::uint64_t seed, InjectionSchedule schedule)
+    : ctrl_(ctrl),
+      rng_(seed),
+      sched_(schedule),
+      hasCtrRegion_(ctrl.config().usesCounterCache()),
+      hasMacRegion_(ctrl.config().auth != AuthKind::None),
+      stats_("injector")
+{
+}
+
+bool
+TamperInjector::noteAccess(Addr addr, bool is_store)
+{
+    Addr base = blockBase(addr);
+    // Pre-store snoop: once the store lands this value is stale, which
+    // makes it DataReplay material (a genuine old ciphertext).
+    if (is_store && poolSet_.count(base) && !dataHist_.count(base))
+        dataHist_.emplace(base, ctrl_.dram().snoop(base));
+    if (poolSet_.insert(base).second)
+        pool_.push_back(base);
+    ++accesses_;
+    if (sched_.everyN)
+        return accesses_ % sched_.everyN == 0;
+    return sched_.probability > 0.0 && rng_.chance(sched_.probability);
+}
+
+bool
+TamperInjector::applicable(AttackKind kind) const
+{
+    switch (kind) {
+      case AttackKind::CtrRollback:
+        return hasCtrRegion_;
+      case AttackKind::MacReplay:
+        return hasMacRegion_;
+      default:
+        return true;
+    }
+}
+
+Addr
+TamperInjector::pickPoolAddr()
+{
+    return pool_[static_cast<std::size_t>(rng_.below(pool_.size()))];
+}
+
+void
+TamperInjector::captureHistories(Addr probe)
+{
+    // Flush dirty metadata so (a) DRAM is the authoritative current
+    // state for snapshots and rollback comparisons, and (b) the probe
+    // read fetches — and therefore verifies — straight from DRAM with
+    // no dirty victims to write back mid-probe.
+    if (hasCtrRegion_)
+        ctrl_.flushCtrCache();
+    if (hasMacRegion_)
+        ctrl_.flushMacCache();
+
+    Dram &dram = ctrl_.dram();
+    const AddressMap &map = ctrl_.map();
+    if (hasCtrRegion_) {
+        Addr ca = map.ctrBlockAddrFor(probe);
+        if (!ctrHist_.count(ca))
+            ctrHist_.emplace(ca, MetaHist{dram.snoop(ca), probe});
+    }
+    if (hasMacRegion_) {
+        TagLocation loc = map.tagOfLeaf(map.leafIndexOfData(probe));
+        if (!loc.pinned && !macHist_.count(loc.blockAddr))
+            macHist_.emplace(loc.blockAddr,
+                             MetaHist{dram.snoop(loc.blockAddr), probe});
+    }
+}
+
+bool
+TamperInjector::stage(AttackKind kind, Injection &inj,
+                      std::vector<Undo> &undo)
+{
+    Dram &dram = ctrl_.dram();
+    const AddressMap &map = ctrl_.map();
+    const Addr probe = inj.probe;
+
+    auto corrupt = [&](Addr victim, unsigned n_bytes) {
+        undo.push_back({victim, dram.snoop(victim)});
+        for (unsigned i = 0; i < n_bytes; ++i) {
+            std::size_t off = static_cast<std::size_t>(
+                rng_.below(kBlockBytes));
+            auto mask = static_cast<std::uint8_t>(1 + rng_.below(255));
+            dram.tamperXor(victim, off, mask);
+        }
+    };
+
+    switch (kind) {
+      case AttackKind::BitFlip: {
+        inj.victim = probe;
+        inj.region = MemRegion::Data;
+        std::size_t off = static_cast<std::size_t>(rng_.below(kBlockBytes));
+        auto mask = static_cast<std::uint8_t>(1u << rng_.below(8));
+        if (inj.transient) {
+            dram.injectTransientXor(probe, off, mask);
+        } else {
+            undo.push_back({probe, dram.snoop(probe)});
+            dram.tamperXor(probe, off, mask);
+        }
+        return true;
+      }
+
+      case AttackKind::ByteCorrupt:
+        inj.victim = probe;
+        inj.region = MemRegion::Data;
+        corrupt(probe, static_cast<unsigned>(2 + rng_.below(15)));
+        return true;
+
+      case AttackKind::Splice: {
+        if (pool_.size() < 2)
+            return false;
+        Addr src = pickPoolAddr();
+        for (int i = 0; i < 8 && src == probe; ++i)
+            src = pickPoolAddr();
+        if (src == probe)
+            return false;
+        Block64 sv = dram.snoop(src);
+        Block64 dv = dram.snoop(probe);
+        if (sv == dv)
+            return false; // relocation would be a no-op
+        inj.victim = probe;
+        inj.region = MemRegion::Data;
+        undo.push_back({probe, dv});
+        dram.writeBlock(probe, sv);
+        return true;
+      }
+
+      case AttackKind::DataReplay: {
+        for (auto it = dataHist_.begin(); it != dataHist_.end(); ++it) {
+          Block64 cur = dram.snoop(it->first);
+          if (cur == it->second)
+              continue; // block not rewritten yet: replay is a no-op
+          inj.victim = it->first;
+          inj.probe = it->first;
+          inj.region = MemRegion::Data;
+          undo.push_back({it->first, cur});
+          dram.replay(it->first, it->second);
+          dataHist_.erase(it); // allow a fresh capture next time
+          return true;
+        }
+        return false;
+      }
+
+      case AttackKind::CtrRollback: {
+        // captureHistories flushed the counter cache, so DRAM holds
+        // every counter block's current value. A counter block packs a
+        // whole page of slots; only roll back when the probe's own
+        // slot advanced, otherwise the rollback garbles a sibling the
+        // probe read cannot observe.
+        const SecureMemConfig &cfg = ctrl_.config();
+        auto slotCounter = [&](Addr data_addr, const Block64 &blk) {
+            unsigned slot = map.ctrSlotFor(data_addr);
+            if (cfg.enc == EncKind::CtrMono)
+                return MonoCounterBlock(cfg.monoBits, blk).counter(slot);
+            return SplitCounterBlock(blk).counterFor(slot);
+        };
+        for (auto it = ctrHist_.begin(); it != ctrHist_.end(); ++it) {
+            Block64 cur = dram.snoop(it->first);
+            if (slotCounter(it->second.probe, cur) ==
+                slotCounter(it->second.probe, it->second.value))
+                continue; // probe's counter has not advanced since capture
+            inj.victim = it->first;
+            inj.probe = it->second.probe;
+            inj.region = MemRegion::Counter;
+            undo.push_back({it->first, cur});
+            dram.replay(it->first, it->second.value);
+            ctrHist_.erase(it);
+            return true;
+        }
+        return false;
+      }
+
+      case AttackKind::MacReplay: {
+        for (auto it = macHist_.begin(); it != macHist_.end(); ++it) {
+            Block64 cur = dram.snoop(it->first);
+            if (cur == it->second.value)
+                continue;
+            inj.victim = it->first;
+            inj.probe = it->second.probe;
+            inj.region = MemRegion::Mac;
+            undo.push_back({it->first, cur});
+            dram.replay(it->first, it->second.value);
+            macHist_.erase(it);
+            return true;
+        }
+        return false;
+      }
+
+      case AttackKind::RegionFuzz: {
+        MemRegion choices[3];
+        unsigned n = 0;
+        choices[n++] = MemRegion::Data;
+        if (hasCtrRegion_)
+            choices[n++] = MemRegion::Counter;
+        if (hasMacRegion_)
+            choices[n++] = MemRegion::Mac;
+        MemRegion r = choices[rng_.below(n)];
+        Addr victim;
+        if (r == MemRegion::Data) {
+            victim = probe;
+        } else if (r == MemRegion::Counter) {
+            victim = map.ctrBlockAddrFor(probe);
+        } else {
+            TagLocation loc = map.tagOfLeaf(map.leafIndexOfData(probe));
+            if (loc.pinned)
+                return false; // top of tree is out of the attacker's reach
+            victim = loc.blockAddr;
+        }
+        inj.victim = victim;
+        inj.region = r;
+        if (r == MemRegion::Counter) {
+            // A counter block packs many data blocks' counters; sparse
+            // byte damage may only hit siblings, whose corruption the
+            // probe address cannot observe. Garble the whole block so
+            // the probe's own slot is guaranteed affected.
+            undo.push_back({victim, dram.snoop(victim)});
+            for (std::size_t off = 0; off < kBlockBytes; ++off)
+                dram.tamperXor(victim, off,
+                               static_cast<std::uint8_t>(1 + rng_.below(255)));
+        } else {
+            corrupt(victim, static_cast<unsigned>(1 + rng_.below(8)));
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+Injection
+TamperInjector::injectAndProbe(Tick now, AttackKind kind)
+{
+    Injection inj;
+    inj.serial = serial_++;
+    inj.kind = kind;
+    stats_.counter(std::string("attempt_") + toString(kind)).inc();
+
+    if (pool_.empty() || !applicable(kind) || ctrl_.halted()) {
+        log_.push_back(inj);
+        return inj;
+    }
+
+    inj.probe = pickPoolAddr();
+    captureHistories(inj.probe);
+
+    std::vector<Undo> undo;
+    inj.staged = stage(kind, inj, undo);
+    if (!inj.staged) {
+        stats_.counter(std::string("skipped_") + toString(kind)).inc();
+        log_.push_back(inj);
+        return inj;
+    }
+    stats_.counter(std::string("staged_") + toString(kind)).inc();
+
+    // Probe: a read of the affected data address; any surviving
+    // corruption must surface through the controller's checks here.
+    std::uint64_t before = ctrl_.reports().size() + ctrl_.reportsDropped();
+    Block64 out;
+    (void)ctrl_.readBlock(inj.probe, now, &out);
+    if (ctrl_.reports().size() + ctrl_.reportsDropped() > before) {
+        const TamperReport &r = ctrl_.lastReport();
+        inj.detected = true;
+        inj.check = r.check;
+        inj.level = r.level;
+        inj.latency = r.latency();
+        inj.recovered = r.recovered;
+        stats_.counter(std::string("detected_") + toString(kind)).inc();
+        stats_.sample("detect_latency").record(
+            static_cast<double>(inj.latency));
+    }
+
+    // Restore DRAM and drop the (clean) poisoned copies the probe may
+    // have parked in the metadata caches, so the workload continues on
+    // pristine state. Nothing is dirty at this point — the pre-stage
+    // flush cleaned the caches and the probe was a read — so these
+    // flushes are pure invalidation.
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it)
+        ctrl_.dram().replay(it->addr, it->value);
+    if (hasCtrRegion_)
+        ctrl_.flushCtrCache();
+    if (hasMacRegion_)
+        ctrl_.flushMacCache();
+
+    log_.push_back(inj);
+    return inj;
+}
+
+Injection
+TamperInjector::injectNext(Tick now)
+{
+    // A slice of rounds goes to transient bit flips so recovery
+    // policies see non-persistent faults among the persistent ones.
+    if (transientFraction_ > 0.0 && rng_.chance(transientFraction_))
+        return injectTransient(now);
+    for (unsigned i = 0; i < kNumAttackKinds; ++i) {
+        auto k = static_cast<AttackKind>(nextKind_);
+        nextKind_ = (nextKind_ + 1) % kNumAttackKinds;
+        if (applicable(k))
+            return injectAndProbe(now, k);
+    }
+    return injectAndProbe(now, AttackKind::BitFlip);
+}
+
+Injection
+TamperInjector::injectTransient(Tick now)
+{
+    Injection inj;
+    inj.serial = serial_++;
+    inj.kind = AttackKind::BitFlip;
+    inj.transient = true;
+    stats_.counter("attempt_transient").inc();
+
+    if (pool_.empty() || ctrl_.halted()) {
+        log_.push_back(inj);
+        return inj;
+    }
+    inj.probe = pickPoolAddr();
+    captureHistories(inj.probe);
+
+    std::vector<Undo> undo;
+    inj.staged = stage(AttackKind::BitFlip, inj, undo);
+    stats_.counter("staged_transient").inc();
+
+    std::uint64_t before = ctrl_.reports().size() + ctrl_.reportsDropped();
+    Block64 out;
+    (void)ctrl_.readBlock(inj.probe, now, &out);
+    if (ctrl_.reports().size() + ctrl_.reportsDropped() > before) {
+        const TamperReport &r = ctrl_.lastReport();
+        inj.detected = true;
+        inj.check = r.check;
+        inj.level = r.level;
+        inj.latency = r.latency();
+        inj.recovered = r.recovered;
+        stats_.counter("detected_transient").inc();
+        if (inj.recovered)
+            stats_.counter("recovered_transient").inc();
+    }
+    // DRAM was never modified; just drop poisoned clean cache copies.
+    if (hasCtrRegion_)
+        ctrl_.flushCtrCache();
+    if (hasMacRegion_)
+        ctrl_.flushMacCache();
+    log_.push_back(inj);
+    return inj;
+}
+
+} // namespace secmem

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * TamperInjector: randomized, deterministic-seeded fault injection
+ * against a live SecureMemoryController.
+ *
+ * The injector plays the hardware attacker of the paper's threat
+ * model. It owns a library of attack primitives —
+ *
+ *   BitFlip       single-bit ciphertext flip in a data block
+ *   ByteCorrupt   multi-byte corruption of a data block
+ *   Splice        relocate a valid ciphertext to another address
+ *   DataReplay    roll a data block back to a previously snooped value
+ *   CtrRollback   roll a counter block back (paper §4.3 precondition)
+ *   MacReplay     roll a Merkle-tree MAC block back
+ *   RegionFuzz    random multi-byte corruption targeted at a random
+ *                 region (data / counter / MAC)
+ *
+ * — plus transient (non-persistent) variants of the bit flip that
+ * corrupt a single fetch without modifying DRAM, exercising the
+ * RetryRefetch recovery policy.
+ *
+ * Every injection is immediately *probed*: the injector issues a read
+ * of the affected data address through the controller and records
+ * whether (and by which check, at what latency) the corruption was
+ * detected. DRAM is restored and poisoned clean cache lines are
+ * dropped afterwards, so a campaign can keep running the workload
+ * between injections without cross-contamination.
+ *
+ * All randomness flows through an explicitly seeded sim/rng.hh Rng, so
+ * a campaign is exactly reproducible from (seed, schedule, workload).
+ */
+
+#ifndef SECMEM_ATTACK_INJECTOR_HH
+#define SECMEM_ATTACK_INJECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/controller.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace secmem
+{
+
+/** The injector's attack primitive library. */
+enum class AttackKind
+{
+    BitFlip,
+    ByteCorrupt,
+    Splice,
+    DataReplay,
+    CtrRollback,
+    MacReplay,
+    RegionFuzz,
+};
+constexpr unsigned kNumAttackKinds = 7;
+
+const char *toString(AttackKind k);
+
+/** When injections fire relative to the access stream. */
+struct InjectionSchedule
+{
+    /** Inject every N memory accesses (0 disables the periodic mode). */
+    std::uint64_t everyN = 64;
+    /** Per-access injection probability, used when everyN == 0. */
+    double probability = 0.0;
+};
+
+/** Outcome of one staged injection + detection probe. */
+struct Injection
+{
+    std::uint64_t serial = 0;  ///< injection sequence number
+    AttackKind kind = AttackKind::BitFlip;
+    MemRegion region = MemRegion::Unknown;
+    Addr victim = kAddrInvalid; ///< tampered block
+    Addr probe = kAddrInvalid;  ///< data address read to observe it
+    bool staged = false;    ///< bytes were actually corrupted / armed
+    bool transient = false; ///< read-path-only fault, DRAM untouched
+    bool detected = false;  ///< the probe read reported a failure
+    bool recovered = false; ///< RetryRefetch re-verified cleanly
+    TamperCheck check = TamperCheck::LeafTag; ///< detecting layer
+    unsigned level = 0;     ///< tree level for TreeNode detections
+    Tick latency = 0;       ///< issue-to-detection ticks
+};
+
+/** Deterministic adversarial fault injector. */
+class TamperInjector
+{
+  public:
+    TamperInjector(SecureMemoryController &ctrl, std::uint64_t seed,
+                   InjectionSchedule schedule = {});
+
+    /**
+     * Record one workload access *before* it is issued to the
+     * controller; grows the victim pool and captures pre-store data
+     * snapshots for later replay attacks. Returns true when the
+     * schedule calls for an injection after this access completes.
+     */
+    bool noteAccess(Addr addr, bool is_store);
+
+    /**
+     * Stage one attack of @p kind at simulated time @p now, probe
+     * detection with a controller read, then restore DRAM and drop
+     * poisoned clean cache lines. Returns the outcome (staged == false
+     * when the primitive had no usable victim this round).
+     */
+    Injection injectAndProbe(Tick now, AttackKind kind);
+
+    /** As above, cycling round-robin through all applicable kinds. */
+    Injection injectNext(Tick now);
+
+    /**
+     * Stage a transient (non-persistent) bit flip: the probe's next
+     * fetch is corrupted, DRAM is untouched. Under RetryRefetch the
+     * controller recovers; under other policies it reports.
+     */
+    Injection injectTransient(Tick now);
+
+    /**
+     * Fraction of injectNext() rounds delivered as transient bit
+     * flips (DRAM untouched) instead of the cycled persistent kind.
+     */
+    void setTransientFraction(double f) { transientFraction_ = f; }
+
+    /** True when @p kind can target this controller's configuration. */
+    bool applicable(AttackKind kind) const;
+
+    /** All injections performed so far, oldest first. */
+    const std::vector<Injection> &log() const { return log_; }
+
+    /** Distinct data blocks seen so far (victim candidates). */
+    std::size_t poolSize() const { return pool_.size(); }
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    /** Corrupt-then-restore bookkeeping for one injection. */
+    struct Undo
+    {
+        Addr addr;
+        Block64 value;
+    };
+
+    Addr pickPoolAddr();
+    /** Stage the primitive; fills victim/region, appends undo entries. */
+    bool stage(AttackKind kind, Injection &inj, std::vector<Undo> &undo);
+    void captureHistories(Addr probe);
+
+    SecureMemoryController &ctrl_;
+    Rng rng_;
+    InjectionSchedule sched_;
+    double transientFraction_ = 0.0;
+
+    const bool hasCtrRegion_;
+    const bool hasMacRegion_;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t serial_ = 0;
+    unsigned nextKind_ = 0; ///< round-robin cursor for injectNext
+
+    /** Victim pool: every data block the workload has touched. */
+    std::vector<Addr> pool_;
+    std::set<Addr> poolSet_;
+
+    /** Replay material: old values of data / counter / MAC blocks. */
+    std::map<Addr, Block64> dataHist_;
+    struct MetaHist
+    {
+        Block64 value; ///< DRAM value at capture time
+        Addr probe;    ///< data address whose path covers this block
+    };
+    std::map<Addr, MetaHist> ctrHist_;
+    std::map<Addr, MetaHist> macHist_;
+
+    std::vector<Injection> log_;
+    stats::Group stats_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_ATTACK_INJECTOR_HH

@@ -26,6 +26,8 @@ constexpr Tick kGhashBlockCycles = 5;
 constexpr Tick kCompareCycle = 1;
 /** Tree-update recursion bound before falling back to functional stores. */
 constexpr unsigned kMaxUpdateDepth = 32;
+/** In-memory cap on retained TamperReports (campaigns can be long). */
+constexpr std::size_t kMaxReports = 1 << 16;
 
 } // namespace
 
@@ -51,6 +53,104 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
 // --------------------------------------------------------------------------
 // Helpers: epochs, counters, data crypto
 // --------------------------------------------------------------------------
+
+MemRegion
+SecureMemoryController::regionOf(Addr addr) const
+{
+    if (map_.isData(addr))
+        return MemRegion::Data;
+    if (map_.isCtr(addr))
+        return MemRegion::Counter;
+    if (map_.isMac(addr))
+        return MemRegion::Mac;
+    if (map_.isDerivCtr(addr))
+        return MemRegion::DerivCtr;
+    return MemRegion::Unknown;
+}
+
+// --------------------------------------------------------------------------
+// Structured tamper detection (see core/tamper.hh)
+// --------------------------------------------------------------------------
+
+void
+SecureMemoryController::beginAccess(Addr addr, Tick now, bool is_write)
+{
+    cur_ = TamperReport{};
+    cur_.accessAddr = blockBase(addr);
+    cur_.issued = now;
+    cur_.onWritePath = is_write;
+}
+
+void
+SecureMemoryController::noteTamper(TamperCheck check, unsigned level,
+                                   Addr victim)
+{
+    ++authFailures_;
+    stats_.counter("auth_failures").inc();
+    switch (check) {
+      case TamperCheck::LeafTag:
+        stats_.counter("tamper_detect_leaf").inc();
+        break;
+      case TamperCheck::CounterAuth:
+        stats_.counter("tamper_detect_ctrauth").inc();
+        break;
+      case TamperCheck::TreeNode:
+        stats_.counter("tamper_detect_tree").inc();
+        break;
+    }
+    if (cur_.valid)
+        return; // the first failing check owns the access's report
+    cur_.valid = true;
+    cur_.check = check;
+    cur_.level = level;
+    cur_.victim = victim;
+    cur_.region = regionOf(victim);
+}
+
+void
+SecureMemoryController::finishAccess(bool ok, Tick done)
+{
+    lastAccessOk_ = ok;
+    if (!cur_.valid)
+        return;
+    cur_.detected = done;
+    stats_.histogram("tamper_latency", 64.0, 32)
+        .record(static_cast<double>(cur_.latency()));
+    lastReport_ = cur_;
+    if (reports_.size() < kMaxReports)
+        reports_.push_back(cur_);
+    else
+        ++reportsDropped_;
+    if (!ok && policy_ == TamperPolicy::Halt) {
+        halted_ = true;
+        stats_.counter("tamper_halts").inc();
+    }
+    cur_ = TamperReport{};
+}
+
+void
+SecureMemoryController::dropCleanMetadata(Addr data_addr)
+{
+    // A corrupted fetch may have parked poisoned — but clean — copies
+    // in the metadata caches; drop them so the retry re-fetches from
+    // DRAM. Dirty lines hold legitimate local updates: written back.
+    if (cfg_.usesCounterCache()) {
+        Addr ca = map_.ctrBlockAddrFor(blockBase(data_addr));
+        Eviction ev = ctrCache_.invalidate(ca);
+        if (ev.valid && ev.dirty)
+            writebackCtrBlock(ev.addr, ev.data, 0);
+        inflight_.erase(ca);
+        if (cfg_.auth == AuthKind::Gcm && cfg_.authenticateCounters) {
+            Addr da = map_.derivCtrBlockAddr(map_.derivIdxOfCtrBlock(ca));
+            Eviction dev = derivCache_.invalidate(da);
+            if (dev.valid && dev.dirty)
+                dram_.writeBlock(dev.addr, dev.data);
+            inflight_.erase(da);
+        }
+    }
+    if (cfg_.auth != AuthKind::None)
+        flushMacCache();
+}
 
 std::uint8_t
 SecureMemoryController::epochOf(Addr data_addr) const
@@ -241,20 +341,20 @@ SecureMemoryController::functionalTagStore(const TagLocation &loc,
         macCache_.markDirty(loc.blockAddr);
         return;
     }
-    // Straight-to-DRAM store: the containing MAC block's own tag (if it
-    // has one) must be refreshed so later fetches still verify.
-    Block64 blk = dram_.readBlock(loc.blockAddr);
+    // Straight-to-DRAM store: the containing MAC block's own tag must
+    // be refreshed so later fetches still verify. The refresh is
+    // unconditional — a block holding any tag is itself part of the
+    // tree from that moment, otherwise an attacker could replay the
+    // whole block and silently roll back every tag it holds.
+    Block64 blk = dram_.peekBlock(loc.blockAddr);
     for (unsigned i = 0; i < bytes; ++i)
         blk.b[off + i] = tag.b[i];
     dram_.writeBlock(loc.blockAddr, blk);
-    if (hasTag_.count(loc.blockAddr)) {
-        auto [level, idx] = map_.macLevelOf(loc.blockAddr);
-        NodeRef node{NodeKind::MacBlock, loc.blockAddr, level, idx};
-        std::uint64_t deriv =
-            cfg_.auth == AuthKind::Gcm ? macEmbeddedCtr(blk) : 0;
-        functionalTagStore(tagLocationOf(node),
-                           nodeTag(node, blk, deriv, 0));
-    }
+    auto [level, idx] = map_.macLevelOf(loc.blockAddr);
+    NodeRef node{NodeKind::MacBlock, loc.blockAddr, level, idx};
+    std::uint64_t deriv = cfg_.auth == AuthKind::Gcm ? macEmbeddedCtr(blk) : 0;
+    functionalTagStore(tagLocationOf(node), nodeTag(node, blk, deriv, 0));
+    hasTag_.insert(loc.blockAddr);
 }
 
 // --------------------------------------------------------------------------
@@ -327,8 +427,12 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
         Block16 expect = readTagSlot(tagLocationOf(node));
         Block16 got = nodeTag(node, content, leaf_counter, leaf_epoch);
         if (!(got == expect)) {
-            ++authFailures_;
-            stats_.counter("auth_failures").inc();
+            noteTamper(node.kind == NodeKind::Data ? TamperCheck::LeafTag
+                       : node.kind == NodeKind::CtrBlock
+                           ? TamperCheck::CounterAuth
+                           : TamperCheck::TreeNode,
+                       node.kind == NodeKind::MacBlock ? node.level : 0,
+                       node.addr);
             stats_.counter(node.kind == NodeKind::Data ? "auth_fail_data"
                            : node.kind == NodeKind::CtrBlock
                                ? "auth_fail_ctr"
@@ -421,8 +525,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
             Block16 expect = readTagSlot(tagLocationOf(mac));
             Block16 got = nodeTag(mac, raw, deriv_val, 0);
             if (!(got == expect)) {
-                ++authFailures_;
-                stats_.counter("auth_failures").inc();
+                noteTamper(TamperCheck::TreeNode, level, loc.blockAddr);
                 stats_.counter("auth_fail_walkmac").inc();
                 if (authTraceEnabled()) {
                     SECMEM_WARN("auth fail: walk mac addr=%llx level=%u "
@@ -527,35 +630,52 @@ void
 SecureMemoryController::writebackMacBlock(Addr mac_addr, const Block64 &data,
                                           Tick now)
 {
-    stats_.counter("mac_writebacks").inc();
-    auto [level, idx] = map_.macLevelOf(mac_addr);
-    NodeRef node{NodeKind::MacBlock, mac_addr, level, idx};
-
-    // Bump the embedded derivative counter so the GCM pad for this
-    // block's new tag is fresh (GMAC nonce-reuse would be fatal).
-    Block64 content = data;
-    std::uint64_t deriv_val = 0;
-    if (cfg_.auth == AuthKind::Gcm) {
-        deriv_val = macEmbeddedCtr(content) + 1;
-        setMacEmbeddedCtr(content, deriv_val);
-        derivHintUpdate(mac_addr, deriv_val);
-    }
-
-    Block16 tag = nodeTag(node, content, deriv_val, 0);
-    TagLocation loc = tagLocationOf(node);
-
     // The functional update is atomic: DRAM first, then the parent tag
     // through functionalTagStore (which touches the cached parent copy
     // if present and otherwise cascades through DRAM). Re-entrant
     // getMacBlock recursion here is forbidden — it can re-fetch this
     // very block mid-write-back and fork divergent copies.
+    writebackMacContent(mac_addr, data, now);
+    writebackMacTag(mac_addr, now);
+}
+
+void
+SecureMemoryController::writebackMacContent(Addr mac_addr,
+                                            const Block64 &data, Tick now)
+{
+    stats_.counter("mac_writebacks").inc();
+
+    // Bump the embedded derivative counter so the GCM pad for this
+    // block's new tag is fresh (GMAC nonce-reuse would be fatal).
+    Block64 content = data;
+    if (cfg_.auth == AuthKind::Gcm) {
+        std::uint64_t deriv_val = macEmbeddedCtr(content) + 1;
+        setMacEmbeddedCtr(content, deriv_val);
+        derivHintUpdate(mac_addr, deriv_val);
+    }
     dram_.writeBlock(mac_addr, content);
+    channel_.writeBlockTiming(now);
+}
+
+void
+SecureMemoryController::writebackMacTag(Addr mac_addr, Tick now)
+{
+    auto [level, idx] = map_.macLevelOf(mac_addr);
+    NodeRef node{NodeKind::MacBlock, mac_addr, level, idx};
+
+    // Compute the tag over the block's current DRAM bits rather than
+    // the caller's copy: during a whole-cache flush a sibling's tag
+    // cascade may have stored new slots into this block meanwhile.
+    Block64 content = dram_.peekBlock(mac_addr);
+    std::uint64_t deriv_val =
+        cfg_.auth == AuthKind::Gcm ? macEmbeddedCtr(content) : 0;
+    Block16 tag = nodeTag(node, content, deriv_val, 0);
+    TagLocation loc = tagLocationOf(node);
     functionalTagStore(loc, tag);
     hasTag_.insert(mac_addr);
 
-    // Timing: the block transfer, the tag computation, and (when the
-    // parent is off-chip) an update-no-allocate fetch of the parent.
-    channel_.writeBlockTiming(now);
+    // Timing: the tag computation, and (when the parent is off-chip)
+    // an update-no-allocate fetch of the parent.
     if (!loc.pinned && !macCache_.contains(loc.blockAddr)) {
         stats_.counter("mac_update_fetches").inc();
         channel_.readBlockTiming(now);
@@ -904,6 +1024,36 @@ SecureMemoryController::predictPads(Addr addr, std::uint64_t actual_ctr,
 AccessTiming
 SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
 {
+    SECMEM_ASSERT(!halted_,
+                  "secure memory controller halted by tamper policy");
+    beginAccess(addr, now, false);
+    AccessTiming timing = readBlockImpl(addr, now, out);
+
+    // RetryRefetch: a failed verification may stem from a transient
+    // fetch fault rather than persistent tampering. Drop possibly
+    // poisoned clean metadata and re-run the access from DRAM, up to
+    // the configured bound.
+    unsigned tries = 0;
+    while (!timing.authOk && policy_ == TamperPolicy::RetryRefetch &&
+           tries < maxRetries_) {
+        ++tries;
+        stats_.counter("tamper_retries").inc();
+        dropCleanMetadata(addr);
+        timing = readBlockImpl(addr, timing.authDone, out);
+    }
+    if (cur_.valid) {
+        cur_.retries = tries;
+        cur_.recovered = timing.authOk;
+        if (cur_.recovered)
+            stats_.counter("tamper_recoveries").inc();
+    }
+    finishAccess(timing.authOk, timing.authDone);
+    return timing;
+}
+
+AccessTiming
+SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
+{
     Addr base = blockBase(addr);
     ensureDataInit(base);
     stats_.counter("reads").inc();
@@ -1003,6 +1153,22 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
 
 Tick
 SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
+{
+    SECMEM_ASSERT(!halted_,
+                  "secure memory controller halted by tamper policy");
+    beginAccess(addr, now, true);
+    Tick done = writeBlockImpl(addr, data, now);
+    // Write-path verification failures (e.g. a rolled-back counter
+    // block caught on fetch, paper §4.3) surface through the metadata
+    // fetches the write performs; no refetch retry is attempted because
+    // the counter increment has already been applied on-chip.
+    finishAccess(!cur_.valid, done);
+    return done;
+}
+
+Tick
+SecureMemoryController::writeBlockImpl(Addr addr, const Block64 &data,
+                                       Tick now)
 {
     Addr base = blockBase(addr);
     ensureDataInit(base);
@@ -1146,8 +1312,28 @@ SecureMemoryController::evictCounterBlock(Addr data_addr)
 void
 SecureMemoryController::flushMacCache()
 {
-    for (const Eviction &ev : macCache_.flush())
-        writebackMacBlock(ev.addr, ev.data, 0);
+    // Two-phase flush: every block's content reaches DRAM before any
+    // parent tag is recomputed. flush() invalidates all lines up
+    // front, so a single interleaved pass can lose updates when a
+    // block and its parent are both dirty — the child's write-back
+    // stores its new tag into the parent's stale straight-to-DRAM
+    // copy, and the parent's own later write-back overwrites it.
+    std::vector<Eviction> dirty = macCache_.flush();
+    for (const Eviction &ev : dirty)
+        writebackMacContent(ev.addr, ev.data, 0);
+    for (const Eviction &ev : dirty)
+        writebackMacTag(ev.addr, 0);
+}
+
+void
+SecureMemoryController::flushCtrCache()
+{
+    // Counter write-backs can dirty the derivative cache (GCM bumps the
+    // derivative counter), so flush counters first, derivatives second.
+    for (const Eviction &ev : ctrCache_.flush())
+        writebackCtrBlock(ev.addr, ev.data, 0);
+    for (const Eviction &ev : derivCache_.flush())
+        dram_.writeBlock(ev.addr, ev.data);
 }
 
 } // namespace secmem

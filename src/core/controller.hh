@@ -43,6 +43,7 @@
 
 #include "core/config.hh"
 #include "core/layout.hh"
+#include "core/tamper.hh"
 #include "crypto/aes.hh"
 #include "crypto/bytes.hh"
 #include "enc/counters.hh"
@@ -84,6 +85,7 @@ class SecureMemoryController
     /**
      * Service an L2 miss for the data block at @p addr, issued at
      * @p now. @p out (optional) receives the decrypted plaintext.
+     * Applies the configured TamperPolicy on verification failure.
      */
     AccessTiming readBlock(Addr addr, Tick now, Block64 *out = nullptr);
 
@@ -106,6 +108,44 @@ class SecureMemoryController
     /** Number of Merkle/GCM verification failures observed so far. */
     std::uint64_t authFailures() const { return authFailures_; }
 
+    // ---- structured tamper detection and recovery -----------------------
+    /** Select the reaction to a failed verification check. */
+    void
+    setTamperPolicy(TamperPolicy policy, unsigned max_retries = 2)
+    {
+        policy_ = policy;
+        maxRetries_ = max_retries;
+    }
+    TamperPolicy tamperPolicy() const { return policy_; }
+
+    /** True once a detection under TamperPolicy::Halt stopped service. */
+    bool halted() const { return halted_; }
+
+    /** Whether the most recent top-level access verified cleanly. */
+    bool lastAccessOk() const { return lastAccessOk_; }
+
+    /**
+     * Most recent detection (valid == false if none yet). Survives
+     * subsequent clean accesses, so callers can inspect it after the
+     * fact; reports() holds the full history.
+     */
+    const TamperReport &lastReport() const { return lastReport_; }
+
+    /** All detections so far, oldest first (bounded; see reportsDropped). */
+    const std::vector<TamperReport> &reports() const { return reports_; }
+    /** Reports discarded after the in-memory cap was reached. */
+    std::uint64_t reportsDropped() const { return reportsDropped_; }
+    void
+    clearReports()
+    {
+        reports_.clear();
+        reportsDropped_ = 0;
+        lastReport_ = TamperReport{};
+    }
+
+    /** Region of the protected space @p addr falls in. */
+    MemRegion regionOf(Addr addr) const;
+
     /** Current counter value of a data block (functional probe). */
     std::uint64_t counterOf(Addr data_addr);
 
@@ -113,6 +153,8 @@ class SecureMemoryController
     void evictCounterBlock(Addr data_addr);
     /** Force-evict all MAC blocks (tests). */
     void flushMacCache();
+    /** Force-evict all counter and derivative-counter blocks (tests). */
+    void flushCtrCache();
 
     // ---- statistics -----------------------------------------------------
     stats::Group &stats() { return stats_; }
@@ -132,6 +174,21 @@ class SecureMemoryController
     std::uint64_t pageReencCount() const { return pageReencs_; }
 
   private:
+    // ---- structured tamper detection -------------------------------------
+    /** Record a failed check into the current access's report. */
+    void noteTamper(TamperCheck check, unsigned level, Addr victim);
+    /** Reset per-access detection state (outermost entry only). */
+    void beginAccess(Addr addr, Tick now, bool is_write);
+    /** Finalize the report and apply the tamper policy. */
+    void finishAccess(bool ok, Tick done);
+    /** Drop clean (possibly poisoned) metadata before a refetch retry. */
+    void dropCleanMetadata(Addr data_addr);
+
+    /** The read datapath proper (wrapped by readBlock's policy loop). */
+    AccessTiming readBlockImpl(Addr addr, Tick now, Block64 *out);
+    /** The write datapath proper (wrapped by writeBlock). */
+    Tick writeBlockImpl(Addr addr, const Block64 &data, Tick now);
+
     // ---- node identity in the authentication tree -----------------------
     enum class NodeKind { Data, CtrBlock, MacBlock };
 
@@ -227,6 +284,10 @@ class SecureMemoryController
 
     /** Write back a dirty MAC block evicted from the MAC cache. */
     void writebackMacBlock(Addr mac_addr, const Block64 &data, Tick now);
+    /** First half of the above: bump embedded counter, write content. */
+    void writebackMacContent(Addr mac_addr, const Block64 &data, Tick now);
+    /** Second half: recompute this block's tag from current DRAM bits. */
+    void writebackMacTag(Addr mac_addr, Tick now);
     /** Write back a dirty counter block evicted from the counter cache. */
     void writebackCtrBlock(Addr ctr_addr, const Block64 &data, Tick now);
     /** Dispatch either of the above based on region. */
@@ -309,6 +370,16 @@ class SecureMemoryController
     std::uint64_t freezes_ = 0;
     std::uint64_t pageReencs_ = 0;
     std::uint64_t authFailures_ = 0;
+
+    /** Tamper policy state (see core/tamper.hh). */
+    TamperPolicy policy_ = TamperPolicy::ReportAndContinue;
+    unsigned maxRetries_ = 2;
+    bool halted_ = false;
+    bool lastAccessOk_ = true;
+    TamperReport cur_{};        ///< report being built for this access
+    TamperReport lastReport_{};
+    std::vector<TamperReport> reports_;
+    std::uint64_t reportsDropped_ = 0;
 
     /** Derivative-counter hint table (see derivHintReady). */
     struct DerivHint

@@ -23,7 +23,10 @@ SecureMemory::readBlock(Addr addr)
     Block64 out;
     AccessTiming t = ctrl_.readBlock(base, tick_ + 1, &out);
     tick_ = t.authDone;
-    lastAuthOk_ = t.authOk;
+    // The controller's structured verdict is authoritative: it already
+    // accounts for tamper-policy retries (a recovered transient fault
+    // reads ok).
+    lastOpOk_ = t.authOk && ctrl_.lastAccessOk();
     return out;
 }
 
@@ -58,13 +61,13 @@ SecureMemory::read(Addr addr, void *dst, std::size_t n)
         std::size_t off = blockOffset(addr);
         std::size_t take = std::min(n, kBlockBytes - off);
         Block64 blk = readBlock(base);
-        all_ok = all_ok && lastAuthOk_;
+        all_ok = all_ok && lastOpOk_;
         std::memcpy(p, blk.b.data() + off, take);
         addr += take;
         p += take;
         n -= take;
     }
-    lastAuthOk_ = all_ok;
+    lastOpOk_ = all_ok;
 }
 
 } // namespace secmem

@@ -48,10 +48,31 @@ class SecureMemory
     void writeBlock(Addr addr, const Block64 &data);
     Block64 readBlock(Addr addr);
 
-    /** Whether the most recent read authenticated cleanly. */
-    bool lastAuthOk() const { return lastAuthOk_; }
+    /**
+     * Whether the most recent read (every block it touched)
+     * authenticated cleanly. Backed by the controller's structured
+     * per-access verdict; a multi-block read is ok only if all of its
+     * blocks verified.
+     */
+    bool lastAuthOk() const { return lastOpOk_; }
+    /** Structured report of the most recent detection (if any). */
+    const TamperReport &lastReport() const { return ctrl_.lastReport(); }
     /** Total verification failures observed. */
     std::uint64_t authFailures() const { return ctrl_.authFailures(); }
+
+    /** Select what the controller does on a failed check. */
+    void
+    setTamperPolicy(TamperPolicy policy, unsigned max_retries = 2)
+    {
+        ctrl_.setTamperPolicy(policy, max_retries);
+    }
+
+    /**
+     * Simulated time consumed so far: every operation advances the
+     * clock to its completion tick, so successive calls see
+     * monotonically increasing time.
+     */
+    Tick elapsedTicks() const { return tick_; }
 
     /** The attacker's view: raw DRAM with tamper/snoop/replay calls. */
     Dram &dram() { return ctrl_.dram(); }
@@ -63,8 +84,8 @@ class SecureMemory
 
   private:
     SecureMemoryController ctrl_;
-    Tick tick_ = 0;
-    bool lastAuthOk_ = true;
+    Tick tick_ = 0;    ///< simulation clock advanced by each operation
+    bool lastOpOk_ = true; ///< aggregate verdict of the last read()
 };
 
 } // namespace secmem

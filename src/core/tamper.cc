@@ -1,0 +1,54 @@
+#include "core/tamper.hh"
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+const char *
+toString(TamperPolicy p)
+{
+    switch (p) {
+      case TamperPolicy::Halt:
+        return "Halt";
+      case TamperPolicy::ReportAndContinue:
+        return "ReportAndContinue";
+      case TamperPolicy::RetryRefetch:
+        return "RetryRefetch";
+    }
+    SECMEM_PANIC("bad TamperPolicy");
+}
+
+const char *
+toString(TamperCheck c)
+{
+    switch (c) {
+      case TamperCheck::LeafTag:
+        return "LeafTag";
+      case TamperCheck::CounterAuth:
+        return "CounterAuth";
+      case TamperCheck::TreeNode:
+        return "TreeNode";
+    }
+    SECMEM_PANIC("bad TamperCheck");
+}
+
+const char *
+toString(MemRegion r)
+{
+    switch (r) {
+      case MemRegion::Data:
+        return "data";
+      case MemRegion::Counter:
+        return "counter";
+      case MemRegion::Mac:
+        return "mac";
+      case MemRegion::DerivCtr:
+        return "derivctr";
+      case MemRegion::Unknown:
+        return "unknown";
+    }
+    SECMEM_PANIC("bad MemRegion");
+}
+
+} // namespace secmem

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured tamper detection and recovery policy types.
+ *
+ * When an authentication check fails, the controller no longer just
+ * counts it: it files a TamperReport naming the check that fired (leaf
+ * tag, counter authentication, or an interior Merkle-tree node), the
+ * victim block, its region, and the detection latency in ticks. What
+ * happens next is governed by a TamperPolicy:
+ *
+ *   Halt              — the controller refuses all further accesses
+ *                       (models a machine-check / enclave teardown)
+ *   ReportAndContinue — record the report and keep servicing traffic
+ *                       (the previous, implicit behaviour)
+ *   RetryRefetch      — drop possibly-poisoned clean metadata, re-fetch
+ *                       the block from DRAM and re-verify, up to a
+ *                       bounded number of retries; recovers from
+ *                       transient (non-persistent) faults
+ *
+ * The fault-injection subsystem in src/attack/ drives these paths
+ * adversarially; see DESIGN.md "Threat model, fault injection, and
+ * failure handling".
+ */
+
+#ifndef SECMEM_CORE_TAMPER_HH
+#define SECMEM_CORE_TAMPER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+/** What the controller does when a verification check fails. */
+enum class TamperPolicy
+{
+    Halt,              ///< stop servicing accesses after a detection
+    ReportAndContinue, ///< record the report, keep running
+    RetryRefetch,      ///< re-fetch from DRAM and re-verify (bounded)
+};
+
+/** Which verification layer caught the tamper. */
+enum class TamperCheck
+{
+    LeafTag,     ///< GCM/SHA-1 tag of the fetched data block
+    CounterAuth, ///< counter-block authentication on fetch (paper §4.3)
+    TreeNode,    ///< an interior Merkle-tree node failed its check
+};
+
+/** Region of the protected address space a block lives in. */
+enum class MemRegion
+{
+    Data,     ///< application data (ciphertext)
+    Counter,  ///< direct counter blocks
+    Mac,      ///< Merkle-tree MAC blocks
+    DerivCtr, ///< derivative freshness counters
+    Unknown,
+};
+
+const char *toString(TamperPolicy p);
+const char *toString(TamperCheck c);
+const char *toString(MemRegion r);
+
+/** One detected integrity violation, as reported by the controller. */
+struct TamperReport
+{
+    bool valid = false;          ///< a detection actually happened
+    TamperCheck check = TamperCheck::LeafTag;
+    unsigned level = 0;          ///< tree level for TreeNode (1 = level 1)
+    Addr victim = kAddrInvalid;  ///< block whose verification failed
+    MemRegion region = MemRegion::Unknown;
+    Addr accessAddr = kAddrInvalid; ///< address of the triggering access
+    bool onWritePath = false;    ///< detected while servicing a write-back
+    Tick issued = 0;             ///< tick the triggering access was issued
+    Tick detected = 0;           ///< tick the failing check completed
+    unsigned retries = 0;        ///< refetch retries consumed (RetryRefetch)
+    bool recovered = false;      ///< a retry re-verified cleanly
+
+    /** Detection latency in ticks from access issue to failed check. */
+    Tick
+    latency() const
+    {
+        return detected >= issued ? detected - issued : 0;
+    }
+};
+
+} // namespace secmem
+
+#endif // SECMEM_CORE_TAMPER_HH

@@ -1,0 +1,240 @@
+#include "harness/campaign.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+
+SecureMemConfig
+schemeConfigByName(const std::string &name)
+{
+    if (name == "baseline")
+        return SecureMemConfig::baseline();
+    if (name == "direct")
+        return SecureMemConfig::direct();
+    if (name == "split")
+        return SecureMemConfig::split();
+    if (name == "gcmAuthOnly")
+        return SecureMemConfig::gcmAuthOnly();
+    if (name == "splitGcm")
+        return SecureMemConfig::splitGcm();
+    if (name == "monoGcm")
+        return SecureMemConfig::monoGcm();
+    if (name == "splitSha")
+        return SecureMemConfig::splitSha();
+    if (name == "monoSha")
+        return SecureMemConfig::monoSha();
+    if (name == "splitGcmNoCtrAuth") {
+        SecureMemConfig cfg = SecureMemConfig::splitGcm();
+        cfg.authenticateCounters = false;
+        return cfg;
+    }
+    SECMEM_PANIC("unknown scheme name '%s'", name.c_str());
+}
+
+namespace
+{
+
+/** Label the detecting layer: "leaf-tag", "ctr-auth", "tree-node:L2". */
+std::string
+checkLabel(const Injection &inj)
+{
+    std::string label = toString(inj.check);
+    if (inj.check == TamperCheck::TreeNode)
+        label += ":L" + std::to_string(inj.level);
+    return label;
+}
+
+void
+jsonKey(std::ostream &os, const std::string &key)
+{
+    os << '"' << key << "\": ";
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg)
+{
+    CampaignResult res;
+    res.cfg = cfg;
+
+    SecureMemConfig scfg = schemeConfigByName(cfg.scheme);
+    SecureMemoryController ctrl(scfg);
+    ctrl.setTamperPolicy(cfg.policy, cfg.maxRetries);
+
+    SpecProfile profile = profileByName(cfg.workload);
+    profile.seed = cfg.seed;
+    SpecWorkload wl(profile);
+
+    TamperInjector inj(ctrl, cfg.seed ^ 0xadc0ffeeULL,
+                       InjectionSchedule{cfg.injectEvery, 0.0});
+    inj.setTransientFraction(cfg.transientFraction);
+
+    Tick now = 0;
+    std::uint64_t store_serial = 0;
+    while (res.memOps < cfg.memOps && !ctrl.halted()) {
+        TraceOp op = wl.next();
+        if (!op.isMem)
+            continue;
+        Addr base = blockBase(op.addr);
+        bool fire = inj.noteAccess(base, op.isStore);
+        if (op.isStore) {
+            Block64 v;
+            std::uint64_t fill =
+                (++store_serial) * 0x9e3779b97f4a7c15ull ^ cfg.seed;
+            std::memcpy(v.b.data(), &fill, sizeof(fill));
+            now = ctrl.writeBlock(base, v, now + 1);
+        } else {
+            Block64 out;
+            AccessTiming t = ctrl.readBlock(base, now + 1, &out);
+            now = t.authDone;
+        }
+        ++res.memOps;
+        if (fire && !ctrl.halted())
+            inj.injectNext(now);
+    }
+
+    // Aggregate the injection log.
+    for (const Injection &i : inj.log()) {
+        ++res.injections;
+        std::string kind = toString(i.kind);
+        if (i.transient)
+            kind += "-transient";
+        AttackClassStats &cls = res.perClass[kind];
+        ++cls.attempted;
+        if (!i.staged)
+            continue;
+        ++res.staged;
+        ++cls.staged;
+        res.byRegion[toString(i.region)] += 1;
+        if (i.transient)
+            ++res.transientStaged;
+        if (i.detected) {
+            ++res.detected;
+            ++cls.detected;
+            ++cls.byCheck[checkLabel(i)];
+            double lat = static_cast<double>(i.latency);
+            if (cls.detected == 1)
+                cls.latencyMin = cls.latencyMax = lat;
+            cls.latencyMin = std::min(cls.latencyMin, lat);
+            cls.latencyMax = std::max(cls.latencyMax, lat);
+            cls.latencySum += lat;
+            if (i.recovered) {
+                ++res.recovered;
+                ++cls.recovered;
+                if (i.transient)
+                    ++res.transientRecovered;
+            }
+        } else {
+            ++res.undetectedStaged;
+        }
+    }
+    for (const auto &kv : res.perClass)
+        if (kv.second.staged)
+            ++res.distinctClasses;
+
+    // Every controller report should correspond to an injection probe;
+    // anything beyond that means an attack leaked into the workload.
+    std::uint64_t total_reports =
+        ctrl.reports().size() + ctrl.reportsDropped();
+    res.unattributedReports =
+        total_reports > res.detected ? total_reports - res.detected : 0;
+    res.halted = ctrl.halted();
+    res.allDetected = res.staged > 0 && res.undetectedStaged == 0;
+    return res;
+}
+
+std::string
+CampaignResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"config\": {";
+    jsonKey(os << "\n    ", "seed");
+    os << cfg.seed << ',';
+    jsonKey(os << "\n    ", "workload");
+    os << '"' << cfg.workload << "\",";
+    jsonKey(os << "\n    ", "scheme");
+    os << '"' << cfg.scheme << "\",";
+    jsonKey(os << "\n    ", "mem_ops");
+    os << cfg.memOps << ',';
+    jsonKey(os << "\n    ", "inject_every");
+    os << cfg.injectEvery << ',';
+    jsonKey(os << "\n    ", "transient_fraction");
+    os << cfg.transientFraction << ',';
+    jsonKey(os << "\n    ", "policy");
+    os << '"' << toString(cfg.policy) << "\",";
+    jsonKey(os << "\n    ", "max_retries");
+    os << cfg.maxRetries;
+    os << "\n  },";
+
+    jsonKey(os << "\n  ", "mem_ops_replayed");
+    os << memOps << ',';
+    jsonKey(os << "\n  ", "injections");
+    os << injections << ',';
+    jsonKey(os << "\n  ", "staged");
+    os << staged << ',';
+    jsonKey(os << "\n  ", "detected");
+    os << detected << ',';
+    jsonKey(os << "\n  ", "undetected_staged");
+    os << undetectedStaged << ',';
+    jsonKey(os << "\n  ", "recovered");
+    os << recovered << ',';
+    jsonKey(os << "\n  ", "transient_staged");
+    os << transientStaged << ',';
+    jsonKey(os << "\n  ", "transient_recovered");
+    os << transientRecovered << ',';
+    jsonKey(os << "\n  ", "distinct_classes");
+    os << distinctClasses << ',';
+    jsonKey(os << "\n  ", "unattributed_reports");
+    os << unattributedReports << ',';
+    jsonKey(os << "\n  ", "halted");
+    os << (halted ? "true" : "false") << ',';
+    jsonKey(os << "\n  ", "all_detected");
+    os << (allDetected ? "true" : "false") << ',';
+
+    jsonKey(os << "\n  ", "by_region");
+    os << '{';
+    bool first = true;
+    for (const auto &kv : byRegion) {
+        os << (first ? "" : ", ") << '"' << kv.first << "\": " << kv.second;
+        first = false;
+    }
+    os << "},";
+
+    jsonKey(os << "\n  ", "per_class");
+    os << '{';
+    first = true;
+    for (const auto &kv : perClass) {
+        const AttackClassStats &c = kv.second;
+        os << (first ? "" : ",") << "\n    \"" << kv.first << "\": {";
+        jsonKey(os, "attempted");
+        os << c.attempted << ", ";
+        jsonKey(os, "staged");
+        os << c.staged << ", ";
+        jsonKey(os, "detected");
+        os << c.detected << ", ";
+        jsonKey(os, "recovered");
+        os << c.recovered << ", ";
+        jsonKey(os, "latency");
+        os << "{\"mean\": " << c.latencyMean() << ", \"min\": "
+           << c.latencyMin << ", \"max\": " << c.latencyMax << "}, ";
+        jsonKey(os, "by_check");
+        os << '{';
+        bool f2 = true;
+        for (const auto &ck : c.byCheck) {
+            os << (f2 ? "" : ", ") << '"' << ck.first << "\": " << ck.second;
+            f2 = false;
+        }
+        os << "}}";
+        first = false;
+    }
+    os << "\n  }\n}";
+    return os.str();
+}
+
+} // namespace secmem

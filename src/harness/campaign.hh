@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Adversarial fault-injection campaign: replay a trace workload against
+ * a live secure-memory controller while a TamperInjector stages attacks
+ * from every primitive class, then report detection coverage.
+ *
+ * The campaign is the robustness counterpart of the performance
+ * harness: instead of IPC it measures whether the paper's protection
+ * scheme catches every integrity-affecting modification, which check
+ * catches it (GCM leaf tag, counter authentication, tree level), and
+ * how long detection takes. Results serialize to JSON so external
+ * tooling (and scripts/check.sh) can assert 100% detection.
+ */
+
+#ifndef SECMEM_HARNESS_CAMPAIGN_HH
+#define SECMEM_HARNESS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "attack/injector.hh"
+#include "core/config.hh"
+#include "core/tamper.hh"
+
+namespace secmem
+{
+
+/** One campaign's parameters; everything needed to reproduce it. */
+struct CampaignConfig
+{
+    std::uint64_t seed = 1;
+    std::string workload = "mcf";     ///< SpecProfile name
+    std::string scheme = "splitGcm";  ///< see schemeConfigByName()
+    std::uint64_t memOps = 20000;     ///< memory operations to replay
+    std::uint64_t injectEvery = 64;   ///< injection cadence (accesses)
+    double transientFraction = 0.0;   ///< share of rounds gone transient
+    TamperPolicy policy = TamperPolicy::ReportAndContinue;
+    unsigned maxRetries = 2;          ///< RetryRefetch budget
+};
+
+/** Aggregate outcome for one attack class. */
+struct AttackClassStats
+{
+    std::uint64_t attempted = 0;
+    std::uint64_t staged = 0;   ///< bytes actually corrupted / armed
+    std::uint64_t detected = 0;
+    std::uint64_t recovered = 0; ///< detections that re-verified cleanly
+    double latencySum = 0.0;     ///< ticks, over detections
+    double latencyMin = 0.0;
+    double latencyMax = 0.0;
+    /** Detections by detecting layer ("leaf-tag", "tree-node:L2"...). */
+    std::map<std::string, std::uint64_t> byCheck;
+
+    double
+    latencyMean() const
+    {
+        return detected ? latencySum / static_cast<double>(detected) : 0.0;
+    }
+};
+
+/** Full campaign outcome. */
+struct CampaignResult
+{
+    CampaignConfig cfg;
+
+    std::uint64_t memOps = 0;     ///< workload operations replayed
+    std::uint64_t injections = 0; ///< rounds attempted
+    std::uint64_t staged = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t undetectedStaged = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t transientStaged = 0;
+    std::uint64_t transientRecovered = 0;
+
+    /** Distinct attack classes that staged at least one injection. */
+    unsigned distinctClasses = 0;
+    /** Controller reports not matched to an injection probe (want 0). */
+    std::uint64_t unattributedReports = 0;
+    /** True when a Halt-policy detection stopped the controller. */
+    bool halted = false;
+    /** Every staged (integrity-affecting) injection was detected. */
+    bool allDetected = false;
+
+    std::map<std::string, AttackClassStats> perClass; ///< by attack kind
+    std::map<std::string, std::uint64_t> byRegion;    ///< staged, by region
+
+    /** Serialize everything above as a self-contained JSON object. */
+    std::string toJson() const;
+};
+
+/**
+ * Resolve a scheme name to its configuration. Accepts the factory
+ * names (baseline, direct, split, gcmAuthOnly, splitGcm, monoGcm,
+ * splitSha, monoSha) plus "splitGcmNoCtrAuth" — splitGcm with counter
+ * authentication disabled, the paper's §4.3 vulnerable variant.
+ * Aborts on unknown names.
+ */
+SecureMemConfig schemeConfigByName(const std::string &name);
+
+/** Run one campaign to completion. */
+CampaignResult runCampaign(const CampaignConfig &cfg);
+
+} // namespace secmem
+
+#endif // SECMEM_HARNESS_CAMPAIGN_HH

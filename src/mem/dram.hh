@@ -8,23 +8,38 @@
  * here, so everything in this object models what a hardware attacker
  * positioned on the memory bus can see and modify.
  *
- * The tamper API (tamperXor / rawWrite / snapshot + replay) exists for
- * security tests and the attack-demo example; the simulated processor
- * never calls it.
+ * The tamper API (tamperXor / rawWrite / snapshot + replay, plus the
+ * one-shot transient-fault hook) exists for security tests, the
+ * attack-demo example and the src/attack fault injector; the simulated
+ * processor never calls it.
  */
 
 #ifndef SECMEM_MEM_DRAM_HH
 #define SECMEM_MEM_DRAM_HH
 
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/bytes.hh"
+#include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace secmem
 {
+
+/**
+ * Copy of a contiguous block range, recorded by an attacker for later
+ * replay or splicing. Blocks are stored as they were at snapshot time;
+ * never-written blocks read (and restore) as zero.
+ */
+struct DramSnapshot
+{
+    Addr base = 0;               ///< first block address covered
+    std::vector<Block64> blocks; ///< one entry per consecutive block
+};
 
 /** Sparse functional DRAM with an attacker-facing tamper interface. */
 class Dram
@@ -36,8 +51,20 @@ class Dram
     Block64
     readBlock(Addr addr) const
     {
-        auto it = blocks_.find(blockBase(addr));
-        return it == blocks_.end() ? Block64{} : it->second;
+        Addr base = blockBase(addr);
+        Block64 out;
+        auto it = blocks_.find(base);
+        if (it != blocks_.end())
+            out = it->second;
+        // One-shot transient fault: corrupt this fetch only, leaving
+        // the stored bits intact (a bus glitch, not a persistent mod).
+        auto tf = transient_.find(base);
+        if (tf != transient_.end()) {
+            for (std::size_t i = 0; i < kBlockBytes; ++i)
+                out.b[i] ^= tf->second.b[i];
+            transient_.erase(tf);
+        }
+        return out;
     }
 
     /** Write a 64-byte block. */
@@ -47,30 +74,102 @@ class Dram
         blocks_[blockBase(addr)] = data;
     }
 
+    /** Stored bits of a block, ignoring (and keeping) armed transients. */
+    Block64
+    peekBlock(Addr addr) const
+    {
+        auto it = blocks_.find(blockBase(addr));
+        return it == blocks_.end() ? Block64{} : it->second;
+    }
+
     /** Number of blocks ever written (footprint metric). */
     std::size_t footprintBlocks() const { return blocks_.size(); }
 
     // ---- attacker interface -------------------------------------------
+    //
+    // All offsets are relative to the start of the 64-byte block that
+    // contains @p addr. Offsets at or beyond kBlockBytes are a caller
+    // bug and are rejected (no silent wraparound). Tampering a block
+    // that was never written operates on its all-zero contents and
+    // materialises the block.
 
-    /** Flip bits: data[offset] ^= mask (a bus/mod-chip active attack). */
+    /** Flip bits: block[offset] ^= mask (a bus/mod-chip active attack). */
     void
     tamperXor(Addr addr, std::size_t offset, std::uint8_t mask)
     {
-        Block64 blk = readBlock(addr);
-        blk.b[offset % kBlockBytes] ^= mask;
+        SECMEM_ASSERT(offset < kBlockBytes,
+                      "tamperXor offset %zu out of block range", offset);
+        Block64 blk = peekBlock(addr);
+        blk.b[offset] ^= mask;
         writeBlock(addr, blk);
+        stats_.counter("tampers").inc();
+    }
+
+    /** Overwrite @p n raw bytes at @p offset within @p addr's block. */
+    void
+    rawWrite(Addr addr, std::size_t offset, const void *src, std::size_t n)
+    {
+        SECMEM_ASSERT(offset < kBlockBytes && n <= kBlockBytes - offset,
+                      "rawWrite [%zu, %zu) out of block range", offset,
+                      offset + n);
+        Block64 blk = peekBlock(addr);
+        std::memcpy(blk.b.data() + offset, src, n);
+        writeBlock(addr, blk);
+        stats_.counter("raw_writes").inc();
     }
 
     /** Record the current value of a block (snooping). */
-    Block64 snoop(Addr addr) const { return readBlock(addr); }
+    Block64 snoop(Addr addr) const { return peekBlock(addr); }
 
     /** Replay a previously snooped value (replay attack). */
     void replay(Addr addr, const Block64 &old) { writeBlock(addr, old); }
+
+    /** Record @p n_blocks consecutive blocks starting at @p base. */
+    DramSnapshot
+    snapshot(Addr base, std::size_t n_blocks) const
+    {
+        DramSnapshot snap;
+        snap.base = blockBase(base);
+        snap.blocks.reserve(n_blocks);
+        for (std::size_t i = 0; i < n_blocks; ++i)
+            snap.blocks.push_back(
+                peekBlock(snap.base + static_cast<Addr>(i * kBlockBytes)));
+        return snap;
+    }
+
+    /** Replay a whole snapshot (replay / rollback attack). */
+    void
+    replay(const DramSnapshot &snap)
+    {
+        for (std::size_t i = 0; i < snap.blocks.size(); ++i)
+            writeBlock(snap.base + static_cast<Addr>(i * kBlockBytes),
+                       snap.blocks[i]);
+    }
+
+    /**
+     * Arm a one-shot transient fault: the NEXT read of @p addr's block
+     * sees block[offset] ^ mask, but DRAM itself is unmodified. Models
+     * a transient bus/sensor glitch that a refetch recovers from.
+     */
+    void
+    injectTransientXor(Addr addr, std::size_t offset, std::uint8_t mask)
+    {
+        SECMEM_ASSERT(offset < kBlockBytes,
+                      "transient fault offset %zu out of block range",
+                      offset);
+        transient_[blockBase(addr)].b[offset] ^= mask;
+        stats_.counter("transient_faults").inc();
+    }
+
+    /** Number of armed transient faults not yet consumed by a read. */
+    std::size_t pendingTransients() const { return transient_.size(); }
 
     stats::Group &stats() { return stats_; }
 
   private:
     std::unordered_map<Addr, Block64> blocks_;
+    /** Pending one-shot read-path fault masks (consumed by readBlock). */
+    mutable std::unordered_map<Addr, Block64> transient_;
     stats::Group stats_;
 };
 

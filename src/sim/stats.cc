@@ -18,6 +18,20 @@ Group::dump(std::ostream &os) const
            << " min=" << s.min()
            << " max=" << s.max() << '\n';
     }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        const Sample &s = h.sample();
+        os << name_ << '.' << kv.first
+           << " mean=" << std::setprecision(6) << s.mean()
+           << " count=" << s.count()
+           << " min=" << s.min()
+           << " max=" << s.max()
+           << " buckets=[";
+        const auto &b = h.buckets();
+        for (std::size_t i = 0; i < b.size(); ++i)
+            os << (i ? "," : "") << b[i];
+        os << "]\n";
+    }
 }
 
 } // namespace secmem::stats

@@ -116,6 +116,23 @@ class Group
     Counter &counter(const std::string &name) { return counters_[name]; }
     Sample &sample(const std::string &name) { return samples_[name]; }
 
+    /**
+     * Named histogram; @p bucket_width and @p n_buckets apply on first
+     * registration only (later calls return the existing instance).
+     */
+    Histogram &
+    histogram(const std::string &name, double bucket_width = 1.0,
+              std::size_t n_buckets = 32)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            it = histograms_.emplace(name,
+                                     Histogram(bucket_width, n_buckets))
+                     .first;
+        }
+        return it->second;
+    }
+
     const std::string &name() const { return name_; }
 
     /** Value of a counter, 0 if never touched. */
@@ -135,12 +152,15 @@ class Group
             kv.second.reset();
         for (auto &kv : samples_)
             kv.second.reset();
+        for (auto &kv : histograms_)
+            kv.second.reset();
     }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Sample> samples_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace secmem::stats

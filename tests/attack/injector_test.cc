@@ -1,0 +1,219 @@
+/**
+ * @file
+ * TamperInjector unit tests: scheduling, victim-pool growth, seeded
+ * determinism, per-primitive detection through the probe read, and the
+ * restore invariant — after any number of injections the workload's
+ * memory image must verify and decrypt exactly as before.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "attack/injector.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+smallCfg()
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+Block64
+randomBlock(Rng &rng)
+{
+    Block64 b;
+    for (auto &byte : b.b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+/**
+ * Drive a small write/read mix over @p n_blocks distinct blocks,
+ * invoking injectNext whenever the schedule fires. Keeps a plaintext
+ * shadow so callers can check the restore invariant afterwards.
+ */
+std::unordered_map<Addr, Block64>
+runMix(SecureMemoryController &ctrl, TamperInjector &inj, std::uint64_t seed,
+       int ops, unsigned n_blocks)
+{
+    Rng rng(seed);
+    std::unordered_map<Addr, Block64> shadow;
+    Tick t = 0;
+    for (int i = 0; i < ops && !ctrl.halted(); ++i) {
+        // Spread victims over several pages so counter and MAC
+        // histories cover more than one metadata block.
+        Addr a = (rng.below(n_blocks) * kPageBytes / 4) & ~(kBlockBytes - 1);
+        bool fire = inj.noteAccess(a, true);
+        Block64 v = randomBlock(rng);
+        t = ctrl.writeBlock(a, v, t + 1);
+        shadow[a] = v;
+        if (fire && !ctrl.halted())
+            inj.injectNext(t + 1);
+    }
+    return shadow;
+}
+
+TEST(TamperInjector, EveryNScheduleFiresPeriodically)
+{
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 1, InjectionSchedule{4, 0.0});
+    int fires = 0;
+    for (int i = 1; i <= 12; ++i) {
+        bool fire = inj.noteAccess(0x1000, false);
+        EXPECT_EQ(fire, i % 4 == 0) << "access " << i;
+        fires += fire;
+    }
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(TamperInjector, ProbabilisticScheduleFiresRoughlyAtRate)
+{
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 2, InjectionSchedule{0, 0.25});
+    int fires = 0;
+    for (int i = 0; i < 4000; ++i)
+        fires += inj.noteAccess(0x1000, false);
+    EXPECT_GT(fires, 800);
+    EXPECT_LT(fires, 1200);
+}
+
+TEST(TamperInjector, PoolGrowsOnlyOnDistinctBlocks)
+{
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 3, InjectionSchedule{0, 0.0});
+    inj.noteAccess(0x1000, false);
+    inj.noteAccess(0x1008, false); // same block, different word
+    inj.noteAccess(0x2000, true);
+    EXPECT_EQ(inj.poolSize(), 2u);
+}
+
+TEST(TamperInjector, ApplicabilityTracksConfiguration)
+{
+    SecureMemConfig plain = SecureMemConfig::baseline();
+    plain.memoryBytes = 16 << 20;
+    SecureMemoryController ctrl(plain);
+    TamperInjector inj(ctrl, 4);
+    EXPECT_TRUE(inj.applicable(AttackKind::BitFlip));
+    EXPECT_FALSE(inj.applicable(AttackKind::MacReplay))
+        << "no MAC region without authentication";
+}
+
+TEST(TamperInjector, EveryStagedInjectionIsDetected)
+{
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 42, InjectionSchedule{8, 0.0});
+    runMix(ctrl, inj, 100, 400, 24);
+
+    unsigned staged_kinds = 0;
+    std::set<AttackKind> seen;
+    for (const Injection &i : inj.log()) {
+        if (!i.staged)
+            continue;
+        if (seen.insert(i.kind).second)
+            ++staged_kinds;
+        EXPECT_TRUE(i.detected)
+            << "undetected " << toString(i.kind) << " #" << i.serial;
+        EXPECT_GT(i.latency, 0u);
+        EXPECT_NE(i.region, MemRegion::Unknown);
+        EXPECT_NE(i.victim, kAddrInvalid);
+    }
+    EXPECT_EQ(staged_kinds, kNumAttackKinds)
+        << "the mix should exercise every primitive";
+}
+
+TEST(TamperInjector, RestoreInvariantHoldsAfterInjections)
+{
+    // After the campaign-style mix — with every primitive staged and
+    // rolled back — each block must still verify and decrypt to the
+    // last value the workload wrote.
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 42, InjectionSchedule{8, 0.0});
+    auto shadow = runMix(ctrl, inj, 100, 400, 24);
+    ASSERT_FALSE(ctrl.halted());
+
+    std::uint64_t failures = ctrl.authFailures();
+    Tick t = 1 << 20;
+    for (const auto &[a, v] : shadow) {
+        Block64 out;
+        AccessTiming at = ctrl.readBlock(a, t, &out);
+        t = at.authDone + 1;
+        ASSERT_TRUE(at.authOk) << "block " << std::hex << a;
+        ASSERT_EQ(out, v) << "block " << std::hex << a;
+    }
+    EXPECT_EQ(ctrl.authFailures(), failures);
+}
+
+TEST(TamperInjector, SameSeedReproducesTheExactCampaign)
+{
+    std::vector<Injection> logs[2];
+    for (int run = 0; run < 2; ++run) {
+        SecureMemoryController ctrl(smallCfg());
+        TamperInjector inj(ctrl, 7, InjectionSchedule{8, 0.0});
+        runMix(ctrl, inj, 55, 300, 16);
+        logs[run] = inj.log();
+    }
+    ASSERT_EQ(logs[0].size(), logs[1].size());
+    ASSERT_FALSE(logs[0].empty());
+    for (std::size_t i = 0; i < logs[0].size(); ++i) {
+        const Injection &a = logs[0][i], &b = logs[1][i];
+        EXPECT_EQ(a.kind, b.kind) << i;
+        EXPECT_EQ(a.victim, b.victim) << i;
+        EXPECT_EQ(a.probe, b.probe) << i;
+        EXPECT_EQ(a.region, b.region) << i;
+        EXPECT_EQ(a.staged, b.staged) << i;
+        EXPECT_EQ(a.detected, b.detected) << i;
+        EXPECT_EQ(a.check, b.check) << i;
+        EXPECT_EQ(a.latency, b.latency) << i;
+    }
+}
+
+TEST(TamperInjector, TransientFlipRecoversUnderRetryRefetch)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    TamperInjector inj(ctrl, 9, InjectionSchedule{0, 0.0});
+    Rng rng(9);
+    Tick t = 0;
+    for (int i = 0; i < 8; ++i) {
+        Addr a = i * kBlockBytes;
+        inj.noteAccess(a, true);
+        t = ctrl.writeBlock(a, randomBlock(rng), t + 1);
+    }
+
+    Injection got = inj.injectTransient(t + 1);
+    ASSERT_TRUE(got.staged);
+    EXPECT_TRUE(got.transient);
+    EXPECT_TRUE(got.detected);
+    EXPECT_TRUE(got.recovered) << "RetryRefetch should ride out the glitch";
+    EXPECT_FALSE(ctrl.halted());
+    EXPECT_EQ(ctrl.dram().pendingTransients(), 0u);
+}
+
+TEST(TamperInjector, TransientFlipIsReportedUnderReportAndContinue)
+{
+    SecureMemoryController ctrl(smallCfg());
+    TamperInjector inj(ctrl, 10, InjectionSchedule{0, 0.0});
+    Rng rng(10);
+    Tick t = 0;
+    for (int i = 0; i < 8; ++i) {
+        Addr a = i * kBlockBytes;
+        inj.noteAccess(a, true);
+        t = ctrl.writeBlock(a, randomBlock(rng), t + 1);
+    }
+
+    Injection got = inj.injectTransient(t + 1);
+    ASSERT_TRUE(got.staged);
+    EXPECT_TRUE(got.detected);
+    EXPECT_FALSE(got.recovered);
+}
+
+} // namespace
+} // namespace secmem

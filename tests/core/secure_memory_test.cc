@@ -106,6 +106,62 @@ TEST(SecureMemory, TamperDetectionSurfacesInLastAuthOk)
     EXPECT_GE(mem.authFailures(), 1u);
 }
 
+TEST(SecureMemory, LastReportNamesCheckVictimAndLatency)
+{
+    // Regression: lastAuthOk() is backed by the controller's structured
+    // TamperReport, not a bare counter — the facade must expose which
+    // check fired, on which block, and how long detection took.
+    SecureMemory mem(smallCfg());
+    std::uint8_t v[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+    mem.write(0x6000, v, sizeof(v));
+    mem.dram().tamperXor(0x6000, 0, 0x01);
+    std::uint8_t back[8];
+    mem.read(0x6000, back, sizeof(back));
+    ASSERT_FALSE(mem.lastAuthOk());
+
+    const TamperReport &r = mem.lastReport();
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.check, TamperCheck::LeafTag);
+    EXPECT_EQ(r.victim, 0x6000u);
+    EXPECT_EQ(r.region, MemRegion::Data);
+    EXPECT_GT(r.latency(), 0u);
+
+    // A clean operation flips lastAuthOk back; the report is history.
+    std::uint8_t w = 1;
+    mem.write(0x7000, &w, 1);
+    mem.read(0x7000, &w, 1);
+    EXPECT_TRUE(mem.lastAuthOk());
+    EXPECT_TRUE(mem.lastReport().valid) << "history survives clean ops";
+}
+
+TEST(SecureMemory, RetryPolicyRecoversTransientFaultThroughFacade)
+{
+    SecureMemory mem(smallCfg());
+    mem.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    std::uint8_t v[4] = {4, 3, 2, 1};
+    mem.write(0x8000, v, sizeof(v));
+    mem.dram().injectTransientXor(0x8000, 1, 0x08);
+    std::uint8_t back[4] = {};
+    mem.read(0x8000, back, sizeof(back));
+    EXPECT_TRUE(mem.lastAuthOk());
+    EXPECT_EQ(std::memcmp(back, v, sizeof(v)), 0);
+    EXPECT_TRUE(mem.lastReport().recovered);
+}
+
+TEST(SecureMemory, OperationsAdvanceTheInternalClock)
+{
+    // The facade's tick_ is the simulation clock every operation rides
+    // on — detection latencies would all be zero if it stood still.
+    SecureMemory mem(smallCfg());
+    Tick t0 = mem.elapsedTicks();
+    std::uint8_t v = 0x5a;
+    mem.write(0x9000, &v, 1);
+    Tick t1 = mem.elapsedTicks();
+    EXPECT_GT(t1, t0);
+    mem.read(0x9000, &v, 1);
+    EXPECT_GT(mem.elapsedTicks(), t1);
+}
+
 TEST(SecureMemory, LargeRandomImageRoundTrip)
 {
     SecureMemory mem(smallCfg());

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tamper policy tests: the structured TamperReport carries the failing
+ * check, victim, region and detection latency; the configured policy
+ * decides what the controller does next — halt, keep running, or retry
+ * the fetch to ride out transient faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+smallCfg()
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+Block64
+randomBlock(Rng &rng)
+{
+    Block64 b;
+    for (auto &byte : b.b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+TEST(TamperPolicy, ReportCarriesCheckVictimRegionAndLatency)
+{
+    SecureMemoryController ctrl(smallCfg());
+    Rng rng(31);
+    Tick t = ctrl.writeBlock(0x1000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0x1000, 7, 0x20);
+
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x1000, t + 5, &out);
+    EXPECT_FALSE(at.authOk);
+    EXPECT_FALSE(ctrl.lastAccessOk());
+
+    const TamperReport &r = ctrl.lastReport();
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.check, TamperCheck::LeafTag);
+    EXPECT_EQ(r.victim, 0x1000u);
+    EXPECT_EQ(r.region, MemRegion::Data);
+    EXPECT_EQ(r.accessAddr, 0x1000u);
+    EXPECT_FALSE(r.onWritePath);
+    EXPECT_EQ(r.issued, static_cast<Tick>(t + 5));
+    EXPECT_EQ(r.detected, at.authDone);
+    EXPECT_EQ(r.latency(), at.authDone - (t + 5));
+    ASSERT_EQ(ctrl.reports().size(), 1u);
+    EXPECT_EQ(ctrl.reportsDropped(), 0u);
+}
+
+TEST(TamperPolicy, CounterTamperReportsCounterRegion)
+{
+    SecureMemoryController ctrl(smallCfg());
+    Rng rng(32);
+    Tick t = ctrl.writeBlock(0x2000, randomBlock(rng), 1);
+    Addr ctr_addr = ctrl.map().ctrBlockAddrFor(0x2000);
+    ctrl.evictCounterBlock(0x2000);
+    ctrl.dram().tamperXor(ctr_addr, 9, 0x04);
+
+    Block64 out;
+    EXPECT_FALSE(ctrl.readBlock(0x2000, t + 1, &out).authOk);
+    const TamperReport &r = ctrl.lastReport();
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.check, TamperCheck::CounterAuth);
+    EXPECT_EQ(r.victim, ctr_addr);
+    EXPECT_EQ(r.region, MemRegion::Counter);
+    EXPECT_EQ(r.accessAddr, 0x2000u);
+}
+
+TEST(TamperPolicy, FirstFailingCheckOwnsTheReport)
+{
+    // Corrupt both the counter block and the data block: the counter
+    // is fetched (and authenticated) first, so CounterAuth must own
+    // the report even though the leaf tag would also have failed.
+    SecureMemoryController ctrl(smallCfg());
+    Rng rng(33);
+    Tick t = ctrl.writeBlock(0x3000, randomBlock(rng), 1);
+    ctrl.evictCounterBlock(0x3000);
+    ctrl.dram().tamperXor(ctrl.map().ctrBlockAddrFor(0x3000), 9, 0x04);
+    ctrl.dram().tamperXor(0x3000, 0, 0xff);
+
+    Block64 out;
+    EXPECT_FALSE(ctrl.readBlock(0x3000, t + 1, &out).authOk);
+    EXPECT_EQ(ctrl.lastReport().check, TamperCheck::CounterAuth);
+}
+
+TEST(TamperPolicy, ReportAndContinueKeepsServicingAccesses)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::ReportAndContinue);
+    Rng rng(34);
+    Tick t = ctrl.writeBlock(0x4000, randomBlock(rng), 1);
+    Block64 good = randomBlock(rng);
+    t = ctrl.writeBlock(0x5000, good, t + 1);
+
+    ctrl.dram().tamperXor(0x4000, 3, 0x01);
+    Block64 out;
+    EXPECT_FALSE(ctrl.readBlock(0x4000, t + 1, &out).authOk);
+    EXPECT_FALSE(ctrl.halted());
+
+    // An untampered block still verifies and decrypts after the event.
+    AccessTiming at = ctrl.readBlock(0x5000, t + 2, &out);
+    EXPECT_TRUE(at.authOk);
+    EXPECT_TRUE(ctrl.lastAccessOk());
+    EXPECT_EQ(out, good);
+}
+
+TEST(TamperPolicyDeathTest, HaltRefusesFurtherAccesses)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::Halt);
+    Rng rng(35);
+    Tick t = ctrl.writeBlock(0x6000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0x6000, 0, 0x80);
+
+    Block64 out;
+    EXPECT_FALSE(ctrl.readBlock(0x6000, t + 1, &out).authOk);
+    EXPECT_TRUE(ctrl.halted());
+    EXPECT_DEATH(ctrl.readBlock(0x6000, t + 2, &out),
+                 "halted by tamper policy");
+    EXPECT_DEATH(ctrl.writeBlock(0x6000, randomBlock(rng), t + 2),
+                 "halted by tamper policy");
+}
+
+TEST(TamperPolicy, RetryRefetchRecoversFromTransientFault)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    Rng rng(36);
+    Block64 v = randomBlock(rng);
+    Tick t = ctrl.writeBlock(0x7000, v, 1);
+
+    // A one-shot fetch glitch: the first read sees corrupted bits, the
+    // refetch sees the pristine stored block.
+    ctrl.dram().injectTransientXor(0x7000, 12, 0x40);
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x7000, t + 1, &out);
+    EXPECT_TRUE(at.authOk) << "retry must re-verify cleanly";
+    EXPECT_TRUE(ctrl.lastAccessOk());
+    EXPECT_FALSE(ctrl.halted());
+    EXPECT_EQ(out, v);
+
+    const TamperReport &r = ctrl.lastReport();
+    ASSERT_TRUE(r.valid) << "the transient detection is still reported";
+    EXPECT_TRUE(r.recovered);
+    EXPECT_EQ(r.retries, 1u);
+    EXPECT_EQ(ctrl.stats().counterValue("tamper_recoveries"), 1u);
+}
+
+TEST(TamperPolicy, RetryRefetchExhaustsBoundOnPersistentCorruption)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    Rng rng(37);
+    Tick t = ctrl.writeBlock(0x8000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0x8000, 1, 0x02); // persistent: survives refetch
+
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x8000, t + 1, &out);
+    EXPECT_FALSE(at.authOk);
+    EXPECT_FALSE(ctrl.lastAccessOk());
+    const TamperReport &r = ctrl.lastReport();
+    ASSERT_TRUE(r.valid);
+    EXPECT_FALSE(r.recovered);
+    EXPECT_EQ(r.retries, 2u);
+    EXPECT_EQ(ctrl.stats().counterValue("tamper_retries"), 2u);
+}
+
+TEST(TamperPolicy, WritePathCounterRollbackReportsOnWritePath)
+{
+    // Paper §4.3: the rolled-back counter block is caught when the
+    // write-back re-fetches it — the report must say so.
+    SecureMemConfig cfg = smallCfg();
+    cfg.authenticateCounters = true;
+    SecureMemoryController ctrl(cfg);
+    Rng rng(38);
+    const Addr addr = 0x9000;
+    const Addr ctr_addr = ctrl.map().ctrBlockAddrFor(addr);
+
+    Tick t = ctrl.writeBlock(addr, randomBlock(rng), 1);
+    ctrl.evictCounterBlock(addr);
+    Block64 old_ctr = ctrl.dram().snoop(ctr_addr);
+    t = ctrl.writeBlock(addr, randomBlock(rng), t + 1);
+    ctrl.evictCounterBlock(addr);
+    ctrl.dram().replay(ctr_addr, old_ctr);
+
+    t = ctrl.writeBlock(addr, randomBlock(rng), t + 1);
+    const TamperReport &r = ctrl.lastReport();
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.onWritePath);
+    EXPECT_EQ(r.check, TamperCheck::CounterAuth);
+    EXPECT_EQ(r.region, MemRegion::Counter);
+}
+
+TEST(TamperPolicy, ClearReportsResetsHistory)
+{
+    SecureMemoryController ctrl(smallCfg());
+    Rng rng(39);
+    Tick t = ctrl.writeBlock(0xa000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0xa000, 0, 0x01);
+    Block64 out;
+    (void)ctrl.readBlock(0xa000, t + 1, &out);
+    ASSERT_FALSE(ctrl.reports().empty());
+
+    ctrl.clearReports();
+    EXPECT_TRUE(ctrl.reports().empty());
+    EXPECT_FALSE(ctrl.lastReport().valid);
+    EXPECT_EQ(ctrl.reportsDropped(), 0u);
+}
+
+} // namespace
+} // namespace secmem

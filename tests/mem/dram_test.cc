@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Dram tamper-interface tests: the attacker-facing API must behave
+ * exactly as documented — explicit bounds (no silent wraparound into a
+ * neighbouring block), zero-filled semantics for never-written blocks,
+ * faithful snapshot/replay, and one-shot transient faults that corrupt
+ * a single fetch without touching the stored bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+Block64
+patternBlock(std::uint8_t base)
+{
+    Block64 b;
+    for (std::size_t i = 0; i < kBlockBytes; ++i)
+        b.b[i] = static_cast<std::uint8_t>(base + i);
+    return b;
+}
+
+TEST(Dram, RawWriteOverwritesRange)
+{
+    Dram dram;
+    dram.writeBlock(0x1000, patternBlock(0));
+    const std::uint8_t patch[4] = {0xde, 0xad, 0xbe, 0xef};
+    dram.rawWrite(0x1000, 10, patch, sizeof(patch));
+    Block64 got = dram.readBlock(0x1000);
+    EXPECT_EQ(got.b[9], 9);
+    EXPECT_EQ(got.b[10], 0xde);
+    EXPECT_EQ(got.b[13], 0xef);
+    EXPECT_EQ(got.b[14], 14);
+    EXPECT_EQ(dram.stats().counterValue("raw_writes"), 1u);
+}
+
+TEST(Dram, RawWriteOnNeverWrittenBlockStartsFromZero)
+{
+    Dram dram;
+    const std::uint8_t patch[2] = {0x11, 0x22};
+    dram.rawWrite(0x2000, 62, patch, 2);
+    Block64 got = dram.readBlock(0x2000);
+    EXPECT_EQ(got.b[0], 0);
+    EXPECT_EQ(got.b[61], 0);
+    EXPECT_EQ(got.b[62], 0x11);
+    EXPECT_EQ(got.b[63], 0x22);
+}
+
+TEST(DramDeathTest, RawWriteRejectsOutOfBlockRange)
+{
+    Dram dram;
+    const std::uint8_t patch[4] = {1, 2, 3, 4};
+    // Starting inside but running past the block end must not wrap.
+    EXPECT_DEATH(dram.rawWrite(0x1000, 62, patch, 4), "out of block range");
+    // Starting past the end is equally rejected.
+    EXPECT_DEATH(dram.rawWrite(0x1000, kBlockBytes, patch, 1),
+                 "out of block range");
+}
+
+TEST(Dram, TamperXorFlipsExactlyTheRequestedBits)
+{
+    Dram dram;
+    dram.writeBlock(0x3000, patternBlock(0x40));
+    dram.tamperXor(0x3000, 5, 0x81);
+    Block64 got = dram.readBlock(0x3000);
+    EXPECT_EQ(got.b[5], static_cast<std::uint8_t>((0x40 + 5) ^ 0x81));
+    // Flip back: the block must round-trip to its original value.
+    dram.tamperXor(0x3000, 5, 0x81);
+    EXPECT_EQ(dram.readBlock(0x3000), patternBlock(0x40));
+}
+
+TEST(Dram, TamperXorOnNeverWrittenBlockMaterializesZeroes)
+{
+    // Tampering an untouched block operates on its all-zero contents;
+    // the result must be visible to subsequent reads.
+    Dram dram;
+    EXPECT_EQ(dram.footprintBlocks(), 0u);
+    dram.tamperXor(0x9000, 0, 0xff);
+    EXPECT_EQ(dram.footprintBlocks(), 1u);
+    Block64 got = dram.readBlock(0x9000);
+    EXPECT_EQ(got.b[0], 0xff);
+    for (std::size_t i = 1; i < kBlockBytes; ++i)
+        EXPECT_EQ(got.b[i], 0);
+}
+
+TEST(DramDeathTest, TamperXorRejectsOffsetBeyondBlock)
+{
+    // The documented contract: offsets at or past kBlockBytes are a
+    // caller bug, never a silent wrap into the neighbouring block.
+    Dram dram;
+    EXPECT_DEATH(dram.tamperXor(0x1000, kBlockBytes, 0x01),
+                 "out of block range");
+}
+
+TEST(Dram, SnapshotAndReplayRestoreARange)
+{
+    Dram dram;
+    for (int i = 0; i < 4; ++i)
+        dram.writeBlock(0x4000 + i * kBlockBytes,
+                        patternBlock(static_cast<std::uint8_t>(i)));
+    DramSnapshot snap = dram.snapshot(0x4000, 4);
+    ASSERT_EQ(snap.blocks.size(), 4u);
+    EXPECT_EQ(snap.base, 0x4000u);
+
+    for (int i = 0; i < 4; ++i)
+        dram.writeBlock(0x4000 + i * kBlockBytes, patternBlock(0xaa));
+    dram.replay(snap);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(dram.readBlock(0x4000 + i * kBlockBytes),
+                  patternBlock(static_cast<std::uint8_t>(i)));
+}
+
+TEST(Dram, SnapshotOfNeverWrittenBlocksReadsZero)
+{
+    Dram dram;
+    DramSnapshot snap = dram.snapshot(0x8000, 2);
+    EXPECT_EQ(snap.blocks[0], Block64{});
+    EXPECT_EQ(snap.blocks[1], Block64{});
+    // Replaying it zeroes whatever was written since.
+    dram.writeBlock(0x8000, patternBlock(1));
+    dram.replay(snap);
+    EXPECT_EQ(dram.readBlock(0x8000), Block64{});
+}
+
+TEST(Dram, TransientFaultCorruptsExactlyOneRead)
+{
+    Dram dram;
+    dram.writeBlock(0x5000, patternBlock(0));
+    dram.injectTransientXor(0x5000, 3, 0x10);
+    EXPECT_EQ(dram.pendingTransients(), 1u);
+
+    Block64 first = dram.readBlock(0x5000);
+    EXPECT_EQ(first.b[3], static_cast<std::uint8_t>(3 ^ 0x10));
+    EXPECT_EQ(dram.pendingTransients(), 0u);
+
+    // The glitch is consumed: stored bits were never modified.
+    EXPECT_EQ(dram.readBlock(0x5000), patternBlock(0));
+}
+
+TEST(Dram, PeekIgnoresAndPreservesArmedTransients)
+{
+    // Attacker-side helpers (snoop, snapshot, tamperXor) use the
+    // peek path: they must see the stored bits and must not consume a
+    // transient armed for the victim's next fetch.
+    Dram dram;
+    dram.writeBlock(0x6000, patternBlock(7));
+    dram.injectTransientXor(0x6000, 0, 0xff);
+
+    EXPECT_EQ(dram.peekBlock(0x6000), patternBlock(7));
+    EXPECT_EQ(dram.snoop(0x6000), patternBlock(7));
+    EXPECT_EQ(dram.snapshot(0x6000, 1).blocks[0], patternBlock(7));
+    EXPECT_EQ(dram.pendingTransients(), 1u)
+        << "peeking must not consume the armed fault";
+
+    Block64 read = dram.readBlock(0x6000);
+    EXPECT_NE(read, patternBlock(7));
+    EXPECT_EQ(dram.pendingTransients(), 0u);
+}
+
+TEST(Dram, TransientFaultsOnDistinctBlocksAreIndependent)
+{
+    Dram dram;
+    dram.injectTransientXor(0x7000, 0, 0x01);
+    dram.injectTransientXor(0x7000 + kBlockBytes, 0, 0x02);
+    EXPECT_EQ(dram.pendingTransients(), 2u);
+    (void)dram.readBlock(0x7000);
+    EXPECT_EQ(dram.pendingTransients(), 1u);
+    Block64 second = dram.readBlock(0x7000 + kBlockBytes);
+    EXPECT_EQ(second.b[0], 0x02);
+    EXPECT_EQ(dram.pendingTransients(), 0u);
+}
+
+} // namespace
+} // namespace secmem
