@@ -1,99 +1,16 @@
 /**
  * @file
  * Reproduces the paper's in-text re-encryption results (Sections 4.2
- * and 6.1) on a deliberately write-hot workload:
+ * and 6.1) on a deliberately write-hot workload.
  *
- *  - fraction of a page's blocks already on-chip when re-encryption
- *    triggers (paper: ~48%, which halves re-encryption work);
- *  - average page re-encryption time (paper: 5717 cycles, overlapped
- *    with execution via RSRs);
- *  - RSR concurrency (paper: at most ~3 in flight; 8 RSRs suffice);
- *  - split vs. monolithic re-encryption work: blocks re-encrypted per
- *    page re-encryption vs. the whole memory footprint a monolithic
- *    freeze would rewrite (paper: split does ~0.3% of Mono8b's work);
- *  - RSR ablation: IPC with 8 vs. 1 RSRs and the stall statistics.
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * ablation`.
  */
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Re-encryption ablation (paper Sections 4.2 / 6.1) "
-                "===\n\n");
-
-    // Reaching a minor-counter overflow needs 128 write-backs of one
-    // block; at default run lengths with the full-size hierarchy the
-    // hot set never cycles that often. This ablation therefore runs
-    // longer (unless the user overrides) on a scaled-down hierarchy
-    // with a single-page hot set — the mechanism under test is
-    // identical, only the aging is accelerated.
-    if (!std::getenv("SECMEM_SIM_INSTRS"))
-        setenv("SECMEM_SIM_INSTRS", "4500000", 1);
-    if (!std::getenv("SECMEM_WARMUP_INSTRS"))
-        setenv("SECMEM_WARMUP_INSTRS", "1000000", 1);
-    SpecProfile hot = writeHotProfile();
-    hot.hotKB = 8; // two encryption pages
-    SystemParams sys;
-    sys.l1Bytes = 4 << 10; // half the hot set stays on-chip
-    sys.l2Bytes = 64 << 10;
-
-    RunOutput split = runWorkload(hot, SecureMemConfig::split(), {}, sys);
-    RunOutput mono8 = runWorkload(hot, SecureMemConfig::mono(8), {}, sys);
-    RunOutput base = runWorkload(hot, SecureMemConfig::baseline(), {}, sys);
-
-    TextTable t({"metric", "value", "paper"});
-    t.addRow({"page re-encryptions", std::to_string(split.pageReencs),
-              "(workload-dependent)"});
-    t.addRow({"blocks on-chip at trigger",
-              fmtPercent(split.reencOnchipFraction), "~48%"});
-    t.addRow({"avg page re-encryption cycles",
-              fmtDouble(split.reencAvgCycles, 0), "5717"});
-    t.addRow({"avg concurrent re-encryptions",
-              fmtDouble(split.reencAvgConcurrent, 2), "<= 3"});
-    t.addRow({"mono8b whole-memory freezes", std::to_string(mono8.freezes),
-              "(counted, assumed free)"});
-
-    // Re-encryption work comparison: split re-encrypts at most one
-    // 64-block page per minor overflow; a monolithic freeze rewrites
-    // the whole touched footprint.
-    double split_blocks =
-        static_cast<double>(split.pageReencs) * kBlocksPerPage;
-    double mono_blocks = static_cast<double>(mono8.freezes) *
-                         static_cast<double>(hot.workingSetKB) * 1024.0 /
-                         kBlockBytes;
-    if (mono_blocks > 0) {
-        t.addRow({"split/mono re-encryption work",
-                  fmtPercent(split_blocks / mono_blocks, 2), "~0.3%"});
-    }
-    t.addRow({"split IPC vs baseline",
-              fmtDouble(split.ipc / base.ipc), "~1.0 (hidden by RSRs)"});
-    t.print();
-
-    // ---- RSR count ablation ---------------------------------------------
-    std::printf("\n-- RSR ablation --\n");
-    TextTable r({"RSRs", "normalized IPC", "rsr stalls", "page conflicts"});
-    for (unsigned rsrs : {1u, 2u, 8u}) {
-        SecureMemConfig cfg = SecureMemConfig::split();
-        cfg.numRsrs = rsrs;
-        RunOutput out = runWorkload(hot, cfg, {}, sys);
-        r.addRow({std::to_string(rsrs), fmtDouble(out.ipc / base.ipc),
-                  std::to_string(out.reencRsrStalls),
-                  std::to_string(out.reencPageConflicts)});
-    }
-    r.print();
-
-    std::printf(
-        "\nExpected shape (paper): with enough RSRs, page re-encryption\n"
-        "overlaps execution almost completely; roughly half the page is\n"
-        "already on-chip and is re-encrypted lazily via dirty marking;\n"
-        "split counters do orders of magnitude less re-encryption work\n"
-        "than 8-bit monolithic counters.\n");
-    return 0;
+    return secmem::exp::figureMain("ablation", argc, argv);
 }

@@ -1,109 +1,17 @@
 /**
  * @file
  * Reproduces paper Figure 10: sensitivity of the combined schemes to
- * the authentication requirement (lazy/commit/safe), parallel vs.
- * sequential tree authentication, and the MAC size (128/64/32 bits).
- * One parameter varies per group; the arrow configuration in the paper
- * (commit, parallel, 64-bit MACs) is the default elsewhere.
+ * the authentication requirement, parallel vs. sequential tree
+ * authentication, and the MAC size.
+ *
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig10`.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <functional>
-#include <map>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
-
-namespace
-{
-
-std::vector<std::pair<std::string, SecureMemConfig>>
-combinedSchemes()
-{
-    return {
-        {"Split+GCM", SecureMemConfig::splitGcm()},
-        {"Mono+GCM", SecureMemConfig::monoGcm()},
-        {"Split+SHA", SecureMemConfig::splitSha()},
-        {"Mono+SHA", SecureMemConfig::monoSha()},
-        {"XOM+SHA", SecureMemConfig::xomSha()},
-    };
-}
-
-double
-averageNipc(SecureMemConfig cfg, BaselineCache &baselines)
-{
-    double sum = 0;
-    for (const SpecProfile &p : specProfiles())
-        sum += normalizedIpc(runWorkload(p, cfg), baselines.get(p));
-    return sum / specProfiles().size();
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    // This figure sweeps 6 variants x 5 schemes x 21 workloads; run a
-    // lighter default length unless the user pinned one.
-    if (!std::getenv("SECMEM_SIM_INSTRS"))
-        setenv("SECMEM_SIM_INSTRS", "400000", 1);
-    if (!std::getenv("SECMEM_WARMUP_INSTRS"))
-        setenv("SECMEM_WARMUP_INSTRS", "400000", 1);
-
-    std::printf("=== Figure 10: combined-scheme sensitivity ===\n");
-    std::printf("(defaults elsewhere: commit, parallel, 64-bit MACs)\n\n");
-
-    BaselineCache baselines;
-
-    struct Variant
-    {
-        std::string label;
-        std::function<void(SecureMemConfig &)> tweak;
-    };
-    std::vector<Variant> variants = {
-        {"lazy", [](SecureMemConfig &c) { c.authMode = AuthMode::Lazy; }},
-        {"commit",
-         [](SecureMemConfig &c) { c.authMode = AuthMode::Commit; }},
-        {"safe", [](SecureMemConfig &c) { c.authMode = AuthMode::Safe; }},
-        {"parallel", [](SecureMemConfig &c) { c.treeParallel = true; }},
-        {"nonparallel",
-         [](SecureMemConfig &c) { c.treeParallel = false; }},
-        {"128b MAC", [](SecureMemConfig &c) { c.macBits = 128; }},
-        {"64b MAC", [](SecureMemConfig &c) { c.macBits = 64; }},
-        {"32b MAC", [](SecureMemConfig &c) { c.macBits = 32; }},
-    };
-
-    TextTable table({"variant", "Split+GCM", "Mono+GCM", "Split+SHA",
-                     "Mono+SHA", "XOM+SHA"});
-
-    // The commit / parallel / 64-bit rows are all the default
-    // configuration; compute each distinct config once.
-    std::map<std::string, double> memo;
-    for (const Variant &v : variants) {
-        std::vector<std::string> row = {v.label};
-        for (auto &[name, base_cfg] : combinedSchemes()) {
-            SecureMemConfig cfg = base_cfg;
-            v.tweak(cfg);
-            std::string key = name + "/" + toString(cfg.authMode) +
-                              (cfg.treeParallel ? "/par/" : "/seq/") +
-                              std::to_string(cfg.macBits);
-            auto it = memo.find(key);
-            if (it == memo.end())
-                it = memo.emplace(key, averageNipc(cfg, baselines)).first;
-            row.push_back(fmtDouble(it->second));
-        }
-        table.addRow(row);
-    }
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): the scheme ordering (Split+GCM first,\n"
-        "XOM+SHA last) holds in every row; lazy narrows the gap, safe\n"
-        "widens it; larger MACs cost more (lower tree arity = more\n"
-        "levels); sequential tree authentication costs a few percent.\n");
-    return 0;
+    return secmem::exp::figureMain("fig10", argc, argv);
 }

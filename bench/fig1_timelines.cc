@@ -1,96 +1,18 @@
 /**
  * @file
  * Reproduces paper Figure 1: the latency anatomy of an L2 cache miss
- * under (a) direct encryption, (b) counter mode with a counter-cache
- * hit, and (c) counter mode with a counter-cache miss — measured on
- * the actual controller rather than drawn.
+ * under direct encryption and counter mode (ctr-cache hit/miss), plus
+ * the GCM vs SHA-1 authentication timeline — measured on the actual
+ * controller rather than drawn.
  *
- * Also prints the GCM vs SHA-1 authentication timeline (the paper's
- * Section 3 argument): the GCM pad overlaps the fetch while SHA-1
- * starts hashing only after the data arrives.
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig1`.
  */
 
-#include <cstdio>
-
-#include "core/controller.hh"
-
-using namespace secmem;
-
-namespace
-{
-
-SecureMemConfig
-small(SecureMemConfig cfg)
-{
-    cfg.memoryBytes = 32 << 20;
-    return cfg;
-}
-
-/** One L2-miss latency, with the counter cache warm or cold. */
-AccessTiming
-missLatency(SecureMemConfig cfg, bool warm_ctr, Tick *start)
-{
-    SecureMemoryController ctrl(small(cfg));
-    Tick t = ctrl.writeBlock(0x4000, Block64{}, 1);
-    if (!warm_ctr && cfg.usesCounterCache())
-        ctrl.evictCounterBlock(0x4000);
-    // Quiesce resource models, then issue one clean miss.
-    Tick now = t + 100'000;
-    *start = now;
-    Block64 out;
-    return ctrl.readBlock(0x4000, now, &out);
-}
-
-void
-row(const char *label, Tick start, const AccessTiming &at)
-{
-    std::printf("%-34s data +%4llu cycles   auth +%4llu cycles\n", label,
-                static_cast<unsigned long long>(at.dataReady - start),
-                static_cast<unsigned long long>(at.authDone - start));
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 1: anatomy of an L2 miss (measured) ===\n\n");
-    Tick s;
-
-    AccessTiming plain = missLatency(SecureMemConfig::baseline(), true, &s);
-    row("no protection", s, plain);
-
-    AccessTiming direct = missLatency(SecureMemConfig::direct(), true, &s);
-    row("(a) direct encryption", s, direct);
-
-    AccessTiming hit = missLatency(SecureMemConfig::split(), true, &s);
-    row("(b) counter mode, ctr-cache hit", s, hit);
-
-    AccessTiming miss = missLatency(SecureMemConfig::split(), false, &s);
-    row("(c) counter mode, ctr-cache miss", s, miss);
-
-    std::printf("\n=== Section 3: authentication timeline ===\n\n");
-
-    AccessTiming gcm = missLatency(SecureMemConfig::gcmAuthOnly(), true, &s);
-    row("GCM (pad overlaps fetch)", s, gcm);
-
-    for (Tick lat : {Tick(80), Tick(320)}) {
-        AccessTiming sha =
-            missLatency(SecureMemConfig::sha1AuthOnly(lat), true, &s);
-        char label[64];
-        std::snprintf(label, sizeof(label),
-                      "SHA-1 %llu-cycle (starts after data)",
-                      static_cast<unsigned long long>(lat));
-        row(label, s, sha);
-    }
-
-    std::printf(
-        "\nExpected shape (paper Fig 1 / Sec 3): counter mode with a\n"
-        "counter-cache hit adds almost nothing over the raw miss — the\n"
-        "pad is ready before the data. Direct encryption adds the AES\n"
-        "latency serially; a counter-cache miss adds a partially\n"
-        "overlapped second memory access. GCM authentication completes a\n"
-        "few cycles after the data arrives; SHA-1 adds its full hash\n"
-        "latency on top.\n");
-    return 0;
+    return secmem::exp::figureMain("fig1", argc, argv);
 }

@@ -4,83 +4,15 @@
  * schemes with no authentication — split counters vs. monolithic
  * 8/16/32/64-bit counters vs. direct AES encryption.
  *
- * The paper plots individual bars for applications with >= 5% direct-
- * encryption penalty and an average over all 21; freeze counts
- * (whole-memory re-encryptions) are printed above the Mono8b bars.
+ * Thin wrapper over the src/exp/ experiment engine; the sweep spec and
+ * rendering live in src/exp/figures.cc, and `secmem-bench --figure
+ * fig4` runs the same figure with cross-figure result sharing.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 4: normalized IPC, memory encryption only ===\n");
-    std::printf("(%llu instructions per run after %llu warm-up; "
-                "SECMEM_SIM_INSTRS overrides)\n\n",
-                static_cast<unsigned long long>(simInstructions()),
-                static_cast<unsigned long long>(warmupInstructions()));
-
-    std::vector<std::pair<std::string, SecureMemConfig>> schemes = {
-        {"Split", SecureMemConfig::split()},
-        {"Mono8b", SecureMemConfig::mono(8)},
-        {"Mono16b", SecureMemConfig::mono(16)},
-        {"Mono32b", SecureMemConfig::mono(32)},
-        {"Mono64b", SecureMemConfig::mono(64)},
-        {"Direct", SecureMemConfig::direct()},
-    };
-
-    TextTable table({"app", "Split", "Mono8b", "Mono16b", "Mono32b",
-                     "Mono64b", "Direct", "freezes(8b)"});
-
-    BaselineCache baselines;
-    std::map<std::string, double> sum;
-    std::uint64_t total_freezes = 0;
-
-    for (const SpecProfile &p : specProfiles()) {
-        const RunOutput &base = baselines.get(p);
-        std::map<std::string, double> nipc;
-        std::uint64_t freezes8 = 0;
-        for (auto &[name, cfg] : schemes) {
-            RunOutput r = runWorkload(p, cfg);
-            nipc[name] = normalizedIpc(r, base);
-            sum[name] += nipc[name];
-            if (name == "Mono8b")
-                freezes8 = r.freezes;
-        }
-        total_freezes += freezes8;
-        bool plot = nipc["Direct"] <= 0.95; // paper's >=5% penalty filter
-        if (plot) {
-            table.addRow({p.name, fmtDouble(nipc["Split"]),
-                          fmtDouble(nipc["Mono8b"]),
-                          fmtDouble(nipc["Mono16b"]),
-                          fmtDouble(nipc["Mono32b"]),
-                          fmtDouble(nipc["Mono64b"]),
-                          fmtDouble(nipc["Direct"]),
-                          std::to_string(freezes8)});
-        }
-    }
-
-    double n = static_cast<double>(specProfiles().size());
-    table.addRow({"avg(21)", fmtDouble(sum["Split"] / n),
-                  fmtDouble(sum["Mono8b"] / n),
-                  fmtDouble(sum["Mono16b"] / n),
-                  fmtDouble(sum["Mono32b"] / n),
-                  fmtDouble(sum["Mono64b"] / n),
-                  fmtDouble(sum["Direct"] / n),
-                  std::to_string(total_freezes)});
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): Split tracks Mono8b (whose freezes the\n"
-        "paper treats as free); larger monolithic counters are\n"
-        "progressively worse; Direct is worst. Freeze counts are per-run\n"
-        "observations; Table 2 extrapolates real-time overflow rates.\n");
-    return 0;
+    return secmem::exp::figureMain("fig4", argc, argv);
 }

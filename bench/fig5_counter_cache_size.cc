@@ -2,57 +2,15 @@
  * @file
  * Reproduces paper Figure 5: sensitivity of split vs. monolithic
  * (64-bit) counter-mode encryption to counter-cache size, 16..128 KB.
- * The paper's headline: split@16KB outperforms mono64@128KB because a
- * split counter block covers 8x the data for the same cache space.
+ *
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig5`.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    if (!std::getenv("SECMEM_SIM_INSTRS"))
-        setenv("SECMEM_SIM_INSTRS", "400000", 1);
-    if (!std::getenv("SECMEM_WARMUP_INSTRS"))
-        setenv("SECMEM_WARMUP_INSTRS", "400000", 1);
-    std::printf("=== Figure 5: sensitivity to counter cache size ===\n\n");
-
-    const std::size_t sizes[] = {16 << 10, 32 << 10, 64 << 10, 128 << 10};
-
-    TextTable table(
-        {"scheme", "16KB", "32KB", "64KB", "128KB", "(avg normalized IPC)"});
-
-    BaselineCache baselines;
-
-    for (bool split : {true, false}) {
-        std::vector<std::string> row = {split ? "split" : "mono64"};
-        for (std::size_t size : sizes) {
-            double sum = 0;
-            for (const SpecProfile &p : specProfiles()) {
-                SecureMemConfig cfg = split ? SecureMemConfig::split()
-                                            : SecureMemConfig::mono(64);
-                cfg.ctrCacheBytes = size;
-                RunOutput r = runWorkload(p, cfg);
-                sum += normalizedIpc(r, baselines.get(p));
-            }
-            row.push_back(fmtDouble(sum / specProfiles().size()));
-        }
-        row.push_back("");
-        table.addRow(row);
-    }
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): the split row is flat and near 1.0 even\n"
-        "at 16KB; the mono64 row climbs with cache size but stays below\n"
-        "split-with-16KB even at 128KB (same counters on-chip, 8x the\n"
-        "fetch bandwidth).\n");
-    return 0;
+    return secmem::exp::figureMain("fig5", argc, argv);
 }

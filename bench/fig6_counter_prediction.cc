@@ -1,115 +1,18 @@
 /**
  * @file
  * Reproduces paper Figure 6: split counters vs. the counter prediction
- * + pad precomputation scheme of Shi et al. [16].
+ * + pad precomputation scheme of Shi et al. [16] — panel (a) sweeps
+ * through the engine, panel (b)'s across-execution trend runs its two
+ * live systems sequentially (the divergence over time is the point).
  *
- * Panel (a): counter-cache hit/half-miss rate vs. prediction rate;
- * timely pad generation (split, pred with one engine, pred with two);
- * average normalized IPC of the three configurations.
- *
- * Panel (b): trend of the prediction rate vs. the counter-cache hit
- * rate across execution, on a write-back-churn workload (see
- * EXPERIMENTS.md for the horizon discussion).
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig6`.
  */
 
-#include <cstdio>
-
-#include "core/system.hh"
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 6(a): split counters vs counter prediction ===\n\n");
-
-    BaselineCache baselines;
-    double cc_hit = 0, cc_half = 0, pred_rate = 0;
-    double timely_split = 0, timely_p1 = 0, timely_p2 = 0;
-    double ipc_split = 0, ipc_p1 = 0, ipc_p2 = 0;
-
-    const auto &profiles = specProfiles();
-    for (const SpecProfile &p : profiles) {
-        const RunOutput &base = baselines.get(p);
-        RunOutput s = runWorkload(p, SecureMemConfig::split());
-        RunOutput p1 = runWorkload(p, SecureMemConfig::pred(1));
-        RunOutput p2 = runWorkload(p, SecureMemConfig::pred(2));
-        cc_hit += s.ctrHitRate;
-        cc_half += s.ctrHalfMissRate;
-        pred_rate += p1.predRate;
-        timely_split += s.timelyPadRate;
-        timely_p1 += p1.timelyPadRate;
-        timely_p2 += p2.timelyPadRate;
-        ipc_split += normalizedIpc(s, base);
-        ipc_p1 += normalizedIpc(p1, base);
-        ipc_p2 += normalizedIpc(p2, base);
-    }
-    double n = static_cast<double>(profiles.size());
-
-    TextTable a({"metric", "Split", "Pred", "Pred(2Eng)"});
-    a.addRow({"ctr cache hit", fmtPercent(cc_hit / n), "-", "-"});
-    a.addRow({"ctr cache hit+halfmiss",
-              fmtPercent((cc_hit + cc_half) / n), "-", "-"});
-    a.addRow({"prediction rate", "-", fmtPercent(pred_rate / n),
-              fmtPercent(pred_rate / n)});
-    a.addRow({"timely pads", fmtPercent(timely_split / n),
-              fmtPercent(timely_p1 / n), fmtPercent(timely_p2 / n)});
-    a.addRow({"normalized IPC", fmtDouble(ipc_split / n),
-              fmtDouble(ipc_p1 / n), fmtDouble(ipc_p2 / n)});
-    a.print();
-
-    std::printf(
-        "\nExpected shape (paper): prediction rate slightly above the\n"
-        "counter-cache hit rate; timely pads ~61%% with one AES engine\n"
-        "(5x pad bandwidth), ~96%% with two; Pred(2Eng) IPC roughly ties\n"
-        "Split (its 64-bit in-memory counters cost bandwidth).\n");
-
-    // ---- panel (b): trend across execution ------------------------------
-    std::printf("\n=== Figure 6(b): prediction rate vs counter-cache hit "
-                "rate across execution ===\n\n");
-
-    // A write-back-churn variant of twolf: the dirty working set
-    // slightly exceeds the L2 so written blocks cycle to memory and
-    // back, letting per-block counters diverge (paper horizon: 5B
-    // instructions; ours is scaled down).
-    SpecProfile churn = profileByName("twolf");
-    churn.warmKB = 1536;
-    churn.streamFraction = 0.02;
-    churn.storeFraction = 0.35;
-    churn.hotStoreBoost = 1.0;
-
-    SecureSystem pred_sys(SecureMemConfig::pred(1));
-    SecureSystem split_sys(SecureMemConfig::split());
-    SpecWorkload pred_gen(churn), split_gen(churn);
-
-    TextTable b({"segment", "pred rate", "ctr cache hit"});
-    Tick tp = 0, ts = 0;
-    std::uint64_t ph = 0, pt = 0, sh = 0, sa = 0;
-    const std::uint64_t seg = simInstructions();
-    for (int i = 0; i < 8; ++i) {
-        tp = pred_sys.run(pred_gen, 0, seg, {}, tp).finalTick;
-        ts = split_sys.run(split_gen, 0, seg, {}, ts).finalTick;
-        auto &pc = pred_sys.controller().stats();
-        std::uint64_t h = pc.counterValue("pred_hits");
-        std::uint64_t t = pc.counterValue("pred_total");
-        auto &sc = split_sys.controller().ctrCache().stats();
-        std::uint64_t hh = sc.counterValue("hits");
-        std::uint64_t aa = sc.counterValue("accesses");
-        double pr = t > pt ? double(h - ph) / double(t - pt) : 1.0;
-        double cr = aa > sa ? double(hh - sh) / double(aa - sa) : 1.0;
-        b.addRow({std::to_string(i + 1), fmtPercent(pr), fmtPercent(cr)});
-        ph = h;
-        pt = t;
-        sh = hh;
-        sa = aa;
-    }
-    b.print();
-
-    std::printf(
-        "\nExpected shape (paper): the prediction rate starts near 100%%\n"
-        "(all counters equal) and decays as counters diverge; the\n"
-        "counter-cache hit rate stays flat.\n");
-    return 0;
+    return secmem::exp::figureMain("fig6", argc, argv);
 }

@@ -1,70 +1,16 @@
 /**
  * @file
  * Reproduces paper Figure 7: IPC with memory authentication only (no
- * encryption) — GCM vs. SHA-1 at hardware latencies of 80, 160, 320
- * and 640 cycles, Commit-mode authentication, Merkle tree enabled.
+ * encryption) — GCM vs. SHA-1 at hardware latencies of 80..640 cycles.
+ *
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig7`.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 7: normalized IPC, authentication only ===\n\n");
-
-    std::vector<std::pair<std::string, SecureMemConfig>> schemes = {
-        {"GCM", SecureMemConfig::gcmAuthOnly()},
-        {"SHA-1(80)", SecureMemConfig::sha1AuthOnly(80)},
-        {"SHA-1(160)", SecureMemConfig::sha1AuthOnly(160)},
-        {"SHA-1(320)", SecureMemConfig::sha1AuthOnly(320)},
-        {"SHA-1(640)", SecureMemConfig::sha1AuthOnly(640)},
-    };
-
-    TextTable table({"app", "GCM", "SHA-1(80)", "SHA-1(160)", "SHA-1(320)",
-                     "SHA-1(640)"});
-
-    BaselineCache baselines;
-    std::map<std::string, double> sum;
-
-    for (const SpecProfile &p : specProfiles()) {
-        const RunOutput &base = baselines.get(p);
-        std::map<std::string, double> nipc;
-        for (auto &[name, cfg] : schemes) {
-            RunOutput r = runWorkload(p, cfg);
-            nipc[name] = normalizedIpc(r, base);
-            sum[name] += nipc[name];
-        }
-        bool plot = nipc["SHA-1(320)"] <= 0.95;
-        if (plot) {
-            table.addRow({p.name, fmtDouble(nipc["GCM"]),
-                          fmtDouble(nipc["SHA-1(80)"]),
-                          fmtDouble(nipc["SHA-1(160)"]),
-                          fmtDouble(nipc["SHA-1(320)"]),
-                          fmtDouble(nipc["SHA-1(640)"])});
-        }
-    }
-
-    double n = static_cast<double>(specProfiles().size());
-    table.addRow({"avg(21)", fmtDouble(sum["GCM"] / n),
-                  fmtDouble(sum["SHA-1(80)"] / n),
-                  fmtDouble(sum["SHA-1(160)"] / n),
-                  fmtDouble(sum["SHA-1(320)"] / n),
-                  fmtDouble(sum["SHA-1(640)"] / n)});
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): GCM matches or beats even an\n"
-        "unrealistically fast 80-cycle SHA-1, because its MAC pad\n"
-        "generation overlaps the memory fetch; SHA-1 degrades steeply\n"
-        "with latency (paper avg: GCM -4%%, SHA-1 -6/-10/-17/-26%%).\n"
-        "The one exception is mcf, where GCM's counter-cache misses add\n"
-        "bus contention and SHA-1(80) wins.\n");
-    return 0;
+    return secmem::exp::figureMain("fig7", argc, argv);
 }

@@ -2,74 +2,16 @@
  * @file
  * Reproduces paper Figure 8: IPC of GCM vs SHA-1 (320-cycle)
  * authentication under the three authentication requirements — Lazy,
- * Commit, Safe — and with parallel vs. sequential authentication of
- * Merkle-tree levels.
+ * Commit, Safe — and with parallel vs. sequential tree authentication.
+ *
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig8`.
  */
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
-
-namespace
-{
-
-double
-averageNipc(SecureMemConfig cfg, BaselineCache &baselines)
-{
-    double sum = 0;
-    for (const SpecProfile &p : specProfiles())
-        sum += normalizedIpc(runWorkload(p, cfg), baselines.get(p));
-    return sum / specProfiles().size();
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    if (!std::getenv("SECMEM_SIM_INSTRS"))
-        setenv("SECMEM_SIM_INSTRS", "400000", 1);
-    if (!std::getenv("SECMEM_WARMUP_INSTRS"))
-        setenv("SECMEM_WARMUP_INSTRS", "400000", 1);
-    std::printf("=== Figure 8: authentication requirements and parallel "
-                "tree authentication ===\n\n");
-
-    BaselineCache baselines;
-
-    TextTable table({"configuration", "GCM", "SHA-1(320)"});
-
-    for (AuthMode mode :
-         {AuthMode::Lazy, AuthMode::Commit, AuthMode::Safe}) {
-        SecureMemConfig g = SecureMemConfig::gcmAuthOnly();
-        SecureMemConfig s = SecureMemConfig::sha1AuthOnly(320);
-        g.authMode = mode;
-        s.authMode = mode;
-        table.addRow({toString(mode), fmtDouble(averageNipc(g, baselines)),
-                      fmtDouble(averageNipc(s, baselines))});
-    }
-
-    for (bool parallel : {true, false}) {
-        SecureMemConfig g = SecureMemConfig::gcmAuthOnly();
-        SecureMemConfig s = SecureMemConfig::sha1AuthOnly(320);
-        g.treeParallel = parallel;
-        s.treeParallel = parallel;
-        table.addRow({parallel ? "parallel tree auth"
-                               : "sequential tree auth",
-                      fmtDouble(averageNipc(g, baselines)),
-                      fmtDouble(averageNipc(s, baselines))});
-    }
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): under Lazy, authentication latency is\n"
-        "irrelevant and GCM is slightly *worse* than SHA-1 (counter\n"
-        "fetch bus traffic). Under Commit and especially Safe, GCM's\n"
-        "overlapped pads win decisively (paper Safe: -6%% GCM vs -24%%\n"
-        "SHA-1). Parallel tree authentication buys ~3%% (GCM) / ~2%%\n"
-        "(SHA-1) over sequential.\n");
-    return 0;
+    return secmem::exp::figureMain("fig8", argc, argv);
 }

@@ -1,69 +1,16 @@
 /**
  * @file
  * Reproduces paper Figure 9: normalized IPC with combined encryption
- * AND authentication — the paper's headline result. Split+GCM (this
- * paper, ~5% average overhead) vs Mono+GCM, Split+SHA, Mono+SHA
- * (~20%) and XOM+SHA (direct AES + SHA-1).
+ * AND authentication — the paper's headline result.
+ *
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * fig9`.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Figure 9: combined encryption + authentication ===\n\n");
-
-    std::vector<std::pair<std::string, SecureMemConfig>> schemes = {
-        {"Split+GCM", SecureMemConfig::splitGcm()},
-        {"Mono+GCM", SecureMemConfig::monoGcm()},
-        {"Split+SHA", SecureMemConfig::splitSha()},
-        {"Mono+SHA", SecureMemConfig::monoSha()},
-        {"XOM+SHA", SecureMemConfig::xomSha()},
-    };
-
-    TextTable table({"app", "Split+GCM", "Mono+GCM", "Split+SHA",
-                     "Mono+SHA", "XOM+SHA"});
-
-    BaselineCache baselines;
-    std::map<std::string, double> sum;
-
-    for (const SpecProfile &p : specProfiles()) {
-        const RunOutput &base = baselines.get(p);
-        std::map<std::string, double> nipc;
-        for (auto &[name, cfg] : schemes) {
-            RunOutput r = runWorkload(p, cfg);
-            nipc[name] = normalizedIpc(r, base);
-            sum[name] += nipc[name];
-        }
-        bool plot = nipc["Mono+SHA"] <= 0.95;
-        if (plot) {
-            table.addRow({p.name, fmtDouble(nipc["Split+GCM"]),
-                          fmtDouble(nipc["Mono+GCM"]),
-                          fmtDouble(nipc["Split+SHA"]),
-                          fmtDouble(nipc["Mono+SHA"]),
-                          fmtDouble(nipc["XOM+SHA"])});
-        }
-    }
-
-    double n = static_cast<double>(specProfiles().size());
-    table.addRow({"avg(21)", fmtDouble(sum["Split+GCM"] / n),
-                  fmtDouble(sum["Mono+GCM"] / n),
-                  fmtDouble(sum["Split+SHA"] / n),
-                  fmtDouble(sum["Mono+SHA"] / n),
-                  fmtDouble(sum["XOM+SHA"] / n)});
-    table.print();
-
-    std::printf(
-        "\nExpected shape (paper): Split+GCM best (paper: -5%% average),\n"
-        "Mono+GCM next (-8%%; split counters roughly halve the combined\n"
-        "overhead), the SHA-1 variants far behind (~-20%%), XOM+SHA\n"
-        "worst (serial AES on top of SHA-1).\n");
-    return 0;
+    return secmem::exp::figureMain("fig9", argc, argv);
 }

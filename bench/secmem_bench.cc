@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Unified evaluation CLI: runs any subset of the paper's figure/table
+ * reproductions through the parallel experiment engine.
+ *
+ *     secmem-bench --all --jobs 8 --out results/
+ *     secmem-bench --figure fig4 --figure fig9 --filter mcf
+ *     secmem-bench --figure fig4 --smoke          # CI short sweep
+ *
+ * Jobs are cached in a result store (default: results/store/), so a
+ * second invocation — or an interrupted sweep rerun — simulates
+ * nothing it already has. Parallel (--jobs N) and serial (--jobs 1)
+ * runs produce bit-identical metrics; every job owns its RNG seed and
+ * simulated system.
+ */
+
+#include "exp/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return secmem::exp::benchMain(argc, argv);
+}

@@ -4,119 +4,14 @@
  * counter overflow for monolithic counters of different widths and a
  * global 32-bit counter.
  *
- * As in the paper, growth rates are measured per simulated second
- * (fastest-growing block counter = max write-backs of any one block /
- * simulated time; global counter = total write-back rate), and the
- * time to overflow of a W-bit counter is 2^W / rate, reported in the
- * paper's units per column.
+ * Thin wrapper over src/exp/figures.cc; see `secmem-bench --figure
+ * table2`.
  */
 
-#include <cmath>
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace secmem;
-
-namespace
-{
-
-std::string
-humanTime(double seconds)
-{
-    if (seconds < 120)
-        return fmtDouble(seconds, 2) + " s";
-    if (seconds < 2 * 3600)
-        return fmtDouble(seconds / 60, 1) + " min";
-    if (seconds < 2 * 86400)
-        return fmtDouble(seconds / 3600, 1) + " h";
-    if (seconds < 2 * 31557600.0)
-        return fmtDouble(seconds / 86400, 1) + " days";
-    if (seconds < 2000 * 31557600.0)
-        return fmtDouble(seconds / 31557600.0, 1) + " years";
-    return fmtDouble(seconds / 31557600.0 / 1000, 1) + " millennia";
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Table 2: counter growth rate and estimated time to "
-                "overflow ===\n\n");
-
-    struct Row
-    {
-        std::string app;
-        double growth[4]; // Mono8b/16b/32b/64b measured growth per second
-        double global;    // global counter (total write-backs) per second
-    };
-
-    const unsigned widths[4] = {8, 16, 32, 64};
-    std::vector<Row> rows;
-
-    for (const SpecProfile &p : specProfiles()) {
-        Row row;
-        row.app = p.name;
-        for (int i = 0; i < 4; ++i) {
-            RunOutput r = runWorkload(p, SecureMemConfig::mono(widths[i]));
-            row.growth[i] = r.counterGrowthPerSec;
-            if (i == 2)
-                row.global = r.writebackRatePerSec;
-        }
-        rows.push_back(row);
-    }
-
-    // The paper lists the five fastest-growing applications + average.
-    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
-        return a.growth[0] > b.growth[0];
-    });
-
-    TextTable growth({"app", "Mono8b/s", "Mono16b/s", "Mono32b/s",
-                      "Mono64b/s", "Global32b/s"});
-    TextTable overflow({"app", "Mono8b", "Mono16b", "Mono32b", "Mono64b",
-                        "Global32b"});
-
-    Row avg{"avg(21)", {0, 0, 0, 0}, 0};
-    for (const Row &r : rows) {
-        for (int i = 0; i < 4; ++i)
-            avg.growth[i] += r.growth[i] / rows.size();
-        avg.global += r.global / rows.size();
-    }
-
-    auto emit = [&](const Row &r) {
-        growth.addRow({r.app, fmtDouble(r.growth[0], 0),
-                       fmtDouble(r.growth[1], 0), fmtDouble(r.growth[2], 0),
-                       fmtDouble(r.growth[3], 0), fmtDouble(r.global, 0)});
-        std::vector<std::string> times = {r.app};
-        for (int i = 0; i < 4; ++i) {
-            double rate = std::max(r.growth[i], 1e-9);
-            times.push_back(humanTime(std::pow(2.0, widths[i]) / rate));
-        }
-        times.push_back(
-            humanTime(std::pow(2.0, 32) / std::max(r.global, 1e-9)));
-        overflow.addRow(times);
-    };
-
-    for (std::size_t i = 0; i < 5 && i < rows.size(); ++i)
-        emit(rows[i]);
-    emit(avg);
-
-    std::printf("-- Counter growth rate (per simulated second) --\n");
-    growth.print();
-    std::printf("\n-- Estimated time to counter overflow --\n");
-    overflow.print();
-
-    std::printf(
-        "\nExpected shape (paper): 8-bit counters overflow in under a\n"
-        "second, 16-bit in minutes, 32-bit in days, 64-bit never within\n"
-        "the machine's lifetime; the on-chip global 32-bit counter\n"
-        "overflows in minutes because it advances with every write-back.\n"
-        "Absolute rates run above the paper's (synthetic streams compress\n"
-        "compute phases; see EXPERIMENTS.md) but the ordering and the\n"
-        "orders-of-magnitude gaps between widths are preserved.\n");
-    return 0;
+    return secmem::exp::figureMain("table2", argc, argv);
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep: tier-1 build + tests, a sanitizer build of
-# the same test suite, and a fault-injection campaign smoke run that
+# the same test suite, a fault-injection campaign smoke run that
 # asserts 100% detection (the fault_campaign binary exits non-zero on
-# any undetected or unattributed tampering).
+# any undetected or unattributed tampering), and a short parallel
+# secmem-bench figure run.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -35,5 +36,9 @@ echo "== fault-injection campaign smoke =="
     --scheme splitGcm >/dev/null
 ./build/examples/fault_campaign --seed 7 --ops 4000 --every 32 \
     --scheme splitGcm --policy retry --transient 0.4 >/dev/null
+
+echo "== secmem-bench smoke (fig4, parallel, no store) =="
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress >/dev/null
 
 echo "check.sh: all green"

@@ -1,0 +1,150 @@
+#include "exp/engine.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace secmem::exp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Serialized stderr progress: done/total, ETA, per-worker job. */
+class Progress
+{
+  public:
+    Progress(std::size_t total, unsigned workers, bool enabled)
+        : total_(total), current_(workers), start_(Clock::now()),
+          enabled_(enabled)
+    {}
+
+    void
+    began(unsigned worker, const JobSpec &spec)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_[worker] = spec.profile.name + "/" + spec.scheme;
+        render();
+    }
+
+    void
+    finished(unsigned worker)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        current_[worker].clear();
+        render();
+    }
+
+    void
+    close(std::uint64_t cached)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        double secs =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        std::fprintf(stderr,
+                     "\r\033[K%zu/%zu jobs simulated in %.1fs "
+                     "(%llu served from result store)\n",
+                     done_, total_, secs,
+                     static_cast<unsigned long long>(cached));
+    }
+
+  private:
+    void
+    render() const
+    {
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        double eta = done_ ? elapsed / static_cast<double>(done_) *
+                                 static_cast<double>(total_ - done_)
+                           : 0.0;
+        std::string line;
+        char head[96];
+        std::snprintf(head, sizeof(head), "[%zu/%zu] eta %.0fs |", done_,
+                      total_, eta);
+        line = head;
+        for (std::size_t w = 0; w < current_.size(); ++w) {
+            if (current_[w].empty())
+                continue;
+            line += " w" + std::to_string(w) + ":" + current_[w];
+        }
+        if (line.size() > 160)
+            line.resize(160);
+        std::fprintf(stderr, "\r\033[K%s", line.c_str());
+        std::fflush(stderr);
+    }
+
+    std::mutex mutex_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::vector<std::string> current_;
+    Clock::time_point start_;
+    bool enabled_;
+};
+
+} // namespace
+
+Engine::Engine(const EngineOptions &opts)
+    : opts_(opts), store_(opts.storeDir), pool_(opts.jobs)
+{}
+
+std::vector<RunOutput>
+Engine::run(const std::vector<JobSpec> &specs)
+{
+    std::vector<RunOutput> results(specs.size());
+
+    // Resolve store hits and batch-internal duplicates up front; only
+    // genuinely new work reaches the pool.
+    struct Pending
+    {
+        std::size_t specIndex;           ///< representative spec
+        std::vector<std::size_t> targets; ///< all result slots it fills
+    };
+    std::vector<Pending> pending;
+    std::map<std::string, std::size_t> byCanonical; ///< -> pending index
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        RunOutput cached_out;
+        if (store_.lookup(specs[i], &cached_out)) {
+            results[i] = cached_out;
+            ++cached_;
+            continue;
+        }
+        std::string canonical = specs[i].canonical();
+        auto it = byCanonical.find(canonical);
+        if (it != byCanonical.end()) {
+            pending[it->second].targets.push_back(i);
+            ++cached_;
+            continue;
+        }
+        byCanonical.emplace(std::move(canonical), pending.size());
+        pending.push_back({i, {i}});
+    }
+
+    Progress progress(pending.size(), pool_.threads(), opts_.progress);
+
+    pool_.run(pending.size(), [&](std::size_t idx, unsigned worker) {
+        const JobSpec &spec = specs[pending[idx].specIndex];
+        progress.began(worker, spec);
+        RunOutput out = runJob(spec);
+        store_.put(spec, out);
+        for (std::size_t target : pending[idx].targets)
+            results[target] = out;
+        progress.finished(worker);
+    });
+
+    executed_ += pending.size();
+    progress.close(cached_);
+    return results;
+}
+
+} // namespace secmem::exp

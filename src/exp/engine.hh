@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The experiment engine: executes batches of JobSpecs through the
+ * work-stealing pool, backed by the ResultStore.
+ *
+ * Guarantees:
+ *  - results are returned in spec order, bit-identical between
+ *    --jobs 1 and --jobs N runs (each job owns its System and RNG);
+ *  - identical specs inside a batch are simulated once and the result
+ *    shared (Figure 8/10's "default configuration" rows, the baseline
+ *    every figure normalizes against);
+ *  - specs already in the store are never re-simulated, so a second
+ *    invocation of a sweep reruns nothing and an interrupted sweep
+ *    resumes from the jobs it completed.
+ *
+ * Live progress (jobs done/total, ETA, per-worker current job) is
+ * reported to stderr while stdout stays clean for figure tables.
+ */
+
+#ifndef SECMEM_EXP_ENGINE_HH
+#define SECMEM_EXP_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/job.hh"
+#include "exp/result_store.hh"
+#include "exp/scheduler.hh"
+
+namespace secmem::exp
+{
+
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 1;
+    /** Result-store directory; empty = in-memory cache only. */
+    std::string storeDir;
+    /** Emit live progress lines to stderr. */
+    bool progress = false;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(const EngineOptions &opts);
+
+    /**
+     * Run every spec (through the store and pool) and return outputs
+     * in spec order.
+     */
+    std::vector<RunOutput> run(const std::vector<JobSpec> &specs);
+
+    ResultStore &store() { return store_; }
+    unsigned jobs() const { return pool_.threads(); }
+
+    /** Simulations actually executed (lifetime, across run() calls). */
+    std::uint64_t executed() const { return executed_; }
+    /** Jobs served from the result store (lifetime). */
+    std::uint64_t cached() const { return cached_; }
+
+  private:
+    EngineOptions opts_;
+    ResultStore store_;
+    WorkStealingPool pool_;
+    std::uint64_t executed_ = 0;
+    std::uint64_t cached_ = 0;
+};
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_ENGINE_HH

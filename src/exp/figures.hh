@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Declarative registry of the paper's figure/table reproductions over
+ * the experiment engine, and the CLI entry points that drive them.
+ *
+ * Each figure is a (name, title, run) triple whose run function builds
+ * its sweep specs, hands them to the shared Engine (parallel execution
+ * + result-store reuse), and renders the same tables the standalone
+ * binaries always printed. `secmem-bench` drives any subset of figures
+ * in one process — so the 21 baseline runs are simulated once for the
+ * whole evaluation — and the per-figure binaries are thin wrappers
+ * over figureMain().
+ */
+
+#ifndef SECMEM_EXP_FIGURES_HH
+#define SECMEM_EXP_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/sweep.hh"
+
+namespace secmem::exp
+{
+
+/** Per-invocation settings every figure sees. */
+struct FigureContext
+{
+    /** Workloads to sweep (already filtered / smoke-reduced). */
+    std::vector<SpecProfile> workloads;
+    /** Short-sweep CI mode: tiny budgets, few workloads. */
+    bool smoke = false;
+    /** Artifact directory for CSV/JSON emitters; empty = print only. */
+    std::string outDir;
+    /** Explicit --warmup-instrs/--sim-instrs; 0 fields = unset. */
+    RunLengths cliLengths{};
+
+    /**
+     * Resolve this figure's instruction budget. Priority (weakest to
+     * strongest): @p figureDefault, the SECMEM_*_INSTRS environment,
+     * --smoke, explicit --sim-instrs/--warmup-instrs flags.
+     */
+    RunLengths lengths(RunLengths figureDefault) const;
+};
+
+struct Figure
+{
+    const char *name;  ///< CLI name ("fig4", "table2", "ablation")
+    const char *title; ///< one-line description for --list
+    void (*run)(Engine &, const FigureContext &);
+};
+
+/** All registered figures, in the paper's order. */
+const std::vector<Figure> &figures();
+
+/** Lookup by CLI name; nullptr when unknown. */
+const Figure *findFigure(const std::string &name);
+
+/** main() of the unified `secmem-bench` CLI. */
+int benchMain(int argc, char **argv);
+
+/**
+ * main() of a single-figure binary (the ported bench sources): same
+ * flags as secmem-bench minus figure selection. Unlike secmem-bench,
+ * the result store is off unless --store is given, so a standalone
+ * figure run is self-contained.
+ */
+int figureMain(const char *figure, int argc, char **argv);
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_FIGURES_HH

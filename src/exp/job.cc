@@ -1,0 +1,313 @@
+#include "exp/job.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace secmem::exp
+{
+
+namespace
+{
+
+/**
+ * Canonical double formatting: %.17g round-trips every IEEE-754 double
+ * exactly, so profile fractions hash identically across builds.
+ */
+std::string
+fmtExact(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+kv(std::ostringstream &os, const char *key, const std::string &value)
+{
+    os << key << '=' << value << ';';
+}
+
+void
+kv(std::ostringstream &os, const char *key, std::uint64_t value)
+{
+    os << key << '=' << value << ';';
+}
+
+void
+kv(std::ostringstream &os, const char *key, double value)
+{
+    os << key << '=' << fmtExact(value) << ';';
+}
+
+std::string
+hex(const Block16 &b)
+{
+    std::string s;
+    s.reserve(32);
+    for (std::uint8_t byte : b.b) {
+        static const char digits[] = "0123456789abcdef";
+        s.push_back(digits[byte >> 4]);
+        s.push_back(digits[byte & 0xf]);
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+JobSpec::canonical() const
+{
+    std::ostringstream os;
+    os << "secmem-job-v1;";
+
+    kv(os, "wl.name", profile.name);
+    kv(os, "wl.workingSetKB", std::uint64_t(profile.workingSetKB));
+    kv(os, "wl.memFraction", profile.memFraction);
+    kv(os, "wl.storeFraction", profile.storeFraction);
+    kv(os, "wl.streamFraction", profile.streamFraction);
+    kv(os, "wl.chaseFraction", profile.chaseFraction);
+    kv(os, "wl.hotFraction", profile.hotFraction);
+    kv(os, "wl.hotKB", std::uint64_t(profile.hotKB));
+    kv(os, "wl.hotStoreBoost", profile.hotStoreBoost);
+    kv(os, "wl.burst", profile.burst);
+    kv(os, "wl.warmKB", std::uint64_t(profile.warmKB));
+    kv(os, "wl.warmFraction", profile.warmFraction);
+    kv(os, "wl.seed", profile.seed);
+    kv(os, "wl.streamStepBytes", std::uint64_t(profile.streamStepBytes));
+
+    kv(os, "cfg.enc", toString(config.enc));
+    kv(os, "cfg.monoBits", std::uint64_t(config.monoBits));
+    kv(os, "cfg.auth", toString(config.auth));
+    kv(os, "cfg.authMode", toString(config.authMode));
+    kv(os, "cfg.treeParallel", std::uint64_t(config.treeParallel));
+    kv(os, "cfg.macBits", std::uint64_t(config.macBits));
+    kv(os, "cfg.authCtrs", std::uint64_t(config.authenticateCounters));
+    kv(os, "cfg.memoryBytes", std::uint64_t(config.memoryBytes));
+    kv(os, "cfg.ctrCacheBytes", std::uint64_t(config.ctrCacheBytes));
+    kv(os, "cfg.ctrCacheAssoc", std::uint64_t(config.ctrCacheAssoc));
+    kv(os, "cfg.macCacheBytes", std::uint64_t(config.macCacheBytes));
+    kv(os, "cfg.macCacheAssoc", std::uint64_t(config.macCacheAssoc));
+    kv(os, "cfg.aesLatency", std::uint64_t(config.aesLatency));
+    kv(os, "cfg.aesStages", std::uint64_t(config.aesStages));
+    kv(os, "cfg.aesEngines", std::uint64_t(config.aesEngines));
+    kv(os, "cfg.shaLatency", std::uint64_t(config.shaLatency));
+    kv(os, "cfg.shaStages", std::uint64_t(config.shaStages));
+    kv(os, "cfg.ghashCycles", std::uint64_t(config.ghashCyclesPerChunk));
+    kv(os, "cfg.numRsrs", std::uint64_t(config.numRsrs));
+    kv(os, "cfg.predDepth", std::uint64_t(config.predDepth));
+    kv(os, "cfg.busBytesPerBeat",
+       std::uint64_t(config.memTiming.busBytesPerBeat));
+    kv(os, "cfg.beatTicksNum", std::uint64_t(config.memTiming.beatTicksNum));
+    kv(os, "cfg.beatTicksDen", std::uint64_t(config.memTiming.beatTicksDen));
+    kv(os, "cfg.dramLatency", std::uint64_t(config.memTiming.dramLatency));
+    kv(os, "cfg.dataKey", hex(config.dataKey));
+    kv(os, "cfg.macKey", hex(config.macKey));
+    kv(os, "cfg.eivByte", std::uint64_t(config.eivByte));
+    kv(os, "cfg.aivByte", std::uint64_t(config.aivByte));
+
+    kv(os, "core.width", std::uint64_t(core.width));
+    kv(os, "core.robSize", std::uint64_t(core.robSize));
+    kv(os, "core.mshrs", std::uint64_t(core.mshrs));
+
+    kv(os, "sys.l1Bytes", std::uint64_t(sys.l1Bytes));
+    kv(os, "sys.l1Assoc", std::uint64_t(sys.l1Assoc));
+    kv(os, "sys.l1Latency", std::uint64_t(sys.l1Latency));
+    kv(os, "sys.l2Bytes", std::uint64_t(sys.l2Bytes));
+    kv(os, "sys.l2Assoc", std::uint64_t(sys.l2Assoc));
+    kv(os, "sys.l2Latency", std::uint64_t(sys.l2Latency));
+
+    kv(os, "run.warmup", lengths.warmup);
+    kv(os, "run.sim", lengths.sim);
+
+    return os.str();
+}
+
+std::string
+JobSpec::hash() const
+{
+    const std::string c = canonical();
+    // Two independent 64-bit FNV-1a streams give a 128-bit key; the
+    // store additionally verifies the full canonical string on lookup,
+    // so a collision can cost a rerun but never a wrong result.
+    const std::uint64_t prime = 0x100000001b3ull;
+    std::uint64_t h1 = 0xcbf29ce484222325ull;
+    std::uint64_t h2 = 0x9ae16a3b2f90404full;
+    for (unsigned char ch : c) {
+        h1 = (h1 ^ ch) * prime;
+        h2 = (h2 ^ (ch + 0x5bu)) * prime;
+    }
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, h1, h2);
+    return buf;
+}
+
+JobSpec
+makeJob(std::string scheme, const SpecProfile &profile,
+        const SecureMemConfig &config, RunLengths lengths,
+        const CoreParams &core, const SystemParams &sys)
+{
+    JobSpec spec;
+    spec.scheme = std::move(scheme);
+    spec.profile = profile;
+    spec.config = config;
+    spec.core = core;
+    spec.sys = sys;
+    spec.lengths = lengths;
+    return spec;
+}
+
+RunOutput
+runJob(const JobSpec &spec)
+{
+    return runWorkload(spec.profile, spec.config, spec.core, spec.sys,
+                       spec.lengths);
+}
+
+namespace
+{
+
+void
+jsonStr(std::ostringstream &os, const char *key, const std::string &v)
+{
+    os << '"' << key << "\": \"";
+    for (char c : v) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+// RunOutput fields, once, shared by the emitter and the parser. The
+// X-macro keeps the two in lockstep: a field added to RunOutput only
+// needs one line here to serialize, parse and round-trip.
+#define SECMEM_RUNOUTPUT_U64_FIELDS(X) \
+    X(instructions) \
+    X(cycles) \
+    X(writebacks) \
+    X(maxBlockWritebacks) \
+    X(freezes) \
+    X(pageReencs) \
+    X(authFailures) \
+    X(reencRsrStalls) \
+    X(reencPageConflicts)
+
+#define SECMEM_RUNOUTPUT_DOUBLE_FIELDS(X) \
+    X(ipc) \
+    X(simSeconds) \
+    X(l2MissRate) \
+    X(ctrHitRate) \
+    X(ctrHalfMissRate) \
+    X(macHitRate) \
+    X(timelyPadRate) \
+    X(predRate) \
+    X(busUtilization) \
+    X(avgAuthLevels) \
+    X(reencOnchipFraction) \
+    X(reencAvgCycles) \
+    X(reencAvgConcurrent) \
+    X(counterGrowthPerSec) \
+    X(writebackRatePerSec)
+
+/**
+ * Find `"key": ` in @p json and return a pointer to the first
+ * character of the value, or nullptr when absent.
+ */
+const char *
+findValue(const std::string &json, const char *key)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    std::size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return nullptr;
+    const char *p = json.c_str() + pos + needle.size();
+    while (*p == ' ')
+        ++p;
+    return p;
+}
+
+bool
+parseString(const std::string &json, const char *key, std::string *out)
+{
+    const char *p = findValue(json, key);
+    if (!p || *p != '"')
+        return false;
+    ++p;
+    out->clear();
+    while (*p && *p != '"') {
+        if (*p == '\\' && p[1])
+            ++p;
+        out->push_back(*p++);
+    }
+    return *p == '"';
+}
+
+bool
+parseU64(const std::string &json, const char *key, std::uint64_t *out)
+{
+    const char *p = findValue(json, key);
+    if (!p)
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(p, &end, 10);
+    return end != p;
+}
+
+bool
+parseDouble(const std::string &json, const char *key, double *out)
+{
+    const char *p = findValue(json, key);
+    if (!p)
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(p, &end);
+    return end != p;
+}
+
+} // namespace
+
+std::string
+runOutputToJson(const RunOutput &out)
+{
+    std::ostringstream os;
+    os << '{';
+    jsonStr(os, "workload", out.workload);
+    os << ", ";
+    jsonStr(os, "scheme", out.scheme);
+#define SECMEM_EMIT_U64(f) \
+    os << ", \"" #f "\": " << out.f;
+    SECMEM_RUNOUTPUT_U64_FIELDS(SECMEM_EMIT_U64)
+#undef SECMEM_EMIT_U64
+#define SECMEM_EMIT_DOUBLE(f) \
+    os << ", \"" #f "\": " << fmtExact(out.f);
+    SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_EMIT_DOUBLE)
+#undef SECMEM_EMIT_DOUBLE
+    os << '}';
+    return os.str();
+}
+
+bool
+runOutputFromJson(const std::string &json, RunOutput *out)
+{
+    RunOutput r;
+    if (!parseString(json, "workload", &r.workload) ||
+        !parseString(json, "scheme", &r.scheme))
+        return false;
+#define SECMEM_PARSE_U64(f) \
+    if (!parseU64(json, #f, &r.f)) \
+        return false;
+    SECMEM_RUNOUTPUT_U64_FIELDS(SECMEM_PARSE_U64)
+#undef SECMEM_PARSE_U64
+#define SECMEM_PARSE_DOUBLE(f) \
+    if (!parseDouble(json, #f, &r.f)) \
+        return false;
+    SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_PARSE_DOUBLE)
+#undef SECMEM_PARSE_DOUBLE
+    *out = r;
+    return true;
+}
+
+} // namespace secmem::exp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The unit of work of the experiment engine: one (workload profile x
+ * secure-memory configuration x core/system parameters x instruction
+ * budget) simulation job.
+ *
+ * A JobSpec is *self-contained and canonical*: canonical() serializes
+ * every field that can influence the simulation into a stable
+ * key=value string, and hash() digests it into the key the result
+ * store files results under. Two specs with equal canonical strings
+ * produce bit-identical RunOutputs no matter which thread, process or
+ * machine runs them — each job builds its own SecureSystem and
+ * workload generator (with the profile's own RNG seed), so parallel
+ * and serial execution cannot diverge.
+ */
+
+#ifndef SECMEM_EXP_JOB_HH
+#define SECMEM_EXP_JOB_HH
+
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace secmem::exp
+{
+
+/** One schedulable simulation: everything needed to reproduce a run. */
+struct JobSpec
+{
+    /** Display label for the configuration ("Split+GCM", "baseline"). */
+    std::string scheme;
+
+    SpecProfile profile;
+    SecureMemConfig config;
+    CoreParams core{};
+    SystemParams sys{};
+    RunLengths lengths{};
+
+    /**
+     * Stable, human-readable serialization of every
+     * simulation-relevant field (the scheme label is cosmetic and
+     * excluded). Bump the leading version tag when the format — or
+     * simulator semantics — changes, so stale disk caches invalidate
+     * themselves.
+     */
+    std::string canonical() const;
+
+    /** 128-bit FNV-1a digest of canonical(), as 32 hex characters. */
+    std::string hash() const;
+};
+
+/** Convenience builder with the common defaults. */
+JobSpec makeJob(std::string scheme, const SpecProfile &profile,
+                const SecureMemConfig &config, RunLengths lengths,
+                const CoreParams &core = {}, const SystemParams &sys = {});
+
+/** Execute one job (fresh system + generator; deterministic). */
+RunOutput runJob(const JobSpec &spec);
+
+/** Serialize a RunOutput as a flat JSON object. */
+std::string runOutputToJson(const RunOutput &out);
+
+/**
+ * Parse runOutputToJson() output back. Returns false (leaving @p out
+ * unspecified) on malformed input or missing fields.
+ */
+bool runOutputFromJson(const std::string &json, RunOutput *out);
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_JOB_HH

@@ -1,0 +1,141 @@
+#include "exp/result_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "sim/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace secmem::exp
+{
+
+/*
+ * On-disk entry format (one file per job, named <hash>.run):
+ *
+ *   line 1: the canonical spec string (it contains no newlines)
+ *   line 2: the RunOutput JSON
+ *
+ * The spec line makes entries self-describing and lets lookup verify
+ * it is reading the result of exactly this job.
+ */
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultStore::pathFor(const std::string &hash) const
+{
+    return dir_ + "/" + hash + ".run";
+}
+
+bool
+ResultStore::lookup(const JobSpec &spec, RunOutput *out)
+{
+    const std::string canonical = spec.canonical();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = memory_.find(canonical);
+        if (it != memory_.end()) {
+            *out = it->second;
+            ++memoryHits_;
+            return true;
+        }
+    }
+
+    if (!dir_.empty()) {
+        std::ifstream in(pathFor(spec.hash()));
+        if (in) {
+            std::string stored_spec, json;
+            std::getline(in, stored_spec);
+            std::getline(in, json);
+            RunOutput parsed;
+            if (stored_spec == canonical &&
+                runOutputFromJson(json, &parsed)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                memory_.emplace(canonical, parsed);
+                ++diskHits_;
+                *out = parsed;
+                return true;
+            }
+            if (stored_spec != canonical) {
+                SECMEM_WARN("result store: stale or colliding entry %s "
+                            "(spec mismatch); rerunning",
+                            spec.hash().c_str());
+            } else {
+                SECMEM_WARN("result store: unparsable entry %s; rerunning",
+                            spec.hash().c_str());
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return false;
+}
+
+void
+ResultStore::put(const JobSpec &spec, const RunOutput &out)
+{
+    const std::string canonical = spec.canonical();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        memory_[canonical] = out;
+    }
+    if (dir_.empty())
+        return;
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        SECMEM_WARN("result store: cannot create '%s': %s", dir_.c_str(),
+                    ec.message().c_str());
+        return;
+    }
+
+    // Write-then-rename keeps concurrent writers and interrupted runs
+    // from ever exposing a partial entry.
+    const std::string final_path = pathFor(spec.hash());
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp_path, std::ios::trunc);
+        if (!os) {
+            SECMEM_WARN("result store: cannot write '%s'", tmp_path.c_str());
+            return;
+        }
+        os << canonical << '\n' << runOutputToJson(out) << '\n';
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        SECMEM_WARN("result store: rename to '%s' failed: %s",
+                    final_path.c_str(), ec.message().c_str());
+        fs::remove(tmp_path, ec);
+    }
+}
+
+std::uint64_t
+ResultStore::memoryHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memoryHits_;
+}
+
+std::uint64_t
+ResultStore::diskHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskHits_;
+}
+
+std::uint64_t
+ResultStore::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace secmem::exp

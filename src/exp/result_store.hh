@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Disk-backed, memory-cached store of simulation results keyed by the
+ * canonical job hash.
+ *
+ * Purpose: baselines and shared configurations are simulated once
+ * across every figure of a sweep, and an interrupted multi-hour sweep
+ * resumes where it stopped instead of restarting — any job whose spec
+ * hash is already on disk is served from the cache. Invalidation is
+ * structural: the hash covers every simulation-relevant field
+ * (profile, configuration, core/system parameters, instruction
+ * budgets) plus a format version tag, so changing any of them simply
+ * misses and reruns.
+ *
+ * Thread safety: lookup/put may be called concurrently from engine
+ * workers. Each result is written to a temporary file and renamed into
+ * place, so a crashed or interrupted sweep never leaves a truncated
+ * entry behind.
+ */
+
+#ifndef SECMEM_EXP_RESULT_STORE_HH
+#define SECMEM_EXP_RESULT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exp/job.hh"
+
+namespace secmem::exp
+{
+
+class ResultStore
+{
+  public:
+    /**
+     * @param dir directory for persisted results (created on first
+     *            put); empty for a memory-only store.
+     */
+    explicit ResultStore(std::string dir = "");
+
+    /**
+     * Fetch the cached result for @p spec. Disk entries are admitted
+     * only when the stored canonical spec string matches exactly
+     * (hash collisions and stale formats rerun instead of lying).
+     */
+    bool lookup(const JobSpec &spec, RunOutput *out);
+
+    /** Record @p out for @p spec (memory always, disk when enabled). */
+    void put(const JobSpec &spec, const RunOutput &out);
+
+    const std::string &dir() const { return dir_; }
+    bool persistent() const { return !dir_.empty(); }
+
+    // Counters for progress reporting and tests.
+    std::uint64_t memoryHits() const;
+    std::uint64_t diskHits() const;
+    std::uint64_t misses() const;
+
+  private:
+    std::string pathFor(const std::string &hash) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_;
+    std::map<std::string, RunOutput> memory_; ///< keyed by canonical()
+    std::uint64_t memoryHits_ = 0;
+    std::uint64_t diskHits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_RESULT_STORE_HH

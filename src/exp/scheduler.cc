@@ -1,0 +1,101 @@
+#include "exp/scheduler.hh"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace secmem::exp
+{
+
+namespace
+{
+
+struct WorkerDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+};
+
+bool
+popOwn(WorkerDeque &dq, std::size_t *idx)
+{
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.tasks.empty())
+        return false;
+    *idx = dq.tasks.back();
+    dq.tasks.pop_back();
+    return true;
+}
+
+bool
+stealFrom(WorkerDeque &dq, std::size_t *idx)
+{
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.tasks.empty())
+        return false;
+    *idx = dq.tasks.front();
+    dq.tasks.pop_front();
+    return true;
+}
+
+} // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 4;
+    }
+}
+
+void
+WorkStealingPool::run(std::size_t count, const Task &task)
+{
+    unsigned workers = threads_;
+    if (count < workers)
+        workers = static_cast<unsigned>(count);
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            task(i, 0);
+        return;
+    }
+
+    std::vector<WorkerDeque> deques(workers);
+    for (std::size_t i = 0; i < count; ++i)
+        deques[i % workers].tasks.push_back(i);
+
+    std::atomic<std::size_t> remaining{count};
+
+    auto worker_loop = [&](unsigned w) {
+        for (;;) {
+            std::size_t idx;
+            bool found = popOwn(deques[w], &idx);
+            for (unsigned v = 1; !found && v < workers; ++v)
+                found = stealFrom(deques[(w + v) % workers], &idx);
+            if (found) {
+                task(idx, w);
+                remaining.fetch_sub(1, std::memory_order_release);
+                continue;
+            }
+            if (remaining.load(std::memory_order_acquire) == 0)
+                return;
+            // All deques are empty but peers are still executing;
+            // a late steal is impossible (tasks never spawn tasks),
+            // so just wait for the stragglers cheaply.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker_loop, w);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace secmem::exp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Work-stealing thread pool for simulation jobs.
+ *
+ * Jobs are distributed round-robin across per-worker deques up front;
+ * a worker pops from the back of its own deque (LIFO keeps its cache
+ * warm across same-figure jobs) and, when empty, steals from the front
+ * of a victim's deque (FIFO takes the oldest — typically largest-
+ * remaining — work first). Simulation jobs run for seconds, so the
+ * deques are mutex-guarded rather than lock-free: contention is a few
+ * dozen lock acquisitions per sweep, unmeasurable next to the work.
+ *
+ * The pool imposes *no ordering or affinity semantics*: tasks must be
+ * independent (engine jobs are — each owns its System and RNG), and
+ * result placement is by task index, so output order is deterministic
+ * no matter which worker ran what.
+ */
+
+#ifndef SECMEM_EXP_SCHEDULER_HH
+#define SECMEM_EXP_SCHEDULER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace secmem::exp
+{
+
+class WorkStealingPool
+{
+  public:
+    /** @param threads worker count; 0 picks the hardware concurrency. */
+    explicit WorkStealingPool(unsigned threads);
+
+    /** A task; receives (task index, worker index). */
+    using Task = std::function<void(std::size_t, unsigned)>;
+
+    /**
+     * Run @p count tasks to completion and return. With one worker (or
+     * one task) everything executes inline on the calling thread, in
+     * index order — the serial reference the determinism tests compare
+     * against.
+     */
+    void run(std::size_t count, const Task &task);
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_SCHEDULER_HH

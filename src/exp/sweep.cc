@@ -1,0 +1,114 @@
+#include "exp/sweep.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/log.hh"
+
+namespace secmem::exp
+{
+
+namespace
+{
+const std::string kBaselineLabel = "baseline";
+} // namespace
+
+SchemeSweep::SchemeSweep(Engine &engine, SchemeList schemes,
+                         std::vector<SpecProfile> workloads,
+                         RunLengths lengths, CoreParams core,
+                         SystemParams sys, bool withBaseline)
+    : engine_(engine), schemes_(std::move(schemes)),
+      workloads_(std::move(workloads)), lengths_(lengths), core_(core),
+      sys_(sys), withBaseline_(withBaseline)
+{}
+
+void
+SchemeSweep::run()
+{
+    specs_.clear();
+    index_.clear();
+    for (const SpecProfile &p : workloads_) {
+        if (withBaseline_) {
+            index_[{p.name, kBaselineLabel}] = specs_.size();
+            specs_.push_back(makeJob(kBaselineLabel, p,
+                                     SecureMemConfig::baseline(), lengths_,
+                                     core_, sys_));
+        }
+        for (const auto &[label, cfg] : schemes_) {
+            index_[{p.name, label}] = specs_.size();
+            specs_.push_back(makeJob(label, p, cfg, lengths_, core_, sys_));
+        }
+    }
+    outputs_ = engine_.run(specs_);
+}
+
+const RunOutput &
+SchemeSweep::at(const std::string &workload, const std::string &scheme) const
+{
+    auto it = index_.find({workload, scheme});
+    SECMEM_ASSERT(it != index_.end(), "no sweep cell (%s, %s)",
+                  workload.c_str(), scheme.c_str());
+    SECMEM_ASSERT(!outputs_.empty(), "SchemeSweep::run() not called");
+    return outputs_[it->second];
+}
+
+const RunOutput &
+SchemeSweep::baseline(const std::string &workload) const
+{
+    return at(workload, kBaselineLabel);
+}
+
+double
+SchemeSweep::nipc(const std::string &workload, const std::string &scheme) const
+{
+    return normalizedIpc(at(workload, scheme), baseline(workload));
+}
+
+double
+SchemeSweep::avgNipc(const std::string &scheme) const
+{
+    double sum = 0;
+    for (const SpecProfile &p : workloads_)
+        sum += nipc(p.name, scheme);
+    return workloads_.empty() ? 0.0
+                              : sum / static_cast<double>(workloads_.size());
+}
+
+void
+emitArtifacts(const std::string &outDir, const std::string &figure,
+              const std::string &tableCsv,
+              const std::vector<JobSpec> &specs,
+              const std::vector<RunOutput> &outputs)
+{
+    if (outDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    if (ec) {
+        SECMEM_WARN("cannot create output dir '%s': %s", outDir.c_str(),
+                    ec.message().c_str());
+        return;
+    }
+
+    if (!tableCsv.empty()) {
+        std::ofstream csv(outDir + "/" + figure + ".csv", std::ios::trunc);
+        csv << tableCsv;
+    }
+
+    SECMEM_ASSERT(specs.size() == outputs.size(),
+                  "emitArtifacts: %zu specs vs %zu outputs", specs.size(),
+                  outputs.size());
+    if (specs.empty())
+        return;
+    std::ofstream json(outDir + "/" + figure + ".json", std::ios::trunc);
+    json << "[\n";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        json << "  {\"job\": \"" << specs[i].hash() << "\", \"scheme\": \""
+             << specs[i].scheme << "\", \"result\": "
+             << runOutputToJson(outputs[i]) << "}";
+        json << (i + 1 < specs.size() ? ",\n" : "\n");
+    }
+    json << "]\n";
+}
+
+} // namespace secmem::exp

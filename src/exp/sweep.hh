@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Declarative (scheme x workload) sweeps over the experiment engine,
+ * plus the result emitters.
+ *
+ * SchemeSweep replaces the BaselineCache + normalized-IPC boilerplate
+ * every figure binary used to repeat: it builds one JobSpec per
+ * (workload, scheme) — implicitly adding the unprotected baseline the
+ * figures normalize against — runs them all through the engine in one
+ * batch (so they parallelize and dedup against the result store), and
+ * serves per-cell results, normalized IPC and scheme averages.
+ */
+
+#ifndef SECMEM_EXP_SWEEP_HH
+#define SECMEM_EXP_SWEEP_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/engine.hh"
+
+namespace secmem::exp
+{
+
+/** A labelled configuration column of a sweep. */
+using SchemeList = std::vector<std::pair<std::string, SecureMemConfig>>;
+
+class SchemeSweep
+{
+  public:
+    /**
+     * @param withBaseline also run SecureMemConfig::baseline() per
+     *        workload (required for nipc()/avgNipc()).
+     */
+    SchemeSweep(Engine &engine, SchemeList schemes,
+                std::vector<SpecProfile> workloads, RunLengths lengths,
+                CoreParams core = {}, SystemParams sys = {},
+                bool withBaseline = true);
+
+    /** Execute every job (engine order = workload-major, scheme-minor). */
+    void run();
+
+    const RunOutput &at(const std::string &workload,
+                        const std::string &scheme) const;
+    const RunOutput &baseline(const std::string &workload) const;
+
+    /** IPC of (workload, scheme) normalized to the workload baseline. */
+    double nipc(const std::string &workload,
+                const std::string &scheme) const;
+    /** Average of nipc() over every workload of the sweep. */
+    double avgNipc(const std::string &scheme) const;
+
+    const std::vector<SpecProfile> &workloads() const { return workloads_; }
+    RunLengths lengths() const { return lengths_; }
+
+    /** Specs/outputs in engine order, for the JSON emitter. */
+    const std::vector<JobSpec> &specs() const { return specs_; }
+    const std::vector<RunOutput> &outputs() const { return outputs_; }
+
+  private:
+    Engine &engine_;
+    SchemeList schemes_;
+    std::vector<SpecProfile> workloads_;
+    RunLengths lengths_;
+    CoreParams core_;
+    SystemParams sys_;
+    bool withBaseline_;
+
+    std::vector<JobSpec> specs_;
+    std::vector<RunOutput> outputs_;
+    std::map<std::pair<std::string, std::string>, std::size_t> index_;
+};
+
+/**
+ * Emit one figure's artifacts under @p outDir (created as needed):
+ * <figure>.csv — the rendered table; <figure>.json — the raw per-job
+ * RunOutputs with their spec hashes. Either vector may be empty.
+ */
+void emitArtifacts(const std::string &outDir, const std::string &figure,
+                   const std::string &tableCsv,
+                   const std::vector<JobSpec> &specs,
+                   const std::vector<RunOutput> &outputs);
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_SWEEP_HH

@@ -10,19 +10,46 @@ namespace secmem
 namespace
 {
 
-std::uint64_t
-envCount(const char *name, std::uint64_t fallback)
+/** One environment count, parsed eagerly; set_ records presence. */
+struct EnvCount
 {
-    const char *v = std::getenv(name);
-    if (!v || !*v)
-        return fallback;
-    char *end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || parsed == 0) {
-        SECMEM_WARN("ignoring bad %s='%s'", name, v);
-        return fallback;
+    EnvCount(const char *name, std::uint64_t fallback) : value(fallback)
+    {
+        const char *v = std::getenv(name);
+        if (!v || !*v)
+            return;
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(v, &end, 10);
+        if (end == v || parsed == 0) {
+            SECMEM_WARN("ignoring bad %s='%s'", name, v);
+            return;
+        }
+        value = parsed;
+        fromEnv = true;
     }
-    return parsed;
+
+    std::uint64_t value;
+    bool fromEnv = false;
+};
+
+/**
+ * The environment is sampled once, on first use (thread-safe static
+ * initialization); simulation jobs may then run on any thread without
+ * racing against getenv, and figures pass explicit RunLengths instead
+ * of calling setenv.
+ */
+const EnvCount &
+simEnv()
+{
+    static const EnvCount e("SECMEM_SIM_INSTRS", 800'000);
+    return e;
+}
+
+const EnvCount &
+warmupEnv()
+{
+    static const EnvCount e("SECMEM_WARMUP_INSTRS", 600'000);
+    return e;
 }
 
 double
@@ -36,23 +63,43 @@ ratio(std::uint64_t num, std::uint64_t den)
 std::uint64_t
 simInstructions()
 {
-    return envCount("SECMEM_SIM_INSTRS", 800'000);
+    return simEnv().value;
 }
 
 std::uint64_t
 warmupInstructions()
 {
-    return envCount("SECMEM_WARMUP_INSTRS", 600'000);
+    return warmupEnv().value;
+}
+
+RunLengths
+defaultRunLengths()
+{
+    return {warmupInstructions(), simInstructions()};
+}
+
+RunLengths
+envRunLengths(RunLengths fallback)
+{
+    return {warmupEnv().fromEnv ? warmupEnv().value : fallback.warmup,
+            simEnv().fromEnv ? simEnv().value : fallback.sim};
 }
 
 RunOutput
 runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
             const CoreParams &core, const SystemParams &sys)
 {
+    return runWorkload(profile, cfg, core, sys, defaultRunLengths());
+}
+
+RunOutput
+runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
+            const CoreParams &core, const SystemParams &sys,
+            RunLengths lengths)
+{
     SecureSystem system(cfg, sys);
     SpecWorkload gen(profile);
-    CoreRunResult r =
-        system.run(gen, warmupInstructions(), simInstructions(), core);
+    CoreRunResult r = system.run(gen, lengths.warmup, lengths.sim, core);
 
     SecureMemoryController &ctrl = system.controller();
     const stats::Group &cs = ctrl.stats();

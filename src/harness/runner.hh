@@ -3,10 +3,13 @@
  * Experiment harness: runs (scheme x workload) sweeps and extracts the
  * metrics the paper's tables and figures report.
  *
- * Simulation length is controlled by the SECMEM_SIM_INSTRS and
- * SECMEM_WARMUP_INSTRS environment variables (defaults: 1,000,000
- * measured after 100,000 warm-up — the paper used 1 B after 5 B of
- * fast-forward; see EXPERIMENTS.md for the scaling discussion).
+ * Simulation length defaults come from the SECMEM_SIM_INSTRS and
+ * SECMEM_WARMUP_INSTRS environment variables (defaults: 800,000
+ * measured after 600,000 warm-up — the paper used 1 B after 5 B of
+ * fast-forward; see EXPERIMENTS.md for the scaling discussion). The
+ * environment is read once per process; callers that need different
+ * lengths (figures with lighter sweeps, the src/exp job engine) pass
+ * an explicit RunLengths instead of mutating the environment.
  */
 
 #ifndef SECMEM_HARNESS_RUNNER_HH
@@ -60,15 +63,44 @@ struct RunOutput
     double writebackRatePerSec = 0.0;
 };
 
-/** Measured-instruction count from the environment (default 1M). */
+/** Warm-up + measured instruction budget for one simulation run. */
+struct RunLengths
+{
+    std::uint64_t warmup = 0;
+    std::uint64_t sim = 0;
+
+    bool operator==(const RunLengths &) const = default;
+};
+
+/**
+ * Environment-derived run lengths. The environment variables are read
+ * exactly once per process (the values are cached), so concurrent jobs
+ * never race against getenv/setenv; later setenv calls have no effect.
+ */
 std::uint64_t simInstructions();
-/** Warm-up instruction count from the environment (default 100k). */
 std::uint64_t warmupInstructions();
+
+/** Cached {warmupInstructions(), simInstructions()} pair. */
+RunLengths defaultRunLengths();
+
+/**
+ * Per-field environment override of @p fallback: each count comes from
+ * its (cached) environment variable when that variable was set, and
+ * from @p fallback otherwise. This is how figures with lighter default
+ * sweeps (Figures 5/8/10, the re-encryption ablation) honour a pinned
+ * SECMEM_*_INSTRS without mutating the environment.
+ */
+RunLengths envRunLengths(RunLengths fallback);
 
 /** Run @p profile on a fresh system configured by @p cfg. */
 RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
                       const CoreParams &core = {},
                       const SystemParams &sys = {});
+
+/** Same, with an explicit instruction budget instead of the cached env. */
+RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
+                      const CoreParams &core, const SystemParams &sys,
+                      RunLengths lengths);
 
 /**
  * Run a whole sweep: every profile in @p workloads against @p cfg.

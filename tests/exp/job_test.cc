@@ -1,0 +1,153 @@
+/**
+ * @file
+ * JobSpec canonicalization/hash tests and RunOutput JSON round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/job.hh"
+
+namespace secmem::exp
+{
+namespace
+{
+
+JobSpec
+sampleSpec()
+{
+    return makeJob("Split", profileByName("gzip"), SecureMemConfig::split(),
+                   RunLengths{10'000, 40'000});
+}
+
+TEST(JobSpec, HashIsStableAcrossCalls)
+{
+    JobSpec a = sampleSpec();
+    JobSpec b = sampleSpec();
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(a.hash().size(), 32u);
+    EXPECT_EQ(a.hash().find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+TEST(JobSpec, SchemeLabelIsCosmetic)
+{
+    JobSpec a = sampleSpec();
+    JobSpec b = sampleSpec();
+    b.scheme = "renamed";
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(JobSpec, ConfigChangesChangeTheHash)
+{
+    JobSpec base = sampleSpec();
+
+    JobSpec cache = base;
+    cache.config.ctrCacheBytes = 64 << 10;
+    EXPECT_NE(base.hash(), cache.hash());
+
+    JobSpec mode = base;
+    mode.config.authMode = AuthMode::Safe;
+    EXPECT_NE(base.hash(), mode.hash());
+
+    JobSpec key = base;
+    key.config.dataKey.b[0] ^= 0xff;
+    EXPECT_NE(base.hash(), key.hash());
+}
+
+TEST(JobSpec, InstructionCountsChangeTheHash)
+{
+    JobSpec base = sampleSpec();
+
+    JobSpec sim = base;
+    sim.lengths.sim = 80'000;
+    EXPECT_NE(base.hash(), sim.hash());
+
+    JobSpec warm = base;
+    warm.lengths.warmup = 20'000;
+    EXPECT_NE(base.hash(), warm.hash());
+}
+
+TEST(JobSpec, ProfileAndPlatformChangesChangeTheHash)
+{
+    JobSpec base = sampleSpec();
+
+    JobSpec wl = base;
+    wl.profile = profileByName("mcf");
+    EXPECT_NE(base.hash(), wl.hash());
+
+    JobSpec seed = base;
+    seed.profile.seed ^= 1;
+    EXPECT_NE(base.hash(), seed.hash());
+
+    JobSpec core = base;
+    core.core.robSize = 128;
+    EXPECT_NE(base.hash(), core.hash());
+
+    JobSpec sys = base;
+    sys.sys.l2Bytes = 512 << 10;
+    EXPECT_NE(base.hash(), sys.hash());
+}
+
+TEST(RunOutputJson, RoundTripsEveryField)
+{
+    RunOutput out;
+    out.workload = "mcf";
+    out.scheme = "Split+GCM \"quoted\\\"";
+    out.ipc = 1.234567890123456789;
+    out.instructions = 800'000;
+    out.cycles = 1'234'567;
+    out.simSeconds = 2.469e-4;
+    out.l2MissRate = 0.125;
+    out.ctrHitRate = 0.875;
+    out.ctrHalfMissRate = 0.0625;
+    out.macHitRate = 0.99;
+    out.timelyPadRate = 0.61;
+    out.predRate = 0.93;
+    out.busUtilization = 0.42;
+    out.avgAuthLevels = 2.5;
+    out.writebacks = 4242;
+    out.maxBlockWritebacks = 17;
+    out.freezes = 3;
+    out.pageReencs = 7;
+    out.authFailures = 0;
+    out.reencOnchipFraction = 0.48;
+    out.reencAvgCycles = 5717.0;
+    out.reencAvgConcurrent = 2.9;
+    out.reencRsrStalls = 11;
+    out.reencPageConflicts = 5;
+    out.counterGrowthPerSec = 2169.5;
+    out.writebackRatePerSec = 1e6;
+
+    RunOutput back;
+    ASSERT_TRUE(runOutputFromJson(runOutputToJson(out), &back));
+    EXPECT_EQ(back.workload, out.workload);
+    EXPECT_EQ(back.scheme, out.scheme);
+    EXPECT_EQ(back.ipc, out.ipc); // exact: %.17g round-trips doubles
+    EXPECT_EQ(back.instructions, out.instructions);
+    EXPECT_EQ(back.cycles, out.cycles);
+    EXPECT_EQ(back.simSeconds, out.simSeconds);
+    EXPECT_EQ(back.ctrHalfMissRate, out.ctrHalfMissRate);
+    EXPECT_EQ(back.reencAvgCycles, out.reencAvgCycles);
+    EXPECT_EQ(back.counterGrowthPerSec, out.counterGrowthPerSec);
+    EXPECT_EQ(back.writebackRatePerSec, out.writebackRatePerSec);
+    EXPECT_EQ(back.maxBlockWritebacks, out.maxBlockWritebacks);
+    EXPECT_EQ(back.reencPageConflicts, out.reencPageConflicts);
+    // Full-structure check via re-serialization.
+    EXPECT_EQ(runOutputToJson(back), runOutputToJson(out));
+}
+
+TEST(RunOutputJson, RejectsMalformedInput)
+{
+    RunOutput out;
+    EXPECT_FALSE(runOutputFromJson("", &out));
+    EXPECT_FALSE(runOutputFromJson("{}", &out));
+    EXPECT_FALSE(runOutputFromJson("{\"workload\": \"x\"}", &out));
+    std::string valid = runOutputToJson(RunOutput{});
+    EXPECT_TRUE(runOutputFromJson(valid, &out));
+    EXPECT_FALSE(
+        runOutputFromJson(valid.substr(0, valid.size() / 2), &out));
+}
+
+} // namespace
+} // namespace secmem::exp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ResultStore tests: memory/disk hits, persistence across store
+ * instances (sweep resume), spec-mismatch rejection, and engine-level
+ * caching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "exp/engine.hh"
+#include "exp/result_store.hh"
+
+namespace fs = std::filesystem;
+
+namespace secmem::exp
+{
+namespace
+{
+
+class ResultStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("secmem_store_" +
+                std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    static JobSpec
+    spec(const char *workload = "gzip", std::uint64_t sim = 40'000)
+    {
+        return makeJob("Split", profileByName(workload),
+                       SecureMemConfig::split(), RunLengths{10'000, sim});
+    }
+
+    static RunOutput
+    output(double ipc)
+    {
+        RunOutput out;
+        out.workload = "gzip";
+        out.scheme = "Split";
+        out.ipc = ipc;
+        out.instructions = 40'000;
+        return out;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(ResultStoreTest, MemoryOnlyPutLookup)
+{
+    ResultStore store; // no dir
+    RunOutput out;
+    EXPECT_FALSE(store.lookup(spec(), &out));
+    EXPECT_EQ(store.misses(), 1u);
+
+    store.put(spec(), output(1.5));
+    ASSERT_TRUE(store.lookup(spec(), &out));
+    EXPECT_EQ(out.ipc, 1.5);
+    EXPECT_EQ(store.memoryHits(), 1u);
+    EXPECT_FALSE(fs::exists(dir_)); // nothing persisted
+}
+
+TEST_F(ResultStoreTest, PersistsAcrossStoreInstances)
+{
+    {
+        ResultStore store(dir_.string());
+        store.put(spec(), output(2.25));
+    }
+    // A fresh store (fresh process, conceptually) resumes from disk.
+    ResultStore store(dir_.string());
+    RunOutput out;
+    ASSERT_TRUE(store.lookup(spec(), &out));
+    EXPECT_EQ(out.ipc, 2.25);
+    EXPECT_EQ(store.diskHits(), 1u);
+    EXPECT_EQ(store.memoryHits(), 0u);
+    // Second lookup is served from memory.
+    ASSERT_TRUE(store.lookup(spec(), &out));
+    EXPECT_EQ(store.memoryHits(), 1u);
+}
+
+TEST_F(ResultStoreTest, DifferentSpecsDoNotCollide)
+{
+    ResultStore store(dir_.string());
+    store.put(spec("gzip"), output(1.0));
+
+    RunOutput out;
+    EXPECT_FALSE(store.lookup(spec("mcf"), &out));
+    EXPECT_FALSE(store.lookup(spec("gzip", 80'000), &out));
+
+    JobSpec bigger_cache = spec();
+    bigger_cache.config.ctrCacheBytes = 128 << 10;
+    EXPECT_FALSE(store.lookup(bigger_cache, &out));
+
+    ASSERT_TRUE(store.lookup(spec(), &out));
+    EXPECT_EQ(out.ipc, 1.0);
+}
+
+TEST_F(ResultStoreTest, RejectsEntryWithMismatchedSpec)
+{
+    ResultStore writer(dir_.string());
+    writer.put(spec(), output(1.0));
+
+    // Corrupt the stored spec line: a hash collision / stale format
+    // must rerun, not return the wrong result.
+    fs::path file;
+    for (const auto &e : fs::directory_iterator(dir_))
+        file = e.path();
+    ASSERT_FALSE(file.empty());
+    std::string json;
+    {
+        std::ifstream in(file);
+        std::string specline;
+        std::getline(in, specline);
+        std::getline(in, json);
+    }
+    {
+        std::ofstream outf(file, std::ios::trunc);
+        outf << "secmem-job-v0;tampered;\n" << json << '\n';
+    }
+
+    ResultStore reader(dir_.string());
+    RunOutput out;
+    EXPECT_FALSE(reader.lookup(spec(), &out));
+    EXPECT_EQ(reader.misses(), 1u);
+}
+
+TEST_F(ResultStoreTest, EngineSecondRunSimulatesNothing)
+{
+    std::vector<JobSpec> specs = {spec("gzip"), spec("mcf")};
+
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.storeDir = dir_.string();
+    Engine first(opts);
+    std::vector<RunOutput> a = first.run(specs);
+    EXPECT_EQ(first.executed(), 2u);
+    EXPECT_EQ(first.cached(), 0u);
+
+    // Same sweep, fresh engine: everything resumes from disk.
+    Engine second(opts);
+    std::vector<RunOutput> b = second.run(specs);
+    EXPECT_EQ(second.executed(), 0u);
+    EXPECT_EQ(second.cached(), 2u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(runOutputToJson(a[i]), runOutputToJson(b[i]));
+}
+
+TEST_F(ResultStoreTest, EngineDedupsIdenticalSpecsWithinABatch)
+{
+    // Same config under two labels (Figure 8/10's "default" rows).
+    JobSpec a = spec();
+    JobSpec b = spec();
+    b.scheme = "Split/default";
+
+    EngineOptions opts;
+    opts.jobs = 1;
+    Engine engine(opts);
+    std::vector<RunOutput> outs = engine.run({a, b});
+    EXPECT_EQ(engine.executed(), 1u);
+    EXPECT_EQ(engine.cached(), 1u);
+    EXPECT_EQ(runOutputToJson(outs[0]), runOutputToJson(outs[1]));
+}
+
+} // namespace
+} // namespace secmem::exp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * WorkStealingPool tests and the engine determinism guarantee: a
+ * 4-thread sweep must produce RunOutputs identical to the same sweep
+ * run serially.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/scheduler.hh"
+
+namespace secmem::exp
+{
+namespace
+{
+
+TEST(WorkStealingPool, SerialPoolRunsInIndexOrder)
+{
+    WorkStealingPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+
+    std::vector<std::size_t> order;
+    pool.run(8, [&](std::size_t index, unsigned worker) {
+        EXPECT_EQ(worker, 0u);
+        order.push_back(index);
+    });
+    ASSERT_EQ(order.size(), 8u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce)
+{
+    WorkStealingPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    constexpr std::size_t kTasks = 64;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.run(kTasks, [&](std::size_t index, unsigned worker) {
+        EXPECT_LT(worker, 4u);
+        // Uneven durations force stealing across the round-robin
+        // initial distribution.
+        if (index % 7 == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        hits[index].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(WorkStealingPool, HandlesFewerTasksThanWorkers)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> ran{0};
+    pool.run(1, [&](std::size_t, unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+    pool.run(0, [&](std::size_t, unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkStealingPool, ZeroThreadsPicksAPositiveCount)
+{
+    WorkStealingPool pool(0);
+    EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(EngineDeterminism, ParallelSweepMatchesSerialBitForBit)
+{
+    // A small but real sweep: 3 workloads x {baseline, Split}.
+    const RunLengths lengths{10'000, 20'000};
+    std::vector<JobSpec> specs;
+    for (const char *wl : {"gzip", "mcf", "twolf"}) {
+        specs.push_back(makeJob("baseline", profileByName(wl),
+                                SecureMemConfig::baseline(), lengths));
+        specs.push_back(makeJob("Split", profileByName(wl),
+                                SecureMemConfig::split(), lengths));
+    }
+
+    EngineOptions serialOpts;
+    serialOpts.jobs = 1;
+    Engine serial(serialOpts);
+    std::vector<RunOutput> a = serial.run(specs);
+    EXPECT_EQ(serial.executed(), specs.size());
+
+    EngineOptions parallelOpts;
+    parallelOpts.jobs = 4;
+    Engine parallel(parallelOpts);
+    std::vector<RunOutput> b = parallel.run(specs);
+    EXPECT_EQ(parallel.executed(), specs.size());
+
+    ASSERT_EQ(a.size(), specs.size());
+    ASSERT_EQ(b.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        // The JSON encoding covers every metric at full precision, so
+        // string equality is bit-identity over the whole RunOutput.
+        EXPECT_EQ(runOutputToJson(a[i]), runOutputToJson(b[i]))
+            << specs[i].scheme << " on " << specs[i].profile.name;
+    }
+}
+
+} // namespace
+} // namespace secmem::exp

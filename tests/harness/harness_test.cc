@@ -16,28 +16,51 @@ namespace secmem
 namespace
 {
 
-class HarnessEnv : public ::testing::Test
-{
-  protected:
-    void
-    SetUp() override
-    {
-        setenv("SECMEM_SIM_INSTRS", "40000", 1);
-        setenv("SECMEM_WARMUP_INSTRS", "10000", 1);
-    }
+// Pin the instruction-count environment before main() runs: the
+// harness samples these variables exactly once per process, so they
+// must be in place before the first simInstructions() call.
+const bool kEnvPinned = [] {
+    setenv("SECMEM_SIM_INSTRS", "40000", 1);
+    setenv("SECMEM_WARMUP_INSTRS", "10000", 1);
+    return true;
+}();
 
-    void
-    TearDown() override
-    {
-        unsetenv("SECMEM_SIM_INSTRS");
-        unsetenv("SECMEM_WARMUP_INSTRS");
-    }
-};
+using HarnessEnv = ::testing::Test;
 
 TEST_F(HarnessEnv, EnvControlsInstructionCounts)
 {
     EXPECT_EQ(simInstructions(), 40000u);
     EXPECT_EQ(warmupInstructions(), 10000u);
+    EXPECT_EQ(defaultRunLengths(), (RunLengths{10000, 40000}));
+}
+
+TEST_F(HarnessEnv, EnvIsReadOnceAndCached)
+{
+    std::uint64_t sim = simInstructions();
+    std::uint64_t warm = warmupInstructions();
+    // Later environment changes must not leak into running sweeps.
+    setenv("SECMEM_SIM_INSTRS", "999999", 1);
+    setenv("SECMEM_WARMUP_INSTRS", "888888", 1);
+    EXPECT_EQ(simInstructions(), sim);
+    EXPECT_EQ(warmupInstructions(), warm);
+    setenv("SECMEM_SIM_INSTRS", "40000", 1);
+    setenv("SECMEM_WARMUP_INSTRS", "10000", 1);
+}
+
+TEST_F(HarnessEnv, EnvRunLengthsPrefersSetVariables)
+{
+    // Both variables are set in this process, so the fallback loses.
+    RunLengths r = envRunLengths({123, 456});
+    EXPECT_EQ(r.warmup, 10000u);
+    EXPECT_EQ(r.sim, 40000u);
+}
+
+TEST_F(HarnessEnv, ExplicitRunLengthsOverrideEnvironment)
+{
+    RunOutput out = runWorkload(profileByName("gzip"),
+                                SecureMemConfig::split(), {}, {},
+                                RunLengths{5000, 20000});
+    EXPECT_EQ(out.instructions, 20000u);
 }
 
 TEST_F(HarnessEnv, RunWorkloadFillsMetrics)
