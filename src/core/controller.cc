@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "crypto/seed.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -48,6 +50,43 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     SECMEM_ASSERT(!(cfg_.auth == AuthKind::Gcm && cfg_.enc == EncKind::Direct),
                   "GCM authentication requires a counter-based layout");
     hashSubkey_ = dataAes_.encrypt(Block16{});
+
+    // Pre-register the headline counters so every configuration dumps a
+    // uniform stat set (e.g. ghash_chunks stays visible, at 0, for
+    // encryption-only runs that never compute a tag).
+    stats_.counter("reads");
+    stats_.counter("writes");
+    stats_.counter("ctr_fetches");
+    stats_.counter("ctr_halfmiss");
+    stats_.counter("mac_fetches");
+    stats_.counter("pad_total");
+    stats_.counter("pad_timely");
+    stats_.counter("pred_total");
+    stats_.counter("pred_hits");
+    stats_.counter("page_reencs");
+    stats_.counter("freezes");
+    stats_.counter("ghash_chunks");
+    stats_.counter("sha1_blocks");
+    stats_.counter("auth_failures");
+}
+
+void
+SecureMemoryController::registerStats(obs::StatRegistry &reg)
+{
+    reg.add("ctrl", stats_);
+    reg.add("ctrcache", ctrCache_.stats());
+    reg.add("maccache", macCache_.stats());
+    reg.add("derivcache", derivCache_.stats());
+    reg.add("aes", aes_.stats());
+    reg.add("sha1", sha_.stats());
+    reg.add("bus", channel_.bus().stats());
+    reg.add("dram", channel_.stats());
+    reg.add("dram.store", dram_.stats());
+
+    reg.addRatio("ctrcache.hit_rate", "ctrcache.hits", "ctrcache.accesses");
+    reg.addRatio("maccache.hit_rate", "maccache.hits", "maccache.accesses");
+    reg.addRatio("ctrl.pad_timely_rate", "ctrl.pad_timely", "ctrl.pad_total");
+    reg.addRatio("ctrl.pred_rate", "ctrl.pred_hits", "ctrl.pred_total");
 }
 
 // --------------------------------------------------------------------------
@@ -222,11 +261,14 @@ SecureMemoryController::nodeTag(const NodeRef &node, const Block64 &content,
                                 std::uint8_t epoch) const
 {
     if (cfg_.auth == AuthKind::Gcm) {
+        // GHASH absorbs the 4 ciphertext chunks plus the length block.
+        stats_.counter("ghash_chunks").inc(kChunksPerBlock + 1);
         return clipTag(
             gcmBlockTag(dataAes_, hashSubkey_, content, node.addr, counter,
                         static_cast<std::uint8_t>(cfg_.aivByte ^ epoch)),
             cfg_.macBits);
     }
+    stats_.counter("sha1_blocks").inc();
     return clipTag(sha1BlockTag(cfg_.macKey, content, node.addr, counter,
                                 epoch),
                    cfg_.macBits);
@@ -549,6 +591,10 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
 
     stats_.sample("auth_walk_levels").record(
         static_cast<double>(levels_walked));
+    if (trace_) {
+        trace_->complete("auth", "merkle_walk", issue, auth_done,
+                         {{"addr", node.addr}, {"levels", levels_walked}});
+    }
     return auth_done;
 }
 
@@ -783,6 +829,10 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
         }
         acc.authDone = acc.ready;
         acc.hit = !acc.halfMiss;
+        if (trace_) {
+            trace_->instant("ctr", acc.halfMiss ? "ctr_halfmiss" : "ctr_hit",
+                            now, {{"addr", ctr_addr}});
+        }
         return acc;
     }
 
@@ -813,6 +863,8 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
         writebackMetaBlock(ev.addr, ev.data, now);
     inflight_[ctr_addr] = arrive;
     acc.line = ctrCache_.peek(ctr_addr);
+    if (trace_)
+        trace_->complete("ctr", "ctr_fetch", now, arrive, {{"addr", ctr_addr}});
     return acc;
 }
 
@@ -983,6 +1035,12 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
     free_rsr->page = page;
     free_rsr->freeAt = last_done;
     free_rsr->blockReady = std::move(block_ready);
+    if (trace_) {
+        trace_->complete("reenc", "page_reenc", start, last_done,
+                         {{"page", page},
+                          {"onchip", onchip},
+                          {"offchip", offchip}});
+    }
     return start;
 }
 
@@ -1048,6 +1106,12 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
             stats_.counter("tamper_recoveries").inc();
     }
     finishAccess(timing.authOk, timing.authDone);
+    if (trace_) {
+        trace_->complete("mem", "read", now, timing.dataReady,
+                         {{"addr", blockBase(addr)},
+                          {"auth_done", timing.authDone},
+                          {"auth_ok", timing.authOk ? 1 : 0}});
+    }
     return timing;
 }
 
@@ -1104,6 +1168,13 @@ SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
         stats_.counter("pad_total").inc();
         if (pad <= arrive)
             stats_.counter("pad_timely").inc();
+        if (trace_) {
+            // Pad generation vs. data fetch overlap: timely == the pad
+            // was ready when the ciphertext arrived (latency hidden).
+            trace_->complete("gcm", "pad_gen", ctr_ready, pad,
+                             {{"addr", base},
+                              {"timely", pad <= arrive ? 1 : 0}});
+        }
         timing.dataReady = std::max(arrive, pad) + 1;
         if (out)
             *out = decryptData(base, ct, ctr, epochOf(base));
@@ -1121,6 +1192,12 @@ SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
         stats_.counter("pad_total").inc();
         if (pad <= arrive)
             stats_.counter("pad_timely").inc();
+        if (trace_) {
+            trace_->complete("gcm", "pad_gen", now, pad,
+                             {{"addr", base},
+                              {"timely", pad <= arrive ? 1 : 0},
+                              {"predicted", pr.predicted ? 1 : 0}});
+        }
         timing.dataReady = std::max(arrive, pad) + 1;
         if (out)
             *out = decryptData(base, ct, ctr, 0);
@@ -1163,6 +1240,10 @@ SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
     // fetches the write performs; no refetch retry is attempted because
     // the counter increment has already been applied on-chip.
     finishAccess(!cur_.valid, done);
+    if (trace_) {
+        trace_->complete("mem", "write", now, done,
+                         {{"addr", blockBase(addr)}});
+    }
     return done;
 }
 

@@ -57,6 +57,12 @@
 namespace secmem
 {
 
+namespace obs
+{
+class StatRegistry;
+class TraceSink;
+} // namespace obs
+
 /** Completion times of an L2-miss fill. */
 struct AccessTiming
 {
@@ -157,6 +163,21 @@ class SecureMemoryController
     void flushCtrCache();
 
     // ---- statistics -----------------------------------------------------
+    /**
+     * Register every controller-side stats group (and derived rates)
+     * under its canonical dotted path: ctrl, ctrcache, maccache,
+     * derivcache, aes, sha1, bus, dram (channel traffic), dram.store
+     * (functional-store integrity counters).
+     */
+    void registerStats(obs::StatRegistry &reg);
+
+    /**
+     * Attach (or detach with nullptr) an event-trace sink. Costs one
+     * pointer test per instrumented site when detached; never affects
+     * simulated timing.
+     */
+    void setTraceSink(obs::TraceSink *sink) { trace_ = sink; }
+
     stats::Group &stats() { return stats_; }
     Cache &ctrCache() { return ctrCache_; }
     Cache &macCache() { return macCache_; }
@@ -403,7 +424,9 @@ class SecureMemoryController
     std::unordered_map<Addr, std::uint64_t> predCtr_;
     std::unordered_map<Addr, std::uint64_t> predBase_;
 
-    stats::Group stats_;
+    /** mutable: nodeTag() is const but counts GHASH/SHA-1 work. */
+    mutable stats::Group stats_;
+    obs::TraceSink *trace_ = nullptr;
     unsigned updateDepth_ = 0; ///< recursion guard for tree updates
 };
 

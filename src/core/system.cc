@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -140,8 +141,23 @@ SecureSystem::run(WorkloadGenerator &gen, std::uint64_t warmup,
                   std::uint64_t measured, const CoreParams &core_params,
                   Tick start_tick)
 {
-    OooCore core(core_params, *this, ctrl_.config().authMode);
+    OooCore core(core_params, *this, ctrl_.config().authMode, &cpuStats_);
     return core.run(gen, warmup, measured, start_tick);
+}
+
+void
+SecureSystem::registerStats(obs::StatRegistry &reg)
+{
+    reg.add("system", stats_);
+    reg.add("cpu", cpuStats_);
+    reg.add("l1d", l1_.stats());
+    reg.add("l2", l2_.stats());
+    ctrl_.registerStats(reg);
+
+    reg.addRatio("l1d.hit_rate", "l1d.hits", "l1d.accesses");
+    reg.addRatio("l2.hit_rate", "l2.hits", "l2.accesses");
+    reg.addRatio("l2.miss_rate", "l2.misses", "l2.accesses");
+    reg.addRatio("cpu.ipc", "cpu.instructions", "cpu.cycles");
 }
 
 void

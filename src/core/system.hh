@@ -62,6 +62,16 @@ class SecureSystem : public MemorySystem
     /** L2 demand miss rate over the run so far. */
     double l2MissRate() const;
 
+    /**
+     * Register every stats group in the machine — caches, CPU, system
+     * request counters, and the whole controller hierarchy — plus the
+     * derived rates (l1d/l2 hit rates, l2.miss_rate, cpu.ipc).
+     */
+    void registerStats(obs::StatRegistry &reg);
+
+    /** Attach (or detach) an event-trace sink; forwarded below L2. */
+    void setTraceSink(obs::TraceSink *sink) { ctrl_.setTraceSink(sink); }
+
     /** Dump every statistics group (caches, engines, bus, controller). */
     void dumpStats(std::ostream &os) const;
 
@@ -85,6 +95,8 @@ class SecureSystem : public MemorySystem
     std::unordered_map<Addr, Pending> l2Inflight_;
 
     stats::Group stats_;
+    /** Core counters, accumulated across run() calls (see OooCore). */
+    stats::Group cpuStats_{"cpu"};
 };
 
 } // namespace secmem

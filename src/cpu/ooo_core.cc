@@ -31,6 +31,7 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
 
     // Last load's completion (for dependence chains).
     Tick lastLoadComplete = 0;
+    Tick robStallCycles = 0;
     // Outstanding L2-miss completion times (MSHR occupancy).
     std::vector<Tick> outstanding;
 
@@ -99,7 +100,9 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
         // Advance time. When blocked on the ROB head, jump straight to
         // its retirement tick instead of idling cycle by cycle.
         if (n_retired == 0 && n_dispatched == 0 && !rob.empty()) {
-            cycle = std::max(cycle + 1, rob.front().retireAt);
+            Tick next = std::max(cycle + 1, rob.front().retireAt);
+            robStallCycles += next - cycle;
+            cycle = next;
         } else {
             ++cycle;
         }
@@ -112,6 +115,15 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
                         static_cast<double>(res.cycles)
                   : 0.0;
     res.finalTick = cycle;
+
+    if (stats_) {
+        stats_->counter("instructions").inc(res.instructions);
+        stats_->counter("cycles").inc(res.cycles);
+        stats_->counter("loads").inc(res.loads);
+        stats_->counter("stores").inc(res.stores);
+        stats_->counter("l2_misses").inc(res.l2Misses);
+        stats_->counter("rob_stall_cycles").inc(robStallCycles);
+    }
     return res;
 }
 

@@ -58,8 +58,14 @@ struct CoreRunResult
 class OooCore
 {
   public:
-    OooCore(const CoreParams &params, MemorySystem &mem, AuthMode mode)
-        : params_(params), mem_(mem), mode_(mode)
+    /**
+     * @p stats, when non-null, accumulates per-run core counters
+     * (instructions, cycles, loads, stores, l2_misses, rob_stall_cycles)
+     * across every run() call; it is never touched on the per-cycle path.
+     */
+    OooCore(const CoreParams &params, MemorySystem &mem, AuthMode mode,
+            stats::Group *stats = nullptr)
+        : params_(params), mem_(mem), mode_(mode), stats_(stats)
     {}
 
     /**
@@ -75,6 +81,7 @@ class OooCore
     CoreParams params_;
     MemorySystem &mem_;
     AuthMode mode_;
+    stats::Group *stats_;
 };
 
 } // namespace secmem

@@ -5,6 +5,9 @@
 #include <map>
 #include <mutex>
 
+#include "obs/trace.hh"
+#include "sim/log.hh"
+
 namespace secmem::exp
 {
 
@@ -132,18 +135,33 @@ Engine::run(const std::vector<JobSpec> &specs)
 
     Progress progress(pending.size(), pool_.threads(), opts_.progress);
 
+    // Tracing: the first actually-simulated job (pending index 0, a
+    // deterministic choice) carries the sink. Each job owns its system,
+    // so the trace content is identical under --jobs 1 and --jobs N.
+    obs::TraceSink traceSink;
+    const bool tracing = !opts_.traceFile.empty();
+
     pool_.run(pending.size(), [&](std::size_t idx, unsigned worker) {
         const JobSpec &spec = specs[pending[idx].specIndex];
         progress.began(worker, spec);
-        RunOutput out = runJob(spec);
+        obs::TraceSink *sink = tracing && idx == 0 ? &traceSink : nullptr;
+        RunOutput out = runJob(spec, sink);
         store_.put(spec, out);
         for (std::size_t target : pending[idx].targets)
             results[target] = out;
         progress.finished(worker);
     });
 
+    if (tracing && !traceSink.writeChromeJsonFile(opts_.traceFile))
+        SECMEM_WARN("cannot write trace file '%s'", opts_.traceFile.c_str());
+
     executed_ += pending.size();
     progress.close(cached_);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        history_.push_back({specs[i].profile.name, specs[i].scheme,
+                            specs[i].hash(), results[i].statsJson});
+    }
     return results;
 }
 

@@ -39,6 +39,13 @@ struct EngineOptions
     std::string storeDir;
     /** Emit live progress lines to stderr. */
     bool progress = false;
+    /**
+     * When non-empty, write a Chrome trace-event JSON of the first
+     * actually-simulated job of each run() call here (later runs
+     * overwrite). Tracing is an observation: the traced job's RunOutput
+     * is bit-identical to an untraced run's.
+     */
+    std::string traceFile;
 };
 
 class Engine
@@ -60,12 +67,29 @@ class Engine
     /** Jobs served from the result store (lifetime). */
     std::uint64_t cached() const { return cached_; }
 
+    /** One completed job, for per-job stat dumps (--stats-out). */
+    struct JobRecord
+    {
+        std::string workload;
+        std::string scheme;
+        std::string hash;      ///< JobSpec::hash() of the spec
+        std::string statsJson; ///< hierarchical dump; may be empty for
+                               ///< records cached before observability
+    };
+
+    /**
+     * Every job completed by this engine, in spec order, accumulated
+     * across run() calls (cached and fresh alike).
+     */
+    const std::vector<JobRecord> &history() const { return history_; }
+
   private:
     EngineOptions opts_;
     ResultStore store_;
     WorkStealingPool pool_;
     std::uint64_t executed_ = 0;
     std::uint64_t cached_ = 0;
+    std::vector<JobRecord> history_;
 };
 
 } // namespace secmem::exp

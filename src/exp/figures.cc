@@ -5,13 +5,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include <unistd.h>
 
 #include "core/controller.hh"
 #include "core/system.hh"
 #include "harness/table.hh"
+#include "obs/registry.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -793,8 +796,11 @@ struct CliOptions
     std::string filter;
     std::string outDir;
     std::string storeDir;
+    std::string statsOut;  ///< per-job stats JSON file, "-" = stdout
+    std::string traceFile; ///< Chrome trace of the first simulated job
     bool smoke = false;
     bool list = false;
+    bool listStats = false;
     int progress = -1; ///< -1 auto (stderr tty), 0 off, 1 on
     RunLengths cliLengths{};
 };
@@ -807,9 +813,11 @@ usage(const char *argv0, bool unified)
         "usage: %s%s [--jobs N] [--filter SUBSTR] [--smoke]\n"
         "          [--out DIR] [--store DIR] [--no-store]\n"
         "          [--sim-instrs N] [--warmup-instrs N]\n"
+        "          [--stats-out FILE|-] [--trace FILE]\n"
         "          [--progress] [--no-progress]\n\n",
         argv0,
-        unified ? " [--figure NAME]... [--all] [--list]" : "");
+        unified ? " [--figure NAME]... [--all] [--list] [--list-stats]"
+                : "");
     std::fprintf(stderr, "figures:\n");
     for (const Figure &f : figures())
         std::fprintf(stderr, "  %-10s %s\n", f.name, f.title);
@@ -842,6 +850,12 @@ parseCli(int argc, char **argv, bool unified)
                 opts.figureNames.push_back(f.name);
         } else if (unified && arg == "--list") {
             opts.list = true;
+        } else if (unified && arg == "--list-stats") {
+            opts.listStats = true;
+        } else if (arg == "--stats-out") {
+            opts.statsOut = value();
+        } else if (arg == "--trace") {
+            opts.traceFile = value();
         } else if (arg == "--jobs") {
             opts.jobs = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 0));
@@ -872,6 +886,63 @@ parseCli(int argc, char **argv, bool unified)
     return opts;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** {"jobs": [{workload, scheme, hash, stats}, ...]} from the history. */
+int
+writeStatsOut(const Engine &engine, const std::string &path)
+{
+    std::ostringstream os;
+    os << "{\"jobs\": [";
+    bool first = true;
+    for (const Engine::JobRecord &rec : engine.history()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"workload\": \"" << jsonEscape(rec.workload)
+           << "\", \"scheme\": \"" << jsonEscape(rec.scheme)
+           << "\", \"hash\": \"" << rec.hash << "\", \"stats\": "
+           << (rec.statsJson.empty() ? "null" : rec.statsJson) << "}";
+    }
+    os << "\n]}\n";
+
+    if (path == "-") {
+        std::fputs(os.str().c_str(), stdout);
+        return 0;
+    }
+    std::ofstream f(path, std::ios::binary);
+    f << os.str();
+    if (!f) {
+        std::fprintf(stderr, "cannot write stats file '%s'\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** All stat paths of a representative system (--list-stats). */
+int
+listStats()
+{
+    // A small Split+GCM machine exposes the full hierarchy: counter and
+    // MAC caches, both crypto engines, the tree walk and the RSRs.
+    SecureSystem system(smallMem(SecureMemConfig::splitGcm()));
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+    for (const std::string &line : reg.statNames())
+        std::printf("%s\n", line.c_str());
+    return 0;
+}
+
 int
 runFigures(const CliOptions &opts)
 {
@@ -898,6 +969,7 @@ runFigures(const CliOptions &opts)
     eopts.jobs = opts.jobs;
     eopts.storeDir = opts.storeDir;
     eopts.progress = opts.progress == -1 ? isatty(2) : opts.progress;
+    eopts.traceFile = opts.traceFile;
     Engine engine(eopts);
 
     bool first = true;
@@ -926,6 +998,9 @@ runFigures(const CliOptions &opts)
                          ? engine.store().dir().c_str()
                          : "");
     }
+
+    if (!opts.statsOut.empty())
+        return writeStatsOut(engine, opts.statsOut);
     return 0;
 }
 
@@ -940,6 +1015,8 @@ benchMain(int argc, char **argv)
             std::printf("%-10s %s\n", f.name, f.title);
         return 0;
     }
+    if (opts.listStats)
+        return listStats();
     if (opts.figureNames.empty())
         usage(argv[0], /*unified=*/true);
     return runFigures(opts);

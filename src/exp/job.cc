@@ -160,10 +160,10 @@ makeJob(std::string scheme, const SpecProfile &profile,
 }
 
 RunOutput
-runJob(const JobSpec &spec)
+runJob(const JobSpec &spec, obs::TraceSink *trace)
 {
     return runWorkload(spec.profile, spec.config, spec.core, spec.sys,
-                       spec.lengths);
+                       spec.lengths, trace);
 }
 
 namespace
@@ -285,6 +285,10 @@ runOutputToJson(const RunOutput &out)
     os << ", \"" #f "\": " << fmtExact(out.f);
     SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_EMIT_DOUBLE)
 #undef SECMEM_EMIT_DOUBLE
+    // The hierarchical stat dump is already a JSON object; embed it
+    // verbatim, last, so flat-field parsing never hits its keys first.
+    if (!out.statsJson.empty())
+        os << ", \"stats\": " << out.statsJson;
     os << '}';
     return os.str();
 }
@@ -306,6 +310,25 @@ runOutputFromJson(const std::string &json, RunOutput *out)
         return false;
     SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_PARSE_DOUBLE)
 #undef SECMEM_PARSE_DOUBLE
+    // Optional (absent in pre-observability records): the embedded
+    // stats object, extracted as its balanced-brace substring. Stat
+    // names never contain braces, so a depth count suffices.
+    if (const char *p = findValue(json, "stats")) {
+        if (*p != '{')
+            return false;
+        const char *q = p;
+        int depth = 0;
+        do {
+            if (*q == '{')
+                ++depth;
+            else if (*q == '}')
+                --depth;
+            ++q;
+        } while (depth > 0 && *q);
+        if (depth != 0)
+            return false;
+        r.statsJson.assign(p, q);
+    }
     *out = r;
     return true;
 }

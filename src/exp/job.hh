@@ -54,10 +54,17 @@ JobSpec makeJob(std::string scheme, const SpecProfile &profile,
                 const SecureMemConfig &config, RunLengths lengths,
                 const CoreParams &core = {}, const SystemParams &sys = {});
 
-/** Execute one job (fresh system + generator; deterministic). */
-RunOutput runJob(const JobSpec &spec);
+/**
+ * Execute one job (fresh system + generator; deterministic). @p trace,
+ * when non-null, collects the run's cycle-level events (observation
+ * only — a traced job produces the same RunOutput as an untraced one).
+ */
+RunOutput runJob(const JobSpec &spec, obs::TraceSink *trace = nullptr);
 
-/** Serialize a RunOutput as a flat JSON object. */
+/**
+ * Serialize a RunOutput as a flat JSON object (plus a trailing nested
+ * "stats" object when the run captured one).
+ */
 std::string runOutputToJson(const RunOutput &out);
 
 /**

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -95,9 +97,11 @@ runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
 RunOutput
 runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
             const CoreParams &core, const SystemParams &sys,
-            RunLengths lengths)
+            RunLengths lengths, obs::TraceSink *trace)
 {
     SecureSystem system(cfg, sys);
+    if (trace)
+        system.setTraceSink(trace);
     SpecWorkload gen(profile);
     CoreRunResult r = system.run(gen, lengths.warmup, lengths.sim, core);
 
@@ -151,6 +155,10 @@ runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
         out.writebackRatePerSec =
             static_cast<double>(out.writebacks) / out.simSeconds;
     }
+
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+    out.statsJson = reg.jsonString();
     return out;
 }
 

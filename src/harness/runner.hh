@@ -61,6 +61,14 @@ struct RunOutput
     double counterGrowthPerSec = 0.0;
     /** Global-counter (total write-back) rate per second (Table 2). */
     double writebackRatePerSec = 0.0;
+
+    /**
+     * Full hierarchical stat dump of the run's system, as the JSON
+     * object produced by obs::StatRegistry::dumpJson (counter-cache
+     * hits/misses, re-encryption counts, DRAM traffic, GHASH chunks,
+     * ...). Purely an observation — never feeds back into timing.
+     */
+    std::string statsJson;
 };
 
 /** Warm-up + measured instruction budget for one simulation run. */
@@ -97,10 +105,14 @@ RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
                       const CoreParams &core = {},
                       const SystemParams &sys = {});
 
-/** Same, with an explicit instruction budget instead of the cached env. */
+/**
+ * Same, with an explicit instruction budget instead of the cached env.
+ * @p trace, when non-null, collects cycle-level events from the secure
+ * memory controller (see obs::TraceSink); tracing never changes timing.
+ */
 RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
                       const CoreParams &core, const SystemParams &sys,
-                      RunLengths lengths);
+                      RunLengths lengths, obs::TraceSink *trace = nullptr);
 
 /**
  * Run a whole sweep: every profile in @p workloads against @p cfg.

@@ -113,7 +113,8 @@ class MemChannel
 {
   public:
     explicit MemChannel(const MemTimingParams &params = {})
-        : params_(params), addrBus_(params), dataBus_(params)
+        : params_(params), addrBus_(params), dataBus_(params),
+          stats_("dram_channel")
     {}
 
     /**
@@ -123,6 +124,8 @@ class MemChannel
     Tick
     readTiming(Tick when, std::uint32_t bytes)
     {
+        stats_.counter("reads").inc();
+        stats_.counter("read_bytes").inc(bytes);
         // Command on the address channel.
         Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
         // DRAM access below the bus, then the data transfer back.
@@ -133,6 +136,8 @@ class MemChannel
     Tick
     writeTiming(Tick when, std::uint32_t bytes)
     {
+        stats_.counter("writes").inc();
+        stats_.counter("write_bytes").inc(bytes);
         Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
         return dataBus_.acquire(req_done, bytes);
     }
@@ -147,17 +152,23 @@ class MemChannel
     Bus &bus() { return dataBus_; }
     const MemTimingParams &params() const { return params_; }
 
+    /** Off-chip traffic counters: reads/writes and bytes each way. */
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
     void
     reset()
     {
         addrBus_.reset();
         dataBus_.reset();
+        stats_.reset();
     }
 
   private:
     MemTimingParams params_;
     Bus addrBus_;
     Bus dataBus_;
+    stats::Group stats_;
 };
 
 } // namespace secmem

@@ -20,6 +20,16 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     sets_.resize(n_sets);
     for (auto &set : sets_)
         set.ways.resize(assoc);
+
+    // Pre-register the core counters so every cache dumps a uniform set
+    // of stats even when a run never exercises some of them.
+    stats_.counter("accesses");
+    stats_.counter("hits");
+    stats_.counter("misses");
+    stats_.counter("writes");
+    stats_.counter("evictions");
+    stats_.counter("writebacks");
+    stats_.counter("fills");
 }
 
 std::size_t

@@ -1,0 +1,271 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace secmem::obs
+{
+
+namespace
+{
+
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    char prev = '.';
+    for (char c : path) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '.';
+        if (!ok || (c == '.' && prev == '.'))
+            return false;
+        prev = c;
+    }
+    return true;
+}
+
+std::string
+fmtExact(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtShort(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/**
+ * JSON tree assembled from dotted paths: interior nodes are objects,
+ * leaves carry a pre-serialized JSON value. Insertion order within an
+ * object is lexicographic (std::map), so dumps are deterministic.
+ */
+struct JsonNode
+{
+    std::map<std::string, JsonNode> children;
+    std::string leaf; ///< serialized value; empty = interior object
+
+    void
+    write(std::ostream &os) const
+    {
+        if (!leaf.empty()) {
+            os << leaf;
+            return;
+        }
+        os << '{';
+        bool first = true;
+        for (const auto &[key, child] : children) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << '"' << key << "\": ";
+            child.write(os);
+        }
+        os << '}';
+    }
+};
+
+void
+insertLeaf(JsonNode &root, const std::string &path, std::string value)
+{
+    JsonNode *node = &root;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t dot = path.find('.', start);
+        std::string seg = path.substr(start, dot - start);
+        SECMEM_ASSERT(node->leaf.empty(),
+                      "stat path '%s' descends through a scalar stat",
+                      path.c_str());
+        node = &node->children[seg];
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    SECMEM_ASSERT(node->leaf.empty() && node->children.empty(),
+                  "stat path '%s' collides with an existing entry",
+                  path.c_str());
+    node->leaf = std::move(value);
+}
+
+std::string
+sampleJson(const stats::Sample &s)
+{
+    return "{\"mean\": " + fmtExact(s.mean()) +
+           ", \"count\": " + std::to_string(s.count()) +
+           ", \"min\": " + fmtExact(s.min()) +
+           ", \"max\": " + fmtExact(s.max()) + "}";
+}
+
+std::string
+histogramJson(const stats::Histogram &h)
+{
+    std::string out = "{\"mean\": " + fmtExact(h.sample().mean()) +
+                      ", \"count\": " + std::to_string(h.sample().count()) +
+                      ", \"bucket_width\": " + fmtExact(h.bucketWidth()) +
+                      ", \"buckets\": [";
+    const auto &b = h.buckets();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(b[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace
+
+void
+StatRegistry::checkPathFree(const std::string &path) const
+{
+    SECMEM_ASSERT(validPath(path), "bad stat path '%s'", path.c_str());
+    SECMEM_ASSERT(!groups_.count(path),
+                  "stat path '%s' already registered as a group",
+                  path.c_str());
+    SECMEM_ASSERT(!formulas_.count(path),
+                  "stat path '%s' already registered as a formula",
+                  path.c_str());
+}
+
+void
+StatRegistry::add(const std::string &path, const stats::Group &group)
+{
+    checkPathFree(path);
+    groups_.emplace(path, &group);
+}
+
+void
+StatRegistry::addFormula(const std::string &path, std::string description,
+                         std::function<double()> fn)
+{
+    checkPathFree(path);
+    formulas_.emplace(path, Formula{std::move(description), std::move(fn)});
+}
+
+void
+StatRegistry::addRatio(const std::string &path, const std::string &numerator,
+                       const std::string &denominator)
+{
+    addFormula(path, numerator + " / " + denominator,
+               [this, numerator, denominator]() {
+                   std::uint64_t den = counterValue(denominator);
+                   if (!den)
+                       return 0.0;
+                   return static_cast<double>(counterValue(numerator)) /
+                          static_cast<double>(den);
+               });
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &path) const
+{
+    // Longest registered group prefix owns the trailing counter name;
+    // group paths may themselves contain dots ("dram.store").
+    std::size_t dot = path.rfind('.');
+    while (dot != std::string::npos) {
+        auto it = groups_.find(path.substr(0, dot));
+        if (it != groups_.end())
+            return it->second->counterValue(path.substr(dot + 1));
+        dot = dot ? path.rfind('.', dot - 1) : std::string::npos;
+    }
+    return 0;
+}
+
+double
+StatRegistry::formulaValue(const std::string &path) const
+{
+    auto it = formulas_.find(path);
+    return it == formulas_.end() ? 0.0 : it->second.fn();
+}
+
+std::vector<std::string>
+StatRegistry::statNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &[path, group] : groups_) {
+        for (const auto &kv : group->counters())
+            names.push_back(path + "." + kv.first + " counter");
+        for (const auto &kv : group->samples())
+            names.push_back(path + "." + kv.first + " sample");
+        for (const auto &kv : group->histograms())
+            names.push_back(path + "." + kv.first + " histogram");
+    }
+    for (const auto &[path, formula] : formulas_)
+        names.push_back(path + " formula (" + formula.description + ")");
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::vector<FlatStat>
+StatRegistry::flattened() const
+{
+    std::vector<FlatStat> out;
+    for (const auto &[path, group] : groups_) {
+        for (const auto &kv : group->counters())
+            out.push_back({path + "." + kv.first,
+                           static_cast<double>(kv.second.value()), true});
+        for (const auto &kv : group->samples())
+            out.push_back({path + "." + kv.first + ".mean",
+                           kv.second.mean(), false});
+        for (const auto &kv : group->histograms())
+            out.push_back({path + "." + kv.first + ".mean",
+                           kv.second.sample().mean(), false});
+    }
+    for (const auto &[path, formula] : formulas_)
+        out.push_back({path, formula.fn(), false});
+    std::sort(out.begin(), out.end(),
+              [](const FlatStat &a, const FlatStat &b) {
+                  return a.path < b.path;
+              });
+    return out;
+}
+
+void
+StatRegistry::dumpText(std::ostream &os) const
+{
+    for (const FlatStat &s : flattened()) {
+        if (s.integral)
+            os << s.path << ' '
+               << static_cast<std::uint64_t>(s.value) << '\n';
+        else
+            os << s.path << ' ' << fmtShort(s.value) << '\n';
+    }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    JsonNode root;
+    for (const auto &[path, group] : groups_) {
+        for (const auto &kv : group->counters())
+            insertLeaf(root, path + "." + kv.first,
+                       std::to_string(kv.second.value()));
+        for (const auto &kv : group->samples())
+            insertLeaf(root, path + "." + kv.first, sampleJson(kv.second));
+        for (const auto &kv : group->histograms())
+            insertLeaf(root, path + "." + kv.first,
+                       histogramJson(kv.second));
+    }
+    for (const auto &[path, formula] : formulas_)
+        insertLeaf(root, path, fmtExact(formula.fn()));
+    root.write(os);
+}
+
+std::string
+StatRegistry::jsonString() const
+{
+    std::ostringstream os;
+    dumpJson(os);
+    return os.str();
+}
+
+} // namespace secmem::obs

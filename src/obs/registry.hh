@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Hierarchical statistics registry (gem5-style dotted stat tree).
+ *
+ * Components keep owning their stats::Group — the hot-path increment
+ * stays a single add on a pre-existing counter and costs nothing extra
+ * when nobody dumps. A StatRegistry is a *directory* built after (or
+ * alongside) a simulation: each component registers its group under a
+ * dotted path ("ctrcache", "dram.store"), and derived formula stats
+ * (hit rates, IPC) are registered as closures evaluated only at dump
+ * time. dumpJson() emits one nested JSON object per dotted segment;
+ * dumpText() emits flat "path value" lines suitable for diffing.
+ *
+ * Registration is strict: two groups (or a group and a formula) under
+ * the same path is a programming error and panics, so the hierarchy
+ * stays unambiguous as components are added.
+ */
+
+#ifndef SECMEM_OBS_REGISTRY_HH
+#define SECMEM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace secmem::obs
+{
+
+/** One flattened (dotted path, value) stat, for tests and tables. */
+struct FlatStat
+{
+    std::string path;
+    double value = 0.0;
+    bool integral = false; ///< true for counters (exact uint64 values)
+};
+
+class StatRegistry
+{
+  public:
+    /**
+     * Register @p group's stats under dotted @p path. The group must
+     * outlive the registry (registries are per-run directories, built
+     * next to the system they describe). Panics on an empty/ill-formed
+     * path or when the path is already taken.
+     */
+    void add(const std::string &path, const stats::Group &group);
+
+    /**
+     * Register a derived stat at dotted @p path, evaluated lazily at
+     * dump/lookup time. Panics when the path is already taken.
+     */
+    void addFormula(const std::string &path, std::string description,
+                    std::function<double()> fn);
+
+    /**
+     * Convenience ratio formula: value = num / den over two registered
+     * counter paths, 0 when the denominator is 0. Counter paths are
+     * resolved lazily, so the counters may be registered (or first
+     * touched) after the formula.
+     */
+    void addRatio(const std::string &path, const std::string &numerator,
+                  const std::string &denominator);
+
+    /** Number of registered groups. */
+    std::size_t numGroups() const { return groups_.size(); }
+    /** Number of registered formulas. */
+    std::size_t numFormulas() const { return formulas_.size(); }
+
+    /**
+     * Value of the counter at dotted @p path ("ctrcache.hits"): the
+     * longest registered group prefix owns the remainder as the
+     * counter name. 0 when the group or counter does not exist.
+     */
+    std::uint64_t counterValue(const std::string &path) const;
+
+    /** Evaluate the formula at @p path; 0 when absent. */
+    double formulaValue(const std::string &path) const;
+
+    /**
+     * Every stat path currently visible, sorted: counters, sample and
+     * histogram summaries, and formulas. Lines are "path <kind>" where
+     * kind is counter|sample|histogram|formula, with the formula's
+     * description appended when present.
+     */
+    std::vector<std::string> statNames() const;
+
+    /** Flattened scalar view: counters, sample means, formula values. */
+    std::vector<FlatStat> flattened() const;
+
+    /** Flat "path value" lines (counters exact, doubles %.6g). */
+    void dumpText(std::ostream &os) const;
+
+    /**
+     * Hierarchical JSON: dotted segments become nested objects;
+     * counters are integers, samples/histograms objects, formulas
+     * doubles (%.17g, so dumps round-trip exactly).
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson() into a string. */
+    std::string jsonString() const;
+
+  private:
+    struct Formula
+    {
+        std::string description;
+        std::function<double()> fn;
+    };
+
+    void checkPathFree(const std::string &path) const;
+
+    std::map<std::string, const stats::Group *> groups_;
+    std::map<std::string, Formula> formulas_;
+};
+
+} // namespace secmem::obs
+
+#endif // SECMEM_OBS_REGISTRY_HH

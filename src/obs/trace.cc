@@ -1,0 +1,71 @@
+#include "obs/trace.hh"
+
+#include <cstring>
+#include <fstream>
+
+namespace secmem::obs
+{
+
+void
+TraceSink::writeChromeJson(std::ostream &os) const
+{
+    // Lane numbers per category, in first-appearance order.
+    std::map<std::string, unsigned> lanes;
+    auto laneOf = [&](const char *cat) {
+        auto it = lanes.find(cat);
+        if (it == lanes.end())
+            it = lanes.emplace(cat, static_cast<unsigned>(lanes.size()))
+                     .first;
+        return it->second;
+    };
+
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    // Thread-name metadata so the viewer labels each lane.
+    for (const TraceEvent &e : events_)
+        laneOf(e.category);
+    for (const auto &[cat, lane] : lanes) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " << lane
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": \"" << cat
+           << "\"}}";
+    }
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\": \"" << (e.dur < 0 ? 'i' : 'X')
+           << "\", \"pid\": 1, \"tid\": " << laneOf(e.category)
+           << ", \"cat\": \"" << e.category << "\", \"name\": \"" << e.name
+           << "\", \"ts\": " << e.start;
+        if (e.dur >= 0)
+            os << ", \"dur\": " << e.dur;
+        else
+            os << ", \"s\": \"t\"";
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << '"' << e.args[i].key << "\": " << e.args[i].value;
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceSink::writeChromeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeJson(out);
+    return out.good();
+}
+
+} // namespace secmem::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cycle-level event tracing with Chrome trace-viewer output.
+ *
+ * A TraceSink records timestamped simulator events — memory requests,
+ * counter-cache fills, page re-encryptions, GCM pad generation, Merkle
+ * authentication walks — and serializes them as Chrome
+ * `chrome://tracing` / Perfetto compatible JSON ("traceEvents" array
+ * of complete/instant events). Timestamps are simulated core ticks
+ * reported in the trace's microsecond field, so one trace microsecond
+ * equals one core cycle.
+ *
+ * Components hold a `TraceSink *` that is null by default: the
+ * instrumentation sites compile down to one pointer test when tracing
+ * is off, which keeps --jobs sweeps at full speed. The sink is bounded
+ * (default 4M events); events past the cap are counted, not stored.
+ *
+ * Each event category gets its own lane (Chrome "tid"), assigned in
+ * first-appearance order, so related events stack in one track.
+ */
+
+#ifndef SECMEM_OBS_TRACE_HH
+#define SECMEM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace secmem::obs
+{
+
+/** One integer event argument ("addr", "levels", "timely"). */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+/** A recorded event: complete span (dur >= 0) or instant (dur < 0). */
+struct TraceEvent
+{
+    const char *category; ///< static string: lane + Chrome "cat"
+    const char *name;     ///< static string: event label
+    Tick start = 0;
+    std::int64_t dur = -1; ///< span length in ticks; -1 = instant
+    std::vector<TraceArg> args;
+};
+
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::size_t max_events = std::size_t(4) << 20)
+        : maxEvents_(max_events)
+    {}
+
+    /** Record a span covering [start, end] (clamped to >= 1 tick). */
+    void
+    complete(const char *category, const char *name, Tick start, Tick end,
+             std::initializer_list<TraceArg> args = {})
+    {
+        if (events_.size() >= maxEvents_) {
+            ++dropped_;
+            return;
+        }
+        std::int64_t dur =
+            end > start ? static_cast<std::int64_t>(end - start) : 1;
+        events_.push_back({category, name, start, dur, args});
+    }
+
+    /** Record a point-in-time event. */
+    void
+    instant(const char *category, const char *name, Tick at,
+            std::initializer_list<TraceArg> args = {})
+    {
+        if (events_.size() >= maxEvents_) {
+            ++dropped_;
+            return;
+        }
+        events_.push_back({category, name, at, -1, args});
+    }
+
+    std::size_t size() const { return events_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    void
+    clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+    }
+
+    /**
+     * Emit the Chrome trace-event JSON object. Lanes (tids) are
+     * assigned per category in order of first appearance, so output is
+     * deterministic for a deterministic simulation.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** writeChromeJson() into a file; returns false on I/O failure. */
+    bool writeChromeJsonFile(const std::string &path) const;
+
+  private:
+    std::size_t maxEvents_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace secmem::obs
+
+#endif // SECMEM_OBS_TRACE_HH

@@ -15,6 +15,12 @@ EventQueue::schedule(Tick when, Callback cb)
         static_cast<unsigned long long>(when),
         static_cast<unsigned long long>(now_));
     heap_.push(Entry{when, seq_++, std::move(cb)});
+    scheduledStat_.inc();
+    if (heap_.size() > maxPending_) {
+        maxPending_ = heap_.size();
+        maxPendingStat_.reset();
+        maxPendingStat_.inc(maxPending_);
+    }
 }
 
 Tick
@@ -25,6 +31,7 @@ EventQueue::runUntil(Tick limit)
         Entry e = heap_.top();
         heap_.pop();
         now_ = e.when;
+        executedStat_.inc();
         e.cb();
     }
     if (now_ < limit && limit != kTickNever)
@@ -40,6 +47,7 @@ EventQueue::step()
     Entry e = heap_.top();
     heap_.pop();
     now_ = e.when;
+    executedStat_.inc();
     e.cb();
     return true;
 }
@@ -50,6 +58,8 @@ EventQueue::reset()
     heap_ = {};
     now_ = 0;
     seq_ = 0;
+    maxPending_ = 0;
+    stats_.reset();
 }
 
 } // namespace secmem

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace secmem
@@ -62,6 +63,13 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    /**
+     * Kernel statistics: events scheduled/executed and the high-water
+     * mark of pending events ("scheduled", "executed", "max_pending").
+     */
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
   private:
     struct Entry
     {
@@ -84,6 +92,12 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t maxPending_ = 0;
+    stats::Group stats_{"events"};
+    // Cached references: schedule()/step() are hot, skip the map lookup.
+    stats::Counter &scheduledStat_ = stats_.counter("scheduled");
+    stats::Counter &executedStat_ = stats_.counter("executed");
+    stats::Counter &maxPendingStat_ = stats_.counter("max_pending");
 };
 
 } // namespace secmem

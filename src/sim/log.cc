@@ -2,6 +2,9 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace secmem
 {
@@ -41,10 +44,72 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::exit(1);
 }
 
-void
-warnImpl(const std::string &msg)
+namespace
 {
+
+/** Per-site emission counts; pointer keys are fine (__FILE__ literals). */
+struct WarnState
+{
+    std::mutex mutex;
+    std::map<std::pair<const char *, int>, std::uint64_t> sites;
+    std::uint64_t emitted = 0;
+    std::uint64_t suppressed = 0;
+};
+
+WarnState &
+warnState()
+{
+    static WarnState state;
+    return state;
+}
+
+} // namespace
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::uint64_t n = ++state.sites[{file, line}];
+    if (n > kWarnSiteLimit) {
+        ++state.suppressed;
+        return;
+    }
+    ++state.emitted;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (n == kWarnSiteLimit) {
+        std::fprintf(stderr,
+                     "warn: (%s:%d hit %llu warnings; further repeats "
+                     "suppressed)\n",
+                     file, line,
+                     static_cast<unsigned long long>(kWarnSiteLimit));
+    }
+}
+
+std::uint64_t
+warnEmitted()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.emitted;
+}
+
+std::uint64_t
+warnSuppressed()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.suppressed;
+}
+
+void
+warnResetForTests()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.sites.clear();
+    state.emitted = 0;
+    state.suppressed = 0;
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef SECMEM_SIM_LOG_HH
 #define SECMEM_SIM_LOG_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,8 +24,23 @@ namespace log_detail
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
-void warnImpl(const std::string &msg);
+/**
+ * Rate-limited warning: each (file, line) site prints at most
+ * kWarnSiteLimit messages, then one suppression notice; later
+ * repetitions are counted silently. Keeps tamper campaigns and bad-env
+ * loops from flooding stderr with identical lines. Thread-safe.
+ */
+void warnImpl(const char *file, int line, const std::string &msg);
 void informImpl(const std::string &msg);
+
+/** Per-site cap on printed warnings before suppression kicks in. */
+constexpr std::uint64_t kWarnSiteLimit = 8;
+
+/** Warnings actually printed / silently suppressed (process-wide). */
+std::uint64_t warnEmitted();
+std::uint64_t warnSuppressed();
+/** Forget all per-site warning history (test support). */
+void warnResetForTests();
 
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
@@ -40,7 +56,8 @@ std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
         ::secmem::log_detail::format(__VA_ARGS__))
 
 #define SECMEM_WARN(...) \
-    ::secmem::log_detail::warnImpl(::secmem::log_detail::format(__VA_ARGS__))
+    ::secmem::log_detail::warnImpl(__FILE__, __LINE__, \
+        ::secmem::log_detail::format(__VA_ARGS__))
 
 #define SECMEM_INFORM(...) \
     ::secmem::log_detail::informImpl(::secmem::log_detail::format(__VA_ARGS__))

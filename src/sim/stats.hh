@@ -143,6 +143,14 @@ class Group
         return it == counters_.end() ? 0 : it->second.value();
     }
 
+    // Read-only iteration, for the obs::StatRegistry dumpers.
+    const std::map<std::string, Counter> &counters() const { return counters_; }
+    const std::map<std::string, Sample> &samples() const { return samples_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
     void dump(std::ostream &os) const;
 
     void

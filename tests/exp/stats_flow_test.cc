@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-job stats flowing through the experiment layer: serial/parallel
+ * determinism with stats attached, tracing as a pure observation,
+ * JSON round-trips of the embedded stats object, and the engine's
+ * per-job history used by --stats-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "obs/trace.hh"
+
+namespace secmem::exp
+{
+namespace
+{
+
+RunLengths
+tinyLengths()
+{
+    return RunLengths{5'000, 20'000};
+}
+
+std::vector<JobSpec>
+sampleBatch()
+{
+    return {
+        makeJob("baseline", profileByName("gzip"),
+                SecureMemConfig::baseline(), tinyLengths()),
+        makeJob("Split", profileByName("gzip"), SecureMemConfig::split(),
+                tinyLengths()),
+        makeJob("Split+GCM", profileByName("mcf"),
+                SecureMemConfig::splitGcm(), tinyLengths()),
+    };
+}
+
+TEST(StatsFlow, RunOutputCarriesHierarchicalStats)
+{
+    RunOutput out = runJob(sampleBatch()[1]);
+    ASSERT_FALSE(out.statsJson.empty());
+    EXPECT_EQ(out.statsJson.front(), '{');
+    EXPECT_NE(out.statsJson.find("\"ctrcache\""), std::string::npos);
+    EXPECT_NE(out.statsJson.find("\"hits\""), std::string::npos);
+    EXPECT_NE(out.statsJson.find("\"dram\""), std::string::npos);
+    EXPECT_NE(out.statsJson.find("\"cpu\""), std::string::npos);
+}
+
+TEST(StatsFlow, SerialAndParallelRunsAreBitIdentical)
+{
+    std::vector<JobSpec> specs = sampleBatch();
+    Engine serial(EngineOptions{1, "", false, ""});
+    Engine parallel(EngineOptions{4, "", false, ""});
+    std::vector<RunOutput> a = serial.run(specs);
+    std::vector<RunOutput> b = parallel.run(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(runOutputToJson(a[i]), runOutputToJson(b[i])) << i;
+        EXPECT_EQ(a[i].statsJson, b[i].statsJson) << i;
+    }
+}
+
+TEST(StatsFlow, TracingIsAPureObservation)
+{
+    JobSpec spec = sampleBatch()[2];
+    obs::TraceSink sink;
+    RunOutput plain = runJob(spec);
+    RunOutput traced = runJob(spec, &sink);
+
+    EXPECT_GT(sink.size(), 0u);
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.instructions, traced.instructions);
+    EXPECT_EQ(runOutputToJson(plain), runOutputToJson(traced));
+}
+
+TEST(StatsFlow, EngineTraceFileIsValidAndHarmless)
+{
+    const char *path = "stats_flow_trace_tmp.json";
+    std::vector<JobSpec> specs = {sampleBatch()[0]};
+
+    Engine plain(EngineOptions{1, "", false, ""});
+    Engine traced(EngineOptions{1, "", false, path});
+    std::string a = runOutputToJson(plain.run(specs)[0]);
+    std::string b = runOutputToJson(traced.run(specs)[0]);
+    EXPECT_EQ(a, b);
+
+    std::FILE *f = std::fopen(path, "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path);
+    ASSERT_GT(n, 0u);
+    EXPECT_NE(std::string(buf).find("traceEvents"), std::string::npos);
+}
+
+TEST(StatsFlow, JsonRoundTripPreservesStats)
+{
+    RunOutput out = runJob(sampleBatch()[1]);
+    std::string json = runOutputToJson(out);
+    RunOutput back;
+    ASSERT_TRUE(runOutputFromJson(json, &back));
+    EXPECT_EQ(back.statsJson, out.statsJson);
+    EXPECT_EQ(back.cycles, out.cycles);
+    EXPECT_DOUBLE_EQ(back.ipc, out.ipc);
+    // Flat fields parse from the top level even though the nested stats
+    // object repeats names like "cycles" deeper down.
+    EXPECT_EQ(runOutputToJson(back), json);
+}
+
+TEST(StatsFlow, LegacyRecordsWithoutStatsStillParse)
+{
+    RunOutput out = runJob(sampleBatch()[0]);
+    out.statsJson.clear();
+    std::string json = runOutputToJson(out);
+    EXPECT_EQ(json.find("\"stats\""), std::string::npos);
+    RunOutput back;
+    ASSERT_TRUE(runOutputFromJson(json, &back));
+    EXPECT_TRUE(back.statsJson.empty());
+    EXPECT_EQ(back.cycles, out.cycles);
+}
+
+TEST(StatsFlow, HistoryRecordsEveryJobInSpecOrder)
+{
+    // Batch with an internal duplicate: history still gets one record
+    // per spec, in order, each carrying the stats dump.
+    std::vector<JobSpec> specs = sampleBatch();
+    specs.push_back(specs[0]);
+
+    Engine engine(EngineOptions{2, "", false, ""});
+    engine.run(specs);
+    const std::vector<Engine::JobRecord> &hist = engine.history();
+    ASSERT_EQ(hist.size(), specs.size());
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        EXPECT_EQ(hist[i].workload, specs[i].profile.name) << i;
+        EXPECT_EQ(hist[i].scheme, specs[i].scheme) << i;
+        EXPECT_EQ(hist[i].hash, specs[i].hash()) << i;
+        EXPECT_FALSE(hist[i].statsJson.empty()) << i;
+    }
+    EXPECT_EQ(hist[0].statsJson, hist.back().statsJson);
+}
+
+} // namespace
+} // namespace secmem::exp

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * StatRegistry behaviour: path rules, lookup resolution, formulas,
+ * flattening and the JSON dump (including a round-trip through a
+ * minimal parser written here).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.hh"
+#include "sim/stats.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Registry, CountersResolveThroughDottedPaths)
+{
+    stats::Group cache("ctrcache");
+    cache.counter("hits").inc(7);
+    cache.counter("misses").inc(3);
+
+    obs::StatRegistry reg;
+    reg.add("ctrcache", cache);
+    EXPECT_EQ(reg.counterValue("ctrcache.hits"), 7u);
+    EXPECT_EQ(reg.counterValue("ctrcache.misses"), 3u);
+    EXPECT_EQ(reg.counterValue("ctrcache.absent"), 0u);
+    EXPECT_EQ(reg.counterValue("nosuch.hits"), 0u);
+}
+
+TEST(Registry, LongestGroupPrefixWins)
+{
+    stats::Group outer("dram");
+    outer.counter("reads").inc(1);
+    stats::Group inner("store");
+    inner.counter("tampers").inc(5);
+
+    obs::StatRegistry reg;
+    reg.add("dram", outer);
+    reg.add("dram.store", inner);
+    EXPECT_EQ(reg.counterValue("dram.reads"), 1u);
+    EXPECT_EQ(reg.counterValue("dram.store.tampers"), 5u);
+}
+
+TEST(RegistryDeathTest, DuplicatePathPanics)
+{
+    stats::Group a("a"), b("b");
+    obs::StatRegistry reg;
+    reg.add("ctrl", a);
+    EXPECT_DEATH(reg.add("ctrl", b), "already registered");
+}
+
+TEST(RegistryDeathTest, FormulaGroupCollisionPanics)
+{
+    stats::Group a("a");
+    obs::StatRegistry reg;
+    reg.addFormula("ctrl", "desc", [] { return 1.0; });
+    EXPECT_DEATH(reg.add("ctrl", a), "already registered");
+}
+
+TEST(RegistryDeathTest, BadPathPanics)
+{
+    stats::Group a("a");
+    obs::StatRegistry reg;
+    EXPECT_DEATH(reg.add("", a), "stat path");
+    EXPECT_DEATH(reg.add("x..y", a), "stat path");
+    EXPECT_DEATH(reg.add("x y", a), "stat path");
+}
+
+TEST(Registry, FormulaAndRatioEvaluateLazily)
+{
+    stats::Group cache("c");
+    obs::StatRegistry reg;
+    reg.add("cache", cache);
+    reg.addRatio("cache.hit_rate", "cache.hits", "cache.accesses");
+    reg.addFormula("answer", "the answer", [] { return 42.0; });
+
+    // Counters touched after the formula was registered still count.
+    EXPECT_DOUBLE_EQ(reg.formulaValue("cache.hit_rate"), 0.0);
+    cache.counter("hits").inc(3);
+    cache.counter("accesses").inc(4);
+    EXPECT_DOUBLE_EQ(reg.formulaValue("cache.hit_rate"), 0.75);
+    EXPECT_DOUBLE_EQ(reg.formulaValue("answer"), 42.0);
+    EXPECT_DOUBLE_EQ(reg.formulaValue("absent"), 0.0);
+}
+
+TEST(Registry, FlattenedContainsEverything)
+{
+    stats::Group g("g");
+    g.counter("n").inc(2);
+    g.sample("lat").record(10.0);
+    g.sample("lat").record(20.0);
+
+    obs::StatRegistry reg;
+    reg.add("grp", g);
+    reg.addFormula("f", "", [] { return 0.5; });
+
+    std::map<std::string, double> flat;
+    for (const obs::FlatStat &s : reg.flattened())
+        flat[s.path] = s.value;
+    EXPECT_DOUBLE_EQ(flat.at("grp.n"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("grp.lat.mean"), 15.0);
+    EXPECT_DOUBLE_EQ(flat.at("f"), 0.5);
+}
+
+TEST(Registry, StatNamesListsKinds)
+{
+    stats::Group g("g");
+    g.counter("n");
+    g.histogram("h", 2.0, 4);
+
+    obs::StatRegistry reg;
+    reg.add("grp", g);
+    reg.addRatio("grp.rate", "grp.n", "grp.n");
+
+    std::vector<std::string> names = reg.statNames();
+    bool counter = false, histogram = false, formula = false;
+    for (const std::string &n : names) {
+        counter |= n.find("grp.n counter") == 0;
+        histogram |= n.find("grp.h histogram") == 0;
+        formula |= n.find("grp.rate formula") == 0;
+    }
+    EXPECT_TRUE(counter);
+    EXPECT_TRUE(histogram);
+    EXPECT_TRUE(formula);
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip, via a minimal recursive-descent parser: numbers,
+// strings, objects and arrays — exactly the grammar dumpJson emits.
+// ---------------------------------------------------------------------
+
+struct MiniParser
+{
+    const char *p;
+
+    void ws() { while (*p == ' ' || *p == '\n') ++p; }
+
+    bool
+    skipValue()
+    {
+        ws();
+        if (*p == '{')
+            return skipObject();
+        if (*p == '[')
+            return skipArray();
+        if (*p == '"')
+            return skipString();
+        return skipNumber();
+    }
+
+    bool
+    skipObject()
+    {
+        if (*p != '{')
+            return false;
+        ++p;
+        ws();
+        if (*p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (!skipString())
+                return false;
+            ws();
+            if (*p != ':')
+                return false;
+            ++p;
+            if (!skipValue())
+                return false;
+            ws();
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            break;
+        }
+        ws();
+        if (*p != '}')
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool
+    skipArray()
+    {
+        if (*p != '[')
+            return false;
+        ++p;
+        ws();
+        if (*p == ']') {
+            ++p;
+            return true;
+        }
+        while (skipValue()) {
+            ws();
+            if (*p == ',') {
+                ++p;
+                continue;
+            }
+            break;
+        }
+        ws();
+        if (*p != ']')
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool
+    skipString()
+    {
+        if (*p != '"')
+            return false;
+        ++p;
+        while (*p && *p != '"')
+            ++p;
+        if (*p != '"')
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool
+    skipNumber()
+    {
+        const char *start = p;
+        while (std::isdigit(static_cast<unsigned char>(*p)) || *p == '-' ||
+               *p == '+' || *p == '.' || *p == 'e' || *p == 'E')
+            ++p;
+        return p != start;
+    }
+};
+
+bool
+parsesAsJson(const std::string &s)
+{
+    MiniParser parser{s.c_str()};
+    if (!parser.skipValue())
+        return false;
+    parser.ws();
+    return *parser.p == '\0';
+}
+
+TEST(Registry, JsonDumpParsesAndRoundTripsValues)
+{
+    stats::Group ctrl("ctrl");
+    ctrl.counter("reads").inc(123456789);
+    ctrl.sample("walk").record(3.0);
+    ctrl.histogram("lat", 64.0, 4).record(100.0);
+    stats::Group store("store");
+    store.counter("tampers").inc(1);
+
+    obs::StatRegistry reg;
+    reg.add("ctrl", ctrl);
+    reg.add("dram.store", store);
+    reg.addFormula("rate", "", [] { return 0.123456789012345678; });
+
+    std::string json = reg.jsonString();
+    EXPECT_TRUE(parsesAsJson(json)) << json;
+
+    // Counters round-trip exactly; the nested object keeps the dotted
+    // hierarchy ("dram" -> "store" -> "tampers").
+    EXPECT_NE(json.find("\"reads\": 123456789"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"dram\""), std::string::npos);
+    EXPECT_NE(json.find("\"store\""), std::string::npos);
+    EXPECT_NE(json.find("\"tampers\": 1"), std::string::npos);
+
+    // %.17g round-trips the double exactly.
+    double v = 0.123456789012345678;
+    std::size_t at = json.find("\"rate\": ");
+    ASSERT_NE(at, std::string::npos);
+    EXPECT_DOUBLE_EQ(std::strtod(json.c_str() + at + 8, nullptr), v);
+}
+
+TEST(Registry, DumpTextIsFlatAndDiffable)
+{
+    stats::Group g("g");
+    g.counter("n").inc(5);
+    obs::StatRegistry reg;
+    reg.add("grp", g);
+
+    std::ostringstream os;
+    reg.dumpText(os);
+    EXPECT_NE(os.str().find("grp.n 5"), std::string::npos) << os.str();
+}
+
+TEST(Registry, DeterministicOutputForSameState)
+{
+    stats::Group a("a"), b("b");
+    a.counter("x").inc(1);
+    b.counter("y").inc(2);
+
+    obs::StatRegistry r1, r2;
+    // Registration order must not matter: output is path-sorted.
+    r1.add("aa", a);
+    r1.add("bb", b);
+    r2.add("bb", b);
+    r2.add("aa", a);
+    EXPECT_EQ(r1.jsonString(), r2.jsonString());
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * TraceSink behaviour: event recording, duration clamping, the bounded
+ * buffer, and the Chrome trace-event JSON serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace secmem
+{
+namespace
+{
+
+TEST(Trace, RecordsCompleteAndInstantEvents)
+{
+    obs::TraceSink sink;
+    sink.complete("mem", "read", 100, 180, {{"addr", 0x40}});
+    sink.instant("ctr", "ctr_hit", 105);
+
+    ASSERT_EQ(sink.size(), 2u);
+    const obs::TraceEvent &span = sink.events()[0];
+    EXPECT_STREQ(span.category, "mem");
+    EXPECT_STREQ(span.name, "read");
+    EXPECT_EQ(span.start, 100u);
+    EXPECT_EQ(span.dur, 80);
+    ASSERT_EQ(span.args.size(), 1u);
+    EXPECT_STREQ(span.args[0].key, "addr");
+    EXPECT_EQ(span.args[0].value, 0x40u);
+
+    const obs::TraceEvent &point = sink.events()[1];
+    EXPECT_EQ(point.dur, -1);
+}
+
+TEST(Trace, ZeroLengthSpansClampToOneTick)
+{
+    obs::TraceSink sink;
+    sink.complete("mem", "read", 50, 50);
+    sink.complete("mem", "read", 50, 40); // end before start
+    EXPECT_EQ(sink.events()[0].dur, 1);
+    EXPECT_EQ(sink.events()[1].dur, 1);
+}
+
+TEST(Trace, BoundedBufferCountsDrops)
+{
+    obs::TraceSink sink(3);
+    for (int i = 0; i < 10; ++i)
+        sink.instant("c", "e", i);
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.dropped(), 7u);
+
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.dropped(), 0u);
+    sink.instant("c", "e", 0);
+    EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(Trace, ChromeJsonHasExpectedShape)
+{
+    obs::TraceSink sink;
+    sink.complete("mem", "read", 10, 20, {{"addr", 64}});
+    sink.instant("reenc", "page_reenc", 15, {{"page", 3}});
+
+    std::ostringstream os;
+    sink.writeChromeJson(os);
+    std::string json = os.str();
+
+    // Envelope + the three event kinds (complete, instant, lane
+    // metadata naming each category's tid).
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"mem\""), std::string::npos);
+    EXPECT_NE(json.find("\"addr\": 64"), std::string::npos);
+    EXPECT_NE(json.find("\"page\": 3"), std::string::npos);
+
+    // Braces and brackets balance (no trailing-comma style breakage).
+    long braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += c == '{';
+        braces -= c == '}';
+        brackets += c == '[';
+        brackets -= c == ']';
+        ASSERT_GE(braces, 0);
+        ASSERT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, CategoriesGetStableLanes)
+{
+    obs::TraceSink sink;
+    sink.instant("alpha", "a", 1);
+    sink.instant("beta", "b", 2);
+    sink.instant("alpha", "c", 3);
+
+    std::ostringstream os;
+    sink.writeChromeJson(os);
+    std::string json = os.str();
+
+    // First-appearance order: alpha -> tid 0 (or whatever the base lane
+    // is), beta -> the next; both named via thread_name metadata.
+    std::size_t alpha = json.find("\"alpha\"");
+    std::size_t beta = json.find("\"beta\"");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(beta, std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Trace, EmptySinkStillWritesValidEnvelope)
+{
+    obs::TraceSink sink;
+    std::ostringstream os;
+    sink.writeChromeJson(os);
+    EXPECT_NE(os.str().find("\"traceEvents\": ["), std::string::npos)
+        << os.str();
+}
+
+} // namespace
+} // namespace secmem

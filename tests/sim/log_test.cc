@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Rate-limited warning tests: each call site prints at most
+ * kWarnSiteLimit messages, later repetitions are counted silently, and
+ * independent sites are capped independently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+namespace
+{
+
+using log_detail::kWarnSiteLimit;
+using log_detail::warnEmitted;
+using log_detail::warnResetForTests;
+using log_detail::warnSuppressed;
+
+TEST(Log, WarnSiteIsRateLimited)
+{
+    warnResetForTests();
+    // One call site, many repetitions: 4x the cap.
+    for (std::uint64_t i = 0; i < kWarnSiteLimit * 4; ++i)
+        SECMEM_WARN("repetitive condition %llu",
+                    static_cast<unsigned long long>(i));
+    EXPECT_EQ(warnEmitted(), kWarnSiteLimit);
+    EXPECT_EQ(warnSuppressed(), kWarnSiteLimit * 3);
+}
+
+TEST(Log, DistinctSitesAreCappedIndependently)
+{
+    warnResetForTests();
+    for (std::uint64_t i = 0; i < kWarnSiteLimit + 2; ++i)
+        SECMEM_WARN("site one");
+    for (std::uint64_t i = 0; i < kWarnSiteLimit + 5; ++i)
+        SECMEM_WARN("site two");
+    EXPECT_EQ(warnEmitted(), 2 * kWarnSiteLimit);
+    EXPECT_EQ(warnSuppressed(), 7u);
+}
+
+TEST(Log, UnderTheCapNothingIsSuppressed)
+{
+    warnResetForTests();
+    for (std::uint64_t i = 0; i < kWarnSiteLimit; ++i)
+        SECMEM_WARN("exactly at the cap");
+    EXPECT_EQ(warnEmitted(), kWarnSiteLimit);
+    EXPECT_EQ(warnSuppressed(), 0u);
+}
+
+TEST(Log, ResetForgetsHistory)
+{
+    warnResetForTests();
+    for (std::uint64_t i = 0; i < kWarnSiteLimit * 2; ++i)
+        SECMEM_WARN("before reset");
+    warnResetForTests();
+    EXPECT_EQ(warnEmitted(), 0u);
+    EXPECT_EQ(warnSuppressed(), 0u);
+    SECMEM_WARN("after reset");
+    EXPECT_EQ(warnEmitted(), 1u);
+}
+
+} // namespace
+} // namespace secmem
