@@ -41,4 +41,13 @@ echo "== secmem-bench smoke (fig4, parallel, no store) =="
 ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
     --no-progress >/dev/null
 
+echo "== differential-oracle smoke (fig4 + fig9 under --verify-model) =="
+# The reference model shadow-executes every job and panics on the
+# first functional divergence; the CLI exits non-zero if the oracle
+# never ran (e.g. results served from a store).
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress --verify-model >/dev/null
+./build/bench/secmem-bench --figure fig9 --smoke --jobs 2 --no-store \
+    --no-progress --verify-model >/dev/null
+
 echo "check.sh: all green"

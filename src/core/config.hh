@@ -87,6 +87,16 @@ struct SecureMemConfig
     unsigned numRsrs = 8;    ///< re-encryption status registers
     unsigned predDepth = 5;  ///< N precomputed pads for CtrPred
 
+    /**
+     * Shadow-execute the untimed reference model (src/ref) alongside
+     * the timing simulator and panic with a structured diff on the
+     * first functional divergence. Purely observational: simulated
+     * results and timing are unchanged, so the flag is excluded from
+     * JobSpec canonicalization. Enabled from tests or via
+     * `secmem-bench --verify-model`.
+     */
+    bool verifyModel = false;
+
     MemTimingParams memTiming{};
 
     // ---- keys and IVs --------------------------------------------------

@@ -6,6 +6,7 @@
 #include "crypto/seed.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "ref/shadow.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -13,6 +14,61 @@ namespace secmem
 
 namespace
 {
+
+/**
+ * Read-only adapter giving the shadow oracle its window onto the
+ * controller's architectural state, built strictly from public
+ * accessors so the oracle cannot perturb what it observes.
+ */
+class CtrlShadowView : public ref::ShadowView
+{
+  public:
+    explicit CtrlShadowView(SecureMemoryController &c) : c_(c) {}
+
+    Block64
+    dram(Addr a) const override
+    {
+        return c_.dram().peekBlock(a);
+    }
+    const Block64 *
+    ctrLine(Addr a) const override
+    {
+        return c_.ctrCache().peek(a);
+    }
+    const Block64 *
+    macLine(Addr a) const override
+    {
+        return c_.macCache().peek(a);
+    }
+    const Block64 *
+    derivLine(Addr a) const override
+    {
+        return c_.derivCache().peek(a);
+    }
+    const Block64 &
+    pinnedTop() const override
+    {
+        return c_.pinnedTopBlock();
+    }
+    bool
+    hasStoredTag(Addr a) const override
+    {
+        return c_.hasStoredTag(a);
+    }
+    std::uint64_t
+    pageReencCount() const override
+    {
+        return c_.pageReencCount();
+    }
+    std::uint64_t
+    freezeCount() const override
+    {
+        return c_.freezeCount();
+    }
+
+  private:
+    SecureMemoryController &c_;
+};
 
 /** Optional stderr trace of every verification failure (debugging). */
 bool
@@ -50,6 +106,8 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     SECMEM_ASSERT(!(cfg_.auth == AuthKind::Gcm && cfg_.enc == EncKind::Direct),
                   "GCM authentication requires a counter-based layout");
     hashSubkey_ = dataAes_.encrypt(Block16{});
+    if (cfg_.verifyModel)
+        shadow_ = std::make_unique<ref::ShadowModel>(cfg_);
 
     // Pre-register the headline counters so every configuration dumps a
     // uniform stat set (e.g. ghash_chunks stays visible, at 0, for
@@ -69,6 +127,8 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     stats_.counter("sha1_blocks");
     stats_.counter("auth_failures");
 }
+
+SecureMemoryController::~SecureMemoryController() = default;
 
 void
 SecureMemoryController::registerStats(obs::StatRegistry &reg)
@@ -980,6 +1040,7 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
     unsigned onchip = 0, offchip = 0;
     Tick last_done = start;
     std::vector<Tick> block_ready(kBlocksPerPage, start);
+    std::vector<Addr> lazy_blocks;
 
     for (unsigned j = 0; j < kBlocksPerPage; ++j) {
         Addr a = page + static_cast<Addr>(j) * kBlockBytes;
@@ -991,6 +1052,8 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
             // natural write-back re-encrypts it under the new major.
             ++onchip;
             l2_.markDirty(a);
+            if (shadow_)
+                lazy_blocks.push_back(a);
             continue;
         }
         ++offchip;
@@ -1035,6 +1098,11 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
     free_rsr->page = page;
     free_rsr->freeAt = last_done;
     free_rsr->blockReady = std::move(block_ready);
+    if (shadow_) {
+        // Record only; the enclosing write's shadow event validates and
+        // applies the re-encryption once the counter block settles.
+        shadow_->onPageReenc(ctr_addr, new_major, std::move(lazy_blocks));
+    }
     if (trace_) {
         trace_->complete("reenc", "page_reenc", start, last_done,
                          {{"page", page},
@@ -1084,6 +1152,11 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
 {
     SECMEM_ASSERT(!halted_,
                   "secure memory controller halted by tamper policy");
+    // The oracle cross-checks the decrypted plaintext even when the
+    // caller does not ask for it.
+    Block64 shadow_pt;
+    if (shadow_ && !out)
+        out = &shadow_pt;
     beginAccess(addr, now, false);
     AccessTiming timing = readBlockImpl(addr, now, out);
 
@@ -1106,6 +1179,16 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
             stats_.counter("tamper_recoveries").inc();
     }
     finishAccess(timing.authOk, timing.authDone);
+    if (shadow_) {
+        // Only clean accesses are shadow-checked: tamper campaigns
+        // exercise the detection machinery, not the oracle.
+        if (lastAccessOk_) {
+            CtrlShadowView view(*this);
+            shadow_->onRead(view, blockBase(addr), *out);
+        } else {
+            shadow_->dropPending();
+        }
+    }
     if (trace_) {
         trace_->complete("mem", "read", now, timing.dataReady,
                          {{"addr", blockBase(addr)},
@@ -1240,6 +1323,14 @@ SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
     // fetches the write performs; no refetch retry is attempted because
     // the counter increment has already been applied on-chip.
     finishAccess(!cur_.valid, done);
+    if (shadow_) {
+        if (lastAccessOk_) {
+            CtrlShadowView view(*this);
+            shadow_->onWrite(view, blockBase(addr), data);
+        } else {
+            shadow_->dropPending();
+        }
+    }
     if (trace_) {
         trace_->complete("mem", "write", now, done,
                          {{"addr", blockBase(addr)}});

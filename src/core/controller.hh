@@ -63,6 +63,11 @@ class StatRegistry;
 class TraceSink;
 } // namespace obs
 
+namespace ref
+{
+class ShadowModel;
+} // namespace ref
+
 /** Completion times of an L2-miss fill. */
 struct AccessTiming
 {
@@ -83,6 +88,7 @@ class SecureMemoryController
 {
   public:
     explicit SecureMemoryController(const SecureMemConfig &cfg);
+    ~SecureMemoryController();
 
     SecureMemoryController(const SecureMemoryController &) = delete;
     SecureMemoryController &operator=(const SecureMemoryController &) = delete;
@@ -181,6 +187,7 @@ class SecureMemoryController
     stats::Group &stats() { return stats_; }
     Cache &ctrCache() { return ctrCache_; }
     Cache &macCache() { return macCache_; }
+    Cache &derivCache() { return derivCache_; }
     CryptoEngine &aesEngine() { return aes_; }
     CryptoEngine &shaEngine() { return sha_; }
     Bus &bus() { return channel_.bus(); }
@@ -193,6 +200,14 @@ class SecureMemoryController
     std::uint64_t freezeCount() const { return freezes_; }
     /** Split-counter page re-encryptions triggered. */
     std::uint64_t pageReencCount() const { return pageReencs_; }
+
+    // ---- differential correctness oracle (src/ref) ----------------------
+    /** The shadow model, when cfg.verifyModel is set (else nullptr). */
+    ref::ShadowModel *shadowModel() { return shadow_.get(); }
+    /** The pinned on-chip top-of-tree block (oracle / test probe). */
+    const Block64 &pinnedTopBlock() const { return pinnedTop_; }
+    /** True once the node at @p a has a valid stored tag. */
+    bool hasStoredTag(Addr a) const { return hasTag_.count(a) != 0; }
 
   private:
     // ---- structured tamper detection -------------------------------------
@@ -423,6 +438,9 @@ class SecureMemoryController
     /** Counter-prediction state: per-block counters and page bases. */
     std::unordered_map<Addr, std::uint64_t> predCtr_;
     std::unordered_map<Addr, std::uint64_t> predBase_;
+
+    /** Differential oracle shadow-executing this controller (optional). */
+    std::unique_ptr<ref::ShadowModel> shadow_;
 
     /** mutable: nodeTag() is const but counts GHASH/SHA-1 work. */
     mutable stats::Group stats_;

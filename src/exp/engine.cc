@@ -142,7 +142,9 @@ Engine::run(const std::vector<JobSpec> &specs)
     const bool tracing = !opts_.traceFile.empty();
 
     pool_.run(pending.size(), [&](std::size_t idx, unsigned worker) {
-        const JobSpec &spec = specs[pending[idx].specIndex];
+        JobSpec spec = specs[pending[idx].specIndex];
+        if (opts_.verifyModel)
+            spec.config.verifyModel = true;
         progress.began(worker, spec);
         obs::TraceSink *sink = tracing && idx == 0 ? &traceSink : nullptr;
         RunOutput out = runJob(spec, sink);

@@ -46,6 +46,14 @@ struct EngineOptions
      * is bit-identical to an untraced run's.
      */
     std::string traceFile;
+    /**
+     * Shadow-execute every simulated job against the untimed reference
+     * model (src/ref), panicking on the first functional divergence.
+     * Observational — excluded from JobSpec canonicalization — so pair
+     * it with an empty storeDir: a cached result would satisfy the spec
+     * without the oracle ever running.
+     */
+    bool verifyModel = false;
 };
 
 class Engine

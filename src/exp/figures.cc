@@ -15,6 +15,7 @@
 #include "core/system.hh"
 #include "harness/table.hh"
 #include "obs/registry.hh"
+#include "ref/shadow.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -799,6 +800,7 @@ struct CliOptions
     std::string statsOut;  ///< per-job stats JSON file, "-" = stdout
     std::string traceFile; ///< Chrome trace of the first simulated job
     bool smoke = false;
+    bool verifyModel = false;
     bool list = false;
     bool listStats = false;
     int progress = -1; ///< -1 auto (stderr tty), 0 off, 1 on
@@ -811,7 +813,7 @@ usage(const char *argv0, bool unified)
     std::fprintf(
         stderr,
         "usage: %s%s [--jobs N] [--filter SUBSTR] [--smoke]\n"
-        "          [--out DIR] [--store DIR] [--no-store]\n"
+        "          [--verify-model] [--out DIR] [--store DIR] [--no-store]\n"
         "          [--sim-instrs N] [--warmup-instrs N]\n"
         "          [--stats-out FILE|-] [--trace FILE]\n"
         "          [--progress] [--no-progress]\n\n",
@@ -869,6 +871,8 @@ parseCli(int argc, char **argv, bool unified)
             no_store = true;
         } else if (arg == "--smoke") {
             opts.smoke = true;
+        } else if (arg == "--verify-model") {
+            opts.verifyModel = true;
         } else if (arg == "--sim-instrs") {
             opts.cliLengths.sim = std::strtoull(value(), nullptr, 0);
         } else if (arg == "--warmup-instrs") {
@@ -970,6 +974,12 @@ runFigures(const CliOptions &opts)
     eopts.storeDir = opts.storeDir;
     eopts.progress = opts.progress == -1 ? isatty(2) : opts.progress;
     eopts.traceFile = opts.traceFile;
+    eopts.verifyModel = opts.verifyModel;
+    if (opts.verifyModel) {
+        // A stored result would satisfy the spec without the oracle
+        // ever executing; verification runs must simulate every job.
+        eopts.storeDir.clear();
+    }
     Engine engine(eopts);
 
     bool first = true;
@@ -997,6 +1007,22 @@ runFigures(const CliOptions &opts)
                      engine.store().persistent()
                          ? engine.store().dir().c_str()
                          : "");
+    }
+
+    if (opts.verifyModel) {
+        ref::ShadowTotals totals = ref::shadowTotals();
+        std::fprintf(stderr,
+                     "verify-model: %llu memory events shadowed, %llu "
+                     "checks, %llu divergences\n",
+                     static_cast<unsigned long long>(totals.events),
+                     static_cast<unsigned long long>(totals.checks),
+                     static_cast<unsigned long long>(totals.divergences));
+        if (totals.events == 0) {
+            std::fprintf(stderr,
+                         "verify-model: oracle never ran (no memory "
+                         "events?)\n");
+            return 1;
+        }
     }
 
     if (!opts.statsOut.empty())

@@ -1,0 +1,223 @@
+#include "ref/model.hh"
+
+#include "crypto/gf128.hh"
+#include "crypto/sha1.hh"
+#include "enc/counters.hh"
+#include "sim/log.hh"
+
+namespace secmem::ref
+{
+
+namespace
+{
+
+/** Read one bit of the 448-bit minor field (bit 0 = byte 8, bit 0). */
+unsigned
+minorFieldBit(const Block64 &raw, unsigned bit)
+{
+    return (raw.b[8 + bit / 8] >> (bit % 8)) & 1u;
+}
+
+void
+setMinorFieldBit(Block64 &raw, unsigned bit, unsigned value)
+{
+    std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit % 8));
+    if (value)
+        raw.b[8 + bit / 8] |= mask;
+    else
+        raw.b[8 + bit / 8] &= static_cast<std::uint8_t>(~mask);
+}
+
+Block16
+clipBits(const Block16 &tag, unsigned mac_bits)
+{
+    Block16 out{};
+    for (unsigned i = 0; i < mac_bits / 8; ++i)
+        out.b[i] = tag.b[i];
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+splitMajor(const Block64 &raw)
+{
+    std::uint64_t m = 0;
+    for (int i = 7; i >= 0; --i)
+        m = (m << 8) | raw.b[i];
+    return m;
+}
+
+void
+splitSetMajor(Block64 &raw, std::uint64_t major)
+{
+    for (int i = 0; i < 8; ++i) {
+        raw.b[i] = static_cast<std::uint8_t>(major & 0xff);
+        major >>= 8;
+    }
+}
+
+unsigned
+splitMinor(const Block64 &raw, unsigned i)
+{
+    SECMEM_ASSERT(i < kBlocksPerPage, "ref minor index %u out of range", i);
+    unsigned v = 0;
+    for (unsigned b = 0; b < kMinorBits; ++b)
+        v |= minorFieldBit(raw, i * kMinorBits + b) << b;
+    return v;
+}
+
+void
+splitSetMinor(Block64 &raw, unsigned i, unsigned value)
+{
+    SECMEM_ASSERT(i < kBlocksPerPage, "ref minor index %u out of range", i);
+    SECMEM_ASSERT(value < (1u << kMinorBits), "ref minor value %u overflows",
+                  value);
+    for (unsigned b = 0; b < kMinorBits; ++b)
+        setMinorFieldBit(raw, i * kMinorBits + b, (value >> b) & 1u);
+}
+
+std::uint64_t
+splitCounterFor(const Block64 &raw, unsigned i)
+{
+    return (splitMajor(raw) << kMinorBits) | splitMinor(raw, i);
+}
+
+std::uint64_t
+monoCounter(const Block64 &raw, unsigned width_bits, unsigned i)
+{
+    unsigned bytes = width_bits / 8;
+    SECMEM_ASSERT(i * bytes + bytes <= kBlockBytes,
+                  "ref mono slot %u out of range", i);
+    std::uint64_t v = 0;
+    for (unsigned k = bytes; k-- > 0;)
+        v = (v << 8) | raw.b[i * bytes + k];
+    return v;
+}
+
+void
+monoSetCounter(Block64 &raw, unsigned width_bits, unsigned i,
+               std::uint64_t value)
+{
+    unsigned bytes = width_bits / 8;
+    SECMEM_ASSERT(i * bytes + bytes <= kBlockBytes,
+                  "ref mono slot %u out of range", i);
+    for (unsigned k = 0; k < bytes; ++k) {
+        raw.b[i * bytes + k] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+}
+
+Block16
+seedFor(Addr block_addr, std::uint64_t counter, unsigned chunk,
+        bool auth_domain, std::uint8_t iv_byte)
+{
+    // Layout per crypto/seed.hh: bytes 0..5 block index (LE, 48 bits),
+    // 6..13 counter (LE, 64 bits), 14 chunk | domain bit, 15 IV byte.
+    Block16 seed{};
+    std::uint64_t block_index = block_addr / kBlockBytes;
+    for (int i = 0; i < 6; ++i) {
+        seed.b[i] = static_cast<std::uint8_t>(block_index & 0xff);
+        block_index >>= 8;
+    }
+    for (int i = 0; i < 8; ++i) {
+        seed.b[6 + i] = static_cast<std::uint8_t>(counter & 0xff);
+        counter >>= 8;
+    }
+    seed.b[14] = static_cast<std::uint8_t>(chunk | (auth_domain ? 0x80 : 0));
+    seed.b[15] = iv_byte;
+    return seed;
+}
+
+Block64
+ctrPad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+       std::uint8_t iv_byte)
+{
+    Block64 pad;
+    for (unsigned c = 0; c < kChunksPerBlock; ++c)
+        pad.setChunk(c, aes.encrypt(seedFor(block_addr, counter, c, false,
+                                            iv_byte)));
+    return pad;
+}
+
+Block64
+encryptBlock(const SecureMemConfig &cfg, const Aes128 &aes, Addr block_addr,
+             const Block64 &pt, std::uint64_t ctr, std::uint8_t epoch)
+{
+    switch (cfg.enc) {
+      case EncKind::None:
+        return pt;
+      case EncKind::Direct: {
+        Block64 ct;
+        for (unsigned c = 0; c < kChunksPerBlock; ++c)
+            ct.setChunk(c, aes.encrypt(pt.chunk(c)));
+        return ct;
+      }
+      default:
+        return pt ^ ctrPad(aes, blockBase(block_addr), ctr,
+                           static_cast<std::uint8_t>(cfg.eivByte ^ epoch));
+    }
+}
+
+Block16
+gcmTag(const Aes128 &aes, const Block16 &hash_subkey, Addr block_addr,
+       const Block64 &ciphertext, std::uint64_t counter,
+       std::uint8_t iv_byte)
+{
+    // GHASH composed directly over gf128Mul: Y_i = (Y_{i-1} ^ X_i) * H.
+    Gf128 h = Gf128::fromBlock(hash_subkey);
+    Gf128 y{0, 0};
+    for (unsigned c = 0; c < kChunksPerBlock; ++c)
+        y = gf128Mul(y ^ Gf128::fromBlock(ciphertext.chunk(c)), h);
+
+    // Length block: [len(AAD)]_64 || [len(C)]_64, both big-endian bit
+    // counts (NIST SP 800-38D step 5). AAD is empty in this setting.
+    Block16 lenblk{};
+    std::uint64_t ct_bits = kBlockBytes * 8;
+    for (int i = 0; i < 8; ++i)
+        lenblk.b[15 - i] = static_cast<std::uint8_t>(ct_bits >> (8 * i));
+    y = gf128Mul(y ^ Gf128::fromBlock(lenblk), h);
+
+    Block16 pad = aes.encrypt(seedFor(block_addr, counter, 0, true, iv_byte));
+    return y.toBlock() ^ pad;
+}
+
+Block16
+sha1Tag(const Block16 &key, Addr block_addr, const Block64 &ciphertext,
+        std::uint64_t counter, std::uint8_t epoch)
+{
+    // SHA1(key || addr_le64 || counter_le64 || epoch || ct), 16 bytes.
+    std::uint8_t msg[16 + 8 + 8 + 1 + kBlockBytes];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < key.b.size(); ++i)
+        msg[n++] = key.b[i];
+    for (int i = 0; i < 8; ++i)
+        msg[n++] = static_cast<std::uint8_t>(block_addr >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        msg[n++] = static_cast<std::uint8_t>(counter >> (8 * i));
+    msg[n++] = epoch;
+    for (std::size_t i = 0; i < ciphertext.b.size(); ++i)
+        msg[n++] = ciphertext.b[i];
+    Sha1::Digest d = Sha1::digestOf(msg, n);
+    Block16 tag;
+    for (std::size_t i = 0; i < kChunkBytes; ++i)
+        tag.b[i] = d[i];
+    return tag;
+}
+
+Block16
+nodeTag(const SecureMemConfig &cfg, const Aes128 &aes,
+        const Block16 &hash_subkey, Addr node_addr, const Block64 &content,
+        std::uint64_t counter, std::uint8_t epoch)
+{
+    if (cfg.auth == AuthKind::Gcm) {
+        return clipBits(
+            gcmTag(aes, hash_subkey, node_addr, content, counter,
+                   static_cast<std::uint8_t>(cfg.aivByte ^ epoch)),
+            cfg.macBits);
+    }
+    return clipBits(sha1Tag(cfg.macKey, node_addr, content, counter, epoch),
+                    cfg.macBits);
+}
+
+} // namespace secmem::ref

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Untimed reference model of the secure-memory crypto stack.
+ *
+ * Every function here recomputes, from first principles, a quantity
+ * the timed SecureMemoryController also computes — counter-block
+ * decoding, seed packing, counter-mode encryption, GCM / SHA-1 node
+ * tags — but through deliberately different code:
+ *
+ *  - the split/mono counter codecs work bit-at-a-time instead of the
+ *    production read-modify-write byte arithmetic (enc/counters.cc);
+ *  - GHASH is composed directly from gf128Mul() and a hand-built
+ *    big-endian length block instead of going through the Ghash class;
+ *  - the SHA-1 MAC message is re-packed here instead of reusing
+ *    sha1BlockTag().
+ *
+ * Only the validated primitives themselves (Aes128, gf128Mul, Sha1)
+ * are shared — they are pinned by the NIST / FIPS test-vector suites
+ * under tests/crypto/. Everything above the primitives is independent,
+ * so a bit-order, packing or composition bug in the production path
+ * cannot cancel out against the same bug here.
+ */
+
+#ifndef SECMEM_REF_MODEL_HH
+#define SECMEM_REF_MODEL_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+#include "sim/types.hh"
+
+namespace secmem::ref
+{
+
+// ---- split counter-block codec (bit-at-a-time) -------------------------
+std::uint64_t splitMajor(const Block64 &raw);
+void splitSetMajor(Block64 &raw, std::uint64_t major);
+unsigned splitMinor(const Block64 &raw, unsigned i);
+void splitSetMinor(Block64 &raw, unsigned i, unsigned value);
+/** (major << 7) | minor — the concatenated encryption counter. */
+std::uint64_t splitCounterFor(const Block64 &raw, unsigned i);
+
+// ---- monolithic counter-block codec ------------------------------------
+std::uint64_t monoCounter(const Block64 &raw, unsigned width_bits,
+                          unsigned i);
+void monoSetCounter(Block64 &raw, unsigned width_bits, unsigned i,
+                    std::uint64_t value);
+
+// ---- seed / pad / tag recomputation ------------------------------------
+/** The 16-byte AES input for (block, counter, chunk, domain, IV). */
+Block16 seedFor(Addr block_addr, std::uint64_t counter, unsigned chunk,
+                bool auth_domain, std::uint8_t iv_byte);
+
+/** Counter-mode pad for one cache block (four chunk seeds). */
+Block64 ctrPad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+               std::uint8_t iv_byte);
+
+/** Functional encryption of one data block under @p cfg's scheme. */
+Block64 encryptBlock(const SecureMemConfig &cfg, const Aes128 &aes,
+                     Addr block_addr, const Block64 &pt, std::uint64_t ctr,
+                     std::uint8_t epoch);
+
+/**
+ * GCM tag of one block: GHASH_H(ct, lengths) ^ AES_K(auth seed),
+ * composed from gf128Mul directly.
+ */
+Block16 gcmTag(const Aes128 &aes, const Block16 &hash_subkey,
+               Addr block_addr, const Block64 &ciphertext,
+               std::uint64_t counter, std::uint8_t iv_byte);
+
+/** SHA-1 MAC of one block (prior-scheme baseline), 16-byte truncation. */
+Block16 sha1Tag(const Block16 &key, Addr block_addr,
+                const Block64 &ciphertext, std::uint64_t counter,
+                std::uint8_t epoch);
+
+/**
+ * The clipped tag the controller stores for a tree node: GCM or SHA-1
+ * per @p cfg, epoch folded into the IV (GCM) or the message (SHA-1).
+ */
+Block16 nodeTag(const SecureMemConfig &cfg, const Aes128 &aes,
+                const Block16 &hash_subkey, Addr node_addr,
+                const Block64 &content, std::uint64_t counter,
+                std::uint8_t epoch);
+
+} // namespace secmem::ref
+
+#endif // SECMEM_REF_MODEL_HH

@@ -1,0 +1,483 @@
+#include "ref/shadow.hh"
+
+#include <atomic>
+
+#include "enc/counters.hh"
+#include "ref/model.hh"
+#include "sim/log.hh"
+
+namespace secmem::ref
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> gEvents{0};
+std::atomic<std::uint64_t> gChecks{0};
+std::atomic<std::uint64_t> gDivs{0};
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Embedded derivative counter of a MAC block (leading 8 bytes, LE). */
+std::uint64_t
+embeddedDerivOf(const Block64 &blk)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(blk.b[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+ShadowTotals
+shadowTotals()
+{
+    return {gEvents.load(std::memory_order_relaxed),
+            gChecks.load(std::memory_order_relaxed),
+            gDivs.load(std::memory_order_relaxed)};
+}
+
+std::string
+formatDivergence(const Divergence &d)
+{
+    std::string s = "shadow-model divergence [" + d.kind + "] at addr=" +
+                    hex64(d.addr);
+    s += "\n  expect: " + d.expect;
+    s += "\n  got:    " + d.got;
+    if (!d.context.empty())
+        s += "\n  context: " + d.context;
+    return s;
+}
+
+ShadowModel::ShadowModel(const SecureMemConfig &cfg)
+    : cfg_(cfg), map_(cfg), aes_(cfg.dataKey)
+{
+    hashSubkey_ = aes_.encrypt(Block16{});
+}
+
+void
+ShadowModel::diverge(const std::string &kind, Addr addr, std::string expect,
+                     std::string got, std::string context)
+{
+    gDivs.fetch_add(1, std::memory_order_relaxed);
+    Divergence d{kind, addr, std::move(expect), std::move(got),
+                 cfg_.schemeName() + ", event " + std::to_string(events_) +
+                     (context.empty() ? "" : ", " + context)};
+    divs_.push_back(d);
+    if (panic_)
+        SECMEM_PANIC("%s", formatDivergence(d).c_str());
+}
+
+// --------------------------------------------------------------------------
+// Reference state
+// --------------------------------------------------------------------------
+
+void
+ShadowModel::registerBlock(Addr base)
+{
+    // Mirrors the controller's lazy boot-time formatting: first touch
+    // finds an all-zero plaintext encrypted under the block's current
+    // counter at epoch 0. Counter state needs no reset — fresh map
+    // entries default to zero, and a page's major survives from earlier
+    // re-encryptions exactly as the shared counter block does.
+    pt_.emplace(base, Block64{});
+}
+
+static bool
+splitDiscipline(const SecureMemConfig &cfg)
+{
+    return cfg.enc == EncKind::CtrSplit ||
+           (cfg.enc == EncKind::None && cfg.auth == AuthKind::Gcm);
+}
+
+std::uint64_t
+ShadowModel::counterOf(Addr base) const
+{
+    if (splitDiscipline(cfg_)) {
+        auto it = splitPages_.find(map_.ctrBlockAddrFor(base));
+        if (it == splitPages_.end())
+            return 0;
+        return (it->second.major << kMinorBits) |
+               it->second.minors[map_.ctrSlotFor(base)];
+    }
+    if (cfg_.enc == EncKind::CtrMono) {
+        auto it = monoCount_.find(base);
+        std::uint64_t c = it == monoCount_.end() ? 0 : it->second;
+        return cfg_.monoBits < 64 ? c & ((1ull << cfg_.monoBits) - 1) : c;
+    }
+    if (cfg_.enc == EncKind::CtrPred) {
+        auto it = predCount_.find(base);
+        return it == predCount_.end() ? 0 : it->second;
+    }
+    return 0;
+}
+
+std::uint8_t
+ShadowModel::epochOf(Addr base) const
+{
+    auto it = blockEpoch_.find(base);
+    return it == blockEpoch_.end() ? 0 : it->second;
+}
+
+void
+ShadowModel::applyPendingReenc(const ShadowView &v, Addr writing_base)
+{
+    PendingReenc p = std::move(pending_);
+    pending_ = PendingReenc{};
+
+    PageCtr &pc = splitPages_[p.ctrAddr];
+    if (p.newMajor != pc.major + 1) {
+        diverge("reenc_major", p.ctrAddr, std::to_string(pc.major + 1),
+                std::to_string(p.newMajor));
+    }
+    pc.major = p.newMajor;
+    pc.minors.fill(0);
+    ++pageReencs_;
+
+    for (Addr a : p.lazy) {
+        if (!pt_.count(a)) {
+            diverge("reenc_unknown_block", a, "initialized block",
+                    "never-touched block marked dirty in L2");
+        }
+        stale_.insert(a);
+    }
+
+    // Off-chip blocks were decrypted and re-encrypted under the new
+    // major on the spot; their DRAM bytes and leaf tags must already
+    // reflect it by the time the triggering write completes.
+    Addr page = map_.firstDataBlockOf(p.ctrAddr);
+    std::uint64_t new_ctr = p.newMajor << kMinorBits;
+    for (unsigned j = 0; j < kBlocksPerPage; ++j) {
+        Addr a = page + static_cast<Addr>(j) * kBlockBytes;
+        if (!pt_.count(a) || a == writing_base || stale_.count(a))
+            continue;
+        blockEpoch_[a] = epoch_;
+        Block64 expect = encryptBlock(cfg_, aes_, a, pt_.at(a), new_ctr,
+                                      epoch_);
+        Block64 got = v.dram(a);
+        ++checks_;
+        gChecks.fetch_add(1, std::memory_order_relaxed);
+        if (!(expect == got)) {
+            diverge("reenc_ct", a, toHex(expect), toHex(got),
+                    "page re-encryption to major " +
+                        std::to_string(p.newMajor));
+        }
+        if (cfg_.auth != AuthKind::None && v.hasStoredTag(a)) {
+            TagLocation loc = map_.tagOfLeaf(map_.leafIndexOfData(a));
+            Block16 want = nodeTag(cfg_, aes_, hashSubkey_, a, got, new_ctr,
+                                   epoch_);
+            Block16 have = storedTag(v, loc);
+            ++checks_;
+            gChecks.fetch_add(1, std::memory_order_relaxed);
+            if (!(want == have)) {
+                diverge("reenc_tag", a, toHex(want), toHex(have),
+                        "page re-encryption to major " +
+                            std::to_string(p.newMajor));
+            }
+        }
+    }
+}
+
+void
+ShadowModel::advanceCounter(const ShadowView &v, Addr base)
+{
+    if (splitDiscipline(cfg_)) {
+        Addr ca = map_.ctrBlockAddrFor(base);
+        unsigned slot = map_.ctrSlotFor(base);
+        PageCtr &pc = splitPages_[ca];
+        if (pc.minors[slot] == SplitCounterBlock::maxMinor()) {
+            if (pending_.valid && pending_.ctrAddr == ca) {
+                applyPendingReenc(v, base);
+            } else {
+                diverge("missing_reenc", ca,
+                        "page re-encryption at minor overflow",
+                        "no re-encryption triggered");
+                // Resync locally so later checks stay meaningful.
+                pc.major += 1;
+                pc.minors.fill(0);
+            }
+        } else if (pending_.valid) {
+            diverge("unexpected_reenc", pending_.ctrAddr,
+                    "no re-encryption (minor " +
+                        std::to_string(pc.minors[slot]) + ")",
+                    "re-encryption to major " +
+                        std::to_string(pending_.newMajor));
+            applyPendingReenc(v, base);
+        }
+        splitPages_[ca].minors[slot] += 1;
+        return;
+    }
+    if (cfg_.enc == EncKind::CtrMono) {
+        std::uint64_t c = ++monoCount_[base];
+        std::uint64_t value =
+            cfg_.monoBits < 64 ? c & ((1ull << cfg_.monoBits) - 1) : c;
+        if (value == 0) {
+            // Counter wrap: whole-memory re-encryption, emulated with
+            // the epoch byte exactly as in the controller.
+            ++freezes_;
+            ++epoch_;
+        }
+        return;
+    }
+    if (cfg_.enc == EncKind::CtrPred)
+        ++predCount_[base];
+}
+
+// --------------------------------------------------------------------------
+// Stored-state readers
+// --------------------------------------------------------------------------
+
+Block16
+ShadowModel::storedTag(const ShadowView &v, const TagLocation &loc) const
+{
+    Block64 blk;
+    if (loc.pinned) {
+        blk = v.pinnedTop();
+    } else if (const Block64 *line = v.macLine(loc.blockAddr)) {
+        blk = *line;
+    } else {
+        blk = v.dram(loc.blockAddr);
+    }
+    Block16 tag{};
+    unsigned bytes = map_.macSlotBytes();
+    unsigned off = map_.macSlotOffset(loc.slot);
+    for (unsigned i = 0; i < bytes; ++i)
+        tag.b[i] = blk.b[off + i];
+    return tag;
+}
+
+std::uint64_t
+ShadowModel::effectiveDeriv(const ShadowView &v, Addr ctr_addr) const
+{
+    std::uint64_t di = map_.derivIdxOfCtrBlock(ctr_addr);
+    Addr da = map_.derivCtrBlockAddr(di);
+    const Block64 *line = v.derivLine(da);
+    Block64 raw = line ? *line : v.dram(da);
+    return monoCounter(raw, 64, map_.derivSlot(di));
+}
+
+// --------------------------------------------------------------------------
+// Checks
+// --------------------------------------------------------------------------
+
+void
+ShadowModel::checkCounterSlot(const ShadowView &v, Addr base)
+{
+    Addr ca = map_.ctrBlockAddrFor(base);
+    unsigned slot = map_.ctrSlotFor(base);
+    const Block64 *line = v.ctrLine(ca);
+    Block64 raw = line ? *line : v.dram(ca);
+
+    std::uint64_t expect = counterOf(base);
+    std::uint64_t got = cfg_.enc == EncKind::CtrMono
+                            ? monoCounter(raw, cfg_.monoBits, slot)
+                            : splitCounterFor(raw, slot);
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (expect != got) {
+        diverge("ctr_slot", base, std::to_string(expect),
+                std::to_string(got),
+                "counter block " + hex64(ca) + " slot " +
+                    std::to_string(slot) +
+                    (line ? " (cached)" : " (DRAM)"));
+    }
+}
+
+void
+ShadowModel::checkDataCiphertext(const ShadowView &v, Addr base)
+{
+    Block64 expect = encryptBlock(cfg_, aes_, base, pt_.at(base),
+                                  counterOf(base), epochOf(base));
+    Block64 got = v.dram(base);
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (!(expect == got)) {
+        diverge("dram_ct", base, toHex(expect), toHex(got),
+                "ctr " + std::to_string(counterOf(base)) + ", epoch " +
+                    std::to_string(epochOf(base)));
+    }
+}
+
+void
+ShadowModel::checkLeafTag(const ShadowView &v, Addr base)
+{
+    TagLocation loc = map_.tagOfLeaf(map_.leafIndexOfData(base));
+    // The stored tag covers the block's current DRAM bytes — compute
+    // the reference tag over those bytes directly, so this check stays
+    // independent of checkDataCiphertext.
+    Block16 expect = nodeTag(cfg_, aes_, hashSubkey_, base, v.dram(base),
+                             counterOf(base), epochOf(base));
+    Block16 got = storedTag(v, loc);
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (!(expect == got)) {
+        diverge("leaf_tag", base, toHex(expect), toHex(got),
+                "ctr " + std::to_string(counterOf(base)) + ", epoch " +
+                    std::to_string(epochOf(base)));
+    }
+    checkAncestors(v, loc);
+}
+
+void
+ShadowModel::checkCtrBlockTag(const ShadowView &v, Addr ctr_addr)
+{
+    if (!v.hasStoredTag(ctr_addr))
+        return;
+    std::uint64_t deriv =
+        cfg_.auth == AuthKind::Gcm ? effectiveDeriv(v, ctr_addr) : 0;
+    TagLocation loc = map_.tagOfLeaf(map_.leafIndexOfCtrBlock(ctr_addr));
+    Block16 expect = nodeTag(cfg_, aes_, hashSubkey_, ctr_addr,
+                             v.dram(ctr_addr), deriv, 0);
+    Block16 got = storedTag(v, loc);
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (!(expect == got)) {
+        diverge("ctr_tag", ctr_addr, toHex(expect), toHex(got),
+                "deriv " + std::to_string(deriv));
+    }
+    checkAncestors(v, loc);
+}
+
+void
+ShadowModel::checkAncestors(const ShadowView &v, TagLocation loc)
+{
+    while (!loc.pinned) {
+        Addr m = loc.blockAddr;
+        auto [level, idx] = map_.macLevelOf(m);
+        TagLocation up = map_.tagOfMacBlock(level, idx);
+        if (v.hasStoredTag(m)) {
+            Block64 content = v.dram(m);
+            std::uint64_t deriv = cfg_.auth == AuthKind::Gcm
+                                      ? embeddedDerivOf(content)
+                                      : 0;
+            Block16 expect = nodeTag(cfg_, aes_, hashSubkey_, m, content,
+                                     deriv, 0);
+            Block16 got = storedTag(v, up);
+            ++checks_;
+            gChecks.fetch_add(1, std::memory_order_relaxed);
+            if (!(expect == got)) {
+                diverge("tree_tag", m, toHex(expect), toHex(got),
+                        "MAC level " + std::to_string(level) + " idx " +
+                            std::to_string(idx) + ", deriv " +
+                            std::to_string(deriv));
+            }
+        }
+        loc = up;
+    }
+}
+
+void
+ShadowModel::checkStats(const ShadowView &v)
+{
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (v.pageReencCount() != pageReencs_) {
+        diverge("page_reenc_count", 0, std::to_string(pageReencs_),
+                std::to_string(v.pageReencCount()));
+    }
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (v.freezeCount() != freezes_) {
+        diverge("freeze_count", 0, std::to_string(freezes_),
+                std::to_string(v.freezeCount()));
+    }
+}
+
+void
+ShadowModel::checkBlock(const ShadowView &v, Addr base)
+{
+    if (cfg_.usesCounterCache())
+        checkCounterSlot(v, base);
+    if (!stale_.count(base))
+        checkDataCiphertext(v, base);
+    if (cfg_.auth != AuthKind::None) {
+        if (v.hasStoredTag(base) && !stale_.count(base))
+            checkLeafTag(v, base);
+        if (cfg_.usesCounterCache() && cfg_.authenticateCounters)
+            checkCtrBlockTag(v, map_.ctrBlockAddrFor(base));
+    }
+    checkStats(v);
+}
+
+// --------------------------------------------------------------------------
+// Events
+// --------------------------------------------------------------------------
+
+void
+ShadowModel::onRead(const ShadowView &v, Addr base, const Block64 &returned)
+{
+    ++events_;
+    gEvents.fetch_add(1, std::memory_order_relaxed);
+    registerBlock(base);
+    if (pending_.valid) {
+        diverge("orphan_reenc", pending_.ctrAddr,
+                "re-encryption consumed by its triggering write",
+                "re-encryption still pending at a later event");
+        pending_ = PendingReenc{};
+    }
+    if (stale_.count(base)) {
+        // A lazily re-encrypted block must stay in the L2 (dirty) until
+        // written back; a miss fill here would decrypt stale ciphertext
+        // under the new counter.
+        diverge("stale_read", base,
+                "no controller read while DRAM copy is stale",
+                "readBlock on lazily re-encrypted block");
+        return;
+    }
+    Block64 expect = pt_.at(base);
+    ++checks_;
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (!(expect == returned)) {
+        diverge("read_data", base, toHex(expect), toHex(returned),
+                "ctr " + std::to_string(counterOf(base)) + ", epoch " +
+                    std::to_string(epochOf(base)));
+    }
+    checkBlock(v, base);
+}
+
+void
+ShadowModel::onWrite(const ShadowView &v, Addr base, const Block64 &pt)
+{
+    ++events_;
+    gEvents.fetch_add(1, std::memory_order_relaxed);
+    registerBlock(base);
+    advanceCounter(v, base);
+    if (cfg_.enc == EncKind::Direct || cfg_.enc == EncKind::CtrMono ||
+        cfg_.enc == EncKind::CtrSplit) {
+        blockEpoch_[base] = epoch_;
+    }
+    pt_[base] = pt;
+    stale_.erase(base);
+    if (pending_.valid) {
+        diverge("orphan_reenc", pending_.ctrAddr,
+                "re-encryption consumed by its triggering write",
+                "re-encryption pending after counter advance");
+        pending_ = PendingReenc{};
+    }
+    checkBlock(v, base);
+}
+
+void
+ShadowModel::onPageReenc(Addr ctr_addr, std::uint64_t new_major,
+                         std::vector<Addr> lazy)
+{
+    if (pending_.valid) {
+        diverge("orphan_reenc", pending_.ctrAddr,
+                "at most one re-encryption per write",
+                "second re-encryption before the first was consumed");
+    }
+    pending_.valid = true;
+    pending_.ctrAddr = ctr_addr;
+    pending_.newMajor = new_major;
+    pending_.lazy = std::move(lazy);
+}
+
+} // namespace secmem::ref

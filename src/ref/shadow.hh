@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shadow execution of the untimed reference model (the differential
+ * correctness oracle).
+ *
+ * A ShadowModel runs alongside one SecureMemoryController. It keeps its
+ * own functional state — plaintext per data block, split/mono/pred
+ * counter disciplines, per-block epochs, pending page re-encryptions —
+ * and after every clean memory event recomputes what the controller's
+ * architectural state MUST look like:
+ *
+ *  - the decrypted read data returned to the CPU,
+ *  - the effective counter slot (cached line if resident, else DRAM),
+ *  - the DRAM ciphertext of the accessed block,
+ *  - the stored leaf tag of the block and of its counter block,
+ *  - every ancestor MAC block's stored tag along the Merkle path
+ *    (stored tags always cover the child's current DRAM bytes),
+ *  - the page re-encryption and freeze counts.
+ *
+ * All recomputation goes through src/ref/model.hh, which shares only
+ * the vector-pinned primitives (Aes128, gf128Mul, Sha1) with the
+ * production path. On the first mismatch the model records a structured
+ * Divergence and (by default) panics with a diff of the expected and
+ * observed bytes.
+ *
+ * The oracle is purely observational: it never mutates controller
+ * state, and it reads DRAM through Dram::peekBlock so transient-fault
+ * state is untouched. It is only invoked for accesses that verified
+ * cleanly — tamper campaigns exercise the detection machinery, not the
+ * oracle.
+ */
+
+#ifndef SECMEM_REF_SHADOW_HH
+#define SECMEM_REF_SHADOW_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/layout.hh"
+#include "crypto/aes.hh"
+#include "crypto/bytes.hh"
+#include "enc/counters.hh"
+#include "sim/types.hh"
+
+namespace secmem::ref
+{
+
+/**
+ * Read-only window onto the controller state the oracle cross-checks.
+ * Implemented by an adapter inside controller.cc over public accessors.
+ */
+class ShadowView
+{
+  public:
+    virtual ~ShadowView() = default;
+
+    /** DRAM bytes of block @p a (must not consume transient faults). */
+    virtual Block64 dram(Addr a) const = 0;
+    /** Resident counter-cache line for @p a, or nullptr. */
+    virtual const Block64 *ctrLine(Addr a) const = 0;
+    /** Resident MAC-cache line for @p a, or nullptr. */
+    virtual const Block64 *macLine(Addr a) const = 0;
+    /** Resident derivative-counter-cache line for @p a, or nullptr. */
+    virtual const Block64 *derivLine(Addr a) const = 0;
+    /** The pinned on-chip top-of-tree block. */
+    virtual const Block64 &pinnedTop() const = 0;
+    /** True once the node at @p a has a valid stored tag. */
+    virtual bool hasStoredTag(Addr a) const = 0;
+    virtual std::uint64_t pageReencCount() const = 0;
+    virtual std::uint64_t freezeCount() const = 0;
+};
+
+/** One functional mismatch between the controller and the model. */
+struct Divergence
+{
+    std::string kind;    ///< e.g. "dram_ct", "leaf_tag", "ctr_slot"
+    Addr addr = 0;       ///< block the check anchored to
+    std::string expect;  ///< model value (hex / decimal)
+    std::string got;     ///< controller value
+    std::string context; ///< event number, scheme, extra detail
+};
+
+/** Render a divergence as the multi-line diff used in the panic. */
+std::string formatDivergence(const Divergence &d);
+
+/** Process-wide totals across every ShadowModel (for CLI summaries). */
+struct ShadowTotals
+{
+    std::uint64_t events = 0;
+    std::uint64_t checks = 0;
+    std::uint64_t divergences = 0;
+};
+ShadowTotals shadowTotals();
+
+/** The oracle attached to one controller. */
+class ShadowModel
+{
+  public:
+    explicit ShadowModel(const SecureMemConfig &cfg);
+
+    /**
+     * A clean readBlock returned plaintext @p returned_pt for the data
+     * block at @p base. Registers first-touch blocks (mirroring the
+     * controller's lazy boot-time formatting) and runs every check.
+     */
+    void onRead(const ShadowView &v, Addr base, const Block64 &returned_pt);
+
+    /** A clean writeBlock stored plaintext @p pt at @p base. */
+    void onWrite(const ShadowView &v, Addr base, const Block64 &pt);
+
+    /**
+     * The controller triggered a split-counter page re-encryption for
+     * @p ctr_addr, moving to @p new_major; @p lazy lists the in-page
+     * blocks handled lazily (marked dirty in the L2, DRAM left stale).
+     * Recorded only; validated and applied by the enclosing onWrite.
+     */
+    void onPageReenc(Addr ctr_addr, std::uint64_t new_major,
+                     std::vector<Addr> lazy);
+
+    /** Forget a recorded re-encryption (enclosing access failed). */
+    void dropPending() { pending_.valid = false; }
+
+    /** When false, divergences are recorded but do not panic (tests). */
+    void setPanic(bool on) { panic_ = on; }
+
+    std::uint64_t events() const { return events_; }
+    std::uint64_t checks() const { return checks_; }
+    const std::vector<Divergence> &divergences() const { return divs_; }
+
+  private:
+    struct PageCtr
+    {
+        std::uint64_t major = 0;
+        std::array<std::uint8_t, kBlocksPerPage> minors{};
+    };
+
+    void registerBlock(Addr base);
+    std::uint64_t counterOf(Addr base) const;
+    std::uint8_t epochOf(Addr base) const;
+    void advanceCounter(const ShadowView &v, Addr base);
+    void applyPendingReenc(const ShadowView &v, Addr writing_base);
+
+    /** All per-event invariants for @p base (see file comment). */
+    void checkBlock(const ShadowView &v, Addr base);
+    void checkCounterSlot(const ShadowView &v, Addr base);
+    void checkDataCiphertext(const ShadowView &v, Addr base);
+    void checkLeafTag(const ShadowView &v, Addr base);
+    void checkCtrBlockTag(const ShadowView &v, Addr ctr_addr);
+    /** Stored tags of every MAC block from @p loc up to the pinned top. */
+    void checkAncestors(const ShadowView &v, TagLocation loc);
+    void checkStats(const ShadowView &v);
+
+    Block16 storedTag(const ShadowView &v, const TagLocation &loc) const;
+    std::uint64_t effectiveDeriv(const ShadowView &v, Addr ctr_addr) const;
+
+    void diverge(const std::string &kind, Addr addr, std::string expect,
+                 std::string got, std::string context = {});
+
+    SecureMemConfig cfg_;
+    AddressMap map_;
+    Aes128 aes_;
+    Block16 hashSubkey_{};
+
+    std::unordered_map<Addr, PageCtr> splitPages_; ///< by ctr-block addr
+    std::unordered_map<Addr, std::uint64_t> monoCount_; ///< by data block
+    std::unordered_map<Addr, std::uint64_t> predCount_;
+    std::unordered_map<Addr, Block64> pt_;
+    std::unordered_map<Addr, std::uint8_t> blockEpoch_;
+    /** Blocks lazily re-encrypted: DRAM stale until next write-back. */
+    std::unordered_set<Addr> stale_;
+    std::uint8_t epoch_ = 0;
+    std::uint64_t pageReencs_ = 0;
+    std::uint64_t freezes_ = 0;
+
+    struct PendingReenc
+    {
+        bool valid = false;
+        Addr ctrAddr = kAddrInvalid;
+        std::uint64_t newMajor = 0;
+        std::vector<Addr> lazy;
+    } pending_;
+
+    std::uint64_t events_ = 0;
+    std::uint64_t checks_ = 0;
+    std::vector<Divergence> divs_;
+    bool panic_ = true;
+};
+
+} // namespace secmem::ref
+
+#endif // SECMEM_REF_SHADOW_HH

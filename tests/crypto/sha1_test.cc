@@ -89,6 +89,31 @@ TEST(Sha1, ResetAllowsReuse)
               "a9993e364706816aba3e25717850c26c9cd0d89d");
 }
 
+TEST(Sha1, PaddingBoundaryKnownDigests)
+{
+    // FIPS 180-1 digests of 'a' * N at the padding boundaries: 55 is the
+    // longest message padded within one block, 56 forces a second block,
+    // 63/64 straddle the block edge, 119 is the two-block analogue of 55.
+    struct BoundaryCase
+    {
+        std::size_t len;
+        const char *digest;
+    };
+    const BoundaryCase kCases[] = {
+        {55, "c1c8bbdc22796e28c0e15163d20899b65621d65a"},
+        {56, "c2db330f6083854c99d4b5bfb6e8f29f201be699"},
+        {63, "03f09f5b158a7a8cdad920bddc29b81c18a551f5"},
+        {64, "0098ba824b5c16427bd7a1122a5a442a25ec644d"},
+        {119, "ee971065aaa017e0632a8ca6c77bb3bf8b1dfc56"},
+    };
+    for (const BoundaryCase &c : kCases) {
+        std::vector<std::uint8_t> msg(c.len, 'a');
+        EXPECT_EQ(toHex(Sha1::digestOf(msg.data(), msg.size()).data(), 20),
+                  c.digest)
+            << "length " << c.len;
+    }
+}
+
 TEST(Sha1, LengthExtensionBoundaries)
 {
     // Hash messages of every length around the 55/56/64-byte padding

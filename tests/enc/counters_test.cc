@@ -55,6 +55,39 @@ TEST(SplitCounterBlock, MinorWritesDoNotClobberNeighbours)
     }
 }
 
+TEST(SplitCounterBlock, ExhaustiveMinorRoundTrip)
+{
+    // Every (index, value) pair through the 7-bit bitfield codec, with
+    // randomized neighbour interference: before each probe, a random
+    // other slot and the major are rewritten, and afterwards every slot
+    // must still decode to its shadow value. Pins counters.cc's
+    // read-modify-write byte arithmetic exactly.
+    Rng rng(7);
+    SplitCounterBlock cb;
+    std::vector<unsigned> shadow(kBlocksPerPage, 0);
+    std::uint64_t major = 0;
+    for (unsigned i = 0; i < kBlocksPerPage; ++i) {
+        for (unsigned v = 0; v <= SplitCounterBlock::maxMinor(); ++v) {
+            unsigned j = static_cast<unsigned>(rng.below(kBlocksPerPage));
+            unsigned jv = static_cast<unsigned>(rng.below(128));
+            cb.setMinor(j, jv);
+            shadow[j] = jv;
+            major = rng.next();
+            cb.setMajor(major);
+
+            cb.setMinor(i, v);
+            shadow[i] = v;
+            ASSERT_EQ(cb.minor(i), v) << "slot " << i << " value " << v;
+        }
+        // Full-block audit once per slot (64*128 full sweeps would be
+        // 2^19 decodes of 64 slots each; once per outer step suffices).
+        for (unsigned k = 0; k < kBlocksPerPage; ++k)
+            ASSERT_EQ(cb.minor(k), shadow[k]) << "slot " << k
+                                              << " after writing " << i;
+        ASSERT_EQ(cb.major(), major);
+    }
+}
+
 TEST(SplitCounterBlock, CounterForConcatenatesMajorMinor)
 {
     SplitCounterBlock cb;
@@ -118,6 +151,31 @@ TEST_P(MonoWidthTest, IncrementWrapsAtWidth)
     EXPECT_EQ(cb.counter(0), 0u);
     EXPECT_FALSE(cb.increment(0));
     EXPECT_EQ(cb.counter(0), 1u);
+}
+
+TEST_P(MonoWidthTest, WrapPeriodIsExactlyTwoToTheWidth)
+{
+    // Increment from zero: the first wrap must land exactly on the
+    // 2^w-th increment and the value must re-enter the 0..2^w-1 range.
+    // At 32/64 bits start near the top instead of walking the range.
+    unsigned w = GetParam();
+    MonoCounterBlock cb(w);
+    if (w <= 16) {
+        std::uint64_t period = 1ull << w;
+        for (std::uint64_t n = 1; n <= period; ++n) {
+            bool wrapped = cb.increment(0);
+            EXPECT_EQ(wrapped, n == period) << "increment " << n;
+        }
+        EXPECT_EQ(cb.counter(0), 0u);
+    } else {
+        std::uint64_t max = w == 64 ? ~0ull : ((1ull << w) - 1);
+        cb.setCounter(0, max - 2);
+        EXPECT_FALSE(cb.increment(0));
+        EXPECT_FALSE(cb.increment(0));
+        EXPECT_EQ(cb.counter(0), max);
+        EXPECT_TRUE(cb.increment(0));
+        EXPECT_EQ(cb.counter(0), 0u);
+    }
 }
 
 TEST_P(MonoWidthTest, IncrementIsolatedToSlot)

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Randomized property tests: seeded workloads over the counter-block
+ * codecs and round-trip laws of the protected-address-space layout.
+ *
+ * These pin the invariants the reference model (src/ref) relies on when
+ * it reuses the production AddressMap: if region arithmetic or tag
+ * placement drifted, the shadow oracle's checks would be anchored to
+ * the wrong blocks and silently vacuous.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+#include "enc/counters.hh"
+#include "ref/model.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+shrink(SecureMemConfig cfg)
+{
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+// ---- layout round-trips ------------------------------------------------
+
+class LayoutPropertyTest : public ::testing::TestWithParam<SecureMemConfig>
+{
+};
+
+TEST_P(LayoutPropertyTest, CtrBlockMappingRoundTrips)
+{
+    const SecureMemConfig cfg = GetParam();
+    if (!cfg.usesCounterCache())
+        GTEST_SKIP() << "no counter blocks in this scheme";
+    AddressMap map(cfg);
+    Rng rng(31);
+    for (int round = 0; round < 500; ++round) {
+        Addr a = rng.below(map.numDataBlocks()) * kBlockBytes;
+        Addr ctr = map.ctrBlockAddrFor(a);
+        unsigned slot = map.ctrSlotFor(a);
+        EXPECT_TRUE(map.isCtr(ctr));
+        EXPECT_LT(slot, cfg.blocksPerCtrBlock());
+        // firstDataBlockOf inverts the mapping: the covered run starts
+        // there and slot indexes into it.
+        EXPECT_EQ(map.firstDataBlockOf(ctr) +
+                      static_cast<Addr>(slot) * kBlockBytes,
+                  a);
+        // All blocks of the covered run share the counter block.
+        Addr first = map.firstDataBlockOf(ctr);
+        EXPECT_EQ(map.ctrBlockAddrFor(first), ctr);
+        EXPECT_EQ(map.ctrSlotFor(first), 0u);
+    }
+}
+
+TEST_P(LayoutPropertyTest, MacLevelRoundTrips)
+{
+    AddressMap map(GetParam());
+    if (map.numLevels() == 0)
+        GTEST_SKIP() << "no authentication tree";
+    Rng rng(32);
+    for (unsigned level = 1; level <= map.numLevels(); ++level) {
+        for (int round = 0; round < 100; ++round) {
+            std::uint64_t idx = rng.below(map.macBlocksAtLevel(level));
+            Addr mac = map.macBlockAddr(level, idx);
+            if (!map.isMac(mac))
+                continue; // pinned top may live outside the MAC region
+            auto [l2, i2] = map.macLevelOf(mac);
+            EXPECT_EQ(l2, level);
+            EXPECT_EQ(i2, idx);
+        }
+    }
+}
+
+TEST_P(LayoutPropertyTest, LeafTagsLandOnLevelOne)
+{
+    const SecureMemConfig cfg = GetParam();
+    AddressMap map(cfg);
+    if (map.numLevels() == 0)
+        GTEST_SKIP() << "no authentication tree";
+    Rng rng(33);
+    for (int round = 0; round < 200; ++round) {
+        Addr a = rng.below(map.numDataBlocks()) * kBlockBytes;
+        TagLocation loc = map.tagOfLeaf(map.leafIndexOfData(a));
+        EXPECT_EQ(loc.level, 1u);
+        EXPECT_EQ(loc.blockAddr, map.macBlockAddr(1, loc.blockIdx));
+        EXPECT_EQ(loc.pinned, map.isTopLevel(1));
+        // The slot must fit in the block, after the embedded derivative
+        // counter when GCM reserves the leading eight bytes.
+        EXPECT_LE(map.macSlotOffset(loc.slot) + map.macSlotBytes(),
+                  kBlockBytes);
+    }
+}
+
+TEST_P(LayoutPropertyTest, AncestorChainReachesPinnedTop)
+{
+    AddressMap map(GetParam());
+    if (map.numLevels() == 0)
+        GTEST_SKIP() << "no authentication tree";
+    Rng rng(34);
+    for (int round = 0; round < 100; ++round) {
+        Addr a = rng.below(map.numDataBlocks()) * kBlockBytes;
+        TagLocation loc = map.tagOfLeaf(map.leafIndexOfData(a));
+        unsigned steps = 0;
+        while (!loc.pinned) {
+            // Each step must strictly ascend one level.
+            TagLocation up = map.tagOfMacBlock(loc.level, loc.blockIdx);
+            EXPECT_EQ(up.level, loc.level + 1);
+            loc = up;
+            ASSERT_LT(++steps, 64u) << "unbounded ancestor chain";
+        }
+        EXPECT_EQ(loc.level, map.numLevels());
+    }
+}
+
+TEST_P(LayoutPropertyTest, CtrLeafAndDerivMappingsAreConsistent)
+{
+    const SecureMemConfig cfg = GetParam();
+    AddressMap map(cfg);
+    if (map.numLevels() == 0 || !cfg.usesCounterCache())
+        GTEST_SKIP() << "no counter-block leaves";
+    Rng rng(35);
+    for (int round = 0; round < 200; ++round) {
+        Addr a = rng.below(map.numDataBlocks()) * kBlockBytes;
+        Addr ctr = map.ctrBlockAddrFor(a);
+        // Counter blocks are leaves after the data blocks.
+        std::uint64_t leaf = map.leafIndexOfCtrBlock(ctr);
+        EXPECT_GE(leaf, map.numDataBlocks());
+        TagLocation loc = map.tagOfLeaf(leaf);
+        EXPECT_EQ(loc.level, 1u);
+        if (cfg.auth == AuthKind::Gcm) {
+            std::uint64_t didx = map.derivIdxOfCtrBlock(ctr);
+            Addr dblk = map.derivCtrBlockAddr(didx);
+            EXPECT_TRUE(map.isDerivCtr(dblk));
+            EXPECT_EQ(map.derivSlot(didx), didx % 8);
+        }
+    }
+}
+
+TEST_P(LayoutPropertyTest, RegionsPartitionTheSpace)
+{
+    AddressMap map(GetParam());
+    Rng rng(36);
+    for (int round = 0; round < 500; ++round) {
+        Addr a = rng.below(map.totalBlocks()) * kBlockBytes;
+        int regions = int(map.isData(a)) + int(map.isCtr(a)) +
+                      int(map.isMac(a)) + int(map.isDerivCtr(a));
+        EXPECT_EQ(regions, 1) << "addr " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LayoutPropertyTest,
+    ::testing::Values(shrink(SecureMemConfig::split()),
+                      shrink(SecureMemConfig::splitGcm()),
+                      shrink(SecureMemConfig::monoGcm()),
+                      shrink(SecureMemConfig::splitSha()),
+                      shrink(SecureMemConfig::monoSha()),
+                      shrink(SecureMemConfig::xomSha())));
+
+// ---- seeded counter-block workloads ------------------------------------
+
+TEST(CounterWorkload, SplitBlockTracksShadowArrays)
+{
+    // A seeded write stream over one split counter block, mirrored in
+    // plain shadow arrays; the production codec and the reference codec
+    // must both track it. Models the per-page flow: minor increments
+    // with page re-encryption (major++, minors cleared) on overflow.
+    Rng rng(41);
+    SplitCounterBlock prod;
+    Block64 refRaw{};
+    std::uint64_t shadowMajor = 0;
+    std::vector<unsigned> shadowMinor(kBlocksPerPage, 0);
+
+    for (int op = 0; op < 20000; ++op) {
+        unsigned i = static_cast<unsigned>(rng.below(kBlocksPerPage));
+        if (shadowMinor[i] == SplitCounterBlock::maxMinor()) {
+            ++shadowMajor;
+            std::fill(shadowMinor.begin(), shadowMinor.end(), 0u);
+            prod.setMajor(shadowMajor);
+            prod.clearMinors();
+            ref::splitSetMajor(refRaw, shadowMajor);
+            for (unsigned k = 0; k < kBlocksPerPage; ++k)
+                ref::splitSetMinor(refRaw, k, 0);
+        }
+        ++shadowMinor[i];
+        prod.setMinor(i, shadowMinor[i]);
+        ref::splitSetMinor(refRaw, i, shadowMinor[i]);
+
+        unsigned probe = static_cast<unsigned>(rng.below(kBlocksPerPage));
+        std::uint64_t want =
+            (shadowMajor << kMinorBits) | shadowMinor[probe];
+        ASSERT_EQ(prod.counterFor(probe), want) << "op " << op;
+        ASSERT_EQ(ref::splitCounterFor(refRaw, probe), want) << "op " << op;
+        ASSERT_EQ(prod.raw(), refRaw) << "op " << op;
+    }
+}
+
+TEST(CounterWorkload, MonoBlockTracksShadowArrays)
+{
+    for (unsigned w : {8u, 16u, 32u, 64u}) {
+        Rng rng(42 + w);
+        MonoCounterBlock prod(w);
+        Block64 refRaw{};
+        std::vector<std::uint64_t> shadow(prod.countersPerBlock(), 0);
+        std::uint64_t mask = w == 64 ? ~0ull : ((1ull << w) - 1);
+
+        for (int op = 0; op < 20000; ++op) {
+            unsigned i =
+                static_cast<unsigned>(rng.below(prod.countersPerBlock()));
+            bool expect_wrap = shadow[i] == mask;
+            shadow[i] = (shadow[i] + 1) & mask;
+            ASSERT_EQ(prod.increment(i), expect_wrap)
+                << "width " << w << " op " << op;
+            ref::monoSetCounter(refRaw, w, i, shadow[i]);
+
+            unsigned probe =
+                static_cast<unsigned>(rng.below(prod.countersPerBlock()));
+            ASSERT_EQ(prod.counter(probe), shadow[probe])
+                << "width " << w << " op " << op;
+            ASSERT_EQ(ref::monoCounter(refRaw, w, probe), shadow[probe])
+                << "width " << w << " op " << op;
+        }
+        ASSERT_EQ(prod.raw(), refRaw) << "width " << w;
+    }
+}
+
+} // namespace
+} // namespace secmem
