@@ -5,6 +5,13 @@
  * block-level pad/tag helpers used by the secure memory controller.
  * These measure the simulator's own functional speed (host cycles),
  * not the modelled hardware latencies.
+ *
+ * The *Naive benchmarks run the reference kernels from ref/naive.hh so
+ * the table-driven speedup is measured, not assumed; items_per_second
+ * on the chunk/pad benchmarks feeds scripts/bench_json.py, which
+ * asserts the GHASH chunk throughput ratio and writes BENCH_crypto.json
+ * (see EXPERIMENTS.md). Run with --benchmark_format=json for the
+ * machine-readable output those scripts consume.
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +21,7 @@
 #include "crypto/ghash.hh"
 #include "crypto/seed.hh"
 #include "crypto/sha1.hh"
+#include "ref/naive.hh"
 
 namespace secmem
 {
@@ -33,8 +41,23 @@ BM_AesEncryptBlock(benchmark::State &state)
         benchmark::DoNotOptimize(block);
     }
     state.SetBytesProcessed(state.iterations() * kChunkBytes);
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_AesEncryptBlockNaive(benchmark::State &state)
+{
+    ref::AesNaive aes(kKey);
+    Block16 block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * kChunkBytes);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AesEncryptBlockNaive);
 
 void
 BM_AesKeyExpansion(benchmark::State &state)
@@ -58,23 +81,79 @@ BM_Gf128Mul(benchmark::State &state)
         x = gf128Mul(x, h);
         benchmark::DoNotOptimize(x);
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Gf128Mul);
+
+void
+BM_Gf128MulNaive(benchmark::State &state)
+{
+    Gf128 x{0x0123456789abcdefull, 0xfedcba9876543210ull};
+    Gf128 h{0xaaaaaaaaaaaaaaaaull, 0x5555555555555555ull};
+    for (auto _ : state) {
+        x = ref::gf128MulNaive(x, h);
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gf128MulNaive);
+
+/**
+ * Steady-state GHASH chunk throughput: the Shoup table is built once
+ * (as in the controller, which keeps it for the whole run) and the
+ * accumulator is advanced one 16-byte chunk per iteration. items/s is
+ * the chunks/s figure in BENCH_crypto.json.
+ */
+void
+BM_GhashChunkUpdate(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    Ghash gh(aes.encrypt(Block16{}));
+    Block16 chunk{};
+    for (auto _ : state) {
+        gh.update(chunk);
+        benchmark::DoNotOptimize(gh);
+    }
+    state.SetBytesProcessed(state.iterations() * kChunkBytes);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GhashChunkUpdate);
+
+/** The same per-chunk loop on the bit-serial multiply (the baseline
+ * for the table-driven speedup ratio). */
+void
+BM_GhashChunkUpdateNaive(benchmark::State &state)
+{
+    Aes128 aes(kKey);
+    Gf128 h = Gf128::fromBlock(aes.encrypt(Block16{}));
+    Gf128 y{0, 0};
+    Block16 chunk{};
+    for (auto _ : state) {
+        y = ref::gf128MulNaive(y ^ Gf128::fromBlock(chunk), h);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetBytesProcessed(state.iterations() * kChunkBytes);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GhashChunkUpdateNaive);
 
 void
 BM_GhashCacheBlock(benchmark::State &state)
 {
     Aes128 aes(kKey);
     Block16 h = aes.encrypt(Block16{});
+    Gf128Table table(Gf128::fromBlock(h));
     Block64 data{};
     for (auto _ : state) {
-        Ghash gh(h);
+        // Borrow the prebuilt table, as gcmBlockTag does per node tag.
+        Ghash gh(table);
         for (unsigned c = 0; c < kChunksPerBlock; ++c)
             gh.update(data.chunk(c));
         gh.updateLengths(0, kBlockBytes * 8);
         benchmark::DoNotOptimize(gh.digest());
     }
     state.SetBytesProcessed(state.iterations() * kBlockBytes);
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GhashCacheBlock);
 
@@ -105,6 +184,9 @@ BM_Sha1CacheBlock(benchmark::State &state)
 }
 BENCHMARK(BM_Sha1CacheBlock);
 
+/** One counter-mode pad + XOR per iteration; items/s is the pads/s
+ * figure in BENCH_crypto.json. The key schedule is cached in `aes`, so
+ * this measures pad generation alone — no per-pad re-expansion. */
 void
 BM_CtrCryptBlock(benchmark::State &state)
 {
@@ -116,6 +198,7 @@ BM_CtrCryptBlock(benchmark::State &state)
         benchmark::DoNotOptimize(data);
     }
     state.SetBytesProcessed(state.iterations() * kBlockBytes);
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CtrCryptBlock);
 
@@ -124,13 +207,15 @@ BM_GcmBlockTag(benchmark::State &state)
 {
     Aes128 aes(kKey);
     Block16 h = aes.encrypt(Block16{});
+    Gf128Table table(Gf128::fromBlock(h));
     Block64 ct{};
     std::uint64_t ctr = 0;
     for (auto _ : state) {
-        Block16 tag = gcmBlockTag(aes, h, ct, 0x1000, ++ctr, 0xa5);
+        Block16 tag = gcmBlockTag(aes, table, ct, 0x1000, ++ctr, 0xa5);
         benchmark::DoNotOptimize(tag);
     }
     state.SetBytesProcessed(state.iterations() * kBlockBytes);
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GcmBlockTag);
 

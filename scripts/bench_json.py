@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Assemble and validate BENCH_crypto.json from microbenchmark output.
+
+Reads the google-benchmark JSON emitted by crypto_microbench
+(--benchmark_format=json) plus the wall-clock seconds of the fig4
+smoke run (measured by scripts/perf_smoke.sh), distills both into the
+flat BENCH_crypto.json schema documented in EXPERIMENTS.md, and gates:
+
+  * schema validity — every required figure present and positive;
+  * the table-driven GHASH chunk throughput must be >= MIN_GHASH_SPEEDUP
+    over the bit-serial baseline measured in the same process;
+  * against a checked-in baseline (bench/BENCH_crypto.baseline.json),
+    no throughput figure may regress by more than the tolerance (2x by
+    default) and the fig4 smoke may not take more than tolerance times
+    longer. Absolute numbers vary across hosts; a 2x window catches
+    real algorithmic regressions (e.g. losing the precomputed tables)
+    while tolerating hardware spread.
+
+Usage:
+  bench_json.py --microbench out.json --fig4-seconds 12.3 \
+      --out BENCH_crypto.json [--baseline bench/BENCH_crypto.baseline.json]
+      [--write-baseline] [--tolerance 2.0]
+
+Exit status is non-zero on any validation or regression failure.
+"""
+
+import argparse
+import json
+import sys
+
+MIN_GHASH_SPEEDUP = 5.0
+
+# BENCH_crypto.json field  ->  (microbench name, counter)
+FIELDS = {
+    "ghash_chunks_per_sec": ("BM_GhashChunkUpdate", "items_per_second"),
+    "ghash_chunks_per_sec_naive": ("BM_GhashChunkUpdateNaive",
+                                   "items_per_second"),
+    "aes_blocks_per_sec": ("BM_AesEncryptBlock", "items_per_second"),
+    "aes_blocks_per_sec_naive": ("BM_AesEncryptBlockNaive",
+                                 "items_per_second"),
+    "pads_per_sec": ("BM_CtrCryptBlock", "items_per_second"),
+    "gcm_tags_per_sec": ("BM_GcmBlockTag", "items_per_second"),
+}
+
+# Fields compared against the baseline: higher is better for
+# throughputs, lower is better for seconds.
+THROUGHPUT_FIELDS = sorted(FIELDS) + ["ghash_speedup"]
+LATENCY_FIELDS = ["fig4_smoke_seconds"]
+
+
+def fail(msg):
+    print(f"bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_microbench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc:
+        fail(f"{path} has no 'benchmarks' array (not google-benchmark JSON?)")
+    by_name = {}
+    for b in doc["benchmarks"]:
+        by_name[b.get("name", "")] = b
+    return doc, by_name
+
+
+def build(args):
+    doc, by_name = load_microbench(args.microbench)
+    out = {}
+    for field, (name, counter) in FIELDS.items():
+        if name not in by_name:
+            fail(f"benchmark '{name}' missing from {args.microbench}")
+        value = by_name[name].get(counter)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"benchmark '{name}' has no positive '{counter}'")
+        out[field] = value
+
+    out["ghash_speedup"] = (out["ghash_chunks_per_sec"] /
+                            out["ghash_chunks_per_sec_naive"])
+    out["aes_speedup"] = (out["aes_blocks_per_sec"] /
+                          out["aes_blocks_per_sec_naive"])
+    out["fig4_smoke_seconds"] = args.fig4_seconds
+    if args.fig4_seconds <= 0:
+        fail(f"fig4 smoke seconds must be positive, got {args.fig4_seconds}")
+
+    context = doc.get("context", {})
+    out["host"] = {
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+        "library_build_type": context.get("library_build_type"),
+    }
+    return out
+
+
+def check_speedup(out):
+    speedup = out["ghash_speedup"]
+    if speedup < MIN_GHASH_SPEEDUP:
+        fail(f"GHASH table speedup {speedup:.2f}x is below the required "
+             f"{MIN_GHASH_SPEEDUP:.1f}x over the bit-serial baseline")
+    print(f"bench_json: GHASH chunk speedup {speedup:.2f}x "
+          f"(>= {MIN_GHASH_SPEEDUP:.1f}x required)")
+
+
+def check_baseline(out, path, tolerance):
+    try:
+        with open(path) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        fail(f"baseline {path} not found (generate with --write-baseline)")
+
+    bad = []
+    for field in THROUGHPUT_FIELDS:
+        if field not in base:
+            continue
+        if out[field] * tolerance < base[field]:
+            bad.append(f"{field}: {out[field]:.3g} vs baseline "
+                       f"{base[field]:.3g} (>{tolerance:.1f}x slower)")
+    for field in LATENCY_FIELDS:
+        if field not in base:
+            continue
+        if out[field] > base[field] * tolerance:
+            bad.append(f"{field}: {out[field]:.3g}s vs baseline "
+                       f"{base[field]:.3g}s (>{tolerance:.1f}x slower)")
+    if bad:
+        fail("performance regression vs " + path + ":\n  " +
+             "\n  ".join(bad))
+    print(f"bench_json: no regression vs {path} "
+          f"(tolerance {tolerance:.1f}x)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--microbench", required=True,
+                    help="google-benchmark JSON from crypto_microbench")
+    ap.add_argument("--fig4-seconds", type=float, required=True,
+                    help="wall-clock seconds of the fig4 smoke run")
+    ap.add_argument("--out", required=True,
+                    help="where to write BENCH_crypto.json")
+    ap.add_argument("--baseline", default=None,
+                    help="checked-in baseline to compare against")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write the baseline instead of comparing")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="allowed slowdown factor vs the baseline")
+    args = ap.parse_args()
+
+    out = build(args)
+    check_speedup(out)
+
+    if args.baseline and not args.write_baseline:
+        check_baseline(out, args.baseline, args.tolerance)
+
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_json: wrote {args.out}")
+
+    if args.write_baseline:
+        if not args.baseline:
+            fail("--write-baseline needs --baseline for the target path")
+        base = {k: v for k, v in out.items() if k != "host"}
+        with open(args.baseline, "w") as f:
+            json.dump(base, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_json: wrote baseline {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()

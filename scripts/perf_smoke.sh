@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Wall-clock performance smoke: Release build, crypto microbenchmarks
+# in machine-readable form, a timed end-to-end fig4 smoke run, and the
+# assembled/validated BENCH_crypto.json (see EXPERIMENTS.md for the
+# schema and scripts/bench_json.py for the gates: GHASH table speedup
+# >= 5x, no >2x regression vs bench/BENCH_crypto.baseline.json).
+#
+# Usage: scripts/perf_smoke.sh [--write-baseline] [--out DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+write_baseline=0
+outdir=perf
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --write-baseline) write_baseline=1; shift ;;
+        --out) outdir="$2"; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+mkdir -p "$outdir"
+
+echo "== Release build =="
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-perf -j "$jobs" --target crypto_microbench secmem-bench
+
+echo "== crypto microbenchmarks =="
+./build-perf/bench/crypto_microbench \
+    --benchmark_format=json \
+    --benchmark_min_time=0.2 \
+    > "$outdir/microbench.json"
+
+echo "== timed fig4 smoke (end to end) =="
+start=$(date +%s.%N)
+./build-perf/bench/secmem-bench --figure fig4 --smoke --jobs "$jobs" \
+    --no-store --no-progress >/dev/null
+end=$(date +%s.%N)
+fig4_seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { print b - a }')
+echo "fig4 smoke: ${fig4_seconds}s"
+
+echo "== BENCH_crypto.json =="
+baseline_args=(--baseline bench/BENCH_crypto.baseline.json)
+if [[ "$write_baseline" == 1 ]]; then
+    baseline_args+=(--write-baseline)
+fi
+python3 scripts/bench_json.py \
+    --microbench "$outdir/microbench.json" \
+    --fig4-seconds "$fig4_seconds" \
+    --out "$outdir/BENCH_crypto.json" \
+    "${baseline_args[@]}"
+
+echo "perf_smoke.sh: all green"

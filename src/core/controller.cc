@@ -106,6 +106,7 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     SECMEM_ASSERT(!(cfg_.auth == AuthKind::Gcm && cfg_.enc == EncKind::Direct),
                   "GCM authentication requires a counter-based layout");
     hashSubkey_ = dataAes_.encrypt(Block16{});
+    hashTable_ = Gf128Table(Gf128::fromBlock(hashSubkey_));
     if (cfg_.verifyModel)
         shadow_ = std::make_unique<ref::ShadowModel>(cfg_);
 
@@ -324,7 +325,7 @@ SecureMemoryController::nodeTag(const NodeRef &node, const Block64 &content,
         // GHASH absorbs the 4 ciphertext chunks plus the length block.
         stats_.counter("ghash_chunks").inc(kChunksPerBlock + 1);
         return clipTag(
-            gcmBlockTag(dataAes_, hashSubkey_, content, node.addr, counter,
+            gcmBlockTag(dataAes_, hashTable_, content, node.addr, counter,
                         static_cast<std::uint8_t>(cfg_.aivByte ^ epoch)),
             cfg_.macBits);
     }

@@ -46,6 +46,7 @@
 #include "core/tamper.hh"
 #include "crypto/aes.hh"
 #include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
 #include "enc/counters.hh"
 #include "enc/crypto_engine.hh"
 #include "mem/bus.hh"
@@ -380,6 +381,7 @@ class SecureMemoryController
 
     Aes128 dataAes_;   ///< data encryption + GCM pads
     Block16 hashSubkey_{}; ///< GCM H = AES_K(0)
+    Gf128Table hashTable_; ///< Shoup table for H, built once per run
 
     L2Hooks l2_;
 

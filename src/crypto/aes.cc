@@ -9,7 +9,7 @@ namespace
 {
 
 /** FIPS-197 S-box. */
-const std::uint8_t kSbox[256] = {
+constexpr std::uint8_t kSbox[256] = {
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
     0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
     0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
@@ -44,29 +44,15 @@ const std::uint8_t kSbox[256] = {
     0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 };
 
-/** Inverse S-box, generated from kSbox at static-init time. */
-struct InvSbox
-{
-    std::uint8_t t[256];
-
-    InvSbox()
-    {
-        for (int i = 0; i < 256; ++i)
-            t[kSbox[i]] = static_cast<std::uint8_t>(i);
-    }
-};
-
-const InvSbox kInvSbox;
-
 /** Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1. */
-inline std::uint8_t
+constexpr std::uint8_t
 xtime(std::uint8_t a)
 {
     return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
 }
 
-/** General GF(2^8) multiply (used by InvMixColumns). */
-inline std::uint8_t
+/** General GF(2^8) multiply (table generation only). */
+constexpr std::uint8_t
 gmul(std::uint8_t a, std::uint8_t b)
 {
     std::uint8_t p = 0;
@@ -79,101 +65,73 @@ gmul(std::uint8_t a, std::uint8_t b)
     return p;
 }
 
-inline void
-subBytes(std::uint8_t s[16])
+constexpr std::uint32_t
+packColumn(std::uint8_t r0, std::uint8_t r1, std::uint8_t r2, std::uint8_t r3)
 {
-    for (int i = 0; i < 16; ++i)
-        s[i] = kSbox[s[i]];
-}
-
-inline void
-invSubBytes(std::uint8_t s[16])
-{
-    for (int i = 0; i < 16; ++i)
-        s[i] = kInvSbox.t[s[i]];
+    return (std::uint32_t(r0) << 24) | (std::uint32_t(r1) << 16) |
+           (std::uint32_t(r2) << 8) | r3;
 }
 
 /**
- * ShiftRows on the column-major state layout used by FIPS-197
- * (state[r + 4c] = byte r of column c; our flat buffer is in input
- * order, i.e. s[4c + r] is row r of column c after transposition —
- * we keep the conventional byte-stream layout where s[i] is byte i
- * of the input, so row r of column c lives at s[4c + r]).
+ * Fused SubBytes+ShiftRows+MixColumns lookup tables, generated at
+ * compile time from the S-box so the 8 KiB of constants cannot drift
+ * from the reference byte-wise transform.
+ *
+ * TeN[b] is the contribution of state byte b arriving (post-ShiftRows)
+ * in row N of a column: the S-box output scattered through the
+ * MixColumns matrix {02,03,01,01}. TdN likewise applies the inverse
+ * S-box and the InvMixColumns matrix {0e,0b,0d,09}. A full round is
+ * then four lookups + XORs per output column.
  */
-inline void
-shiftRows(std::uint8_t s[16])
+struct AesTables
 {
-    std::uint8_t t;
-    // Row 1: shift left by 1.
-    t = s[1];
-    s[1] = s[5];
-    s[5] = s[9];
-    s[9] = s[13];
-    s[13] = t;
-    // Row 2: shift left by 2.
-    std::swap(s[2], s[10]);
-    std::swap(s[6], s[14]);
-    // Row 3: shift left by 3 (== right by 1).
-    t = s[15];
-    s[15] = s[11];
-    s[11] = s[7];
-    s[7] = s[3];
-    s[3] = t;
-}
+    std::uint32_t Te[4][256]{};
+    std::uint32_t Td[4][256]{};
+    std::uint8_t inv[256]{}; ///< inverse S-box (final decrypt round)
+};
 
-inline void
-invShiftRows(std::uint8_t s[16])
+constexpr AesTables
+buildTables()
 {
-    std::uint8_t t;
-    // Row 1: shift right by 1.
-    t = s[13];
-    s[13] = s[9];
-    s[9] = s[5];
-    s[5] = s[1];
-    s[1] = t;
-    // Row 2: shift right by 2.
-    std::swap(s[2], s[10]);
-    std::swap(s[6], s[14]);
-    // Row 3: shift right by 3 (== left by 1).
-    t = s[3];
-    s[3] = s[7];
-    s[7] = s[11];
-    s[11] = s[15];
-    s[15] = t;
-}
-
-inline void
-mixColumns(std::uint8_t s[16])
-{
-    for (int c = 0; c < 4; ++c) {
-        std::uint8_t *col = s + 4 * c;
-        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
-        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
-        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
-        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
-        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+    AesTables t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t s = kSbox[i];
+        t.inv[s] = static_cast<std::uint8_t>(i);
+        std::uint32_t w = packColumn(gmul(s, 2), s, s, gmul(s, 3));
+        for (int n = 0; n < 4; ++n) {
+            t.Te[n][i] = w;
+            w = (w >> 8) | (w << 24); // next row: rotate the column
+        }
     }
-}
-
-inline void
-invMixColumns(std::uint8_t s[16])
-{
-    for (int c = 0; c < 4; ++c) {
-        std::uint8_t *col = s + 4 * c;
-        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
-        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
-        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
-        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t s = t.inv[i];
+        std::uint32_t w = packColumn(gmul(s, 14), gmul(s, 9), gmul(s, 13),
+                                     gmul(s, 11));
+        for (int n = 0; n < 4; ++n) {
+            t.Td[n][i] = w;
+            w = (w >> 8) | (w << 24);
+        }
     }
+    return t;
 }
 
-inline void
-addRoundKey(std::uint8_t s[16], const std::uint8_t rk[16])
+constexpr AesTables kT = buildTables();
+
+/** SubWord(RotWord(w)) for the key schedule. */
+inline std::uint32_t
+subRotWord(std::uint32_t w)
 {
-    for (int i = 0; i < 16; ++i)
-        s[i] ^= rk[i];
+    return packColumn(kSbox[(w >> 16) & 0xff], kSbox[(w >> 8) & 0xff],
+                      kSbox[w & 0xff], kSbox[w >> 24]);
+}
+
+/** InvMixColumns of one round-key word, via the decryption tables. */
+inline std::uint32_t
+invMixColumn(std::uint32_t w)
+{
+    // Td already folds in the inverse S-box, so feed it S-box outputs.
+    return kT.Td[0][kSbox[w >> 24]] ^ kT.Td[1][kSbox[(w >> 16) & 0xff]] ^
+           kT.Td[2][kSbox[(w >> 8) & 0xff]] ^ kT.Td[3][kSbox[w & 0xff]];
 }
 
 } // namespace
@@ -181,59 +139,130 @@ addRoundKey(std::uint8_t s[16], const std::uint8_t rk[16])
 void
 Aes128::setKey(const std::uint8_t key[kKeyBytes])
 {
-    std::memcpy(rk_.data(), key, 16);
+    if (keyed_ && std::memcmp(key_.data(), key, kKeyBytes) == 0)
+        return;
+    std::memcpy(key_.data(), key, kKeyBytes);
+    keyed_ = true;
+    dkValid_ = false;
+
+    for (int i = 0; i < 4; ++i)
+        ek_[i] = loadBe32(key + 4 * i);
     std::uint8_t rcon = 1;
-    for (int i = 16; i < (kRounds + 1) * 16; i += 4) {
-        std::uint8_t t[4];
-        std::memcpy(t, rk_.data() + i - 4, 4);
-        if (i % 16 == 0) {
-            // RotWord + SubWord + Rcon.
-            std::uint8_t tmp = t[0];
-            t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ rcon);
-            t[1] = kSbox[t[2]];
-            t[2] = kSbox[t[3]];
-            t[3] = kSbox[tmp];
+    for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+        std::uint32_t t = ek_[i - 1];
+        if (i % 4 == 0) {
+            t = subRotWord(t) ^ (std::uint32_t(rcon) << 24);
             rcon = xtime(rcon);
         }
-        for (int j = 0; j < 4; ++j)
-            rk_[i + j] = rk_[i - 16 + j] ^ t[j];
+        ek_[i] = ek_[i - 4] ^ t;
     }
+}
+
+void
+Aes128::buildDecSchedule() const
+{
+    // Equivalent inverse cipher: reverse the round-key order and run
+    // the middle keys through InvMixColumns so decryption can use the
+    // same fused-table round shape as encryption.
+    for (int i = 0; i < 4; ++i) {
+        dk_[i] = ek_[4 * kRounds + i];
+        dk_[4 * kRounds + i] = ek_[i];
+    }
+    for (int round = 1; round < kRounds; ++round)
+        for (int i = 0; i < 4; ++i)
+            dk_[4 * round + i] = invMixColumn(ek_[4 * (kRounds - round) + i]);
+    dkValid_ = true;
 }
 
 void
 Aes128::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    std::uint8_t s[16];
-    std::memcpy(s, in, 16);
-    addRoundKey(s, rk_.data());
+    std::uint32_t s0 = loadBe32(in) ^ ek_[0];
+    std::uint32_t s1 = loadBe32(in + 4) ^ ek_[1];
+    std::uint32_t s2 = loadBe32(in + 8) ^ ek_[2];
+    std::uint32_t s3 = loadBe32(in + 12) ^ ek_[3];
     for (int round = 1; round < kRounds; ++round) {
-        subBytes(s);
-        shiftRows(s);
-        mixColumns(s);
-        addRoundKey(s, rk_.data() + round * 16);
+        const std::uint32_t *rk = ek_.data() + 4 * round;
+        std::uint32_t t0 = kT.Te[0][s0 >> 24] ^ kT.Te[1][(s1 >> 16) & 0xff] ^
+                           kT.Te[2][(s2 >> 8) & 0xff] ^ kT.Te[3][s3 & 0xff] ^
+                           rk[0];
+        std::uint32_t t1 = kT.Te[0][s1 >> 24] ^ kT.Te[1][(s2 >> 16) & 0xff] ^
+                           kT.Te[2][(s3 >> 8) & 0xff] ^ kT.Te[3][s0 & 0xff] ^
+                           rk[1];
+        std::uint32_t t2 = kT.Te[0][s2 >> 24] ^ kT.Te[1][(s3 >> 16) & 0xff] ^
+                           kT.Te[2][(s0 >> 8) & 0xff] ^ kT.Te[3][s1 & 0xff] ^
+                           rk[2];
+        std::uint32_t t3 = kT.Te[0][s3 >> 24] ^ kT.Te[1][(s0 >> 16) & 0xff] ^
+                           kT.Te[2][(s1 >> 8) & 0xff] ^ kT.Te[3][s2 & 0xff] ^
+                           rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    subBytes(s);
-    shiftRows(s);
-    addRoundKey(s, rk_.data() + kRounds * 16);
-    std::memcpy(out, s, 16);
+    // Final round: SubBytes + ShiftRows only.
+    const std::uint32_t *rk = ek_.data() + 4 * kRounds;
+    storeBe32(out, packColumn(kSbox[s0 >> 24], kSbox[(s1 >> 16) & 0xff],
+                              kSbox[(s2 >> 8) & 0xff], kSbox[s3 & 0xff]) ^
+                       rk[0]);
+    storeBe32(out + 4,
+              packColumn(kSbox[s1 >> 24], kSbox[(s2 >> 16) & 0xff],
+                         kSbox[(s3 >> 8) & 0xff], kSbox[s0 & 0xff]) ^
+                  rk[1]);
+    storeBe32(out + 8,
+              packColumn(kSbox[s2 >> 24], kSbox[(s3 >> 16) & 0xff],
+                         kSbox[(s0 >> 8) & 0xff], kSbox[s1 & 0xff]) ^
+                  rk[2]);
+    storeBe32(out + 12,
+              packColumn(kSbox[s3 >> 24], kSbox[(s0 >> 16) & 0xff],
+                         kSbox[(s1 >> 8) & 0xff], kSbox[s2 & 0xff]) ^
+                  rk[3]);
 }
 
 void
 Aes128::decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
 {
-    std::uint8_t s[16];
-    std::memcpy(s, in, 16);
-    addRoundKey(s, rk_.data() + kRounds * 16);
-    for (int round = kRounds - 1; round >= 1; --round) {
-        invShiftRows(s);
-        invSubBytes(s);
-        addRoundKey(s, rk_.data() + round * 16);
-        invMixColumns(s);
+    if (!dkValid_)
+        buildDecSchedule();
+    std::uint32_t s0 = loadBe32(in) ^ dk_[0];
+    std::uint32_t s1 = loadBe32(in + 4) ^ dk_[1];
+    std::uint32_t s2 = loadBe32(in + 8) ^ dk_[2];
+    std::uint32_t s3 = loadBe32(in + 12) ^ dk_[3];
+    for (int round = 1; round < kRounds; ++round) {
+        const std::uint32_t *rk = dk_.data() + 4 * round;
+        std::uint32_t t0 = kT.Td[0][s0 >> 24] ^ kT.Td[1][(s3 >> 16) & 0xff] ^
+                           kT.Td[2][(s2 >> 8) & 0xff] ^ kT.Td[3][s1 & 0xff] ^
+                           rk[0];
+        std::uint32_t t1 = kT.Td[0][s1 >> 24] ^ kT.Td[1][(s0 >> 16) & 0xff] ^
+                           kT.Td[2][(s3 >> 8) & 0xff] ^ kT.Td[3][s2 & 0xff] ^
+                           rk[1];
+        std::uint32_t t2 = kT.Td[0][s2 >> 24] ^ kT.Td[1][(s1 >> 16) & 0xff] ^
+                           kT.Td[2][(s0 >> 8) & 0xff] ^ kT.Td[3][s3 & 0xff] ^
+                           rk[2];
+        std::uint32_t t3 = kT.Td[0][s3 >> 24] ^ kT.Td[1][(s2 >> 16) & 0xff] ^
+                           kT.Td[2][(s1 >> 8) & 0xff] ^ kT.Td[3][s0 & 0xff] ^
+                           rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
     }
-    invShiftRows(s);
-    invSubBytes(s);
-    addRoundKey(s, rk_.data());
-    std::memcpy(out, s, 16);
+    const std::uint32_t *rk = dk_.data() + 4 * kRounds;
+    storeBe32(out, packColumn(kT.inv[s0 >> 24], kT.inv[(s3 >> 16) & 0xff],
+                              kT.inv[(s2 >> 8) & 0xff], kT.inv[s1 & 0xff]) ^
+                       rk[0]);
+    storeBe32(out + 4,
+              packColumn(kT.inv[s1 >> 24], kT.inv[(s0 >> 16) & 0xff],
+                         kT.inv[(s3 >> 8) & 0xff], kT.inv[s2 & 0xff]) ^
+                  rk[1]);
+    storeBe32(out + 8,
+              packColumn(kT.inv[s2 >> 24], kT.inv[(s1 >> 16) & 0xff],
+                         kT.inv[(s0 >> 8) & 0xff], kT.inv[s3 & 0xff]) ^
+                  rk[2]);
+    storeBe32(out + 12,
+              packColumn(kT.inv[s3 >> 24], kT.inv[(s2 >> 16) & 0xff],
+                         kT.inv[(s1 >> 8) & 0xff], kT.inv[s0 & 0xff]) ^
+                  rk[3]);
 }
 
 } // namespace secmem

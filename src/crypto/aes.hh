@@ -6,6 +6,16 @@
  * pad generation, GCM hash-subkey derivation and direct (XOM-style)
  * block encryption all run through this class. Hardware latency is
  * modelled separately by enc/AesEngine; this class is purely functional.
+ *
+ * The round function is table-driven: four 1 KiB T-tables fuse
+ * SubBytes, ShiftRows and MixColumns into four lookups plus XORs per
+ * state column (Rijndael's "32-bit fast" formulation). The key
+ * schedule is cached per key — setKey() with the key already loaded is
+ * a no-op, and the decryption schedule (which needs an extra
+ * InvMixColumns pass) is derived lazily on first decryptBlock(), so
+ * encrypt-only users such as counter-mode pad generation never pay for
+ * it. The historical byte-wise implementation survives as
+ * ref::AesNaive (src/ref/), the independent oracle for this one.
  */
 
 #ifndef SECMEM_CRYPTO_AES_HH
@@ -30,7 +40,11 @@ class Aes128
     explicit Aes128(const std::uint8_t key[kKeyBytes]) { setKey(key); }
     explicit Aes128(const Block16 &key) { setKey(key.b.data()); }
 
-    /** Expand @p key into encryption and decryption round keys. */
+    /**
+     * Expand @p key into the encryption round keys. A no-op when
+     * @p key is the key already loaded, so re-keying call sites can
+     * call this unconditionally without re-expanding.
+     */
     void setKey(const std::uint8_t key[kKeyBytes]);
 
     /** Encrypt one 16-byte chunk. In-place operation is allowed. */
@@ -56,8 +70,16 @@ class Aes128
     }
 
   private:
-    /** Encryption round keys: (kRounds + 1) x 16 bytes. */
-    std::array<std::uint8_t, (kRounds + 1) * 16> rk_{};
+    void buildDecSchedule() const;
+
+    /** Encryption round keys: (kRounds + 1) big-endian column words. */
+    std::array<std::uint32_t, 4 * (kRounds + 1)> ek_{};
+    /** Decryption round keys (equivalent inverse cipher), lazy. */
+    mutable std::array<std::uint32_t, 4 * (kRounds + 1)> dk_{};
+    mutable bool dkValid_ = false;
+    /** The loaded key, for the setKey() same-key fast path. */
+    std::array<std::uint8_t, kKeyBytes> key_{};
+    bool keyed_ = false;
 };
 
 } // namespace secmem

@@ -11,6 +11,7 @@
 #define SECMEM_CRYPTO_BYTES_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -19,6 +20,79 @@
 
 namespace secmem
 {
+
+// ---- big-endian loads/stores -------------------------------------------
+//
+// The crypto layer views byte streams as big-endian words (GCM's GF(2^128)
+// convention, AES state columns). These helpers compile to a single
+// load/store plus byte swap; std::byteswap is C++23, so the swap itself
+// goes through the compiler builtin.
+
+/** Reverse the byte order of @p v. */
+constexpr std::uint64_t
+byteswap64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
+    v = ((v & 0x0000ffff0000ffffull) << 16) |
+        ((v >> 16) & 0x0000ffff0000ffffull);
+    return (v << 32) | (v >> 32);
+#endif
+}
+
+/** Reverse the byte order of @p v. */
+constexpr std::uint32_t
+byteswap32(std::uint32_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap32(v);
+#else
+    return (v << 24) | ((v & 0xff00u) << 8) | ((v >> 8) & 0xff00u) |
+           (v >> 24);
+#endif
+}
+
+/** Load 8 bytes at @p p as a big-endian 64-bit value. */
+inline std::uint64_t
+loadBe64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    if constexpr (std::endian::native == std::endian::little)
+        v = byteswap64(v);
+    return v;
+}
+
+/** Store @p v at @p p as 8 big-endian bytes. */
+inline void
+storeBe64(std::uint8_t *p, std::uint64_t v)
+{
+    if constexpr (std::endian::native == std::endian::little)
+        v = byteswap64(v);
+    std::memcpy(p, &v, 8);
+}
+
+/** Load 4 bytes at @p p as a big-endian 32-bit value. */
+inline std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    if constexpr (std::endian::native == std::endian::little)
+        v = byteswap32(v);
+    return v;
+}
+
+/** Store @p v at @p p as 4 big-endian bytes. */
+inline void
+storeBe32(std::uint8_t *p, std::uint32_t v)
+{
+    if constexpr (std::endian::native == std::endian::little)
+        v = byteswap32(v);
+    std::memcpy(p, &v, 4);
+}
 
 /** One 16-byte AES chunk. */
 struct Block16

@@ -11,6 +11,7 @@ Gcm::Gcm(const Block16 &key) : aes_(key)
 {
     Block16 zero{};
     h_ = aes_.encrypt(zero);
+    htab_ = Gf128Table(Gf128::fromBlock(h_));
 }
 
 Block16
@@ -29,7 +30,7 @@ Block16
 Gcm::ghashAll(const std::vector<std::uint8_t> &aad,
               const std::vector<std::uint8_t> &ct) const
 {
-    Ghash gh(h_);
+    Ghash gh(htab_);
     auto absorb = [&gh](const std::vector<std::uint8_t> &data) {
         for (std::size_t off = 0; off < data.size(); off += 16) {
             Block16 chunk{};

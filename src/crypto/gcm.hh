@@ -18,6 +18,7 @@
 
 #include "crypto/aes.hh"
 #include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
 
 namespace secmem
 {
@@ -61,6 +62,7 @@ class Gcm
 
     Aes128 aes_;
     Block16 h_;
+    Gf128Table htab_; ///< Shoup table for h_, built once per key
 };
 
 } // namespace secmem

@@ -5,11 +5,20 @@
  * Elements are 128-bit strings with the GCM bit convention: the first
  * (leftmost) bit of the byte stream is the coefficient of x^0. The
  * reduction polynomial is x^128 + x^7 + x^2 + x + 1.
+ *
+ * The production multiply is table-driven (Shoup's precomputed-table
+ * method, 8-bit windows): a Gf128Table holds, for each of the 16 byte
+ * positions, the 256 multiples b * H * x^(8k) of one fixed operand H,
+ * and each product is then the XOR of 16 independent table lookups
+ * instead of 128 bit-serial rounds. The historical bit-at-a-time
+ * multiply lives on as ref::gf128MulNaive (src/ref/) and serves as the
+ * independent oracle for this code.
  */
 
 #ifndef SECMEM_CRYPTO_GF128_HH
 #define SECMEM_CRYPTO_GF128_HH
 
+#include <array>
 #include <cstdint>
 
 #include "crypto/bytes.hh"
@@ -35,7 +44,36 @@ struct Gf128
     }
 };
 
-/** GCM GF(2^128) product of @p x and @p y. */
+/**
+ * Precomputed multiplication tables for one fixed operand H.
+ *
+ * Sixteen 256-entry tables, one per byte position k of the other
+ * operand: t_[k][b] = b * H * x^(8k), with the index byte read in
+ * GCM's reflected bit order (bit 7 of the index is the x^0-side
+ * coefficient). A product is then the XOR of sixteen independent
+ * lookups — no serial shift-and-reduce chain, so the lookups pipeline.
+ * The tables cost 64 KiB and ~4k word operations to build, which is
+ * why one Gf128Table per hash subkey is cached by long-lived users
+ * (Ghash, Gcm, the memory controller) rather than rebuilt per tag.
+ */
+class Gf128Table
+{
+  public:
+    Gf128Table() = default; ///< table for H = 0 (every product is 0)
+    explicit Gf128Table(const Gf128 &h);
+
+    /** The product x * H. */
+    Gf128 mul(const Gf128 &x) const;
+
+  private:
+    std::array<std::array<Gf128, 256>, 16> t_{};
+};
+
+/**
+ * GCM GF(2^128) product of @p x and @p y. One-shot convenience that
+ * builds a table for @p y internally; callers multiplying repeatedly
+ * by the same operand should keep a Gf128Table instead.
+ */
 Gf128 gf128Mul(const Gf128 &x, const Gf128 &y);
 
 } // namespace secmem

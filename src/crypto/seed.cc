@@ -44,18 +44,39 @@ ctrCrypt(const Aes128 &aes, const Block64 &in, Addr block_addr,
     return in ^ makePad(aes, block_addr, counter, iv_byte);
 }
 
-Block16
-gcmBlockTag(const Aes128 &aes, const Block16 &hash_subkey,
-            const Block64 &ciphertext, Addr block_addr,
-            std::uint64_t counter, std::uint8_t iv_byte)
+namespace
 {
-    Ghash gh(hash_subkey);
+
+Block16
+gcmBlockTagWith(Ghash &gh, const Aes128 &aes, const Block64 &ciphertext,
+                Addr block_addr, std::uint64_t counter, std::uint8_t iv_byte)
+{
     for (unsigned c = 0; c < kChunksPerBlock; ++c)
         gh.update(ciphertext.chunk(c));
     gh.updateLengths(0, kBlockBytes * 8);
     Block16 auth_pad = aes.encrypt(
         makeSeed(block_addr, counter, 0, SeedDomain::Auth, iv_byte));
     return gh.digest() ^ auth_pad;
+}
+
+} // namespace
+
+Block16
+gcmBlockTag(const Aes128 &aes, const Block16 &hash_subkey,
+            const Block64 &ciphertext, Addr block_addr,
+            std::uint64_t counter, std::uint8_t iv_byte)
+{
+    Ghash gh(hash_subkey);
+    return gcmBlockTagWith(gh, aes, ciphertext, block_addr, counter, iv_byte);
+}
+
+Block16
+gcmBlockTag(const Aes128 &aes, const Gf128Table &hash_subkey,
+            const Block64 &ciphertext, Addr block_addr,
+            std::uint64_t counter, std::uint8_t iv_byte)
+{
+    Ghash gh(hash_subkey);
+    return gcmBlockTagWith(gh, aes, ciphertext, block_addr, counter, iv_byte);
 }
 
 Block16

@@ -27,6 +27,7 @@
 
 #include "crypto/aes.hh"
 #include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
 #include "crypto/sha1.hh"
 #include "sim/types.hh"
 
@@ -60,6 +61,15 @@ Block64 ctrCrypt(const Aes128 &aes, const Block64 &in, Addr block_addr,
  * makes the counter "indirectly authenticated" (paper Section 4.3).
  */
 Block16 gcmBlockTag(const Aes128 &aes, const Block16 &hash_subkey,
+                    const Block64 &ciphertext, Addr block_addr,
+                    std::uint64_t counter, std::uint8_t iv_byte);
+
+/**
+ * gcmBlockTag under a precomputed subkey table. Long-lived callers
+ * (the memory controller tags every write-back and tree node under one
+ * subkey) keep a Gf128Table so per-tag work is pure table lookups.
+ */
+Block16 gcmBlockTag(const Aes128 &aes, const Gf128Table &hash_subkey,
                     const Block64 &ciphertext, Addr block_addr,
                     std::uint64_t counter, std::uint8_t iv_byte);
 

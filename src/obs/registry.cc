@@ -106,6 +106,13 @@ sampleJson(const stats::Sample &s)
 }
 
 std::string
+gaugeJson(const stats::Gauge &g)
+{
+    return "{\"value\": " + std::to_string(g.value()) +
+           ", \"max\": " + std::to_string(g.max()) + "}";
+}
+
+std::string
 histogramJson(const stats::Histogram &h)
 {
     std::string out = "{\"mean\": " + fmtExact(h.sample().mean()) +
@@ -194,6 +201,8 @@ StatRegistry::statNames() const
     for (const auto &[path, group] : groups_) {
         for (const auto &kv : group->counters())
             names.push_back(path + "." + kv.first + " counter");
+        for (const auto &kv : group->gauges())
+            names.push_back(path + "." + kv.first + " gauge");
         for (const auto &kv : group->samples())
             names.push_back(path + "." + kv.first + " sample");
         for (const auto &kv : group->histograms())
@@ -213,6 +222,12 @@ StatRegistry::flattened() const
         for (const auto &kv : group->counters())
             out.push_back({path + "." + kv.first,
                            static_cast<double>(kv.second.value()), true});
+        for (const auto &kv : group->gauges()) {
+            out.push_back({path + "." + kv.first + ".value",
+                           static_cast<double>(kv.second.value()), true});
+            out.push_back({path + "." + kv.first + ".max",
+                           static_cast<double>(kv.second.max()), true});
+        }
         for (const auto &kv : group->samples())
             out.push_back({path + "." + kv.first + ".mean",
                            kv.second.mean(), false});
@@ -249,6 +264,8 @@ StatRegistry::dumpJson(std::ostream &os) const
         for (const auto &kv : group->counters())
             insertLeaf(root, path + "." + kv.first,
                        std::to_string(kv.second.value()));
+        for (const auto &kv : group->gauges())
+            insertLeaf(root, path + "." + kv.first, gaugeJson(kv.second));
         for (const auto &kv : group->samples())
             insertLeaf(root, path + "." + kv.first, sampleJson(kv.second));
         for (const auto &kv : group->histograms())

@@ -36,7 +36,7 @@ struct FlatStat
 {
     std::string path;
     double value = 0.0;
-    bool integral = false; ///< true for counters (exact uint64 values)
+    bool integral = false; ///< true for counters/gauges (exact uint64)
 };
 
 class StatRegistry
@@ -82,14 +82,17 @@ class StatRegistry
     double formulaValue(const std::string &path) const;
 
     /**
-     * Every stat path currently visible, sorted: counters, sample and
-     * histogram summaries, and formulas. Lines are "path <kind>" where
-     * kind is counter|sample|histogram|formula, with the formula's
-     * description appended when present.
+     * Every stat path currently visible, sorted: counters, gauges,
+     * sample and histogram summaries, and formulas. Lines are
+     * "path <kind>" where kind is counter|gauge|sample|histogram|
+     * formula, with the formula's description appended when present.
      */
     std::vector<std::string> statNames() const;
 
-    /** Flattened scalar view: counters, sample means, formula values. */
+    /**
+     * Flattened scalar view: counters, gauge value/max pairs, sample
+     * means, formula values.
+     */
     std::vector<FlatStat> flattened() const;
 
     /** Flat "path value" lines (counters exact, doubles %.6g). */
@@ -97,8 +100,9 @@ class StatRegistry
 
     /**
      * Hierarchical JSON: dotted segments become nested objects;
-     * counters are integers, samples/histograms objects, formulas
-     * doubles (%.17g, so dumps round-trip exactly).
+     * counters are integers, gauges {"value", "max"} integer objects,
+     * samples/histograms objects, formulas doubles (%.17g, so dumps
+     * round-trip exactly).
      */
     void dumpJson(std::ostream &os) const;
 

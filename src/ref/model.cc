@@ -130,7 +130,7 @@ seedFor(Addr block_addr, std::uint64_t counter, unsigned chunk,
 }
 
 Block64
-ctrPad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+ctrPad(const AesNaive &aes, Addr block_addr, std::uint64_t counter,
        std::uint8_t iv_byte)
 {
     Block64 pad;
@@ -141,7 +141,7 @@ ctrPad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
 }
 
 Block64
-encryptBlock(const SecureMemConfig &cfg, const Aes128 &aes, Addr block_addr,
+encryptBlock(const SecureMemConfig &cfg, const AesNaive &aes, Addr block_addr,
              const Block64 &pt, std::uint64_t ctr, std::uint8_t epoch)
 {
     switch (cfg.enc) {
@@ -160,15 +160,15 @@ encryptBlock(const SecureMemConfig &cfg, const Aes128 &aes, Addr block_addr,
 }
 
 Block16
-gcmTag(const Aes128 &aes, const Block16 &hash_subkey, Addr block_addr,
+gcmTag(const AesNaive &aes, const Block16 &hash_subkey, Addr block_addr,
        const Block64 &ciphertext, std::uint64_t counter,
        std::uint8_t iv_byte)
 {
-    // GHASH composed directly over gf128Mul: Y_i = (Y_{i-1} ^ X_i) * H.
+    // GHASH composed directly over gf128MulNaive: Y_i = (Y_{i-1} ^ X_i) * H.
     Gf128 h = Gf128::fromBlock(hash_subkey);
     Gf128 y{0, 0};
     for (unsigned c = 0; c < kChunksPerBlock; ++c)
-        y = gf128Mul(y ^ Gf128::fromBlock(ciphertext.chunk(c)), h);
+        y = gf128MulNaive(y ^ Gf128::fromBlock(ciphertext.chunk(c)), h);
 
     // Length block: [len(AAD)]_64 || [len(C)]_64, both big-endian bit
     // counts (NIST SP 800-38D step 5). AAD is empty in this setting.
@@ -176,7 +176,7 @@ gcmTag(const Aes128 &aes, const Block16 &hash_subkey, Addr block_addr,
     std::uint64_t ct_bits = kBlockBytes * 8;
     for (int i = 0; i < 8; ++i)
         lenblk.b[15 - i] = static_cast<std::uint8_t>(ct_bits >> (8 * i));
-    y = gf128Mul(y ^ Gf128::fromBlock(lenblk), h);
+    y = gf128MulNaive(y ^ Gf128::fromBlock(lenblk), h);
 
     Block16 pad = aes.encrypt(seedFor(block_addr, counter, 0, true, iv_byte));
     return y.toBlock() ^ pad;
@@ -206,7 +206,7 @@ sha1Tag(const Block16 &key, Addr block_addr, const Block64 &ciphertext,
 }
 
 Block16
-nodeTag(const SecureMemConfig &cfg, const Aes128 &aes,
+nodeTag(const SecureMemConfig &cfg, const AesNaive &aes,
         const Block16 &hash_subkey, Addr node_addr, const Block64 &content,
         std::uint64_t counter, std::uint8_t epoch)
 {

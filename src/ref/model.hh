@@ -9,16 +9,22 @@
  *
  *  - the split/mono counter codecs work bit-at-a-time instead of the
  *    production read-modify-write byte arithmetic (enc/counters.cc);
- *  - GHASH is composed directly from gf128Mul() and a hand-built
- *    big-endian length block instead of going through the Ghash class;
+ *  - GHASH is composed directly from the bit-serial gf128MulNaive()
+ *    and a hand-built big-endian length block instead of going through
+ *    the table-driven Ghash class;
+ *  - AES runs through ref::AesNaive, the byte-wise FIPS-197
+ *    implementation, not the production T-table Aes128;
  *  - the SHA-1 MAC message is re-packed here instead of reusing
  *    sha1BlockTag().
  *
- * Only the validated primitives themselves (Aes128, gf128Mul, Sha1)
- * are shared — they are pinned by the NIST / FIPS test-vector suites
- * under tests/crypto/. Everything above the primitives is independent,
- * so a bit-order, packing or composition bug in the production path
- * cannot cancel out against the same bug here.
+ * Since PR 5 not even the block-cipher and field-multiply kernels are
+ * shared: the production side is table-driven (src/crypto), the
+ * reference side is naive (ref/naive.hh), and both are pinned
+ * separately by the NIST / FIPS test-vector suites under tests/crypto/
+ * and tests/ref/. A corrupted lookup table, bit-order, packing or
+ * composition bug in the production path cannot cancel out against the
+ * same bug here. Sha1 remains shared — it has a single implementation,
+ * pinned by the FIPS 180-1 vectors.
  */
 
 #ifndef SECMEM_REF_MODEL_HH
@@ -27,8 +33,8 @@
 #include <cstdint>
 
 #include "core/config.hh"
-#include "crypto/aes.hh"
 #include "crypto/bytes.hh"
+#include "ref/naive.hh"
 #include "sim/types.hh"
 
 namespace secmem::ref
@@ -54,19 +60,19 @@ Block16 seedFor(Addr block_addr, std::uint64_t counter, unsigned chunk,
                 bool auth_domain, std::uint8_t iv_byte);
 
 /** Counter-mode pad for one cache block (four chunk seeds). */
-Block64 ctrPad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
+Block64 ctrPad(const AesNaive &aes, Addr block_addr, std::uint64_t counter,
                std::uint8_t iv_byte);
 
 /** Functional encryption of one data block under @p cfg's scheme. */
-Block64 encryptBlock(const SecureMemConfig &cfg, const Aes128 &aes,
+Block64 encryptBlock(const SecureMemConfig &cfg, const AesNaive &aes,
                      Addr block_addr, const Block64 &pt, std::uint64_t ctr,
                      std::uint8_t epoch);
 
 /**
  * GCM tag of one block: GHASH_H(ct, lengths) ^ AES_K(auth seed),
- * composed from gf128Mul directly.
+ * composed from gf128MulNaive directly.
  */
-Block16 gcmTag(const Aes128 &aes, const Block16 &hash_subkey,
+Block16 gcmTag(const AesNaive &aes, const Block16 &hash_subkey,
                Addr block_addr, const Block64 &ciphertext,
                std::uint64_t counter, std::uint8_t iv_byte);
 
@@ -79,7 +85,7 @@ Block16 sha1Tag(const Block16 &key, Addr block_addr,
  * The clipped tag the controller stores for a tree node: GCM or SHA-1
  * per @p cfg, epoch folded into the IV (GCM) or the message (SHA-1).
  */
-Block16 nodeTag(const SecureMemConfig &cfg, const Aes128 &aes,
+Block16 nodeTag(const SecureMemConfig &cfg, const AesNaive &aes,
                 const Block16 &hash_subkey, Addr node_addr,
                 const Block64 &content, std::uint64_t counter,
                 std::uint8_t epoch);

@@ -1,0 +1,262 @@
+#include "ref/naive.hh"
+
+#include <cstring>
+#include <utility>
+
+namespace secmem::ref
+{
+
+Gf128
+gf128MulNaive(const Gf128 &x, const Gf128 &y)
+{
+    // Right-shift algorithm from SP 800-38D, Section 6.3. V starts as y
+    // and is multiplied by x one bit at a time, MSB of the byte-stream
+    // first (which is the x^0 coefficient in GCM's reflected convention).
+    Gf128 z{0, 0};
+    Gf128 v = y;
+    for (int i = 0; i < 128; ++i) {
+        bool xbit = i < 64 ? ((x.hi >> (63 - i)) & 1)
+                           : ((x.lo >> (127 - i)) & 1);
+        if (xbit) {
+            z.hi ^= v.hi;
+            z.lo ^= v.lo;
+        }
+        bool lsb = v.lo & 1;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ull; // R = 11100001 || 0^120
+    }
+    return z;
+}
+
+namespace
+{
+
+/** FIPS-197 S-box. */
+const std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+/** Inverse S-box, generated from kSbox at static-init time. */
+struct InvSbox
+{
+    std::uint8_t t[256];
+
+    InvSbox()
+    {
+        for (int i = 0; i < 256; ++i)
+            t[kSbox[i]] = static_cast<std::uint8_t>(i);
+    }
+};
+
+const InvSbox kInvSbox;
+
+/** Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1. */
+inline std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
+}
+
+/** General GF(2^8) multiply (used by InvMixColumns). */
+inline std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+inline void
+subBytes(std::uint8_t s[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] = kSbox[s[i]];
+}
+
+inline void
+invSubBytes(std::uint8_t s[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] = kInvSbox.t[s[i]];
+}
+
+/**
+ * ShiftRows on the column-major state layout used by FIPS-197
+ * (s[i] is byte i of the input, so row r of column c lives at
+ * s[4c + r]).
+ */
+inline void
+shiftRows(std::uint8_t s[16])
+{
+    std::uint8_t t;
+    // Row 1: shift left by 1.
+    t = s[1];
+    s[1] = s[5];
+    s[5] = s[9];
+    s[9] = s[13];
+    s[13] = t;
+    // Row 2: shift left by 2.
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    // Row 3: shift left by 3 (== right by 1).
+    t = s[15];
+    s[15] = s[11];
+    s[11] = s[7];
+    s[7] = s[3];
+    s[3] = t;
+}
+
+inline void
+invShiftRows(std::uint8_t s[16])
+{
+    std::uint8_t t;
+    // Row 1: shift right by 1.
+    t = s[13];
+    s[13] = s[9];
+    s[9] = s[5];
+    s[5] = s[1];
+    s[1] = t;
+    // Row 2: shift right by 2.
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    // Row 3: shift right by 3 (== left by 1).
+    t = s[3];
+    s[3] = s[7];
+    s[7] = s[11];
+    s[11] = s[15];
+    s[15] = t;
+}
+
+inline void
+mixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = s + 4 * c;
+        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
+        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
+        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
+        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+    }
+}
+
+inline void
+invMixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = s + 4 * c;
+        std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+inline void
+addRoundKey(std::uint8_t s[16], const std::uint8_t rk[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= rk[i];
+}
+
+} // namespace
+
+void
+AesNaive::setKey(const std::uint8_t key[kKeyBytes])
+{
+    std::memcpy(rk_.data(), key, 16);
+    std::uint8_t rcon = 1;
+    for (int i = 16; i < (kRounds + 1) * 16; i += 4) {
+        std::uint8_t t[4];
+        std::memcpy(t, rk_.data() + i - 4, 4);
+        if (i % 16 == 0) {
+            // RotWord + SubWord + Rcon.
+            std::uint8_t tmp = t[0];
+            t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ rcon);
+            t[1] = kSbox[t[2]];
+            t[2] = kSbox[t[3]];
+            t[3] = kSbox[tmp];
+            rcon = xtime(rcon);
+        }
+        for (int j = 0; j < 4; ++j)
+            rk_[i + j] = rk_[i - 16 + j] ^ t[j];
+    }
+}
+
+void
+AesNaive::encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    std::uint8_t s[16];
+    std::memcpy(s, in, 16);
+    addRoundKey(s, rk_.data());
+    for (int round = 1; round < kRounds; ++round) {
+        subBytes(s);
+        shiftRows(s);
+        mixColumns(s);
+        addRoundKey(s, rk_.data() + round * 16);
+    }
+    subBytes(s);
+    shiftRows(s);
+    addRoundKey(s, rk_.data() + kRounds * 16);
+    std::memcpy(out, s, 16);
+}
+
+void
+AesNaive::decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+{
+    std::uint8_t s[16];
+    std::memcpy(s, in, 16);
+    addRoundKey(s, rk_.data() + kRounds * 16);
+    for (int round = kRounds - 1; round >= 1; --round) {
+        invShiftRows(s);
+        invSubBytes(s);
+        addRoundKey(s, rk_.data() + round * 16);
+        invMixColumns(s);
+    }
+    invShiftRows(s);
+    invSubBytes(s);
+    addRoundKey(s, rk_.data());
+    std::memcpy(out, s, 16);
+}
+
+} // namespace secmem::ref

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Naive reference crypto kernels for the differential oracle.
+ *
+ * These are the original straight-from-the-spec implementations that
+ * used to be the production kernels in src/crypto/: a bit-at-a-time
+ * GF(2^128) multiply (SP 800-38D Section 6.3) and a byte-wise AES-128
+ * that walks SubBytes / ShiftRows / MixColumns exactly as FIPS-197
+ * writes them, with a loop-based GF(2^8) multiply in InvMixColumns.
+ *
+ * They were moved here — not deleted — when the production kernels
+ * became table-driven (Shoup GHASH tables, AES T-tables), so the
+ * reference model keeps an implementation that shares NO tables, no
+ * key-schedule layout and no word-level tricks with the code it
+ * checks: a corrupted table entry or a mis-generated T-table cannot
+ * cancel out against the same bug here. Both sides are pinned to the
+ * NIST / FIPS vectors in tests/crypto/, and fast==naive is enforced on
+ * randomized inputs by tests/ref/differential_test.cc.
+ *
+ * Performance is explicitly a non-goal; nothing in the production path
+ * may call into this file.
+ */
+
+#ifndef SECMEM_REF_NAIVE_HH
+#define SECMEM_REF_NAIVE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
+
+namespace secmem::ref
+{
+
+/** Bit-serial GCM GF(2^128) product of @p x and @p y. */
+Gf128 gf128MulNaive(const Gf128 &x, const Gf128 &y);
+
+/** Byte-wise AES-128 (FIPS-197 as written), reference-only. */
+class AesNaive
+{
+  public:
+    static constexpr std::size_t kKeyBytes = 16;
+    static constexpr int kRounds = 10;
+
+    AesNaive() = default;
+    explicit AesNaive(const std::uint8_t key[kKeyBytes]) { setKey(key); }
+    explicit AesNaive(const Block16 &key) { setKey(key.b.data()); }
+
+    /** Expand @p key into the round keys. */
+    void setKey(const std::uint8_t key[kKeyBytes]);
+
+    /** Encrypt one 16-byte chunk. In-place operation is allowed. */
+    void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    /** Decrypt one 16-byte chunk. In-place operation is allowed. */
+    void decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    Block16
+    encrypt(const Block16 &in) const
+    {
+        Block16 out;
+        encryptBlock(in.b.data(), out.b.data());
+        return out;
+    }
+
+    Block16
+    decrypt(const Block16 &in) const
+    {
+        Block16 out;
+        decryptBlock(in.b.data(), out.b.data());
+        return out;
+    }
+
+  private:
+    /** Round keys: (kRounds + 1) x 16 bytes. */
+    std::array<std::uint8_t, (kRounds + 1) * 16> rk_{};
+};
+
+} // namespace secmem::ref
+
+#endif // SECMEM_REF_NAIVE_HH

@@ -1,6 +1,7 @@
 #include "ref/shadow.hh"
 
 #include <atomic>
+#include <type_traits>
 
 #include "enc/counters.hh"
 #include "ref/model.hh"
@@ -60,6 +61,11 @@ formatDivergence(const Divergence &d)
 ShadowModel::ShadowModel(const SecureMemConfig &cfg)
     : cfg_(cfg), map_(cfg), aes_(cfg.dataKey)
 {
+    // The oracle's independence hinges on running the naive kernels: if
+    // aes_ ever silently became the production T-table Aes128, a table
+    // bug could cancel out against itself and the oracle would go blind.
+    static_assert(std::is_same_v<decltype(aes_), AesNaive>,
+                  "shadow oracle must use the naive reference AES");
     hashSubkey_ = aes_.encrypt(Block16{});
 }
 

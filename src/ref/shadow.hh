@@ -17,9 +17,10 @@
  *    (stored tags always cover the child's current DRAM bytes),
  *  - the page re-encryption and freeze counts.
  *
- * All recomputation goes through src/ref/model.hh, which shares only
- * the vector-pinned primitives (Aes128, gf128Mul, Sha1) with the
- * production path. On the first mismatch the model records a structured
+ * All recomputation goes through src/ref/model.hh, which runs on the
+ * naive kernels in ref/naive.hh (AesNaive, gf128MulNaive) — the only
+ * primitive shared with the production path is Sha1, pinned by its FIPS
+ * vectors. On the first mismatch the model records a structured
  * Divergence and (by default) panics with a diff of the expected and
  * observed bytes.
  *
@@ -42,9 +43,9 @@
 
 #include "core/config.hh"
 #include "core/layout.hh"
-#include "crypto/aes.hh"
 #include "crypto/bytes.hh"
 #include "enc/counters.hh"
+#include "ref/naive.hh"
 #include "sim/types.hh"
 
 namespace secmem::ref
@@ -163,7 +164,7 @@ class ShadowModel
 
     SecureMemConfig cfg_;
     AddressMap map_;
-    Aes128 aes_;
+    AesNaive aes_;
     Block16 hashSubkey_{};
 
     std::unordered_map<Addr, PageCtr> splitPages_; ///< by ctr-block addr

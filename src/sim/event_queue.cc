@@ -16,20 +16,16 @@ EventQueue::schedule(Tick when, Callback cb)
         static_cast<unsigned long long>(now_));
     heap_.push(Entry{when, seq_++, std::move(cb)});
     scheduledStat_.inc();
-    if (heap_.size() > maxPending_) {
-        maxPending_ = heap_.size();
-        maxPendingStat_.reset();
-        maxPendingStat_.inc(maxPending_);
-    }
+    pendingStat_.set(heap_.size());
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
     while (!heap_.empty() && heap_.top().when <= limit) {
-        // Copy out before pop: the callback may schedule new events.
-        Entry e = heap_.top();
-        heap_.pop();
+        // Move out before pop: the callback may schedule new events.
+        Entry e = popEntry();
+        pendingStat_.set(heap_.size());
         now_ = e.when;
         executedStat_.inc();
         e.cb();
@@ -44,8 +40,8 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    Entry e = heap_.top();
-    heap_.pop();
+    Entry e = popEntry();
+    pendingStat_.set(heap_.size());
     now_ = e.when;
     executedStat_.inc();
     e.cb();
@@ -58,7 +54,6 @@ EventQueue::reset()
     heap_ = {};
     now_ = 0;
     seq_ = 0;
-    maxPending_ = 0;
     stats_.reset();
 }
 

@@ -64,8 +64,9 @@ class EventQueue
     void reset();
 
     /**
-     * Kernel statistics: events scheduled/executed and the high-water
-     * mark of pending events ("scheduled", "executed", "max_pending").
+     * Kernel statistics: "scheduled"/"executed" counters plus a
+     * "pending" gauge whose max() is the high-water mark of queued
+     * events.
      */
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }
@@ -89,15 +90,30 @@ class EventQueue
         }
     };
 
+    /**
+     * Move the front entry out of the heap. std::priority_queue::top()
+     * is const, so a plain `Entry e = heap_.top()` deep-copies the
+     * std::function (and whatever captures it holds) on every pop. The
+     * const_cast-move is safe here: the comparator orders by when/seq
+     * only, and the moved-from entry is popped before the heap is
+     * touched again.
+     */
+    Entry
+    popEntry()
+    {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        return e;
+    }
+
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
-    std::uint64_t maxPending_ = 0;
     stats::Group stats_{"events"};
     // Cached references: schedule()/step() are hot, skip the map lookup.
     stats::Counter &scheduledStat_ = stats_.counter("scheduled");
     stats::Counter &executedStat_ = stats_.counter("executed");
-    stats::Counter &maxPendingStat_ = stats_.counter("max_pending");
+    stats::Gauge &pendingStat_ = stats_.gauge("pending");
 };
 
 } // namespace secmem

@@ -10,6 +10,10 @@ Group::dump(std::ostream &os) const
 {
     for (const auto &kv : counters_)
         os << name_ << '.' << kv.first << ' ' << kv.second.value() << '\n';
+    for (const auto &kv : gauges_) {
+        os << name_ << '.' << kv.first << ' ' << kv.second.value()
+           << " max=" << kv.second.max() << '\n';
+    }
     for (const auto &kv : samples_) {
         const Sample &s = kv.second;
         os << name_ << '.' << kv.first

@@ -33,6 +33,38 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
+/**
+ * Instantaneous level (queue depth, residency...) with a high-water
+ * mark. Unlike Counter this is set, not accumulated: set() records the
+ * current level and tracks the maximum ever seen, so "gauge = n" never
+ * has to be faked with the reset()+inc(n) counter idiom (which briefly
+ * reads as 0 and loses the high-water mark on every update).
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::uint64_t v)
+    {
+        value_ = v;
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t value() const { return value_; }
+    std::uint64_t max() const { return max_; }
+
+    void
+    reset()
+    {
+        value_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+    std::uint64_t max_ = 0;
+};
+
 /** Running mean/min/max of a sampled quantity. */
 class Sample
 {
@@ -114,6 +146,7 @@ class Group
     explicit Group(std::string name) : name_(std::move(name)) {}
 
     Counter &counter(const std::string &name) { return counters_[name]; }
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
     Sample &sample(const std::string &name) { return samples_[name]; }
 
     /**
@@ -145,6 +178,7 @@ class Group
 
     // Read-only iteration, for the obs::StatRegistry dumpers.
     const std::map<std::string, Counter> &counters() const { return counters_; }
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
     const std::map<std::string, Sample> &samples() const { return samples_; }
     const std::map<std::string, Histogram> &histograms() const
     {
@@ -158,6 +192,8 @@ class Group
     {
         for (auto &kv : counters_)
             kv.second.reset();
+        for (auto &kv : gauges_)
+            kv.second.reset();
         for (auto &kv : samples_)
             kv.second.reset();
         for (auto &kv : histograms_)
@@ -167,6 +203,7 @@ class Group
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
     std::map<std::string, Sample> samples_;
     std::map<std::string, Histogram> histograms_;
 };

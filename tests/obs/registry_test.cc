@@ -114,6 +114,7 @@ TEST(Registry, StatNamesListsKinds)
 {
     stats::Group g("g");
     g.counter("n");
+    g.gauge("depth");
     g.histogram("h", 2.0, 4);
 
     obs::StatRegistry reg;
@@ -121,16 +122,19 @@ TEST(Registry, StatNamesListsKinds)
     reg.addRatio("grp.rate", "grp.n", "grp.n");
 
     std::vector<std::string> names = reg.statNames();
-    bool counter = false, histogram = false, formula = false;
+    bool counter = false, gauge = false, histogram = false, formula = false;
     for (const std::string &n : names) {
         counter |= n.find("grp.n counter") == 0;
+        gauge |= n.find("grp.depth gauge") == 0;
         histogram |= n.find("grp.h histogram") == 0;
         formula |= n.find("grp.rate formula") == 0;
     }
     EXPECT_TRUE(counter);
+    EXPECT_TRUE(gauge);
     EXPECT_TRUE(histogram);
     EXPECT_TRUE(formula);
 }
+
 
 // ---------------------------------------------------------------------
 // JSON round-trip, via a minimal recursive-descent parser: numbers,
@@ -281,6 +285,38 @@ TEST(Registry, JsonDumpParsesAndRoundTripsValues)
     std::size_t at = json.find("\"rate\": ");
     ASSERT_NE(at, std::string::npos);
     EXPECT_DOUBLE_EQ(std::strtod(json.c_str() + at + 8, nullptr), v);
+}
+
+TEST(Registry, GaugesFlattenAndDumpAsExactIntegers)
+{
+    stats::Group g("q");
+    g.gauge("depth").set(9);
+    g.gauge("depth").set(4); // high-water 9, level 4
+
+    obs::StatRegistry reg;
+    reg.add("events", g);
+
+    std::map<std::string, obs::FlatStat> flat;
+    for (const obs::FlatStat &s : reg.flattened())
+        flat[s.path] = s;
+    ASSERT_TRUE(flat.count("events.depth.value"));
+    ASSERT_TRUE(flat.count("events.depth.max"));
+    EXPECT_DOUBLE_EQ(flat.at("events.depth.value").value, 4.0);
+    EXPECT_DOUBLE_EQ(flat.at("events.depth.max").value, 9.0);
+    EXPECT_TRUE(flat.at("events.depth.value").integral);
+    EXPECT_TRUE(flat.at("events.depth.max").integral);
+
+    // JSON: a {"value", "max"} object nested under the group path.
+    std::string json = reg.jsonString();
+    EXPECT_TRUE(parsesAsJson(json)) << json;
+    EXPECT_NE(json.find("\"depth\": {\"value\": 4, \"max\": 9}"),
+              std::string::npos)
+        << json;
+
+    std::ostringstream os;
+    reg.dumpText(os);
+    EXPECT_NE(os.str().find("events.depth.max 9"), std::string::npos);
+    EXPECT_NE(os.str().find("events.depth.value 4"), std::string::npos);
 }
 
 TEST(Registry, DumpTextIsFlatAndDiffable)

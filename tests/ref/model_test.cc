@@ -109,11 +109,12 @@ TEST(RefPad, AgreesWithMakePad)
 {
     SecureMemConfig cfg = SecureMemConfig::splitGcm();
     Aes128 aes(cfg.dataKey);
+    ref::AesNaive naes(cfg.dataKey);
     Rng rng(25);
     for (int round = 0; round < 50; ++round) {
         Addr addr = rng.below(1 << 20) * kBlockBytes;
         std::uint64_t ctr = rng.next();
-        EXPECT_EQ(ref::ctrPad(aes, addr, ctr, cfg.eivByte),
+        EXPECT_EQ(ref::ctrPad(naes, addr, ctr, cfg.eivByte),
                   makePad(aes, addr, ctr, cfg.eivByte));
     }
 }
@@ -122,18 +123,19 @@ TEST(RefEncrypt, CtrModeAgreesWithCtrCrypt)
 {
     SecureMemConfig cfg = SecureMemConfig::split();
     Aes128 aes(cfg.dataKey);
+    ref::AesNaive naes(cfg.dataKey);
     Rng rng(26);
     for (int round = 0; round < 50; ++round) {
         Addr addr = rng.below(1 << 20) * kBlockBytes;
         std::uint64_t ctr = rng.next();
         std::uint8_t epoch = static_cast<std::uint8_t>(rng.below(4));
         Block64 pt = randomBlock(rng);
-        Block64 ct = ref::encryptBlock(cfg, aes, addr, pt, ctr, epoch);
+        Block64 ct = ref::encryptBlock(cfg, naes, addr, pt, ctr, epoch);
         EXPECT_EQ(ct, ctrCrypt(aes, pt, addr, ctr,
                                static_cast<std::uint8_t>(cfg.eivByte ^
                                                          epoch)));
         // Counter mode is an involution.
-        EXPECT_EQ(ref::encryptBlock(cfg, aes, addr, ct, ctr, epoch), pt);
+        EXPECT_EQ(ref::encryptBlock(cfg, naes, addr, ct, ctr, epoch), pt);
     }
 }
 
@@ -141,6 +143,7 @@ TEST(RefGcmTag, AgreesWithGcmBlockTag)
 {
     SecureMemConfig cfg = SecureMemConfig::splitGcm();
     Aes128 aes(cfg.dataKey);
+    ref::AesNaive naes(cfg.dataKey);
     Block16 subkey = aes.encrypt(Block16{});
     Rng rng(27);
     for (int round = 0; round < 50; ++round) {
@@ -148,7 +151,7 @@ TEST(RefGcmTag, AgreesWithGcmBlockTag)
         std::uint64_t ctr = rng.next();
         std::uint8_t iv = static_cast<std::uint8_t>(rng.next());
         Block64 ct = randomBlock(rng);
-        EXPECT_EQ(ref::gcmTag(aes, subkey, addr, ct, ctr, iv),
+        EXPECT_EQ(ref::gcmTag(naes, subkey, addr, ct, ctr, iv),
                   gcmBlockTag(aes, subkey, ct, addr, ctr, iv));
     }
 }
@@ -172,15 +175,15 @@ TEST(RefNodeTag, ClipsToConfiguredMacBits)
     for (unsigned mac_bits : {32u, 64u, 128u}) {
         SecureMemConfig cfg = SecureMemConfig::splitGcm();
         cfg.macBits = mac_bits;
-        Aes128 aes(cfg.dataKey);
-        Block16 subkey = aes.encrypt(Block16{});
+        ref::AesNaive naes(cfg.dataKey);
+        Block16 subkey = naes.encrypt(Block16{});
         Rng rng(29);
         Block64 content = randomBlock(rng);
         Block16 tag =
-            ref::nodeTag(cfg, aes, subkey, 0x1000, content, 7, 0);
+            ref::nodeTag(cfg, naes, subkey, 0x1000, content, 7, 0);
         for (unsigned byte = mac_bits / 8; byte < kChunkBytes; ++byte)
             EXPECT_EQ(tag.b[byte], 0u) << "macBits " << mac_bits;
-        EXPECT_EQ(tag, clipTag(ref::gcmTag(aes, subkey, 0x1000, content, 7,
+        EXPECT_EQ(tag, clipTag(ref::gcmTag(naes, subkey, 0x1000, content, 7,
                                            cfg.aivByte),
                                mac_bits));
     }

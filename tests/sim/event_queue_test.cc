@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -104,6 +105,88 @@ TEST(EventQueue, ScheduleInUsesNow)
     q.schedule(7, [&] { q.scheduleIn(3, [&] { seen = q.now(); }); });
     q.runUntil();
     EXPECT_EQ(seen, 10u);
+}
+
+namespace
+{
+
+/**
+ * Callable that counts how many times it is copy-constructed after
+ * being captured. std::function move construction only swaps pointers
+ * (no target copy), so any copies observed after schedule() returns
+ * come from the queue copying entries out of the heap on pop — the
+ * bug this pins down.
+ */
+struct CopyCounter
+{
+    std::shared_ptr<int> copies;
+
+    explicit CopyCounter(std::shared_ptr<int> c) : copies(std::move(c)) {}
+    CopyCounter(const CopyCounter &o) : copies(o.copies) { ++*copies; }
+    CopyCounter(CopyCounter &&o) noexcept = default;
+    void operator()() const {}
+};
+
+} // namespace
+
+TEST(EventQueue, PopDoesNotCopyCallback)
+{
+    EventQueue q;
+    auto copies = std::make_shared<int>(0);
+    q.schedule(1, CopyCounter(copies));
+    q.schedule(2, CopyCounter(copies));
+    q.schedule(3, CopyCounter(copies));
+    int after_schedule = *copies;
+    q.step();                   // one pop via step()
+    q.runUntil();               // two pops via runUntil()
+    EXPECT_EQ(*copies, after_schedule)
+        << "popping the heap copied the callback instead of moving it";
+}
+
+TEST(EventQueue, PendingGaugeTracksDepthAndHighWater)
+{
+    EventQueue q;
+    const stats::Gauge &pending =
+        q.stats().gauges().at("pending");
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.schedule(3, [] {});
+    EXPECT_EQ(pending.value(), 3u);
+    EXPECT_EQ(pending.max(), 3u);
+    q.step();
+    EXPECT_EQ(pending.value(), 2u);
+    EXPECT_EQ(pending.max(), 3u); // high-water survives the drain
+    q.runUntil();
+    EXPECT_EQ(pending.value(), 0u);
+    EXPECT_EQ(pending.max(), 3u);
+    // Refilling after a drain must not need to exceed the old peak for
+    // the gauge to read correctly (the reset()+inc counter idiom only
+    // updated on new maxima).
+    q.schedule(10, [] {});
+    EXPECT_EQ(pending.value(), 1u);
+    EXPECT_EQ(pending.max(), 3u);
+    q.reset();
+    EXPECT_EQ(pending.value(), 0u);
+    EXPECT_EQ(pending.max(), 0u);
+}
+
+TEST(EventQueue, SchedulingFromCallbackKeepsGaugeConsistent)
+{
+    EventQueue q;
+    const stats::Gauge &pending =
+        q.stats().gauges().at("pending");
+    std::uint64_t seen_inside = 0;
+    q.schedule(1, [&] {
+        q.scheduleIn(1, [] {});
+        q.scheduleIn(2, [] {});
+        seen_inside = pending.value();
+    });
+    q.runUntil();
+    EXPECT_EQ(seen_inside, 2u);
+    EXPECT_EQ(pending.value(), 0u);
+    EXPECT_EQ(pending.max(), 2u);
+    EXPECT_EQ(q.stats().counterValue("scheduled"), 3u);
+    EXPECT_EQ(q.stats().counterValue("executed"), 3u);
 }
 
 } // namespace

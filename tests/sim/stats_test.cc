@@ -25,6 +25,28 @@ TEST(StatsCounter, IncrementsAndResets)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(StatsGauge, SetTracksLevelAndHighWater)
+{
+    stats::Gauge g;
+    EXPECT_EQ(g.value(), 0u);
+    EXPECT_EQ(g.max(), 0u);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3u);
+    EXPECT_EQ(g.max(), 3u);
+    g.set(7);
+    g.set(2); // level drops, high-water stays
+    EXPECT_EQ(g.value(), 2u);
+    EXPECT_EQ(g.max(), 7u);
+    // A fresh set() after a drop never has to re-climb through reset():
+    // the old reset()+inc(n) counter idiom lost exactly this property.
+    g.set(5);
+    EXPECT_EQ(g.value(), 5u);
+    EXPECT_EQ(g.max(), 7u);
+    g.reset();
+    EXPECT_EQ(g.value(), 0u);
+    EXPECT_EQ(g.max(), 0u);
+}
+
 TEST(StatsSample, TracksMeanMinMax)
 {
     stats::Sample s;
@@ -73,21 +95,37 @@ TEST(StatsGroup, DumpFormat)
 {
     stats::Group g("bus");
     g.counter("bytes").inc(128);
+    g.gauge("depth").set(4);
     g.sample("occupancy").record(0.5);
     std::ostringstream os;
     g.dump(os);
     std::string out = os.str();
     EXPECT_NE(out.find("bus.bytes 128"), std::string::npos);
+    EXPECT_NE(out.find("bus.depth 4 max=4"), std::string::npos);
     EXPECT_NE(out.find("bus.occupancy mean=0.5"), std::string::npos);
+}
+
+TEST(StatsGroup, GaugeRegistrationIsStable)
+{
+    stats::Group g("q");
+    stats::Gauge &depth = g.gauge("depth");
+    depth.set(9);
+    // Same name returns the same instance.
+    EXPECT_EQ(&g.gauge("depth"), &depth);
+    EXPECT_EQ(g.gauges().at("depth").value(), 9u);
+    EXPECT_EQ(g.gauges().at("depth").max(), 9u);
 }
 
 TEST(StatsGroup, ResetClearsAll)
 {
     stats::Group g("x");
     g.counter("c").inc(5);
+    g.gauge("g").set(3);
     g.sample("s").record(1.0);
     g.reset();
     EXPECT_EQ(g.counterValue("c"), 0u);
+    EXPECT_EQ(g.gauge("g").value(), 0u);
+    EXPECT_EQ(g.gauge("g").max(), 0u);
     EXPECT_EQ(g.sample("s").count(), 0u);
 }
 
