@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Chaos-testing CLI: sustained fault storms against the controller's
+ * recovery state machine, plus crash/corruption drills against the
+ * on-disk result store.
+ *
+ * Replays a synthetic SPEC workload while a FaultStorm arms transient
+ * read-path glitches (and, optionally, persistent DRAM damage) on the
+ * blocks about to be accessed, then prints a JSON resilience report.
+ * An expected-plaintext oracle checks every clean read; the exit
+ * status is 0 only when the campaign saw *zero silent corruptions*
+ * (and, with --store-chaos, the store drill recovered cleanly; with
+ * --verify-model, the shadow oracle recorded zero divergences).
+ *
+ *     chaos_campaign --events 10000 --seed 7 --scheme splitGcm \
+ *         --policy quarantine --transient-rate 0.05 \
+ *         --shards 4 --jobs 4 --store-chaos /tmp/chaos-store
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/store_chaos.hh"
+#include "harness/chaos.hh"
+
+using namespace secmem;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--events N] [--seed N] [--workload NAME]\n"
+        "          [--scheme NAME] [--policy halt|report|retry|quarantine]\n"
+        "          [--retries N] [--transient-rate F] [--persistent-rate F]\n"
+        "          [--meta-fraction F] [--burst N]\n"
+        "          [--shards N] [--jobs N] [--verify-model]\n"
+        "          [--store-chaos DIR] [--store-records N]\n"
+        "\n"
+        "schemes: baseline direct split gcmAuthOnly splitGcm\n"
+        "         monoGcm splitSha monoSha splitGcmNoCtrAuth\n",
+        argv0);
+    std::exit(2);
+}
+
+TamperPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "halt")
+        return TamperPolicy::Halt;
+    if (s == "report")
+        return TamperPolicy::ReportAndContinue;
+    if (s == "retry")
+        return TamperPolicy::RetryRefetch;
+    if (s == "quarantine")
+        return TamperPolicy::Quarantine;
+    std::fprintf(stderr, "unknown policy '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ChaosConfig cfg;
+    unsigned shards = 1;
+    unsigned jobs = 1;
+    std::string storeDir;
+    exp::StoreChaosConfig storeCfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--events")
+            cfg.events = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--seed")
+            cfg.seed = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--workload")
+            cfg.workload = value();
+        else if (arg == "--scheme")
+            cfg.scheme = value();
+        else if (arg == "--policy")
+            cfg.policy = parsePolicy(value());
+        else if (arg == "--retries")
+            cfg.recovery.maxRetries =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--transient-rate")
+            cfg.storm.transientRate = std::strtod(value(), nullptr);
+        else if (arg == "--persistent-rate")
+            cfg.storm.persistentRate = std::strtod(value(), nullptr);
+        else if (arg == "--meta-fraction")
+            cfg.storm.metaFraction = std::strtod(value(), nullptr);
+        else if (arg == "--burst")
+            cfg.storm.maxBurst =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--shards")
+            shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--verify-model")
+            cfg.verifyModel = true;
+        else if (arg == "--store-chaos")
+            storeDir = value();
+        else if (arg == "--store-records")
+            storeCfg.records =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else
+            usage(argv[0]);
+    }
+
+    bool fail = false;
+
+    ChaosFleetResult fleet = runChaosFleet(cfg, shards, jobs);
+    std::printf("%s\n", fleet.toJson().c_str());
+    if (fleet.totals.silentCorruptions != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu silent corruptions across %u shards\n",
+                     static_cast<unsigned long long>(
+                         fleet.totals.silentCorruptions),
+                     shards);
+        fail = true;
+    }
+    if (fleet.totals.divergences != 0) {
+        std::fprintf(
+            stderr, "FAIL: %llu shadow-model divergences\n",
+            static_cast<unsigned long long>(fleet.totals.divergences));
+        fail = true;
+    }
+    if (fleet.totals.halted) {
+        std::fprintf(stderr, "FAIL: a shard's controller halted\n");
+        fail = true;
+    }
+
+    if (!storeDir.empty()) {
+        storeCfg.seed = cfg.seed;
+        storeCfg.dir = storeDir;
+        exp::StoreChaosResult drill = exp::runStoreChaosDrill(storeCfg);
+        std::printf("%s\n", drill.toJson().c_str());
+        if (!drill.ok) {
+            std::fprintf(stderr, "FAIL: store chaos drill did not recover "
+                                 "cleanly\n");
+            fail = true;
+        }
+    }
+
+    if (fail)
+        return 1;
+    std::fprintf(
+        stderr,
+        "OK: %llu events, %llu faults delivered, %llu detected, "
+        "%llu recovered, %llu quarantines, 0 silent corruptions\n",
+        static_cast<unsigned long long>(fleet.totals.memOps),
+        static_cast<unsigned long long>(fleet.totals.storm.transientFaults +
+                                        fleet.totals.storm.persistentFaults),
+        static_cast<unsigned long long>(fleet.totals.detected),
+        static_cast<unsigned long long>(fleet.totals.recovered),
+        static_cast<unsigned long long>(fleet.totals.quarantines));
+    return 0;
+}

@@ -33,7 +33,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--every N]\n"
                  "          [--workload NAME] [--scheme NAME]\n"
-                 "          [--policy halt|report|retry] [--retries N]\n"
+                 "          [--policy halt|report|retry|quarantine]\n"
+                 "          [--retries N]\n"
                  "          [--transient FRACTION]\n"
                  "\n"
                  "schemes: baseline direct split gcmAuthOnly splitGcm\n"
@@ -51,6 +52,8 @@ parsePolicy(const std::string &s)
         return TamperPolicy::ReportAndContinue;
     if (s == "retry")
         return TamperPolicy::RetryRefetch;
+    if (s == "quarantine")
+        return TamperPolicy::Quarantine;
     std::fprintf(stderr, "unknown policy '%s'\n", s.c_str());
     std::exit(2);
 }

@@ -37,6 +37,15 @@ echo "== fault-injection campaign smoke =="
 ./build/examples/fault_campaign --seed 7 --ops 4000 --every 32 \
     --scheme splitGcm --policy retry --transient 0.4 >/dev/null
 
+echo "== chaos campaign smoke (fault storm + store crash drill) =="
+# Exits non-zero on any silent corruption, shadow divergence,
+# controller halt, or store record that fails to journal-recover.
+./build/examples/chaos_campaign --events 4000 --seed 7 \
+    --transient-rate 0.03 --persistent-rate 0.002 --shards 2 --jobs 2 \
+    --store-chaos build/chaos-store --store-records 48 >/dev/null
+./build/examples/chaos_campaign --events 2000 --seed 9 \
+    --transient-rate 0.05 --verify-model >/dev/null
+
 echo "== secmem-bench smoke (fig4, parallel, no store) =="
 ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
     --no-progress >/dev/null

@@ -1,0 +1,119 @@
+#include "attack/chaos.hh"
+
+#include <algorithm>
+
+namespace secmem
+{
+
+FaultStorm::FaultStorm(SecureMemoryController &ctrl, const StormConfig &cfg)
+    : ctrl_(ctrl),
+      cfg_(cfg),
+      rng_(cfg.seed ^ 0x5707b1a57ULL),
+      hasCtrRegion_(ctrl.config().usesCounterCache()),
+      hasMacRegion_(ctrl.config().auth != AuthKind::None)
+{
+}
+
+Addr
+FaultStorm::pickVictim(Addr addr, MemRegion *region)
+{
+    Addr base = blockBase(addr);
+    if (!cfg_.dataLoadsOnly && rng_.chance(cfg_.metaFraction)) {
+        const AddressMap &map = ctrl_.map();
+        // Counter and MAC region in proportion to availability.
+        bool wantCtr = hasCtrRegion_ &&
+                       (!hasMacRegion_ || rng_.chance(0.5));
+        if (wantCtr) {
+            *region = MemRegion::Counter;
+            return map.ctrBlockAddrFor(base);
+        }
+        if (hasMacRegion_) {
+            TagLocation loc = map.tagOfLeaf(map.leafIndexOfData(base));
+            if (!loc.pinned) {
+                *region = MemRegion::Mac;
+                return loc.blockAddr;
+            }
+        }
+    }
+    *region = MemRegion::Data;
+    return base;
+}
+
+void
+FaultStorm::beforeAccess(Addr addr, bool is_store)
+{
+    if (cfg_.dataLoadsOnly && is_store)
+        return;
+
+    if (cfg_.transientRate > 0.0 && rng_.chance(cfg_.transientRate)) {
+        unsigned burst = 1 + static_cast<unsigned>(
+                                 rng_.below(std::max(1u, cfg_.maxBurst)));
+        for (unsigned i = 0; i < burst; ++i) {
+            MemRegion region;
+            Addr victim = pickVictim(addr, &region);
+            std::size_t off =
+                static_cast<std::size_t>(rng_.below(kBlockBytes));
+            auto mask = static_cast<std::uint8_t>(1u << rng_.below(8));
+            ctrl_.dram().injectTransientXor(victim, off, mask);
+            ++stats_.transientFaults;
+            switch (region) {
+              case MemRegion::Counter:
+                ++stats_.ctrFaults;
+                break;
+              case MemRegion::Mac:
+                ++stats_.macFaults;
+                break;
+              default:
+                ++stats_.dataFaults;
+            }
+        }
+    }
+
+    if (cfg_.persistentRate > 0.0 && rng_.chance(cfg_.persistentRate)) {
+        MemRegion region;
+        Addr victim = pickVictim(addr, &region);
+        // Make the corruption visible to the very next fetch: a stale
+        // clean cached copy of a metadata block would otherwise mask
+        // the DRAM damage indefinitely.
+        if (hasCtrRegion_)
+            ctrl_.flushCtrCache();
+        if (hasMacRegion_)
+            ctrl_.flushMacCache();
+        damage_.emplace(victim, Damage{ctrl_.dram().snoop(victim), {}});
+        std::size_t off = static_cast<std::size_t>(rng_.below(kBlockBytes));
+        auto mask = static_cast<std::uint8_t>(1 + rng_.below(255));
+        ctrl_.dram().tamperXor(victim, off, mask);
+        damage_[victim].corrupted = ctrl_.dram().snoop(victim);
+        ++stats_.persistentFaults;
+        switch (region) {
+          case MemRegion::Counter:
+            ++stats_.ctrFaults;
+            break;
+          case MemRegion::Mac:
+            ++stats_.macFaults;
+            break;
+          default:
+            ++stats_.dataFaults;
+        }
+    }
+}
+
+void
+FaultStorm::repairPersistent()
+{
+    for (const auto &kv : damage_) {
+        // Only blocks still carrying exactly the corruption we landed
+        // are rolled back; a block the workload has since rewritten is
+        // already sound, and replaying its pristine value would stage a
+        // rollback attack of our own.
+        if (ctrl_.dram().snoop(kv.first) == kv.second.corrupted)
+            ctrl_.dram().replay(kv.first, kv.second.pristine);
+    }
+    damage_.clear();
+    if (hasCtrRegion_)
+        ctrl_.flushCtrCache();
+    if (hasMacRegion_)
+        ctrl_.flushMacCache();
+}
+
+} // namespace secmem

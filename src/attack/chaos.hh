@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FaultStorm: sustained, deterministic-seeded fault pressure against a
+ * live SecureMemoryController.
+ *
+ * Where TamperInjector stages one carefully probed attack at a time
+ * (inject, read, restore), the storm models an unreliable environment:
+ * before workload accesses it arms transient read-path faults — and
+ * optionally lands persistent DRAM corruption — on the access path of
+ * the block about to be touched (the data block itself, its counter
+ * block, or its leaf-MAC block). Nothing is probed or restored; the
+ * workload runs straight through the weather and the chaos campaign
+ * (src/harness/chaos.hh) checks end-to-end that every surviving fault
+ * was either recovered, quarantined, or at minimum reported — never
+ * silently returned as clean data.
+ *
+ * All randomness flows through one seeded Rng, so a storm is exactly
+ * reproducible from (seed, workload, scheme).
+ */
+
+#ifndef SECMEM_ATTACK_CHAOS_HH
+#define SECMEM_ATTACK_CHAOS_HH
+
+#include <cstdint>
+#include <map>
+
+#include "core/controller.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+
+/** Storm intensity knobs. */
+struct StormConfig
+{
+    std::uint64_t seed = 1;
+    /** Per-access probability of arming a transient fault burst. */
+    double transientRate = 0.02;
+    /**
+     * Per-access probability of landing persistent DRAM corruption.
+     * Incompatible with the shadow-model oracle: a later write
+     * "repairs" the corrupted metadata in ways the reference model
+     * cannot see, so verify-model campaigns force this to zero.
+     */
+    double persistentRate = 0.0;
+    /** Transient faults per burst: uniform in [1, maxBurst]. */
+    unsigned maxBurst = 3;
+    /** Fraction of faults aimed at metadata (counter / MAC) blocks. */
+    double metaFraction = 0.4;
+    /**
+     * Restrict faults to the data fetches of loads. Required for
+     * shadow-model campaigns: a fault consumed by a *write's* metadata
+     * fetch is detected but the write still commits, which the shadow
+     * (that skips non-clean accesses) cannot track; and a fault armed
+     * on a metadata block can linger in DRAM until exactly such a
+     * write consumes it. Data-block faults on loads are consumed by
+     * that same load and either recovered or reported on the spot.
+     */
+    bool dataLoadsOnly = false;
+};
+
+/** What the storm delivered (for campaign reporting). */
+struct StormStats
+{
+    std::uint64_t transientFaults = 0;
+    std::uint64_t persistentFaults = 0;
+    std::uint64_t dataFaults = 0;
+    std::uint64_t ctrFaults = 0;
+    std::uint64_t macFaults = 0;
+};
+
+/** Deterministic environmental fault generator. */
+class FaultStorm
+{
+  public:
+    FaultStorm(SecureMemoryController &ctrl, const StormConfig &cfg);
+
+    /**
+     * Roll the weather for the access about to be issued to @p addr
+     * (a data address) and arm / land any faults it produces.
+     */
+    void beforeAccess(Addr addr, bool is_store);
+
+    /**
+     * Restore the original bytes of every persistently corrupted block
+     * that the workload has not since overwritten (operator repair at
+     * campaign teardown).
+     */
+    void repairPersistent();
+
+    const StormStats &stats() const { return stats_; }
+
+  private:
+    /** Pick a victim block on @p addr's access path per metaFraction. */
+    Addr pickVictim(Addr addr, MemRegion *region);
+
+    SecureMemoryController &ctrl_;
+    StormConfig cfg_;
+    Rng rng_;
+    StormStats stats_;
+
+    const bool hasCtrRegion_;
+    const bool hasMacRegion_;
+
+    /** Repair bookkeeping for persistently corrupted blocks. */
+    struct Damage
+    {
+        Block64 pristine;  ///< value before the first corruption
+        Block64 corrupted; ///< value right after the last corruption
+    };
+    std::map<Addr, Damage> damage_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_ATTACK_CHAOS_HH

@@ -299,9 +299,13 @@ TamperInjector::injectAndProbe(Tick now, AttackKind kind)
         inj.level = r.level;
         inj.latency = r.latency();
         inj.recovered = r.recovered;
+        inj.quarantined = r.recovery.quarantined;
+        inj.escalations = r.recovery.escalations;
         stats_.counter(std::string("detected_") + toString(kind)).inc();
         stats_.sample("detect_latency").record(
             static_cast<double>(inj.latency));
+        if (inj.quarantined)
+            stats_.counter("quarantined").inc();
     }
 
     // Restore DRAM and drop the (clean) poisoned copies the probe may
@@ -315,6 +319,11 @@ TamperInjector::injectAndProbe(Tick now, AttackKind kind)
         ctrl_.flushCtrCache();
     if (hasMacRegion_)
         ctrl_.flushMacCache();
+    // DRAM is pristine again: model the operator repairing the fault
+    // and releasing the probe's block, so a Quarantine campaign keeps
+    // exercising every attack class instead of starving its pool.
+    if (inj.quarantined)
+        ctrl_.releaseQuarantine(inj.probe);
 
     log_.push_back(inj);
     return inj;
@@ -366,6 +375,8 @@ TamperInjector::injectTransient(Tick now)
         inj.level = r.level;
         inj.latency = r.latency();
         inj.recovered = r.recovered;
+        inj.quarantined = r.recovery.quarantined;
+        inj.escalations = r.recovery.escalations;
         stats_.counter("detected_transient").inc();
         if (inj.recovered)
             stats_.counter("recovered_transient").inc();
@@ -375,6 +386,11 @@ TamperInjector::injectTransient(Tick now)
         ctrl_.flushCtrCache();
     if (hasMacRegion_)
         ctrl_.flushMacCache();
+    // The fault was transient, so the block's storage is sound; an
+    // exhausted zero-budget recovery still quarantines, and the
+    // operator releases it once the glitch passes.
+    if (inj.quarantined)
+        ctrl_.releaseQuarantine(inj.probe);
     log_.push_back(inj);
     return inj;
 }

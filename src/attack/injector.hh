@@ -81,6 +81,8 @@ struct Injection
     bool transient = false; ///< read-path-only fault, DRAM untouched
     bool detected = false;  ///< the probe read reported a failure
     bool recovered = false; ///< RetryRefetch re-verified cleanly
+    bool quarantined = false; ///< budget exhausted under Quarantine
+    unsigned escalations = 0; ///< recovery stage transitions observed
     TamperCheck check = TamperCheck::LeafTag; ///< detecting layer
     unsigned level = 0;     ///< tree level for TreeNode detections
     Tick latency = 0;       ///< issue-to-detection ticks

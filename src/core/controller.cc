@@ -127,6 +127,16 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     stats_.counter("ghash_chunks");
     stats_.counter("sha1_blocks");
     stats_.counter("auth_failures");
+    // Recovery state machine (core/tamper.hh): visible at 0 so fault
+    // campaigns and clean runs dump the same stat set.
+    stats_.counter("tamper_retries");
+    stats_.counter("tamper_recoveries");
+    stats_.counter("recovery_escalations");
+    stats_.counter("recovery_backoff_ticks");
+    stats_.counter("recovery_exhausted");
+    stats_.counter("quarantines");
+    stats_.counter("quarantine_blocked_reads");
+    stats_.counter("quarantine_blocked_writes");
 }
 
 SecureMemoryController::~SecureMemoryController() = default;
@@ -250,6 +260,194 @@ SecureMemoryController::dropCleanMetadata(Addr data_addr)
     }
     if (cfg_.auth != AuthKind::None)
         flushMacCache();
+}
+
+// --------------------------------------------------------------------------
+// Recovery state machine (RetryRefetch / Quarantine; see core/tamper.hh)
+// --------------------------------------------------------------------------
+
+RecoveryStage
+SecureMemoryController::initialStageFor(TamperCheck check)
+{
+    // Start at the narrowest stage that can plausibly clear the failing
+    // check: a bad leaf tag may be a corrupted data fetch alone, a bad
+    // counter needs the counter path re-fetched, and an interior tree
+    // failure requires re-walking the subtree from DRAM.
+    switch (check) {
+      case TamperCheck::LeafTag:
+        return RecoveryStage::LineRefetch;
+      case TamperCheck::CounterAuth:
+        return RecoveryStage::CounterRefetch;
+      case TamperCheck::TreeNode:
+        return RecoveryStage::SubtreeReverify;
+    }
+    return RecoveryStage::LineRefetch;
+}
+
+void
+SecureMemoryController::applyRecoveryStage(RecoveryStage stage,
+                                           Addr data_addr)
+{
+    switch (stage) {
+      case RecoveryStage::None:
+      case RecoveryStage::LineRefetch:
+        // Data blocks are not cached controller-side; the retry's
+        // readBlockImpl re-fetches the line from DRAM by itself.
+        return;
+      case RecoveryStage::CounterRefetch: {
+        // Drop (writeback if dirty) the counter and derivative-counter
+        // lines feeding this block so the retry re-fetches and
+        // re-authenticates them.
+        if (cfg_.usesCounterCache()) {
+            Addr ca = map_.ctrBlockAddrFor(blockBase(data_addr));
+            Eviction ev = ctrCache_.invalidate(ca);
+            if (ev.valid && ev.dirty)
+                writebackCtrBlock(ev.addr, ev.data, 0);
+            inflight_.erase(ca);
+            if (cfg_.auth == AuthKind::Gcm && cfg_.authenticateCounters) {
+                Addr da =
+                    map_.derivCtrBlockAddr(map_.derivIdxOfCtrBlock(ca));
+                Eviction dev = derivCache_.invalidate(da);
+                if (dev.valid && dev.dirty)
+                    dram_.writeBlock(dev.addr, dev.data);
+                inflight_.erase(da);
+            }
+        }
+        return;
+      }
+      case RecoveryStage::SubtreeReverify:
+        // Widest hammer: counter/derivative lines plus the whole MAC
+        // cache, forcing a full re-walk of the authentication subtree.
+        dropCleanMetadata(data_addr);
+        return;
+    }
+}
+
+AccessTiming
+SecureMemoryController::runRecovery(Addr addr, AccessTiming timing,
+                                    Block64 *out)
+{
+    const Addr base = blockBase(addr);
+    unsigned tries = 0;
+    unsigned escalations = 0;
+    Tick backoff_total = 0;
+    RecoveryStage stage = RecoveryStage::None;
+
+    while (!timing.authOk && tries < recovery_.maxRetries) {
+        RecoveryStage next = stage == RecoveryStage::None
+                                 ? initialStageFor(cur_.check)
+                                 : stage;
+        if (stage != RecoveryStage::None &&
+            stage != RecoveryStage::SubtreeReverify) {
+            next = stage == RecoveryStage::LineRefetch
+                       ? RecoveryStage::CounterRefetch
+                       : RecoveryStage::SubtreeReverify;
+        }
+        if (stage != RecoveryStage::None && next != stage) {
+            ++escalations;
+            stats_.counter("recovery_escalations").inc();
+        }
+        stage = next;
+        ++tries;
+        stats_.counter("tamper_retries").inc();
+
+        // Exponential cycle backoff before re-issuing: transient bus /
+        // DRAM glitches are time-correlated, so spacing the retries
+        // raises the odds of reading past the disturbance.
+        Tick backoff = recovery_.backoffBase << (tries - 1);
+        if (backoff > recovery_.backoffCap || backoff < recovery_.backoffBase)
+            backoff = recovery_.backoffCap;
+        backoff_total += backoff;
+        stats_.counter("recovery_backoff_ticks").inc(backoff);
+
+        applyRecoveryStage(stage, base);
+        if (trace_) {
+            trace_->instant("recovery", toString(stage), timing.authDone,
+                            {{"addr", base},
+                             {"try", tries},
+                             {"backoff", backoff}});
+        }
+        timing = readBlockImpl(addr, timing.authDone + backoff, out);
+    }
+
+    if (cur_.valid) {
+        cur_.retries = tries;
+        cur_.recovered = timing.authOk;
+        cur_.recovery.retries = tries;
+        cur_.recovery.escalations = escalations;
+        cur_.recovery.maxStage = stage;
+        cur_.recovery.backoffTicks = backoff_total;
+        cur_.recovery.recovered = timing.authOk;
+    }
+    if (!timing.authOk) {
+        stats_.counter("recovery_exhausted").inc();
+        SECMEM_WARN("recovery budget exhausted for block %#llx after %u "
+                    "retries (deepest stage: %s)",
+                    static_cast<unsigned long long>(base), tries,
+                    toString(stage));
+        if (policy_ == TamperPolicy::Quarantine) {
+            quarantineBlock(base, timing.authDone);
+            cur_.recovery.quarantined = true;
+        }
+    }
+    return timing;
+}
+
+void
+SecureMemoryController::quarantineBlock(Addr base, Tick now)
+{
+    if (!quarantine_.emplace(base, now).second)
+        return;
+    stats_.counter("quarantines").inc();
+    SECMEM_WARN("quarantining block %#llx (%zu blocks quarantined)",
+                static_cast<unsigned long long>(base), quarantine_.size());
+    if (trace_) {
+        trace_->instant("recovery", "quarantine", now,
+                        {{"addr", base},
+                         {"total", quarantine_.size()}});
+    }
+}
+
+AccessTiming
+SecureMemoryController::serviceQuarantined(Addr base, Tick now,
+                                           bool is_write, Block64 *out)
+{
+    // Structured error path: no datapath work, no plaintext, no new
+    // TamperReport (the exhaustion that quarantined the block already
+    // filed one). The caller sees AccessStatus::Quarantined.
+    if (is_write) {
+        ++qBlockedWrites_;
+        stats_.counter("quarantine_blocked_writes").inc();
+    } else {
+        ++qBlockedReads_;
+        stats_.counter("quarantine_blocked_reads").inc();
+        if (out)
+            *out = Block64{};
+    }
+    lastAccessOk_ = false;
+    lastStatus_ = AccessStatus::Quarantined;
+    if (trace_) {
+        trace_->instant("recovery", "blocked", now,
+                        {{"addr", base}, {"write", is_write ? 1 : 0}});
+    }
+    AccessTiming timing;
+    timing.dataReady = now;
+    timing.authDone = now;
+    timing.authOk = false;
+    timing.status = AccessStatus::Quarantined;
+    return timing;
+}
+
+bool
+SecureMemoryController::releaseQuarantine(Addr addr)
+{
+    return quarantine_.erase(blockBase(addr)) != 0;
+}
+
+void
+SecureMemoryController::clearQuarantine()
+{
+    quarantine_.clear();
 }
 
 std::uint8_t
@@ -1153,6 +1351,8 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
 {
     SECMEM_ASSERT(!halted_,
                   "secure memory controller halted by tamper policy");
+    if (isQuarantined(addr))
+        return serviceQuarantined(blockBase(addr), now, false, out);
     // The oracle cross-checks the decrypted plaintext even when the
     // caller does not ask for it.
     Block64 shadow_pt;
@@ -1161,24 +1361,16 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
     beginAccess(addr, now, false);
     AccessTiming timing = readBlockImpl(addr, now, out);
 
-    // RetryRefetch: a failed verification may stem from a transient
-    // fetch fault rather than persistent tampering. Drop possibly
-    // poisoned clean metadata and re-run the access from DRAM, up to
-    // the configured bound.
-    unsigned tries = 0;
-    while (!timing.authOk && policy_ == TamperPolicy::RetryRefetch &&
-           tries < maxRetries_) {
-        ++tries;
-        stats_.counter("tamper_retries").inc();
-        dropCleanMetadata(addr);
-        timing = readBlockImpl(addr, timing.authDone, out);
-    }
-    if (cur_.valid) {
-        cur_.retries = tries;
-        cur_.recovered = timing.authOk;
-        if (cur_.recovered)
-            stats_.counter("tamper_recoveries").inc();
-    }
+    // A failed verification may stem from a transient fetch fault
+    // rather than persistent tampering: run the bounded recovery state
+    // machine (retry + backoff + escalation; see core/tamper.hh).
+    if (!timing.authOk && recoveryEnabled())
+        timing = runRecovery(addr, timing, out);
+    if (cur_.valid && timing.authOk)
+        stats_.counter("tamper_recoveries").inc();
+    timing.status =
+        timing.authOk ? AccessStatus::Ok : AccessStatus::AuthFailed;
+    lastStatus_ = timing.status;
     finishAccess(timing.authOk, timing.authDone);
     if (shadow_) {
         // Only clean accesses are shadow-checked: tamper campaigns
@@ -1317,12 +1509,16 @@ SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
 {
     SECMEM_ASSERT(!halted_,
                   "secure memory controller halted by tamper policy");
+    if (isQuarantined(addr))
+        return serviceQuarantined(blockBase(addr), now, true, nullptr)
+            .dataReady;
     beginAccess(addr, now, true);
     Tick done = writeBlockImpl(addr, data, now);
     // Write-path verification failures (e.g. a rolled-back counter
     // block caught on fetch, paper §4.3) surface through the metadata
     // fetches the write performs; no refetch retry is attempted because
     // the counter increment has already been applied on-chip.
+    lastStatus_ = cur_.valid ? AccessStatus::AuthFailed : AccessStatus::Ok;
     finishAccess(!cur_.valid, done);
     if (shadow_) {
         if (lastAccessOk_) {

@@ -69,12 +69,21 @@ namespace ref
 class ShadowModel;
 } // namespace ref
 
+/** Structured outcome of a top-level access. */
+enum class AccessStatus
+{
+    Ok,          ///< verified cleanly (possibly after recovery)
+    AuthFailed,  ///< a verification check failed and was not recovered
+    Quarantined, ///< the block is quarantined; no data was returned
+};
+
 /** Completion times of an L2-miss fill. */
 struct AccessTiming
 {
     Tick dataReady = 0; ///< plaintext available for use
     Tick authDone = 0;  ///< authentication chain complete
     bool authOk = true; ///< all verified tags matched
+    AccessStatus status = AccessStatus::Ok; ///< structured outcome
 };
 
 /** Callbacks into the L2 for page re-encryption (paper Section 4.2). */
@@ -127,15 +136,43 @@ class SecureMemoryController
     setTamperPolicy(TamperPolicy policy, unsigned max_retries = 2)
     {
         policy_ = policy;
-        maxRetries_ = max_retries;
+        recovery_.maxRetries = max_retries;
     }
     TamperPolicy tamperPolicy() const { return policy_; }
+
+    /** Tune the recovery state machine (budget, backoff schedule). */
+    void setRecoveryConfig(const RecoveryConfig &rc) { recovery_ = rc; }
+    const RecoveryConfig &recoveryConfig() const { return recovery_; }
 
     /** True once a detection under TamperPolicy::Halt stopped service. */
     bool halted() const { return halted_; }
 
     /** Whether the most recent top-level access verified cleanly. */
     bool lastAccessOk() const { return lastAccessOk_; }
+
+    /** Structured outcome of the most recent top-level access. */
+    AccessStatus lastAccessStatus() const { return lastStatus_; }
+
+    // ---- quarantine (TamperPolicy::Quarantine) ---------------------------
+    /** True when the data block containing @p addr is quarantined. */
+    bool
+    isQuarantined(Addr addr) const
+    {
+        return quarantine_.count(blockBase(addr)) != 0;
+    }
+    /** Number of quarantined data blocks. */
+    std::size_t quarantineCount() const { return quarantine_.size(); }
+    /** Accesses bounced off quarantined blocks (reads, writes). */
+    std::uint64_t quarantineBlockedReads() const { return qBlockedReads_; }
+    std::uint64_t quarantineBlockedWrites() const { return qBlockedWrites_; }
+    /**
+     * Operator repair hook: release the block containing @p addr from
+     * quarantine (after the backing storage was fixed / re-imaged).
+     * Returns true when the block was quarantined.
+     */
+    bool releaseQuarantine(Addr addr);
+    /** Release every quarantined block. */
+    void clearQuarantine();
 
     /**
      * Most recent detection (valid == false if none yet). Survives
@@ -220,6 +257,26 @@ class SecureMemoryController
     void finishAccess(bool ok, Tick done);
     /** Drop clean (possibly poisoned) metadata before a refetch retry. */
     void dropCleanMetadata(Addr data_addr);
+
+    // ---- recovery state machine (RetryRefetch / Quarantine) --------------
+    /** Whether the active policy runs the retry state machine. */
+    bool
+    recoveryEnabled() const
+    {
+        return policy_ == TamperPolicy::RetryRefetch ||
+               policy_ == TamperPolicy::Quarantine;
+    }
+    /** Initial recovery stage implied by the failing check. */
+    static RecoveryStage initialStageFor(TamperCheck check);
+    /** Drop the metadata a retry at @p stage must re-fetch. */
+    void applyRecoveryStage(RecoveryStage stage, Addr data_addr);
+    /** Run the bounded retry loop after a failed read; updates cur_. */
+    AccessTiming runRecovery(Addr addr, AccessTiming timing, Block64 *out);
+    /** Poison the data block at @p base (budget exhausted). */
+    void quarantineBlock(Addr base, Tick now);
+    /** Short-circuit service of an access to a quarantined block. */
+    AccessTiming serviceQuarantined(Addr base, Tick now, bool is_write,
+                                    Block64 *out);
 
     /** The read datapath proper (wrapped by readBlock's policy loop). */
     AccessTiming readBlockImpl(Addr addr, Tick now, Block64 *out);
@@ -411,13 +468,19 @@ class SecureMemoryController
 
     /** Tamper policy state (see core/tamper.hh). */
     TamperPolicy policy_ = TamperPolicy::ReportAndContinue;
-    unsigned maxRetries_ = 2;
+    RecoveryConfig recovery_{};
     bool halted_ = false;
     bool lastAccessOk_ = true;
+    AccessStatus lastStatus_ = AccessStatus::Ok;
     TamperReport cur_{};        ///< report being built for this access
     TamperReport lastReport_{};
     std::vector<TamperReport> reports_;
     std::uint64_t reportsDropped_ = 0;
+
+    /** Quarantined data blocks (base address -> quarantine tick). */
+    std::unordered_map<Addr, Tick> quarantine_;
+    std::uint64_t qBlockedReads_ = 0;
+    std::uint64_t qBlockedWrites_ = 0;
 
     /** Derivative-counter hint table (see derivHintReady). */
     struct DerivHint

@@ -15,8 +15,26 @@ toString(TamperPolicy p)
         return "ReportAndContinue";
       case TamperPolicy::RetryRefetch:
         return "RetryRefetch";
+      case TamperPolicy::Quarantine:
+        return "Quarantine";
     }
     SECMEM_PANIC("bad TamperPolicy");
+}
+
+const char *
+toString(RecoveryStage s)
+{
+    switch (s) {
+      case RecoveryStage::None:
+        return "none";
+      case RecoveryStage::LineRefetch:
+        return "line-refetch";
+      case RecoveryStage::CounterRefetch:
+        return "counter-refetch";
+      case RecoveryStage::SubtreeReverify:
+        return "subtree-reverify";
+    }
+    SECMEM_PANIC("bad RecoveryStage");
 }
 
 const char *

@@ -12,14 +12,24 @@
  *                       (models a machine-check / enclave teardown)
  *   ReportAndContinue — record the report and keep servicing traffic
  *                       (the previous, implicit behaviour)
- *   RetryRefetch      — drop possibly-poisoned clean metadata, re-fetch
- *                       the block from DRAM and re-verify, up to a
- *                       bounded number of retries; recovers from
- *                       transient (non-persistent) faults
+ *   RetryRefetch      — run the bounded recovery state machine: retry
+ *                       the fetch with exponential cycle backoff,
+ *                       escalating line-refetch → counter-refetch →
+ *                       subtree re-verify; recovers from transient
+ *                       (non-persistent) faults
+ *   Quarantine        — RetryRefetch, and when the retry budget is
+ *                       exhausted the data block is quarantined:
+ *                       subsequent accesses return a structured error
+ *                       (AccessStatus::Quarantined) instead of data
+ *                       until an operator releases the block
+ *
+ * Each recovery attempt is summarized in the RecoveryReport embedded
+ * in the TamperReport: retries consumed, escalation count, deepest
+ * stage reached, total backoff ticks, and the outcome.
  *
  * The fault-injection subsystem in src/attack/ drives these paths
  * adversarially; see DESIGN.md "Threat model, fault injection, and
- * failure handling".
+ * failure handling" (and its "Recovery and degradation" subsection).
  */
 
 #ifndef SECMEM_CORE_TAMPER_HH
@@ -38,6 +48,40 @@ enum class TamperPolicy
     Halt,              ///< stop servicing accesses after a detection
     ReportAndContinue, ///< record the report, keep running
     RetryRefetch,      ///< re-fetch from DRAM and re-verify (bounded)
+    Quarantine,        ///< RetryRefetch + poison the block on exhaustion
+};
+
+/**
+ * Escalation ladder of the RetryRefetch/Quarantine recovery state
+ * machine. The first retry starts at the stage implied by the failing
+ * check; each further failed retry escalates one stage, widening the
+ * set of metadata dropped and re-fetched before re-verification.
+ */
+enum class RecoveryStage
+{
+    None,           ///< no recovery attempted
+    LineRefetch,    ///< re-fetch the data block only
+    CounterRefetch, ///< + drop and re-fetch counter / derivative lines
+    SubtreeReverify,///< + flush MAC cache: re-walk the whole subtree
+};
+
+/** Knobs of the recovery state machine (RetryRefetch / Quarantine). */
+struct RecoveryConfig
+{
+    unsigned maxRetries = 2; ///< retry budget per access
+    Tick backoffBase = 32;   ///< cycle delay before the first retry
+    Tick backoffCap = 1024;  ///< upper bound on the (doubling) backoff
+};
+
+/** What the recovery state machine did for one access. */
+struct RecoveryReport
+{
+    unsigned retries = 0;     ///< retry attempts consumed
+    unsigned escalations = 0; ///< stage transitions after the first
+    RecoveryStage maxStage = RecoveryStage::None; ///< deepest stage run
+    Tick backoffTicks = 0;    ///< total cycle backoff inserted
+    bool recovered = false;   ///< a retry re-verified cleanly
+    bool quarantined = false; ///< budget exhausted under Quarantine
 };
 
 /** Which verification layer caught the tamper. */
@@ -61,6 +105,7 @@ enum class MemRegion
 const char *toString(TamperPolicy p);
 const char *toString(TamperCheck c);
 const char *toString(MemRegion r);
+const char *toString(RecoveryStage s);
 
 /** One detected integrity violation, as reported by the controller. */
 struct TamperReport
@@ -76,6 +121,7 @@ struct TamperReport
     Tick detected = 0;           ///< tick the failing check completed
     unsigned retries = 0;        ///< refetch retries consumed (RetryRefetch)
     bool recovered = false;      ///< a retry re-verified cleanly
+    RecoveryReport recovery{};   ///< full recovery state-machine outcome
 
     /** Detection latency in ticks from access issue to failed check. */
     Tick

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/cancel.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -42,7 +43,15 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
             outstanding.end());
     };
 
+    std::uint64_t cancelPoll = 0;
     while (retired < total) {
+        // Cooperative cancellation for the engine watchdog: polled
+        // every ~4k cycles so a hung-looking or over-budget job can be
+        // unwound without killing its worker thread. A nop (one
+        // relaxed thread-local load) when no cancel scope is active.
+        if ((++cancelPoll & 0xfff) == 0)
+            pollCancellation();
+
         // Retire up to `width` completed instructions in order.
         unsigned n_retired = 0;
         while (n_retired < params_.width && !rob.empty() &&

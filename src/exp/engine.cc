@@ -1,11 +1,15 @@
 #include "exp/engine.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "obs/trace.hh"
+#include "sim/cancel.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -94,10 +98,104 @@ class Progress
     bool enabled_;
 };
 
+/**
+ * Wall-clock watchdog for job attempts. Workers register their cancel
+ * token with a deadline; one background thread raises tokens whose
+ * deadline passed. Cancellation is cooperative — the simulated core
+ * polls its token and unwinds with JobCancelled — so a hung job turns
+ * into an ordinary failed attempt instead of a stuck worker.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double timeoutSec) : timeout_(timeoutSec)
+    {
+        if (timeout_ > 0.0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    /** RAII registration of one attempt; unregisters on destruction. */
+    class Guard
+    {
+      public:
+        Guard(Watchdog *wd, CancelToken *tok) : wd_(wd), tok_(tok) {}
+        ~Guard()
+        {
+            if (wd_)
+                wd_->remove(tok_);
+        }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        Watchdog *wd_;
+        CancelToken *tok_;
+    };
+
+    Guard
+    watch(CancelToken *tok)
+    {
+        if (timeout_ <= 0.0)
+            return Guard(nullptr, nullptr);
+        std::lock_guard<std::mutex> lock(mutex_);
+        deadlines_[tok] =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_));
+        return Guard(this, tok);
+    }
+
+    double timeout() const { return timeout_; }
+
+  private:
+    void
+    remove(CancelToken *tok)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        deadlines_.erase(tok);
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(20));
+            Clock::time_point now = Clock::now();
+            for (auto &[tok, deadline] : deadlines_) {
+                if (now >= deadline)
+                    tok->cancel();
+            }
+        }
+    }
+
+    double timeout_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<CancelToken *, Clock::time_point> deadlines_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 } // namespace
 
 Engine::Engine(const EngineOptions &opts)
-    : opts_(opts), store_(opts.storeDir), pool_(opts.jobs)
+    : opts_(opts), store_(opts.storeDir), pool_(opts.jobs),
+      runner_(opts.runner ? opts.runner
+                          : [](const JobSpec &s, obs::TraceSink *t) {
+                                return runJob(s, t);
+                            })
 {}
 
 std::vector<RunOutput>
@@ -141,18 +239,89 @@ Engine::run(const std::vector<JobSpec> &specs)
     obs::TraceSink traceSink;
     const bool tracing = !opts_.traceFile.empty();
 
+    Watchdog watchdog(opts_.jobTimeoutSec);
+    const unsigned maxAttempts = std::max(1u, opts_.jobAttempts);
+    std::mutex failureMutex;
+    std::vector<JobFailure> newFailures;
+
     pool_.run(pending.size(), [&](std::size_t idx, unsigned worker) {
         JobSpec spec = specs[pending[idx].specIndex];
         if (opts_.verifyModel)
             spec.config.verifyModel = true;
         progress.began(worker, spec);
         obs::TraceSink *sink = tracing && idx == 0 ? &traceSink : nullptr;
-        RunOutput out = runJob(spec, sink);
-        store_.put(spec, out);
+
+        // Crash isolation: each attempt runs under a fresh cancel token
+        // (for the watchdog) with panics converted to exceptions, so a
+        // crashing, panicking or hung job costs only its own attempts —
+        // never the worker, the pool, or the rest of the batch.
+        RunOutput out;
+        std::string lastError;
+        bool timedOut = false;
+        bool ok = false;
+        unsigned attempts = 0;
+        for (unsigned a = 0; a < maxAttempts && !ok; ++a) {
+            if (a > 0 && opts_.backoffMs) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<unsigned long long>(opts_.backoffMs)
+                    << (a - 1)));
+            }
+            ++attempts;
+            CancelToken token;
+            Watchdog::Guard deadline = watchdog.watch(&token);
+            try {
+                CancelScope cancellable(&token);
+                PanicThrowScope recoverable;
+                out = runner_(spec, sink);
+                ok = true;
+            } catch (const JobCancelled &) {
+                timedOut = true;
+                lastError = "timed out after " +
+                            std::to_string(watchdog.timeout()) + "s";
+            } catch (const std::exception &e) {
+                timedOut = false;
+                lastError = e.what();
+            } catch (...) {
+                timedOut = false;
+                lastError = "non-standard exception";
+            }
+            if (!ok && a + 1 < maxAttempts) {
+                SECMEM_WARN("engine: job %s/%s attempt %u/%u failed "
+                            "(%s); retrying",
+                            spec.profile.name.c_str(), spec.scheme.c_str(),
+                            a + 1, maxAttempts, lastError.c_str());
+            }
+        }
+
+        if (ok) {
+            store_.put(spec, out);
+        } else {
+            out = RunOutput{};
+            out.workload = spec.profile.name;
+            out.scheme = spec.scheme;
+            out.failed = true;
+            out.error = lastError;
+            SECMEM_WARN("engine: job %s/%s failed after %u attempts: %s",
+                        out.workload.c_str(), out.scheme.c_str(), attempts,
+                        lastError.c_str());
+            std::lock_guard<std::mutex> lock(failureMutex);
+            newFailures.push_back({pending[idx].specIndex, out.workload,
+                                   out.scheme, lastError, attempts,
+                                   timedOut});
+        }
         for (std::size_t target : pending[idx].targets)
             results[target] = out;
         progress.finished(worker);
     });
+
+    // Completion order depends on worker scheduling; spec order does
+    // not. Sort so failures() is deterministic under any --jobs value.
+    std::sort(newFailures.begin(), newFailures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.specIndex < b.specIndex;
+              });
+    failures_.insert(failures_.end(), newFailures.begin(),
+                     newFailures.end());
 
     if (tracing && !traceSink.writeChromeJsonFile(opts_.traceFile))
         SECMEM_WARN("cannot write trace file '%s'", opts_.traceFile.c_str());

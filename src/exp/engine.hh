@@ -21,6 +21,7 @@
 #define SECMEM_EXP_ENGINE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,32 @@ struct EngineOptions
      * without the oracle ever running.
      */
     bool verifyModel = false;
+
+    // Resilience knobs (appended last to keep aggregate initialization
+    // of the fields above stable).
+    /**
+     * Attempts per job before declaring it failed. An attempt that
+     * throws (or panics — panics are converted to exceptions for the
+     * duration of a job) is retried after an exponentially growing
+     * backoff; a job that exhausts its attempts is reported through
+     * failures() with a failed RunOutput in its result slot, and the
+     * rest of the batch completes normally.
+     */
+    unsigned jobAttempts = 1;
+    /**
+     * Per-job wall-clock timeout in seconds; 0 disables. A watchdog
+     * cancels the job's simulation cooperatively (the core polls a
+     * cancel token), which counts as a failed attempt.
+     */
+    double jobTimeoutSec = 0.0;
+    /** Base backoff between attempts (doubles per retry). */
+    unsigned backoffMs = 50;
+    /**
+     * Job runner; defaults to runJob. Injectable so resilience tests
+     * (and chaos drills) can substitute crashing / hanging / flaky
+     * runners without simulating anything.
+     */
+    std::function<RunOutput(const JobSpec &, obs::TraceSink *)> runner;
 };
 
 class Engine
@@ -91,13 +118,34 @@ class Engine
      */
     const std::vector<JobRecord> &history() const { return history_; }
 
+    /** One job that exhausted its attempts without completing. */
+    struct JobFailure
+    {
+        std::size_t specIndex; ///< index into the run() specs vector
+        std::string workload;
+        std::string scheme;
+        std::string error;    ///< cause of the final failed attempt
+        unsigned attempts;    ///< attempts consumed
+        bool timedOut;        ///< final attempt hit the watchdog
+    };
+
+    /**
+     * Failed jobs, accumulated across run() calls, sorted by specIndex
+     * within each call — deterministic under any worker count. Failed
+     * jobs are never written to the result store; their result slots
+     * carry RunOutput::failed = true.
+     */
+    const std::vector<JobFailure> &failures() const { return failures_; }
+
   private:
     EngineOptions opts_;
     ResultStore store_;
     WorkStealingPool pool_;
+    std::function<RunOutput(const JobSpec &, obs::TraceSink *)> runner_;
     std::uint64_t executed_ = 0;
     std::uint64_t cached_ = 0;
     std::vector<JobRecord> history_;
+    std::vector<JobFailure> failures_;
 };
 
 } // namespace secmem::exp

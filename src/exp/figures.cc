@@ -16,6 +16,7 @@
 #include "harness/table.hh"
 #include "obs/registry.hh"
 #include "ref/shadow.hh"
+#include "sim/atomic_file.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -924,9 +925,7 @@ writeStatsOut(const Engine &engine, const std::string &path)
         std::fputs(os.str().c_str(), stdout);
         return 0;
     }
-    std::ofstream f(path, std::ios::binary);
-    f << os.str();
-    if (!f) {
+    if (!atomicWriteFile(path, os.str())) {
         std::fprintf(stderr, "cannot write stats file '%s'\n", path.c_str());
         return 1;
     }

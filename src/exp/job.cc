@@ -285,6 +285,10 @@ runOutputToJson(const RunOutput &out)
     os << ", \"" #f "\": " << fmtExact(out.f);
     SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_EMIT_DOUBLE)
 #undef SECMEM_EMIT_DOUBLE
+    if (out.failed) {
+        os << ", \"failed\": true, ";
+        jsonStr(os, "error", out.error);
+    }
     // The hierarchical stat dump is already a JSON object; embed it
     // verbatim, last, so flat-field parsing never hits its keys first.
     if (!out.statsJson.empty())
@@ -310,6 +314,13 @@ runOutputFromJson(const std::string &json, RunOutput *out)
         return false;
     SECMEM_RUNOUTPUT_DOUBLE_FIELDS(SECMEM_PARSE_DOUBLE)
 #undef SECMEM_PARSE_DOUBLE
+    // Optional: failure marker (the store refuses failed outputs, but
+    // the round-trip must still be faithful for in-memory use).
+    if (const char *p = findValue(json, "failed")) {
+        r.failed = *p == 't';
+        if (r.failed)
+            parseString(json, "error", &r.error);
+    }
     // Optional (absent in pre-observability records): the embedded
     // stats object, extracted as its balanced-brace substring. Stat
     // names never contain braces, so a depth count suffices.

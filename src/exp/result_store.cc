@@ -1,11 +1,14 @@
 #include "exp/result_store.hh"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include <unistd.h>
 
+#include "crypto/sha1.hh"
+#include "sim/atomic_file.hh"
 #include "sim/log.hh"
 
 namespace fs = std::filesystem;
@@ -18,12 +21,103 @@ namespace secmem::exp
  *
  *   line 1: the canonical spec string (it contains no newlines)
  *   line 2: the RunOutput JSON
+ *   line 3: "#sha1 <40 hex>" — digest of lines 1-2 (incl. newlines)
  *
  * The spec line makes entries self-describing and lets lookup verify
- * it is reading the result of exactly this job.
+ * it is reading the result of exactly this job; the checksum line
+ * catches torn or bit-corrupted records. Two-line records from the
+ * pre-checksum format remain readable.
  */
 
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+namespace
+{
+
+constexpr const char *kChecksumPrefix = "#sha1 ";
+
+std::string
+recordChecksum(const std::string &spec, const std::string &json)
+{
+    Sha1 h;
+    h.update(spec);
+    h.update("\n");
+    h.update(json);
+    h.update("\n");
+    Sha1::Digest d = h.final();
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * d.size());
+    for (std::uint8_t b : d) {
+        out.push_back(hex[b >> 4]);
+        out.push_back(hex[b & 0xf]);
+    }
+    return out;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    recoverJournal();
+}
+
+ResultStore::DiskRecord
+ResultStore::readRecord(const std::string &path)
+{
+    DiskRecord rec;
+    std::ifstream in(path);
+    if (!in)
+        return rec;
+    std::string checksum;
+    if (!std::getline(in, rec.spec) || !std::getline(in, rec.json))
+        return rec; // torn: fewer than two lines
+    if (rec.spec.empty() || rec.json.empty())
+        return rec;
+    if (std::getline(in, checksum)) {
+        // v2 record: the third line must carry a matching digest.
+        if (checksum.rfind(kChecksumPrefix, 0) != 0)
+            return rec;
+        if (checksum.substr(std::strlen(kChecksumPrefix)) !=
+            recordChecksum(rec.spec, rec.json))
+            return rec;
+    }
+    rec.ok = true;
+    return rec;
+}
+
+void
+ResultStore::recoverJournal()
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec))
+        return;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") != std::string::npos) {
+            // A writer died between create and rename; the final name
+            // was never exposed, so the temporary is pure litter.
+            fs::remove(entry.path(), ec);
+            ++tmpCleaned_;
+            continue;
+        }
+        if (entry.path().extension() != ".run")
+            continue;
+        if (!readRecord(entry.path().string()).ok) {
+            SECMEM_WARN("result store: discarding torn/corrupt record "
+                        "'%s'",
+                        entry.path().string().c_str());
+            fs::remove(entry.path(), ec);
+            ++corruptDiscarded_;
+        }
+    }
+    if (tmpCleaned_ || corruptDiscarded_) {
+        SECMEM_WARN("result store: journal recovery removed %llu "
+                    "temporaries, discarded %llu corrupt records",
+                    static_cast<unsigned long long>(tmpCleaned_),
+                    static_cast<unsigned long long>(corruptDiscarded_));
+    }
+}
 
 std::string
 ResultStore::pathFor(const std::string &hash) const
@@ -47,21 +141,24 @@ ResultStore::lookup(const JobSpec &spec, RunOutput *out)
     }
 
     if (!dir_.empty()) {
-        std::ifstream in(pathFor(spec.hash()));
-        if (in) {
-            std::string stored_spec, json;
-            std::getline(in, stored_spec);
-            std::getline(in, json);
+        const std::string path = pathFor(spec.hash());
+        std::error_code ec;
+        if (fs::exists(path, ec)) {
+            DiskRecord rec = readRecord(path);
             RunOutput parsed;
-            if (stored_spec == canonical &&
-                runOutputFromJson(json, &parsed)) {
+            if (rec.ok && rec.spec == canonical &&
+                runOutputFromJson(rec.json, &parsed)) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 memory_.emplace(canonical, parsed);
                 ++diskHits_;
                 *out = parsed;
                 return true;
             }
-            if (stored_spec != canonical) {
+            if (!rec.ok) {
+                SECMEM_WARN("result store: torn or corrupt entry %s; "
+                            "rerunning",
+                            spec.hash().c_str());
+            } else if (rec.spec != canonical) {
                 SECMEM_WARN("result store: stale or colliding entry %s "
                             "(spec mismatch); rerunning",
                             spec.hash().c_str());
@@ -80,6 +177,11 @@ ResultStore::lookup(const JobSpec &spec, RunOutput *out)
 void
 ResultStore::put(const JobSpec &spec, const RunOutput &out)
 {
+    // A failed run carries no reusable data; caching it would replay
+    // the failure into every later sweep that shares the spec.
+    if (out.failed)
+        return;
+
     const std::string canonical = spec.canonical();
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -97,24 +199,15 @@ ResultStore::put(const JobSpec &spec, const RunOutput &out)
     }
 
     // Write-then-rename keeps concurrent writers and interrupted runs
-    // from ever exposing a partial entry.
+    // from ever exposing a partial entry; the checksum line lets a
+    // future open detect bit rot or filesystem-level tearing.
+    const std::string json = runOutputToJson(out);
+    const std::string content = canonical + '\n' + json + '\n' +
+                                kChecksumPrefix +
+                                recordChecksum(canonical, json) + '\n';
     const std::string final_path = pathFor(spec.hash());
-    const std::string tmp_path =
-        final_path + ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream os(tmp_path, std::ios::trunc);
-        if (!os) {
-            SECMEM_WARN("result store: cannot write '%s'", tmp_path.c_str());
-            return;
-        }
-        os << canonical << '\n' << runOutputToJson(out) << '\n';
-    }
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        SECMEM_WARN("result store: rename to '%s' failed: %s",
-                    final_path.c_str(), ec.message().c_str());
-        fs::remove(tmp_path, ec);
-    }
+    if (!atomicWriteFile(final_path, content))
+        SECMEM_WARN("result store: cannot write '%s'", final_path.c_str());
 }
 
 std::uint64_t

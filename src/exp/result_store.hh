@@ -16,6 +16,12 @@
  * workers. Each result is written to a temporary file and renamed into
  * place, so a crashed or interrupted sweep never leaves a truncated
  * entry behind.
+ *
+ * Crash safety: every record carries a SHA-1 checksum over its spec
+ * and payload lines, and opening a store runs a journal-recovery pass
+ * that removes orphaned temporaries and discards torn or corrupt
+ * records (they rerun instead of resuming from garbage). Records from
+ * the pre-checksum format are still accepted.
  */
 
 #ifndef SECMEM_EXP_RESULT_STORE_HH
@@ -36,7 +42,10 @@ class ResultStore
   public:
     /**
      * @param dir directory for persisted results (created on first
-     *            put); empty for a memory-only store.
+     *            put); empty for a memory-only store. An existing
+     *            directory is journal-recovered on open: leftover
+     *            temporaries from killed writers are removed and torn
+     *            or checksum-corrupt records discarded.
      */
     explicit ResultStore(std::string dir = "");
 
@@ -58,8 +67,26 @@ class ResultStore
     std::uint64_t diskHits() const;
     std::uint64_t misses() const;
 
+    // Journal-recovery outcome of the opening pass (startup only).
+    /** Orphaned .tmp files from killed writers that were removed. */
+    std::uint64_t tmpCleaned() const { return tmpCleaned_; }
+    /** Torn / checksum-corrupt records that were discarded. */
+    std::uint64_t corruptDiscarded() const { return corruptDiscarded_; }
+
   private:
+    /** A parsed on-disk record (structurally valid when ok). */
+    struct DiskRecord
+    {
+        bool ok = false;
+        std::string spec;
+        std::string json;
+    };
+
     std::string pathFor(const std::string &hash) const;
+    /** Read and structurally validate (incl. checksum) one record. */
+    static DiskRecord readRecord(const std::string &path);
+    /** Startup pass: remove temporaries, discard torn records. */
+    void recoverJournal();
 
     std::string dir_;
     mutable std::mutex mutex_;
@@ -67,6 +94,8 @@ class ResultStore
     std::uint64_t memoryHits_ = 0;
     std::uint64_t diskHits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t tmpCleaned_ = 0;
+    std::uint64_t corruptDiscarded_ = 0;
 };
 
 } // namespace secmem::exp

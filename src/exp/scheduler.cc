@@ -3,8 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
+
+#include "sim/log.hh"
 
 namespace secmem::exp
 {
@@ -52,6 +55,27 @@ WorkStealingPool::WorkStealingPool(unsigned threads) : threads_(threads)
 }
 
 void
+WorkStealingPool::runGuarded(const Task &task, std::size_t idx,
+                             unsigned worker)
+{
+    // Last-resort containment: an exception escaping a task would
+    // std::terminate the worker thread (and the process). Absorb and
+    // count it; the task's slot is abandoned but the pool survives.
+    try {
+        task(idx, worker);
+    } catch (const std::exception &e) {
+        escaped_.fetch_add(1, std::memory_order_relaxed);
+        SECMEM_WARN("pool: task %zu raised '%s'; slot abandoned", idx,
+                    e.what());
+    } catch (...) {
+        escaped_.fetch_add(1, std::memory_order_relaxed);
+        SECMEM_WARN("pool: task %zu raised a non-standard exception; "
+                    "slot abandoned",
+                    idx);
+    }
+}
+
+void
 WorkStealingPool::run(std::size_t count, const Task &task)
 {
     unsigned workers = threads_;
@@ -60,7 +84,7 @@ WorkStealingPool::run(std::size_t count, const Task &task)
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < count; ++i)
-            task(i, 0);
+            runGuarded(task, i, 0);
         return;
     }
 
@@ -77,7 +101,7 @@ WorkStealingPool::run(std::size_t count, const Task &task)
             for (unsigned v = 1; !found && v < workers; ++v)
                 found = stealFrom(deques[(w + v) % workers], &idx);
             if (found) {
-                task(idx, w);
+                runGuarded(task, idx, w);
                 remaining.fetch_sub(1, std::memory_order_release);
                 continue;
             }

@@ -19,7 +19,9 @@
 #ifndef SECMEM_EXP_SCHEDULER_HH
 #define SECMEM_EXP_SCHEDULER_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -40,13 +42,29 @@ class WorkStealingPool
      * one task) everything executes inline on the calling thread, in
      * index order — the serial reference the determinism tests compare
      * against.
+     *
+     * Crash isolation: a task that lets an exception escape is counted
+     * (see escapedExceptions()) and its slot abandoned, but the worker
+     * thread and the remaining tasks keep running — one poisoned job
+     * cannot take down the pool. Callers that care about individual
+     * failures should catch inside the task (the engine does).
      */
     void run(std::size_t count, const Task &task);
 
     unsigned threads() const { return threads_; }
 
+    /** Exceptions that escaped tasks and were absorbed (lifetime). */
+    std::uint64_t
+    escapedExceptions() const
+    {
+        return escaped_.load(std::memory_order_relaxed);
+    }
+
   private:
+    void runGuarded(const Task &task, std::size_t idx, unsigned worker);
+
     unsigned threads_;
+    std::atomic<std::uint64_t> escaped_{0};
 };
 
 } // namespace secmem::exp

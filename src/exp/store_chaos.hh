@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Result-store chaos drill: crash/corruption injection against the
+ * on-disk result store, validating journal recovery end to end.
+ *
+ * The drill populates a store directory with synthetic records, then
+ * plays the crashes the store's design claims to survive — kills a
+ * writer mid-write (orphaned temp files), tears records at arbitrary
+ * byte offsets (a crashed filesystem), and flips stored bits (rot) —
+ * and finally reopens the store like a resumed sweep would. Success
+ * means the journal-recovery pass cleaned every temporary, no lookup
+ * ever returned wrong data, and every uncorrupted record survived
+ * intact. Failed lookups of damaged records are the *correct* outcome:
+ * they rerun instead of resuming from garbage.
+ */
+
+#ifndef SECMEM_EXP_STORE_CHAOS_HH
+#define SECMEM_EXP_STORE_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secmem::exp
+{
+
+struct StoreChaosConfig
+{
+    std::uint64_t seed = 1;
+    std::string dir; ///< store directory (created; litter removed)
+    unsigned records = 64;
+    /** Per-record probability of tearing (truncating) it. */
+    double truncateRate = 0.15;
+    /** Per-record probability of flipping one stored byte. */
+    double corruptRate = 0.15;
+    /** Orphaned mid-write temporaries to plant. */
+    unsigned tmpLitter = 3;
+};
+
+struct StoreChaosResult
+{
+    std::uint64_t written = 0;    ///< records persisted before the crash
+    std::uint64_t truncated = 0;  ///< records torn by the drill
+    std::uint64_t corrupted = 0;  ///< records bit-flipped by the drill
+    std::uint64_t litterPlanted = 0;
+
+    std::uint64_t tmpCleaned = 0;       ///< reopened store: temps removed
+    std::uint64_t corruptDiscarded = 0; ///< reopened store: records dropped
+
+    std::uint64_t survivors = 0;      ///< lookups that hit after recovery
+    std::uint64_t survivorsExact = 0; ///< ... and matched the original
+    std::uint64_t intactLost = 0;     ///< undamaged records that missed
+    std::uint64_t wrongData = 0;      ///< lookups returning wrong data
+
+    /** Zero temporaries left, no wrong data, no intact record lost. */
+    bool ok = false;
+
+    std::string toJson() const;
+};
+
+/** Run the drill (deterministic in cfg; cfg.dir must be disposable). */
+StoreChaosResult runStoreChaosDrill(const StoreChaosConfig &cfg);
+
+} // namespace secmem::exp
+
+#endif // SECMEM_EXP_STORE_CHAOS_HH

@@ -2,7 +2,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "sim/atomic_file.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -90,9 +92,13 @@ emitArtifacts(const std::string &outDir, const std::string &figure,
         return;
     }
 
+    // Artifacts go through temp-file + rename so an interrupted sweep
+    // leaves either the previous complete file or the new one — never
+    // a truncated CSV/JSON that downstream plotting would misread.
     if (!tableCsv.empty()) {
-        std::ofstream csv(outDir + "/" + figure + ".csv", std::ios::trunc);
-        csv << tableCsv;
+        const std::string csvPath = outDir + "/" + figure + ".csv";
+        if (!atomicWriteFile(csvPath, tableCsv))
+            SECMEM_WARN("cannot write '%s'", csvPath.c_str());
     }
 
     SECMEM_ASSERT(specs.size() == outputs.size(),
@@ -100,7 +106,7 @@ emitArtifacts(const std::string &outDir, const std::string &figure,
                   outputs.size());
     if (specs.empty())
         return;
-    std::ofstream json(outDir + "/" + figure + ".json", std::ios::trunc);
+    std::ostringstream json;
     json << "[\n";
     for (std::size_t i = 0; i < specs.size(); ++i) {
         json << "  {\"job\": \"" << specs[i].hash() << "\", \"scheme\": \""
@@ -109,6 +115,9 @@ emitArtifacts(const std::string &outDir, const std::string &figure,
         json << (i + 1 < specs.size() ? ",\n" : "\n");
     }
     json << "]\n";
+    const std::string jsonPath = outDir + "/" + figure + ".json";
+    if (!atomicWriteFile(jsonPath, json.str()))
+        SECMEM_WARN("cannot write '%s'", jsonPath.c_str());
 }
 
 } // namespace secmem::exp

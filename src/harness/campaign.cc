@@ -130,6 +130,11 @@ runCampaign(const CampaignConfig &cfg)
                 if (i.transient)
                     ++res.transientRecovered;
             }
+            if (i.quarantined) {
+                ++res.quarantined;
+                ++cls.quarantined;
+            }
+            res.escalations += i.escalations;
         } else {
             ++res.undetectedStaged;
         }
@@ -184,6 +189,10 @@ CampaignResult::toJson() const
     os << undetectedStaged << ',';
     jsonKey(os << "\n  ", "recovered");
     os << recovered << ',';
+    jsonKey(os << "\n  ", "quarantined");
+    os << quarantined << ',';
+    jsonKey(os << "\n  ", "escalations");
+    os << escalations << ',';
     jsonKey(os << "\n  ", "transient_staged");
     os << transientStaged << ',';
     jsonKey(os << "\n  ", "transient_recovered");
@@ -220,6 +229,8 @@ CampaignResult::toJson() const
         os << c.detected << ", ";
         jsonKey(os, "recovered");
         os << c.recovered << ", ";
+        jsonKey(os, "quarantined");
+        os << c.quarantined << ", ";
         jsonKey(os, "latency");
         os << "{\"mean\": " << c.latencyMean() << ", \"min\": "
            << c.latencyMin << ", \"max\": " << c.latencyMax << "}, ";

@@ -46,6 +46,7 @@ struct AttackClassStats
     std::uint64_t staged = 0;   ///< bytes actually corrupted / armed
     std::uint64_t detected = 0;
     std::uint64_t recovered = 0; ///< detections that re-verified cleanly
+    std::uint64_t quarantined = 0; ///< budget-exhausted quarantines
     double latencySum = 0.0;     ///< ticks, over detections
     double latencyMin = 0.0;
     double latencyMax = 0.0;
@@ -70,6 +71,8 @@ struct CampaignResult
     std::uint64_t detected = 0;
     std::uint64_t undetectedStaged = 0;
     std::uint64_t recovered = 0;
+    std::uint64_t quarantined = 0; ///< budget-exhausted quarantines
+    std::uint64_t escalations = 0; ///< recovery stage transitions
     std::uint64_t transientStaged = 0;
     std::uint64_t transientRecovered = 0;
 

@@ -1,0 +1,280 @@
+#include "harness/chaos.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "harness/campaign.hh"
+#include "ref/shadow.hh"
+#include "sim/log.hh"
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+void
+jsonKey(std::ostream &os, const char *key)
+{
+    os << '"' << key << "\": ";
+}
+
+void
+emitResultFields(std::ostream &os, const ChaosResult &r,
+                 const std::string &indent)
+{
+    auto field = [&](const char *key, std::uint64_t v, bool comma = true) {
+        os << '\n' << indent;
+        jsonKey(os, key);
+        os << v;
+        if (comma)
+            os << ',';
+    };
+    field("mem_ops", r.memOps);
+    field("reads", r.reads);
+    field("writes", r.writes);
+    field("checked_reads", r.checkedReads);
+    field("silent_corruptions", r.silentCorruptions);
+    field("detected", r.detected);
+    field("retries", r.retries);
+    field("recovered", r.recovered);
+    field("escalations", r.escalations);
+    field("exhausted", r.exhausted);
+    field("quarantines", r.quarantines);
+    field("blocked_reads", r.blockedReads);
+    field("blocked_writes", r.blockedWrites);
+    field("quarantined_at_end", r.quarantinedAtEnd);
+    field("divergences", r.divergences);
+    field("transient_faults", r.storm.transientFaults);
+    field("persistent_faults", r.storm.persistentFaults);
+    field("data_faults", r.storm.dataFaults);
+    field("ctr_faults", r.storm.ctrFaults);
+    field("mac_faults", r.storm.macFaults);
+    os << '\n' << indent;
+    jsonKey(os, "halted");
+    os << (r.halted ? "true" : "false");
+}
+
+} // namespace
+
+ChaosResult
+runChaosCampaign(const ChaosConfig &cfg_in)
+{
+    ChaosConfig cfg = cfg_in;
+    if (cfg.verifyModel && cfg.storm.persistentRate > 0.0) {
+        SECMEM_WARN("chaos: verify-model forces persistent fault rate "
+                    "%.3f -> 0 (write-path repairs diverge the shadow "
+                    "counter state legitimately)",
+                    cfg.storm.persistentRate);
+        cfg.storm.persistentRate = 0.0;
+    }
+    // Shadow-model campaigns also confine transients to load-path data
+    // fetches: a fault consumed by a write's metadata fetch is detected,
+    // yet the write commits, and the shadow (which only tracks clean
+    // accesses) would legitimately diverge on the next read.
+    if (cfg.verifyModel)
+        cfg.storm.dataLoadsOnly = true;
+
+    ChaosResult res;
+    res.cfg = cfg;
+
+    SecureMemConfig scfg = schemeConfigByName(cfg.scheme);
+    scfg.verifyModel = cfg.verifyModel;
+    SecureMemoryController ctrl(scfg);
+    ctrl.setTamperPolicy(cfg.policy, cfg.recovery.maxRetries);
+    ctrl.setRecoveryConfig(cfg.recovery);
+    if (ctrl.shadowModel())
+        ctrl.shadowModel()->setPanic(false);
+
+    SpecProfile profile = profileByName(cfg.workload);
+    profile.seed = cfg.seed;
+    SpecWorkload wl(profile);
+
+    StormConfig storm_cfg = cfg.storm;
+    storm_cfg.seed = cfg.seed ^ storm_cfg.seed;
+    FaultStorm storm(ctrl, storm_cfg);
+
+    // Expected-plaintext oracle: last value the campaign wrote to each
+    // block; unwritten blocks read as zero. A write blocked by
+    // quarantine never reached the datapath, so it must not advance
+    // the oracle either.
+    std::unordered_map<Addr, Block64> expected;
+    const Block64 kZero{};
+
+    Tick now = 0;
+    std::uint64_t store_serial = 0;
+    while (res.memOps < cfg.events && !ctrl.halted()) {
+        TraceOp op = wl.next();
+        if (!op.isMem)
+            continue;
+        Addr base = blockBase(op.addr);
+        storm.beforeAccess(base, op.isStore);
+        if (op.isStore) {
+            Block64 v;
+            std::uint64_t fill =
+                (++store_serial) * 0x9e3779b97f4a7c15ull ^ cfg.seed;
+            std::memcpy(v.b.data(), &fill, sizeof(fill));
+            bool blocked = ctrl.isQuarantined(base);
+            now = ctrl.writeBlock(base, v, now + 1);
+            if (!blocked)
+                expected[base] = v;
+            ++res.writes;
+        } else {
+            Block64 out;
+            AccessTiming t = ctrl.readBlock(base, now + 1, &out);
+            now = t.authDone;
+            ++res.reads;
+            if (t.status == AccessStatus::Ok) {
+                auto it = expected.find(base);
+                const Block64 &want =
+                    it == expected.end() ? kZero : it->second;
+                ++res.checkedReads;
+                if (!(out == want)) {
+                    ++res.silentCorruptions;
+                    SECMEM_WARN("chaos: SILENT CORRUPTION at %#llx "
+                                "(op %llu): clean read returned wrong "
+                                "data",
+                                static_cast<unsigned long long>(base),
+                                static_cast<unsigned long long>(
+                                    res.memOps));
+                }
+            }
+        }
+        ++res.memOps;
+    }
+
+    stats::Group &st = ctrl.stats();
+    res.detected = ctrl.reports().size() + ctrl.reportsDropped();
+    res.retries = st.counter("tamper_retries").value();
+    res.recovered = st.counter("tamper_recoveries").value();
+    res.escalations = st.counter("recovery_escalations").value();
+    res.exhausted = st.counter("recovery_exhausted").value();
+    res.quarantines = st.counter("quarantines").value();
+    res.blockedReads = ctrl.quarantineBlockedReads();
+    res.blockedWrites = ctrl.quarantineBlockedWrites();
+    res.quarantinedAtEnd = ctrl.quarantineCount();
+    if (ctrl.shadowModel())
+        res.divergences = ctrl.shadowModel()->divergences().size();
+    res.storm = storm.stats();
+    res.halted = ctrl.halted();
+    return res;
+}
+
+ChaosFleetResult
+runChaosFleet(const ChaosConfig &base, unsigned shards, unsigned jobs)
+{
+    ChaosFleetResult fleet;
+    fleet.shards.resize(std::max(1u, shards));
+    if (jobs == 0)
+        jobs = 1;
+
+    // Shard i is fully determined by (base, i); which thread runs it
+    // is irrelevant. Results land by shard index and are aggregated
+    // below in shard order, so the fleet is deterministic in `jobs`.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= fleet.shards.size())
+                return;
+            ChaosConfig cfg = base;
+            cfg.seed = base.seed + i;
+            fleet.shards[i] = runChaosCampaign(cfg);
+        }
+    };
+
+    unsigned n_threads =
+        std::min<unsigned>(jobs, static_cast<unsigned>(fleet.shards.size()));
+    if (n_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    fleet.totals.cfg = base;
+    for (const ChaosResult &r : fleet.shards) {
+        fleet.totals.memOps += r.memOps;
+        fleet.totals.reads += r.reads;
+        fleet.totals.writes += r.writes;
+        fleet.totals.checkedReads += r.checkedReads;
+        fleet.totals.silentCorruptions += r.silentCorruptions;
+        fleet.totals.detected += r.detected;
+        fleet.totals.retries += r.retries;
+        fleet.totals.recovered += r.recovered;
+        fleet.totals.escalations += r.escalations;
+        fleet.totals.exhausted += r.exhausted;
+        fleet.totals.quarantines += r.quarantines;
+        fleet.totals.blockedReads += r.blockedReads;
+        fleet.totals.blockedWrites += r.blockedWrites;
+        fleet.totals.quarantinedAtEnd += r.quarantinedAtEnd;
+        fleet.totals.divergences += r.divergences;
+        fleet.totals.storm.transientFaults += r.storm.transientFaults;
+        fleet.totals.storm.persistentFaults += r.storm.persistentFaults;
+        fleet.totals.storm.dataFaults += r.storm.dataFaults;
+        fleet.totals.storm.ctrFaults += r.storm.ctrFaults;
+        fleet.totals.storm.macFaults += r.storm.macFaults;
+        fleet.totals.halted = fleet.totals.halted || r.halted;
+    }
+    return fleet;
+}
+
+std::string
+ChaosResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"config\": {";
+    jsonKey(os << "\n    ", "seed");
+    os << cfg.seed << ',';
+    jsonKey(os << "\n    ", "workload");
+    os << '"' << cfg.workload << "\",";
+    jsonKey(os << "\n    ", "scheme");
+    os << '"' << cfg.scheme << "\",";
+    jsonKey(os << "\n    ", "events");
+    os << cfg.events << ',';
+    jsonKey(os << "\n    ", "policy");
+    os << '"' << toString(cfg.policy) << "\",";
+    jsonKey(os << "\n    ", "max_retries");
+    os << cfg.recovery.maxRetries << ',';
+    jsonKey(os << "\n    ", "transient_rate");
+    os << cfg.storm.transientRate << ',';
+    jsonKey(os << "\n    ", "persistent_rate");
+    os << cfg.storm.persistentRate << ',';
+    jsonKey(os << "\n    ", "meta_fraction");
+    os << cfg.storm.metaFraction << ',';
+    jsonKey(os << "\n    ", "verify_model");
+    os << (cfg.verifyModel ? "true" : "false");
+    os << "\n  },";
+    emitResultFields(os, *this, "  ");
+    os << "\n}";
+    return os.str();
+}
+
+std::string
+ChaosFleetResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"shards\": [";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        os << (i ? "," : "") << "\n    {";
+        jsonKey(os << "\n      ", "seed");
+        os << shards[i].cfg.seed << ',';
+        emitResultFields(os, shards[i], "      ");
+        os << "\n    }";
+    }
+    os << "\n  ],\n  \"totals\": {";
+    emitResultFields(os, totals, "    ");
+    os << "\n  }\n}";
+    return os.str();
+}
+
+} // namespace secmem

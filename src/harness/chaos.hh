@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Chaos campaign: end-to-end resilience validation of the secure
+ * memory controller under sustained fault weather.
+ *
+ * A chaos campaign replays a synthetic SPEC workload against a live
+ * controller while a FaultStorm (src/attack/chaos.hh) arms transient
+ * read-path glitches — and optionally lands persistent DRAM damage —
+ * on the access paths the workload is about to use. Unlike the probed
+ * fault-injection campaign (campaign.hh), nothing is restored between
+ * events; the campaign instead maintains an expected-plaintext oracle
+ * and asserts the one property the whole recovery stack exists to
+ * provide: *no silent corruption*. Every read that completes with
+ * AccessStatus::Ok must return exactly the last value written (zero
+ * for never-written blocks); faults must surface as recoveries,
+ * quarantines, or at minimum structured tamper reports.
+ *
+ * runChaosFleet shards a campaign across seeds and runs the shards on
+ * a small thread pool; results are aggregated in shard order, so fleet
+ * totals are bit-identical between --jobs 1 and --jobs N.
+ */
+
+#ifndef SECMEM_HARNESS_CHAOS_HH
+#define SECMEM_HARNESS_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/chaos.hh"
+#include "core/tamper.hh"
+
+namespace secmem
+{
+
+struct ChaosConfig
+{
+    std::uint64_t seed = 1;
+    std::string workload = "ammp";
+    std::string scheme = "splitGcm";
+    /** Memory accesses to replay through the storm. */
+    std::uint64_t events = 10000;
+    TamperPolicy policy = TamperPolicy::Quarantine;
+    RecoveryConfig recovery{};
+    StormConfig storm{};
+    /**
+     * Shadow-execute against the untimed reference model. Forces
+     * storm.persistentRate to zero: a write that lands on persistently
+     * corrupted metadata "repairs" it in ways the reference model
+     * cannot track, so only transient weather is oracle-compatible.
+     */
+    bool verifyModel = false;
+};
+
+/** Outcome of one chaos campaign shard. */
+struct ChaosResult
+{
+    ChaosConfig cfg;
+
+    std::uint64_t memOps = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** Oracle-checked clean reads (status Ok, value compared). */
+    std::uint64_t checkedReads = 0;
+    /** Clean reads whose data did not match the oracle — must be 0. */
+    std::uint64_t silentCorruptions = 0;
+
+    // Controller-side recovery accounting (from the stat registry).
+    std::uint64_t detected = 0; ///< tamper reports raised
+    std::uint64_t retries = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t exhausted = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t blockedReads = 0;
+    std::uint64_t blockedWrites = 0;
+    std::uint64_t quarantinedAtEnd = 0;
+
+    /** Shadow-model divergences recorded (verify-model runs only). */
+    std::uint64_t divergences = 0;
+
+    StormStats storm;
+    bool halted = false;
+
+    std::string toJson() const;
+};
+
+/** Fleet = N shards of the same campaign under different seeds. */
+struct ChaosFleetResult
+{
+    std::vector<ChaosResult> shards; ///< in shard order, always
+    ChaosResult totals;              ///< field-wise sums (cfg = base)
+
+    std::string toJson() const;
+};
+
+/** Run one chaos campaign (deterministic in cfg). */
+ChaosResult runChaosCampaign(const ChaosConfig &cfg);
+
+/**
+ * Run @p shards campaigns (seed = base.seed + shard index) on up to
+ * @p jobs threads. Aggregation is by shard order, independent of
+ * completion order: fleet output is identical for any jobs value.
+ */
+ChaosFleetResult runChaosFleet(const ChaosConfig &base, unsigned shards,
+                               unsigned jobs);
+
+} // namespace secmem
+
+#endif // SECMEM_HARNESS_CHAOS_HH

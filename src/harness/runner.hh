@@ -69,6 +69,15 @@ struct RunOutput
      * ...). Purely an observation — never feeds back into timing.
      */
     std::string statsJson;
+
+    /**
+     * Set by the experiment engine when the job's simulation could not
+     * complete (crashed, panicked, or timed out on every attempt); the
+     * metric fields above are then meaningless. Failed outputs are
+     * never persisted to the result store.
+     */
+    bool failed = false;
+    std::string error; ///< human-readable failure cause when failed
 };
 
 /** Warm-up + measured instruction budget for one simulation run. */

@@ -2,6 +2,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "sim/atomic_file.hh"
 
 namespace secmem::obs
 {
@@ -61,11 +64,11 @@ TraceSink::writeChromeJson(std::ostream &os) const
 bool
 TraceSink::writeChromeJsonFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    writeChromeJson(out);
-    return out.good();
+    // Temp-file + rename: a killed run never leaves a half-written
+    // trace that chrome://tracing would reject.
+    std::ostringstream os;
+    writeChromeJson(os);
+    return atomicWriteFile(path, os.str());
 }
 
 } // namespace secmem::obs

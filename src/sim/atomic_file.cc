@@ -1,0 +1,39 @@
+#include "sim/atomic_file.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace secmem
+{
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        os.flush();
+        if (!os.good()) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace secmem

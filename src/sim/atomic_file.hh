@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Crash-safe file emission: write-to-temp then rename.
+ *
+ * Every artifact the toolchain persists (result-store records, figure
+ * CSV/JSON, stat dumps, traces) goes through atomicWriteFile so a
+ * crashed or killed process never leaves a truncated file under the
+ * final name — readers either see the old content or the complete new
+ * content. The temporary lives in the same directory as the target
+ * (rename(2) is atomic only within a filesystem) and is suffixed with
+ * the writer's pid so concurrent writers cannot collide.
+ */
+
+#ifndef SECMEM_SIM_ATOMIC_FILE_HH
+#define SECMEM_SIM_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace secmem
+{
+
+/**
+ * Atomically replace @p path with @p content. Returns false (leaving
+ * any previous file intact and removing the temporary) on any failure.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content);
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_ATOMIC_FILE_HH

@@ -1,0 +1,13 @@
+#include "sim/cancel.hh"
+
+namespace secmem::cancel_detail
+{
+
+CancelToken *&
+currentToken()
+{
+    thread_local CancelToken *token = nullptr;
+    return token;
+}
+
+} // namespace secmem::cancel_detail

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation jobs.
+ *
+ * A CancelToken is a one-way flag an overseer (the experiment engine's
+ * watchdog) raises from another thread; the simulation thread installs
+ * the token with a CancelScope and polls it from its hot loops via
+ * pollCancellation(), which throws JobCancelled once the flag is up.
+ * The throw unwinds the job cleanly (all simulator state is owned by
+ * the job), so a wedged or overlong job is reclaimed without taking
+ * down the worker thread or the pool.
+ *
+ * Polling is cheap: a thread-local pointer test plus, when a token is
+ * installed, one relaxed atomic load. Hot loops batch the poll (every
+ * few thousand iterations) to keep even that off the critical path.
+ */
+
+#ifndef SECMEM_SIM_CANCEL_HH
+#define SECMEM_SIM_CANCEL_HH
+
+#include <atomic>
+
+namespace secmem
+{
+
+/** Raised by pollCancellation() when the installed token is cancelled. */
+struct JobCancelled
+{
+};
+
+/** One-way cancellation flag, settable from any thread. */
+class CancelToken
+{
+  public:
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+namespace cancel_detail
+{
+/** The calling thread's installed token (nullptr when none). */
+CancelToken *&currentToken();
+} // namespace cancel_detail
+
+/** RAII: install @p token as the calling thread's cancellation point. */
+class CancelScope
+{
+  public:
+    explicit CancelScope(CancelToken *token)
+        : prev_(cancel_detail::currentToken())
+    {
+        cancel_detail::currentToken() = token;
+    }
+
+    ~CancelScope() { cancel_detail::currentToken() = prev_; }
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    CancelToken *prev_;
+};
+
+/** Throw JobCancelled if the calling thread's token has been raised. */
+inline void
+pollCancellation()
+{
+    CancelToken *token = cancel_detail::currentToken();
+    if (token && token->cancelled())
+        throw JobCancelled{};
+}
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_CANCEL_HH

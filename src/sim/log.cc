@@ -30,10 +30,32 @@ format(const char *fmt, ...)
     return out;
 }
 
+namespace
+{
+
+/** Depth of nested PanicThrowScopes on the calling thread. */
+unsigned &
+panicThrowDepth()
+{
+    thread_local unsigned depth = 0;
+    return depth;
+}
+
+} // namespace
+
+bool
+panicThrows()
+{
+    return panicThrowDepth() > 0;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (panicThrows())
+        throw PanicError(msg + " (" + file + ":" + std::to_string(line) +
+                         ")");
     std::abort();
 }
 
@@ -119,4 +141,14 @@ informImpl(const std::string &msg)
 }
 
 } // namespace log_detail
+
+PanicThrowScope::PanicThrowScope()
+    : prev_(log_detail::panicThrowDepth()++)
+{}
+
+PanicThrowScope::~PanicThrowScope()
+{
+    log_detail::panicThrowDepth() = prev_;
+}
+
 } // namespace secmem

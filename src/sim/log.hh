@@ -14,10 +14,22 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace secmem
 {
+
+/**
+ * Thrown instead of aborting when a PanicThrowScope is active on the
+ * calling thread: lets a supervising engine contain a panicking
+ * simulation job (one bad job must not take down the worker pool).
+ */
+class PanicError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 namespace log_detail
 {
@@ -42,10 +54,33 @@ std::uint64_t warnSuppressed();
 /** Forget all per-site warning history (test support). */
 void warnResetForTests();
 
+/** True when panics on this thread throw instead of aborting. */
+bool panicThrows();
+
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace log_detail
+
+/**
+ * RAII crash-isolation scope: while alive, SECMEM_PANIC (and failed
+ * SECMEM_ASSERTs) on *this thread* throw PanicError instead of calling
+ * abort(). Used by engine workers around each simulation job so an
+ * internal invariant violation is contained, reported, and retried or
+ * recorded as a job failure. Nests; other threads are unaffected.
+ */
+class PanicThrowScope
+{
+  public:
+    PanicThrowScope();
+    ~PanicThrowScope();
+
+    PanicThrowScope(const PanicThrowScope &) = delete;
+    PanicThrowScope &operator=(const PanicThrowScope &) = delete;
+
+  private:
+    unsigned prev_;
+};
 
 #define SECMEM_PANIC(...) \
     ::secmem::log_detail::panicImpl(__FILE__, __LINE__, \

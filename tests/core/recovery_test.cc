@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Recovery state-machine tests: bounded retry with exponential cycle
+ * backoff, check-directed escalation (line-refetch -> counter-refetch
+ * -> subtree re-verify), and per-region quarantine once the budget is
+ * exhausted. Companion to tamper_policy_test.cc, which covers the
+ * report plumbing and the legacy one-shot retry behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hh"
+#include "sim/rng.hh"
+
+namespace secmem
+{
+namespace
+{
+
+SecureMemConfig
+smallCfg()
+{
+    SecureMemConfig cfg = SecureMemConfig::splitGcm();
+    cfg.memoryBytes = 16 << 20;
+    return cfg;
+}
+
+Block64
+randomBlock(Rng &rng)
+{
+    Block64 b;
+    for (auto &byte : b.b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+TEST(Recovery, RepeatedTransientFaultsOnSameLineAllRecover)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    Rng rng(41);
+    Block64 v = randomBlock(rng);
+    Tick t = ctrl.writeBlock(0x7000, v, 1);
+
+    // The same line is glitched on five successive reads; every read
+    // must detect, recover via a line refetch, and return clean data.
+    for (int i = 0; i < 5; ++i) {
+        ctrl.dram().injectTransientXor(0x7000, 3, 0x40);
+        Block64 out;
+        AccessTiming at = ctrl.readBlock(0x7000, t + 1, &out);
+        t = at.authDone;
+        EXPECT_TRUE(at.authOk) << i;
+        EXPECT_EQ(at.status, AccessStatus::Ok) << i;
+        EXPECT_TRUE(out == v) << i;
+        const TamperReport &r = ctrl.lastReport();
+        EXPECT_TRUE(r.recovered) << i;
+        EXPECT_EQ(r.recovery.retries, 1u) << i;
+        EXPECT_EQ(r.recovery.escalations, 0u) << i;
+        EXPECT_EQ(r.recovery.maxStage, RecoveryStage::LineRefetch) << i;
+        EXPECT_FALSE(r.recovery.quarantined) << i;
+    }
+    EXPECT_EQ(ctrl.stats().counter("tamper_retries").value(), 5u);
+    EXPECT_EQ(ctrl.stats().counter("tamper_recoveries").value(), 5u);
+    EXPECT_EQ(ctrl.stats().counter("recovery_exhausted").value(), 0u);
+    EXPECT_EQ(ctrl.quarantineCount(), 0u);
+}
+
+TEST(Recovery, PersistentFaultEscalatesThroughTheLadder)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 3);
+    Rng rng(42);
+    Tick t = ctrl.writeBlock(0x9000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0x9000, 11, 0x08);
+
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0x9000, t + 1, &out);
+    EXPECT_FALSE(at.authOk);
+    EXPECT_EQ(at.status, AccessStatus::AuthFailed);
+
+    // A data-path failure starts at LineRefetch and climbs one stage
+    // per failed retry: Line -> Counter -> Subtree = 2 escalations.
+    const TamperReport &r = ctrl.lastReport();
+    EXPECT_FALSE(r.recovered);
+    EXPECT_EQ(r.recovery.retries, 3u);
+    EXPECT_EQ(r.recovery.escalations, 2u);
+    EXPECT_EQ(r.recovery.maxStage, RecoveryStage::SubtreeReverify);
+    EXPECT_EQ(ctrl.stats().counter("recovery_escalations").value(), 2u);
+    EXPECT_EQ(ctrl.stats().counter("recovery_exhausted").value(), 1u);
+    // RetryRefetch degrades to report-and-continue, never quarantine.
+    EXPECT_FALSE(r.recovery.quarantined);
+    EXPECT_EQ(ctrl.quarantineCount(), 0u);
+    EXPECT_FALSE(ctrl.halted());
+}
+
+TEST(Recovery, CounterPathFaultStartsAtCounterRefetch)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch, 2);
+    Rng rng(43);
+    Tick t = ctrl.writeBlock(0xa000, randomBlock(rng), 1);
+    Addr ctr_addr = ctrl.map().ctrBlockAddrFor(0xa000);
+    ctrl.evictCounterBlock(0xa000);
+    ctrl.dram().injectTransientXor(ctr_addr, 5, 0x10);
+
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0xa000, t + 1, &out);
+    EXPECT_TRUE(at.authOk);
+    const TamperReport &r = ctrl.lastReport();
+    EXPECT_EQ(r.check, TamperCheck::CounterAuth);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_EQ(r.recovery.retries, 1u);
+    // The failing check picks the entry stage: no point refetching the
+    // data line when the counter fetch is what glitched.
+    EXPECT_EQ(r.recovery.maxStage, RecoveryStage::CounterRefetch);
+}
+
+TEST(Recovery, BackoffTicksGrowExponentiallyAndClamp)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::RetryRefetch);
+    ctrl.setRecoveryConfig(RecoveryConfig{4, 32, 100});
+    Rng rng(44);
+    Tick t = ctrl.writeBlock(0xb000, randomBlock(rng), 1);
+    ctrl.dram().tamperXor(0xb000, 1, 0x01);
+
+    Block64 out;
+    (void)ctrl.readBlock(0xb000, t + 1, &out);
+    const TamperReport &r = ctrl.lastReport();
+    EXPECT_EQ(r.recovery.retries, 4u);
+    // 32, 64, then 128 and 256 both clamp to the 100-tick cap.
+    EXPECT_EQ(r.recovery.backoffTicks, static_cast<Tick>(32 + 64 + 100 + 100));
+    EXPECT_EQ(ctrl.stats().counter("recovery_backoff_ticks").value(), 296u);
+}
+
+TEST(Recovery, QuarantineBlocksAccessesUntilReleased)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::Quarantine, 2);
+    Rng rng(45);
+    Block64 v = randomBlock(rng);
+    Tick t = ctrl.writeBlock(0xc000, v, 1);
+    ctrl.dram().tamperXor(0xc000, 9, 0x80);
+
+    // Budget exhaustion under Quarantine poisons the block.
+    Block64 out;
+    AccessTiming at = ctrl.readBlock(0xc000, t + 1, &out);
+    EXPECT_FALSE(at.authOk);
+    EXPECT_TRUE(ctrl.lastReport().recovery.quarantined);
+    EXPECT_TRUE(ctrl.isQuarantined(0xc000));
+    EXPECT_EQ(ctrl.quarantineCount(), 1u);
+    const std::size_t reports_after_detect = ctrl.reports().size();
+
+    // Quarantined reads short-circuit: structured status, zeroed data,
+    // and no new tamper report (the failure was already attributed).
+    Block64 q_out = randomBlock(rng);
+    AccessTiming q = ctrl.readBlock(0xc000, at.authDone + 1, &q_out);
+    EXPECT_EQ(q.status, AccessStatus::Quarantined);
+    EXPECT_FALSE(q.authOk);
+    EXPECT_TRUE(q_out == Block64{});
+    EXPECT_EQ(ctrl.reports().size(), reports_after_detect);
+    EXPECT_EQ(ctrl.quarantineBlockedReads(), 1u);
+
+    // Quarantined writes are blocked too: DRAM keeps its bytes.
+    Block64 dram_before = ctrl.dram().peekBlock(0xc000);
+    (void)ctrl.writeBlock(0xc000, randomBlock(rng), q.dataReady + 1);
+    EXPECT_EQ(ctrl.lastAccessStatus(), AccessStatus::Quarantined);
+    EXPECT_EQ(ctrl.quarantineBlockedWrites(), 1u);
+    EXPECT_TRUE(ctrl.dram().peekBlock(0xc000) == dram_before);
+
+    // Operator repair: undo the corruption, release the block, and the
+    // original data reads back clean.
+    ctrl.dram().tamperXor(0xc000, 9, 0x80);
+    EXPECT_TRUE(ctrl.releaseQuarantine(0xc000));
+    EXPECT_FALSE(ctrl.isQuarantined(0xc000));
+    Block64 fixed;
+    AccessTiming ok = ctrl.readBlock(0xc000, q.dataReady + 10, &fixed);
+    EXPECT_TRUE(ok.authOk);
+    EXPECT_EQ(ok.status, AccessStatus::Ok);
+    EXPECT_TRUE(fixed == v);
+
+    // Unrelated blocks were never affected by the quarantine.
+    Block64 other = randomBlock(rng);
+    Tick t2 = ctrl.writeBlock(0xd000, other, ok.authDone + 1);
+    Block64 other_out;
+    EXPECT_TRUE(ctrl.readBlock(0xd000, t2 + 1, &other_out).authOk);
+    EXPECT_TRUE(other_out == other);
+}
+
+TEST(Recovery, WritePathFailuresNeverQuarantine)
+{
+    SecureMemoryController ctrl(smallCfg());
+    ctrl.setTamperPolicy(TamperPolicy::Quarantine, 1);
+    Rng rng(46);
+    Tick t = ctrl.writeBlock(0xe000, randomBlock(rng), 1);
+
+    // Corrupt the counter block and evict it so the *write* path hits
+    // the failing counter fetch. The write cannot be retried (its
+    // counter bump is already committed on-chip), so it must report
+    // and continue — quarantining here would poison a healthy block.
+    Addr ctr_addr = ctrl.map().ctrBlockAddrFor(0xe000);
+    ctrl.evictCounterBlock(0xe000);
+    ctrl.dram().tamperXor(ctr_addr, 2, 0x04);
+
+    std::size_t before = ctrl.reports().size();
+    (void)ctrl.writeBlock(0xe000, randomBlock(rng), t + 1);
+    EXPECT_GT(ctrl.reports().size(), before);
+    EXPECT_EQ(ctrl.lastAccessStatus(), AccessStatus::AuthFailed);
+    EXPECT_FALSE(ctrl.isQuarantined(0xe000));
+    EXPECT_EQ(ctrl.quarantineCount(), 0u);
+    EXPECT_FALSE(ctrl.halted());
+}
+
+} // namespace
+} // namespace secmem

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Engine resilience tests: per-job retry with backoff, crash isolation
+ * (throwing and panicking runners cost only their own job), watchdog
+ * timeouts via cooperative cancellation, and the deterministic
+ * failures() report. All use injected runners — no simulation runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "exp/engine.hh"
+#include "sim/cancel.hh"
+#include "sim/log.hh"
+
+namespace secmem::exp
+{
+namespace
+{
+
+JobSpec
+spec(const char *workload, std::uint64_t sim = 40'000)
+{
+    return makeJob("Split", profileByName(workload),
+                   SecureMemConfig::split(), RunLengths{10'000, sim});
+}
+
+RunOutput
+okOutput(const JobSpec &s)
+{
+    RunOutput out;
+    out.workload = s.profile.name;
+    out.scheme = s.scheme;
+    out.ipc = 1.0;
+    out.instructions = 1;
+    return out;
+}
+
+TEST(EngineResilience, FlakyRunnerSucceedsOnRetry)
+{
+    std::atomic<unsigned> calls{0};
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.jobAttempts = 3;
+    opts.backoffMs = 1;
+    opts.runner = [&](const JobSpec &s, obs::TraceSink *) {
+        if (calls.fetch_add(1) < 2)
+            throw std::runtime_error("transient infrastructure failure");
+        return okOutput(s);
+    };
+    Engine engine(opts);
+    std::vector<RunOutput> outs = engine.run({spec("gzip")});
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_FALSE(outs[0].failed);
+    EXPECT_EQ(outs[0].ipc, 1.0);
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_TRUE(engine.failures().empty());
+}
+
+TEST(EngineResilience, CrashingJobIsIsolatedFromTheBatch)
+{
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.jobAttempts = 2;
+    opts.backoffMs = 1;
+    opts.runner = [&](const JobSpec &s, obs::TraceSink *) {
+        if (s.profile.name == "mcf")
+            throw std::runtime_error("boom");
+        return okOutput(s);
+    };
+    Engine engine(opts);
+    std::vector<JobSpec> specs = {spec("gzip"), spec("mcf"), spec("ammp")};
+    std::vector<RunOutput> outs = engine.run(specs);
+    ASSERT_EQ(outs.size(), 3u);
+
+    // Healthy jobs complete; the crasher carries a structured failure.
+    EXPECT_FALSE(outs[0].failed);
+    EXPECT_FALSE(outs[2].failed);
+    EXPECT_TRUE(outs[1].failed);
+    EXPECT_EQ(outs[1].error, "boom");
+    ASSERT_EQ(engine.failures().size(), 1u);
+    const Engine::JobFailure &f = engine.failures()[0];
+    EXPECT_EQ(f.specIndex, 1u);
+    EXPECT_EQ(f.workload, "mcf");
+    EXPECT_EQ(f.attempts, 2u);
+    EXPECT_FALSE(f.timedOut);
+}
+
+TEST(EngineResilience, PanickingRunnerIsContained)
+{
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.jobAttempts = 1;
+    opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+        if (s.profile.name == "gzip")
+            SECMEM_PANIC("runner panicked on %s", s.profile.name.c_str());
+        return okOutput(s);
+    };
+    Engine engine(opts);
+    std::vector<RunOutput> outs = engine.run({spec("gzip"), spec("mcf")});
+    ASSERT_EQ(outs.size(), 2u);
+    EXPECT_TRUE(outs[0].failed);
+    EXPECT_NE(outs[0].error.find("runner panicked"), std::string::npos);
+    EXPECT_FALSE(outs[1].failed);
+}
+
+TEST(EngineResilience, WatchdogCancelsHungJobs)
+{
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.jobAttempts = 1;
+    opts.jobTimeoutSec = 0.2;
+    opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+        if (s.profile.name == "gzip") {
+            // A hung simulation: spins forever, but polls its cancel
+            // token the way OooCore::run does.
+            for (;;)
+                pollCancellation();
+        }
+        return okOutput(s);
+    };
+    Engine engine(opts);
+    std::vector<RunOutput> outs = engine.run({spec("gzip"), spec("mcf")});
+    ASSERT_EQ(outs.size(), 2u);
+    EXPECT_TRUE(outs[0].failed);
+    EXPECT_NE(outs[0].error.find("timed out"), std::string::npos);
+    EXPECT_FALSE(outs[1].failed);
+    ASSERT_EQ(engine.failures().size(), 1u);
+    EXPECT_TRUE(engine.failures()[0].timedOut);
+}
+
+TEST(EngineResilience, FailureReportIsDeterministicAcrossJobCounts)
+{
+    auto runWith = [&](unsigned jobs) {
+        EngineOptions opts;
+        opts.jobs = jobs;
+        opts.jobAttempts = 2;
+        opts.backoffMs = 1;
+        opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+            if (s.lengths.sim % 2 == 1)
+                throw std::runtime_error("odd jobs fail");
+            return okOutput(s);
+        };
+        Engine engine(opts);
+        engine.run({spec("gzip", 40'000), spec("gzip", 40'001),
+                    spec("mcf", 40'002), spec("mcf", 40'003),
+                    spec("ammp", 40'005)});
+        return engine.failures();
+    };
+
+    std::vector<Engine::JobFailure> serial = runWith(1);
+    std::vector<Engine::JobFailure> parallel = runWith(4);
+    ASSERT_EQ(serial.size(), 3u);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].specIndex, parallel[i].specIndex);
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        EXPECT_EQ(serial[i].error, parallel[i].error);
+        EXPECT_EQ(serial[i].attempts, parallel[i].attempts);
+    }
+}
+
+TEST(EngineResilience, FailedJobsAreNotPersisted)
+{
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.jobAttempts = 1;
+    opts.runner = [](const JobSpec &, obs::TraceSink *) -> RunOutput {
+        throw std::runtime_error("always fails");
+    };
+    Engine engine(opts);
+    engine.run({spec("gzip")});
+    // A retry with a healthy runner must actually re-execute: nothing
+    // may have been cached for the failed spec.
+    RunOutput cached;
+    EXPECT_FALSE(engine.store().lookup(spec("gzip"), &cached));
+}
+
+} // namespace
+} // namespace secmem::exp

@@ -9,9 +9,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "exp/engine.hh"
 #include "exp/result_store.hh"
+#include "exp/store_chaos.hh"
 
 namespace fs = std::filesystem;
 
@@ -136,6 +138,129 @@ TEST_F(ResultStoreTest, RejectsEntryWithMismatchedSpec)
     EXPECT_EQ(reader.misses(), 1u);
 }
 
+TEST_F(ResultStoreTest, ChecksumCatchesBitCorruption)
+{
+    {
+        ResultStore writer(dir_.string());
+        writer.put(spec(), output(1.0));
+    }
+    fs::path file;
+    for (const auto &e : fs::directory_iterator(dir_))
+        file = e.path();
+    ASSERT_FALSE(file.empty());
+
+    // Flip one byte inside the JSON payload; the record stays
+    // structurally valid, so only the checksum can catch it.
+    std::string bytes;
+    {
+        std::ifstream in(file, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+    }
+    std::size_t payload = bytes.find('\n') + 4;
+    ASSERT_LT(payload, bytes.size());
+    bytes[payload] = static_cast<char>(bytes[payload] ^ 0x10);
+    {
+        std::ofstream outf(file, std::ios::binary | std::ios::trunc);
+        outf << bytes;
+    }
+
+    // Journal recovery discards the rotten record; the lookup reruns.
+    ResultStore reader(dir_.string());
+    EXPECT_EQ(reader.corruptDiscarded(), 1u);
+    RunOutput out;
+    EXPECT_FALSE(reader.lookup(spec(), &out));
+    EXPECT_FALSE(fs::exists(file));
+}
+
+TEST_F(ResultStoreTest, TornRecordIsDiscardedOnRecovery)
+{
+    {
+        ResultStore writer(dir_.string());
+        writer.put(spec(), output(3.0));
+    }
+    fs::path file;
+    for (const auto &e : fs::directory_iterator(dir_))
+        file = e.path();
+    ASSERT_FALSE(file.empty());
+
+    // Tear the record inside its first line (crash mid-flush at the
+    // filesystem level; the atomic writer itself can't produce this).
+    {
+        std::ofstream outf(file, std::ios::binary | std::ios::trunc);
+        outf << "secmem-job";
+    }
+    ResultStore reader(dir_.string());
+    EXPECT_EQ(reader.corruptDiscarded(), 1u);
+    RunOutput out;
+    EXPECT_FALSE(reader.lookup(spec(), &out));
+}
+
+TEST_F(ResultStoreTest, OrphanedTemporariesAreCleaned)
+{
+    {
+        ResultStore writer(dir_.string());
+        writer.put(spec(), output(4.0));
+    }
+    // A writer killed between create and rename leaves a temporary.
+    {
+        std::ofstream tmp(dir_ / "deadbeef.run.tmp.12345",
+                          std::ios::binary);
+        tmp << "partial rec";
+    }
+    ResultStore reader(dir_.string());
+    EXPECT_EQ(reader.tmpCleaned(), 1u);
+    EXPECT_EQ(reader.corruptDiscarded(), 0u);
+    EXPECT_FALSE(fs::exists(dir_ / "deadbeef.run.tmp.12345"));
+    // The real record is untouched.
+    RunOutput out;
+    ASSERT_TRUE(reader.lookup(spec(), &out));
+    EXPECT_EQ(out.ipc, 4.0);
+}
+
+TEST_F(ResultStoreTest, LegacyTwoLineRecordsStillLoad)
+{
+    {
+        ResultStore writer(dir_.string());
+        writer.put(spec(), output(5.0));
+    }
+    fs::path file;
+    for (const auto &e : fs::directory_iterator(dir_))
+        file = e.path();
+    ASSERT_FALSE(file.empty());
+
+    // Strip the checksum line, reverting to the pre-checksum format.
+    std::string specline, json;
+    {
+        std::ifstream in(file);
+        std::getline(in, specline);
+        std::getline(in, json);
+    }
+    {
+        std::ofstream outf(file, std::ios::trunc);
+        outf << specline << '\n' << json << '\n';
+    }
+    ResultStore reader(dir_.string());
+    EXPECT_EQ(reader.corruptDiscarded(), 0u);
+    RunOutput out;
+    ASSERT_TRUE(reader.lookup(spec(), &out));
+    EXPECT_EQ(out.ipc, 5.0);
+}
+
+TEST_F(ResultStoreTest, FailedOutputsAreNeverStored)
+{
+    ResultStore store(dir_.string());
+    RunOutput bad = output(0.0);
+    bad.failed = true;
+    bad.error = "simulated crash";
+    store.put(spec(), bad);
+
+    RunOutput out;
+    EXPECT_FALSE(store.lookup(spec(), &out));
+    EXPECT_TRUE(!fs::exists(dir_) || fs::is_empty(dir_));
+}
+
 TEST_F(ResultStoreTest, EngineSecondRunSimulatesNothing)
 {
     std::vector<JobSpec> specs = {spec("gzip"), spec("mcf")};
@@ -172,6 +297,22 @@ TEST_F(ResultStoreTest, EngineDedupsIdenticalSpecsWithinABatch)
     EXPECT_EQ(engine.executed(), 1u);
     EXPECT_EQ(engine.cached(), 1u);
     EXPECT_EQ(runOutputToJson(outs[0]), runOutputToJson(outs[1]));
+}
+
+TEST_F(ResultStoreTest, ChaosDrillRecoversCleanly)
+{
+    StoreChaosConfig cfg;
+    cfg.seed = 2;
+    cfg.dir = dir_.string();
+    cfg.records = 48;
+    StoreChaosResult res = runStoreChaosDrill(cfg);
+    EXPECT_EQ(res.written, 48u);
+    EXPECT_GT(res.truncated + res.corrupted, 0u);
+    EXPECT_EQ(res.tmpCleaned, res.litterPlanted);
+    EXPECT_EQ(res.wrongData, 0u);
+    EXPECT_EQ(res.intactLost, 0u);
+    EXPECT_EQ(res.survivors, res.survivorsExact);
+    EXPECT_TRUE(res.ok);
 }
 
 } // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Chaos campaign tests: sustained transient-fault storms complete with
+ * zero silent corruptions, campaigns are deterministic in their seed,
+ * and fleet aggregation is bit-identical for any worker count (the
+ * recovery-counter determinism guarantee).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hh"
+
+namespace secmem
+{
+namespace
+{
+
+ChaosConfig
+smallChaos()
+{
+    ChaosConfig cfg;
+    cfg.seed = 11;
+    cfg.workload = "ammp";
+    cfg.scheme = "splitGcm";
+    cfg.events = 2000;
+    cfg.policy = TamperPolicy::Quarantine;
+    cfg.storm.transientRate = 0.05;
+    cfg.storm.metaFraction = 0.4;
+    return cfg;
+}
+
+TEST(Chaos, TransientStormCompletesWithoutSilentCorruption)
+{
+    ChaosResult res = runChaosCampaign(smallChaos());
+    EXPECT_EQ(res.memOps, 2000u);
+    EXPECT_GT(res.storm.transientFaults, 0u);
+    EXPECT_GT(res.detected, 0u);
+    EXPECT_GT(res.recovered, 0u);
+    EXPECT_EQ(res.silentCorruptions, 0u);
+    EXPECT_FALSE(res.halted);
+    // Every detected fault is accounted for: recovered, or it exhausted
+    // the budget and was quarantined (write-path detections can do
+    // neither but still report; they are included in detected).
+    EXPECT_EQ(res.exhausted, res.quarantines);
+}
+
+TEST(Chaos, PersistentDamageIsQuarantinedNotSilent)
+{
+    ChaosConfig cfg = smallChaos();
+    cfg.seed = 13;
+    cfg.storm.transientRate = 0.02;
+    cfg.storm.persistentRate = 0.01;
+    ChaosResult res = runChaosCampaign(cfg);
+    EXPECT_GT(res.storm.persistentFaults, 0u);
+    EXPECT_EQ(res.silentCorruptions, 0u);
+    EXPECT_FALSE(res.halted);
+    // Persistent damage that survives until a read exhausts the budget
+    // must land in quarantine, and quarantined blocks block accesses.
+    EXPECT_GT(res.quarantines, 0u);
+    EXPECT_GT(res.blockedReads + res.blockedWrites, 0u);
+}
+
+TEST(Chaos, CampaignIsDeterministicInItsSeed)
+{
+    ChaosConfig cfg = smallChaos();
+    ChaosResult a = runChaosCampaign(cfg);
+    ChaosResult b = runChaosCampaign(cfg);
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    cfg.seed = 12;
+    ChaosResult c = runChaosCampaign(cfg);
+    EXPECT_NE(a.toJson(), c.toJson());
+}
+
+TEST(Chaos, FleetRecoveryCountersAreIdenticalAcrossJobCounts)
+{
+    ChaosConfig cfg = smallChaos();
+    cfg.events = 1000;
+    ChaosFleetResult serial = runChaosFleet(cfg, 4, 1);
+    ChaosFleetResult parallel = runChaosFleet(cfg, 4, 4);
+
+    // Shard-order aggregation makes the whole report — per-shard
+    // recovery counters included — independent of the worker count.
+    EXPECT_EQ(serial.toJson(), parallel.toJson());
+    EXPECT_EQ(serial.totals.silentCorruptions, 0u);
+    EXPECT_EQ(serial.totals.memOps, 4000u);
+    ASSERT_EQ(serial.shards.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(serial.shards[i].cfg.seed, cfg.seed + i);
+}
+
+TEST(Chaos, VerifyModelStormSeesNoDivergence)
+{
+    ChaosConfig cfg = smallChaos();
+    cfg.events = 1000;
+    cfg.verifyModel = true;
+    cfg.storm.persistentRate = 0.5; // must be forced to zero
+    ChaosResult res = runChaosCampaign(cfg);
+    EXPECT_EQ(res.cfg.storm.persistentRate, 0.0);
+    EXPECT_EQ(res.storm.persistentFaults, 0u);
+    EXPECT_GT(res.storm.transientFaults, 0u);
+    EXPECT_EQ(res.divergences, 0u);
+    EXPECT_EQ(res.silentCorruptions, 0u);
+}
+
+} // namespace
+} // namespace secmem
