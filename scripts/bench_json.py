@@ -9,6 +9,12 @@ flat BENCH_crypto.json schema documented in EXPERIMENTS.md, and gates:
   * schema validity — every required figure present and positive;
   * the table-driven GHASH chunk throughput must be >= MIN_GHASH_SPEEDUP
     over the bit-serial baseline measured in the same process;
+  * per crypto backend (the BM_<op>/be:<name> benchmark copies), one
+    row in the "backends" array with chunk/pad/tag throughputs and the
+    speedups over the naive reference kernels; the portable row must be
+    present, and when a hw row is present it must be strictly faster
+    than portable (AES-NI/PCLMULQDQ beaten by T-tables means the hw
+    backend is broken);
   * against a checked-in baseline (bench/BENCH_crypto.baseline.json),
     no throughput figure may regress by more than the tolerance (2x by
     default) and the fig4 smoke may not take more than tolerance times
@@ -42,8 +48,19 @@ FIELDS = {
     "gcm_tags_per_sec": ("BM_GcmBlockTag", "items_per_second"),
 }
 
+# Per-backend row field  ->  (microbench op, counter); the actual
+# benchmark name is "<op>/be:<backend>".
+BACKEND_FIELDS = {
+    "ghash_chunks_per_sec": ("BM_GhashChunkUpdate", "items_per_second"),
+    "aes_blocks_per_sec": ("BM_AesEncryptBlock", "items_per_second"),
+    "pads_per_sec": ("BM_CtrCryptBlock", "items_per_second"),
+    "gcm_tags_per_sec": ("BM_GcmBlockTag", "items_per_second"),
+}
+
 # Fields compared against the baseline: higher is better for
-# throughputs, lower is better for seconds.
+# throughputs, lower is better for seconds. The per-backend rows are
+# deliberately not baselined: which backends exist varies per build
+# configuration and host, so cross-host comparison would be noise.
 THROUGHPUT_FIELDS = sorted(FIELDS) + ["ghash_speedup"]
 LATENCY_FIELDS = ["fig4_smoke_seconds"]
 
@@ -79,6 +96,7 @@ def build(args):
                             out["ghash_chunks_per_sec_naive"])
     out["aes_speedup"] = (out["aes_blocks_per_sec"] /
                           out["aes_blocks_per_sec_naive"])
+    out["backends"] = build_backend_rows(by_name, out, args.microbench)
     out["fig4_smoke_seconds"] = args.fig4_seconds
     if args.fig4_seconds <= 0:
         fail(f"fig4 smoke seconds must be positive, got {args.fig4_seconds}")
@@ -90,6 +108,42 @@ def build(args):
         "library_build_type": context.get("library_build_type"),
     }
     return out
+
+
+def build_backend_rows(by_name, out, path):
+    backends = sorted({name.split("/be:", 1)[1]
+                       for name in by_name if "/be:" in name})
+    rows = []
+    for backend in backends:
+        row = {"name": backend}
+        for field, (op, counter) in BACKEND_FIELDS.items():
+            name = f"{op}/be:{backend}"
+            if name not in by_name:
+                fail(f"benchmark '{name}' missing from {path}")
+            value = by_name[name].get(counter)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"benchmark '{name}' has no positive '{counter}'")
+            row[field] = value
+        row["ghash_speedup_vs_naive"] = (
+            row["ghash_chunks_per_sec"] / out["ghash_chunks_per_sec_naive"])
+        row["aes_speedup_vs_naive"] = (
+            row["aes_blocks_per_sec"] / out["aes_blocks_per_sec_naive"])
+        rows.append(row)
+    return rows
+
+
+def check_backends(out):
+    rows = {row["name"]: row for row in out["backends"]}
+    if "portable" not in rows:
+        fail("no 'portable' backend row in the microbench output (the "
+             "portable backend is always compiled in)")
+    if "hw" in rows:
+        slower = [field for field in BACKEND_FIELDS
+                  if rows["hw"][field] <= rows["portable"][field]]
+        if slower:
+            fail("hw backend not strictly faster than portable on: " +
+                 ", ".join(slower))
+    print(f"bench_json: backend rows: {', '.join(sorted(rows))}")
 
 
 def check_speedup(out):
@@ -146,6 +200,7 @@ def main():
 
     out = build(args)
     check_speedup(out)
+    check_backends(out)
 
     if args.baseline and not args.write_baseline:
         check_baseline(out, args.baseline, args.tolerance)
@@ -158,7 +213,8 @@ def main():
     if args.write_baseline:
         if not args.baseline:
             fail("--write-baseline needs --baseline for the target path")
-        base = {k: v for k, v in out.items() if k != "host"}
+        base = {k: v for k, v in out.items()
+                if k not in ("host", "backends")}
         with open(args.baseline, "w") as f:
             json.dump(base, f, indent=2, sort_keys=True)
             f.write("\n")

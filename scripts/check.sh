@@ -50,6 +50,29 @@ echo "== secmem-bench smoke (fig4, parallel, no store) =="
 ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
     --no-progress >/dev/null
 
+echo "== crypto backend smoke (registry + per-backend oracle) =="
+# Every compiled-in, CPU-supported backend must drive the whole fig4
+# datapath bit-exactly against the untimed reference model; a bad
+# backend name must be a hard error, never a silent fallback.
+./build/bench/secmem-bench --list-crypto-backends | tee build/backends.txt
+grep -q '^portable ' build/backends.txt
+grep -q '^ct ' build/backends.txt
+while read -r be status _; do
+    [[ "$status" == active || "$status" == available ]] || continue
+    ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+        --no-progress --verify-model --crypto-backend "$be" >/dev/null
+done < build/backends.txt
+if ./build/bench/secmem-bench --figure fig4 --smoke --crypto-backend bogus \
+    >/dev/null 2>build/backend-err.txt; then
+    echo "check.sh: unknown crypto backend must be a hard error" >&2
+    exit 1
+fi
+grep -q "unknown crypto backend" build/backend-err.txt
+# Re-run the registry/KAT/differential suites pinned to the ct tier,
+# which auto-selection never picks.
+SECMEM_CRYPTO_BACKEND=ct ctest --test-dir build --output-on-failure \
+    -j "$jobs" -R "Backend" >/dev/null
+
 echo "== differential-oracle smoke (fig4 + fig9 under --verify-model) =="
 # The reference model shadow-executes every job and panics on the
 # first functional divergence; the CLI exits non-zero if the oracle

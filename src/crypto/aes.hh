@@ -1,29 +1,35 @@
 /**
  * @file
- * Software AES-128 block cipher (FIPS-197).
+ * AES-128 block cipher (FIPS-197), dispatched through the pluggable
+ * crypto-backend layer.
  *
- * Bit-exact implementation used by the functional model: counter-mode
+ * Bit-exact functional implementation used by the model: counter-mode
  * pad generation, GCM hash-subkey derivation and direct (XOM-style)
  * block encryption all run through this class. Hardware latency is
- * modelled separately by enc/AesEngine; this class is purely functional.
+ * modelled separately by enc/AesEngine; this class is purely
+ * functional.
  *
- * The round function is table-driven: four 1 KiB T-tables fuse
- * SubBytes, ShiftRows and MixColumns into four lookups plus XORs per
- * state column (Rijndael's "32-bit fast" formulation). The key
- * schedule is cached per key — setKey() with the key already loaded is
- * a no-op, and the decryption schedule (which needs an extra
- * InvMixColumns pass) is derived lazily on first decryptBlock(), so
- * encrypt-only users such as counter-mode pad generation never pay for
- * it. The historical byte-wise implementation survives as
- * ref::AesNaive (src/ref/), the independent oracle for this one.
+ * The actual round computation lives in a CryptoBackend
+ * (crypto/backend/): T-table software on the portable tier, AES-NI on
+ * the hw tier, masked byte-algebra on the ct tier. An Aes128 binds to
+ * the process-wide active backend at construction (or to an explicit
+ * one, for per-backend tests and benchmarks) and never rebinds. The
+ * key schedule is cached per key — setKey() with the key already
+ * loaded is a no-op — and both cipher directions are expanded eagerly,
+ * so a keyed Aes128 is immutable and safe to share across worker
+ * threads. The historical byte-wise implementation survives as
+ * ref::AesNaive (src/ref/), the backend-independent oracle for every
+ * tier.
  */
 
 #ifndef SECMEM_CRYPTO_AES_HH
 #define SECMEM_CRYPTO_AES_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
+#include "crypto/backend/backend.hh"
 #include "crypto/bytes.hh"
 
 namespace secmem
@@ -36,22 +42,56 @@ class Aes128
     static constexpr std::size_t kKeyBytes = 16;
     static constexpr int kRounds = 10;
 
-    Aes128() = default;
-    explicit Aes128(const std::uint8_t key[kKeyBytes]) { setKey(key); }
-    explicit Aes128(const Block16 &key) { setKey(key.b.data()); }
+    /** Bind to the process-wide active backend, no key loaded yet. */
+    Aes128() : backend_(&activeCryptoBackend()) {}
+    explicit Aes128(const std::uint8_t key[kKeyBytes]) : Aes128()
+    {
+        setKey(key);
+    }
+    explicit Aes128(const Block16 &key) : Aes128(key.b.data()) {}
+
+    /** Pin to a specific backend (per-backend tests and benchmarks). */
+    explicit Aes128(const CryptoBackend &be) : backend_(&be) {}
+    Aes128(const CryptoBackend &be, const std::uint8_t key[kKeyBytes])
+        : backend_(&be)
+    {
+        setKey(key);
+    }
+    Aes128(const CryptoBackend &be, const Block16 &key)
+        : Aes128(be, key.b.data())
+    {}
+
+    /** The backend this instance dispatches to. */
+    const CryptoBackend &backend() const { return *backend_; }
 
     /**
-     * Expand @p key into the encryption round keys. A no-op when
-     * @p key is the key already loaded, so re-keying call sites can
-     * call this unconditionally without re-expanding.
+     * Expand @p key into the round keys for both directions. A no-op
+     * when @p key is the key already loaded, so re-keying call sites
+     * can call this unconditionally without re-expanding.
      */
-    void setKey(const std::uint8_t key[kKeyBytes]);
+    void
+    setKey(const std::uint8_t key[kKeyBytes])
+    {
+        if (keyed_ && std::equal(key, key + kKeyBytes, key_.begin()))
+            return;
+        backend_->aesExpandKey(sched_, key);
+        std::copy(key, key + kKeyBytes, key_.begin());
+        keyed_ = true;
+    }
 
     /** Encrypt one 16-byte chunk. In-place operation is allowed. */
-    void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+    void
+    encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+    {
+        backend_->aesEncryptBlock(sched_, in, out);
+    }
 
     /** Decrypt one 16-byte chunk. In-place operation is allowed. */
-    void decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+    void
+    decryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const
+    {
+        backend_->aesDecryptBlock(sched_, in, out);
+    }
 
     Block16
     encrypt(const Block16 &in) const
@@ -70,13 +110,9 @@ class Aes128
     }
 
   private:
-    void buildDecSchedule() const;
-
-    /** Encryption round keys: (kRounds + 1) big-endian column words. */
-    std::array<std::uint32_t, 4 * (kRounds + 1)> ek_{};
-    /** Decryption round keys (equivalent inverse cipher), lazy. */
-    mutable std::array<std::uint32_t, 4 * (kRounds + 1)> dk_{};
-    mutable bool dkValid_ = false;
+    const CryptoBackend *backend_;
+    /** Backend-formatted round keys, both directions, eager. */
+    AesSchedule sched_;
     /** The loaded key, for the setKey() same-key fast path. */
     std::array<std::uint8_t, kKeyBytes> key_{};
     bool keyed_ = false;

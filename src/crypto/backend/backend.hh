@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Pluggable crypto-backend interface and registry.
+ *
+ * The functional crypto substrate (AES-128 block cipher, GHASH
+ * multiply) has more than one reasonable implementation: the portable
+ * table-driven kernels (fast everywhere, but T-tables are cache-timing
+ * leaky), dedicated hardware instructions (AES-NI + PCLMULQDQ, compiled
+ * in only when the toolchain supports them and selected only when
+ * CPUID reports them), and a table-free constant-time software tier for
+ * timing-sensitive use. This header makes that choice a first-class,
+ * runtime-dispatched axis: each implementation is a CryptoBackend, the
+ * registry lists every backend compiled into the binary, and the
+ * wrapper classes (Aes128, Gf128Table, Ghash, Gcm) bind to the active
+ * backend at construction so the whole controller datapath runs on it.
+ *
+ * Selection order for the process-wide active backend:
+ *
+ *   1. an explicit name (the `--crypto-backend` CLI flag, applied via
+ *      setActiveCryptoBackend());
+ *   2. the SECMEM_CRYPTO_BACKEND environment variable;
+ *   3. the highest-ranked backend whose available() check (CPUID)
+ *      passes — hw when the host supports it, else portable.
+ *
+ * Naming an unknown or CPU-unsupported backend is a hard error, never a
+ * silent fallback. The naive oracle in src/ref/ deliberately does NOT
+ * go through a backend: it stays the independent reference that the
+ * differential tests run every backend against.
+ *
+ * Thread safety: backends are stateless singletons; AesSchedule and
+ * GhashKey are immutable once built (aesExpandKey fills BOTH cipher
+ * directions eagerly), so a const Aes128 / Gf128Table may be shared
+ * across worker threads freely.
+ */
+
+#ifndef SECMEM_CRYPTO_BACKEND_BACKEND_HH
+#define SECMEM_CRYPTO_BACKEND_BACKEND_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace secmem
+{
+
+struct Gf128; // crypto/gf128.hh
+
+/**
+ * Backend-laid-out AES-128 key schedule storage. Plain bytes so Aes128
+ * keeps value semantics; each backend formats its own expanded
+ * schedule inside (e.g. 44+44 round-key words for the portable
+ * T-table cipher, 11+11 xmm round keys for AES-NI). Both directions
+ * are expanded eagerly by aesExpandKey so the schedule is immutable —
+ * and therefore safely shareable across threads — from then on.
+ */
+struct AesSchedule
+{
+    static constexpr std::size_t kBytes = 768;
+    alignas(16) std::array<std::uint8_t, kBytes> bytes{};
+};
+
+/**
+ * Opaque per-subkey GHASH state — whatever a backend precomputes for a
+ * fixed hash subkey H (64 KiB of Shoup tables for the portable tier,
+ * just H itself for the carry-less and constant-time tiers). Immutable
+ * once built; shared by every Gf128Table copy for that subkey.
+ */
+class GhashKey
+{
+  public:
+    virtual ~GhashKey() = default;
+};
+
+/**
+ * One interchangeable implementation of the crypto substrate. All
+ * backends compute the same functions (FIPS-197 AES-128, SP 800-38D
+ * GF(2^128) multiply), so swapping backends never changes simulation
+ * results — only host-side speed and timing-channel behaviour.
+ */
+class CryptoBackend
+{
+  public:
+    virtual ~CryptoBackend() = default;
+
+    /** Registry name ("portable", "hw", "ct"). */
+    virtual const char *name() const = 0;
+    /** One-line human description for --list-crypto-backends. */
+    virtual const char *description() const = 0;
+    /**
+     * Rank for automatic selection; the highest-ranked available
+     * backend wins. The ct tier ranks below portable: it trades a lot
+     * of speed for timing uniformity and is only used when asked for.
+     */
+    virtual int rank() const = 0;
+    /** Can this backend run on this host (CPUID feature checks)? */
+    virtual bool available() const = 0;
+
+    /**
+     * Expand @p key into @p s for both cipher directions. Eager on
+     * purpose: a lazily built decryption schedule would race when two
+     * experiment-engine jobs share one Aes128 for their first decrypt.
+     */
+    virtual void aesExpandKey(AesSchedule &s,
+                              const std::uint8_t key[16]) const = 0;
+    /** Encrypt one 16-byte chunk. In-place (in == out) is allowed. */
+    virtual void aesEncryptBlock(const AesSchedule &s,
+                                 const std::uint8_t in[16],
+                                 std::uint8_t out[16]) const = 0;
+    /** Decrypt one 16-byte chunk. In-place (in == out) is allowed. */
+    virtual void aesDecryptBlock(const AesSchedule &s,
+                                 const std::uint8_t in[16],
+                                 std::uint8_t out[16]) const = 0;
+
+    /** Precompute whatever this backend wants for a fixed subkey H. */
+    virtual std::shared_ptr<const GhashKey>
+    ghashKey(const Gf128 &h) const = 0;
+    /** The GCM GF(2^128) product x * H under @p key. */
+    virtual Gf128 ghashMul(const GhashKey &key, const Gf128 &x) const = 0;
+};
+
+// ---- registry -----------------------------------------------------------
+
+/** Every backend compiled into this binary, highest rank first. */
+const std::vector<const CryptoBackend *> &cryptoBackends();
+
+/** Look up a compiled-in backend by name; null when unknown. */
+const CryptoBackend *findCryptoBackend(std::string_view name);
+
+/**
+ * The process-wide backend that new Aes128 / Gf128Table / Ghash / Gcm
+ * instances bind to. Resolved on first use from SECMEM_CRYPTO_BACKEND
+ * (a bad name panics — loud, not a silent fallback) or the best
+ * available backend; overridable via setActiveCryptoBackend().
+ */
+const CryptoBackend &activeCryptoBackend();
+
+/**
+ * Select the active backend by name (the --crypto-backend flag).
+ * @retval false unknown name or backend unsupported on this CPU;
+ *               @p err (when non-null) describes the failure and the
+ *               active backend is left unchanged.
+ */
+bool setActiveCryptoBackend(std::string_view name, std::string *err = nullptr);
+
+/**
+ * Pure selection logic, exposed for tests: an explicit @p flag_name
+ * beats @p env_name beats rank-based auto-selection. Returns null with
+ * @p err filled when a named backend is unknown or unavailable; never
+ * falls back silently past an explicit name. With neither name set the
+ * result is the highest-ranked available backend (portable is always
+ * compiled in and always available, so auto-selection cannot fail).
+ */
+const CryptoBackend *resolveCryptoBackend(const char *flag_name,
+                                          const char *env_name,
+                                          std::string *err);
+
+// Concrete backend singletons (registry building blocks; tests and
+// benchmarks also pin these directly for per-backend measurements).
+const CryptoBackend &portableCryptoBackend();
+const CryptoBackend &ctCryptoBackend();
+#if SECMEM_HAVE_HW_CRYPTO
+const CryptoBackend &hwCryptoBackend();
+#endif
+
+} // namespace secmem
+
+#endif // SECMEM_CRYPTO_BACKEND_BACKEND_HH

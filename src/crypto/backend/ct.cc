@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The constant-time crypto backend: table-free software kernels whose
+ * memory-access pattern and branch trace are independent of key and
+ * data. For timing-sensitive use (and as a timing-channel-free
+ * cross-check on the table-driven tiers) — it trades roughly two
+ * orders of magnitude of throughput for that uniformity, so it ranks
+ * below portable and is only ever selected by explicit request.
+ *
+ * AES-128 computes the S-box algebraically per byte: GF(2^8) inversion
+ * as a^254 via a fixed square-and-multiply chain of masked (branch-
+ * free, table-free) multiplies, followed by the affine transform as
+ * XORs of bit-rotations. Secret bytes select values only through
+ * arithmetic masks (mask = -(bit & 1)), never through array indices or
+ * branches. Decryption runs the textbook inverse cipher off the
+ * encryption schedule, so no equivalent-inverse key transform is
+ * needed.
+ *
+ * GHASH is the bit-serial shift-and-add multiply with the conditional
+ * accumulate and conditional reduction both applied through 64-bit
+ * masks — 128 uniform iterations per chunk, no tables.
+ */
+
+#include "crypto/backend/backend.hh"
+
+#include <cstring>
+#include <new>
+
+#include "crypto/gf128.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+/** All-ones when the low bit of @p b is set, else zero. */
+inline std::uint8_t
+maskOf(std::uint8_t b)
+{
+    return static_cast<std::uint8_t>(-(b & 1));
+}
+
+/** Branch-free multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1. */
+inline std::uint8_t
+xtimeCt(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^
+                                     (maskOf(a >> 7) & 0x1b));
+}
+
+/** Branch-free GF(2^8) multiply: eight masked accumulate steps. */
+inline std::uint8_t
+gmulCt(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        p ^= maskOf(b) & a;
+        a = xtimeCt(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+/**
+ * GF(2^8) inversion as a^254 (Fermat), via the fixed chain
+ * a^254 = a^2 * a^4 * ... * a^128: seven squarings, six multiplies,
+ * identical for every input. Maps 0 to 0 as the S-box requires.
+ */
+inline std::uint8_t
+inv8(std::uint8_t a)
+{
+    std::uint8_t s = gmulCt(a, a); // a^2
+    std::uint8_t r = s;
+    for (int i = 0; i < 6; ++i) {
+        s = gmulCt(s, s); // a^(2^(i+2))
+        r = gmulCt(r, s);
+    }
+    return r; // a^(2+4+8+...+128) = a^254
+}
+
+inline std::uint8_t
+rotl8(std::uint8_t a, int n)
+{
+    return static_cast<std::uint8_t>((a << n) | (a >> (8 - n)));
+}
+
+/** SubBytes on one byte: inversion then the FIPS-197 affine map. */
+inline std::uint8_t
+sboxCt(std::uint8_t a)
+{
+    std::uint8_t i = inv8(a);
+    return static_cast<std::uint8_t>(i ^ rotl8(i, 1) ^ rotl8(i, 2) ^
+                                     rotl8(i, 3) ^ rotl8(i, 4) ^ 0x63);
+}
+
+/** InvSubBytes on one byte: inverse affine map, then inversion. */
+inline std::uint8_t
+invSboxCt(std::uint8_t a)
+{
+    std::uint8_t b = static_cast<std::uint8_t>(rotl8(a, 1) ^ rotl8(a, 3) ^
+                                               rotl8(a, 6) ^ 0x05);
+    return inv8(b);
+}
+
+constexpr int kRounds = 10;
+
+/** Encryption round keys only; decryption inverts them in place. */
+struct CtSched
+{
+    std::uint8_t rk[16 * (kRounds + 1)];
+};
+
+static_assert(sizeof(CtSched) <= AesSchedule::kBytes,
+              "ct schedule must fit the opaque storage");
+
+inline const CtSched *
+sched(const AesSchedule &s)
+{
+    return reinterpret_cast<const CtSched *>(s.bytes.data());
+}
+
+/** ShiftRows / InvShiftRows, state byte index = 4*column + row. */
+inline void
+shiftRows(std::uint8_t s[16], bool inverse)
+{
+    std::uint8_t t[16];
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r) {
+            int src = inverse ? (c - r + 4) % 4 : (c + r) % 4;
+            t[4 * c + r] = s[4 * src + r];
+        }
+    std::memcpy(s, t, 16);
+}
+
+inline void
+mixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *p = s + 4 * c;
+        std::uint8_t a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+        std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        p[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtimeCt(a0 ^ a1));
+        p[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtimeCt(a1 ^ a2));
+        p[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtimeCt(a2 ^ a3));
+        p[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtimeCt(a3 ^ a0));
+    }
+}
+
+inline void
+invMixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *p = s + 4 * c;
+        std::uint8_t a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+        p[0] = static_cast<std::uint8_t>(gmulCt(a0, 14) ^ gmulCt(a1, 11) ^
+                                         gmulCt(a2, 13) ^ gmulCt(a3, 9));
+        p[1] = static_cast<std::uint8_t>(gmulCt(a0, 9) ^ gmulCt(a1, 14) ^
+                                         gmulCt(a2, 11) ^ gmulCt(a3, 13));
+        p[2] = static_cast<std::uint8_t>(gmulCt(a0, 13) ^ gmulCt(a1, 9) ^
+                                         gmulCt(a2, 14) ^ gmulCt(a3, 11));
+        p[3] = static_cast<std::uint8_t>(gmulCt(a0, 11) ^ gmulCt(a1, 13) ^
+                                         gmulCt(a2, 9) ^ gmulCt(a3, 14));
+    }
+}
+
+inline void
+addRoundKey(std::uint8_t s[16], const std::uint8_t rk[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= rk[i];
+}
+
+/** All-ones u64 when the low bit of @p b is set, else zero. */
+inline std::uint64_t
+maskOf64(std::uint64_t b)
+{
+    return static_cast<std::uint64_t>(-static_cast<std::int64_t>(b & 1));
+}
+
+/** The ct tier keeps only H itself — no precomputed tables to leak. */
+struct CtGhashKey final : GhashKey
+{
+    Gf128 h;
+};
+
+class CtBackend final : public CryptoBackend
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "ct";
+    }
+
+    const char *
+    description() const override
+    {
+        return "constant-time software AES + table-free GHASH (slow, "
+               "timing-uniform)";
+    }
+
+    int
+    rank() const override
+    {
+        // Below portable: never auto-selected, explicit request only.
+        return 10;
+    }
+
+    bool
+    available() const override
+    {
+        return true;
+    }
+
+    void
+    aesExpandKey(AesSchedule &s, const std::uint8_t key[16]) const override
+    {
+        auto *cs = new (s.bytes.data()) CtSched;
+        std::memcpy(cs->rk, key, 16);
+        std::uint8_t rcon = 1;
+        for (int i = 16; i < 16 * (kRounds + 1); i += 4) {
+            std::uint8_t t[4];
+            std::memcpy(t, cs->rk + i - 4, 4);
+            if (i % 16 == 0) {
+                std::uint8_t t0 = t[0];
+                t[0] = static_cast<std::uint8_t>(sboxCt(t[1]) ^ rcon);
+                t[1] = sboxCt(t[2]);
+                t[2] = sboxCt(t[3]);
+                t[3] = sboxCt(t0);
+                rcon = xtimeCt(rcon);
+            }
+            for (int j = 0; j < 4; ++j)
+                cs->rk[i + j] = static_cast<std::uint8_t>(
+                    cs->rk[i - 16 + j] ^ t[j]);
+        }
+    }
+
+    void
+    aesEncryptBlock(const AesSchedule &s, const std::uint8_t in[16],
+                    std::uint8_t out[16]) const override
+    {
+        const std::uint8_t *rk = sched(s)->rk;
+        std::uint8_t st[16];
+        std::memcpy(st, in, 16);
+        addRoundKey(st, rk);
+        for (int round = 1; round < kRounds; ++round) {
+            for (int i = 0; i < 16; ++i)
+                st[i] = sboxCt(st[i]);
+            shiftRows(st, false);
+            mixColumns(st);
+            addRoundKey(st, rk + 16 * round);
+        }
+        for (int i = 0; i < 16; ++i)
+            st[i] = sboxCt(st[i]);
+        shiftRows(st, false);
+        addRoundKey(st, rk + 16 * kRounds);
+        std::memcpy(out, st, 16);
+    }
+
+    void
+    aesDecryptBlock(const AesSchedule &s, const std::uint8_t in[16],
+                    std::uint8_t out[16]) const override
+    {
+        // Textbook inverse cipher: walk the encryption schedule
+        // backwards, no equivalent-inverse key transform.
+        const std::uint8_t *rk = sched(s)->rk;
+        std::uint8_t st[16];
+        std::memcpy(st, in, 16);
+        addRoundKey(st, rk + 16 * kRounds);
+        for (int round = kRounds - 1; round >= 1; --round) {
+            shiftRows(st, true);
+            for (int i = 0; i < 16; ++i)
+                st[i] = invSboxCt(st[i]);
+            addRoundKey(st, rk + 16 * round);
+            invMixColumns(st);
+        }
+        shiftRows(st, true);
+        for (int i = 0; i < 16; ++i)
+            st[i] = invSboxCt(st[i]);
+        addRoundKey(st, rk);
+        std::memcpy(out, st, 16);
+    }
+
+    std::shared_ptr<const GhashKey>
+    ghashKey(const Gf128 &h) const override
+    {
+        auto key = std::make_shared<CtGhashKey>();
+        key->h = h;
+        return key;
+    }
+
+    Gf128
+    ghashMul(const GhashKey &key, const Gf128 &x) const override
+    {
+        // Bit-serial shift-and-add over the 128 coefficients of x
+        // (x^0-side first = MSB of hi), accumulate and reduction both
+        // masked — uniform work per bit regardless of operand values.
+        Gf128 v = static_cast<const CtGhashKey &>(key).h;
+        std::uint64_t zhi = 0, zlo = 0;
+        for (int half = 0; half < 2; ++half) {
+            std::uint64_t bits =
+                half == 0 ? x.hi : x.lo;
+            for (int i = 63; i >= 0; --i) {
+                std::uint64_t m = maskOf64(bits >> i);
+                zhi ^= m & v.hi;
+                zlo ^= m & v.lo;
+                std::uint64_t r = maskOf64(v.lo);
+                v.lo = (v.lo >> 1) | (v.hi << 63);
+                v.hi = (v.hi >> 1) ^ (r & 0xe100000000000000ull);
+            }
+        }
+        return Gf128{zhi, zlo};
+    }
+};
+
+} // namespace
+
+const CryptoBackend &
+ctCryptoBackend()
+{
+    static const CtBackend backend;
+    return backend;
+}
+
+} // namespace secmem

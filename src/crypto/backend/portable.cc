@@ -1,0 +1,507 @@
+/**
+ * @file
+ * The portable crypto backend: table-driven software kernels that run
+ * on any host. This is the code that was crypto/aes.cc and the table
+ * half of crypto/gf128.cc before the backend registry existed, moved
+ * behind the CryptoBackend interface unchanged in substance.
+ *
+ * AES-128 is T-table based: four 1 KiB fused SubBytes+ShiftRows+
+ * MixColumns tables, generated at compile time from the S-box so the
+ * 8 KiB of constants cannot drift from the reference byte-wise
+ * transform. GHASH uses Shoup's precomputed-table method with 8-bit
+ * windows (sixteen positional 256-entry tables per subkey).
+ *
+ * Fast and portable, but NOT constant-time: both the T-tables and the
+ * Shoup tables index memory with secret-derived bytes, so cache-timing
+ * observation can in principle leak key material. Hosts with AES-NI
+ * get the hw backend by default; timing-sensitive software-only use
+ * should select the ct backend.
+ */
+
+#include "crypto/backend/backend.hh"
+
+#include <cstring>
+#include <new>
+
+#include "crypto/backend/shoup.hh"
+#include "crypto/bytes.hh"
+#include "crypto/gf128.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+// ---- AES-128: T-table cipher -------------------------------------------
+
+/** FIPS-197 S-box. */
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+/** Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1. */
+constexpr std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
+}
+
+/** General GF(2^8) multiply (table generation only). */
+constexpr std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+constexpr std::uint32_t
+packColumn(std::uint8_t r0, std::uint8_t r1, std::uint8_t r2, std::uint8_t r3)
+{
+    return (std::uint32_t(r0) << 24) | (std::uint32_t(r1) << 16) |
+           (std::uint32_t(r2) << 8) | r3;
+}
+
+/**
+ * Fused SubBytes+ShiftRows+MixColumns lookup tables, generated at
+ * compile time from the S-box so the 8 KiB of constants cannot drift
+ * from the reference byte-wise transform.
+ *
+ * TeN[b] is the contribution of state byte b arriving (post-ShiftRows)
+ * in row N of a column: the S-box output scattered through the
+ * MixColumns matrix {02,03,01,01}. TdN likewise applies the inverse
+ * S-box and the InvMixColumns matrix {0e,0b,0d,09}. A full round is
+ * then four lookups + XORs per output column.
+ */
+struct AesTables
+{
+    std::uint32_t Te[4][256]{};
+    std::uint32_t Td[4][256]{};
+    std::uint8_t inv[256]{}; ///< inverse S-box (final decrypt round)
+};
+
+constexpr AesTables
+buildTables()
+{
+    AesTables t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t s = kSbox[i];
+        t.inv[s] = static_cast<std::uint8_t>(i);
+        std::uint32_t w = packColumn(gmul(s, 2), s, s, gmul(s, 3));
+        for (int n = 0; n < 4; ++n) {
+            t.Te[n][i] = w;
+            w = (w >> 8) | (w << 24); // next row: rotate the column
+        }
+    }
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint8_t s = t.inv[i];
+        std::uint32_t w = packColumn(gmul(s, 14), gmul(s, 9), gmul(s, 13),
+                                     gmul(s, 11));
+        for (int n = 0; n < 4; ++n) {
+            t.Td[n][i] = w;
+            w = (w >> 8) | (w << 24);
+        }
+    }
+    return t;
+}
+
+constexpr AesTables kT = buildTables();
+
+/** SubWord(RotWord(w)) for the key schedule. */
+inline std::uint32_t
+subRotWord(std::uint32_t w)
+{
+    return packColumn(kSbox[(w >> 16) & 0xff], kSbox[(w >> 8) & 0xff],
+                      kSbox[w & 0xff], kSbox[w >> 24]);
+}
+
+/** InvMixColumns of one round-key word, via the decryption tables. */
+inline std::uint32_t
+invMixColumn(std::uint32_t w)
+{
+    // Td already folds in the inverse S-box, so feed it S-box outputs.
+    return kT.Td[0][kSbox[w >> 24]] ^ kT.Td[1][kSbox[(w >> 16) & 0xff]] ^
+           kT.Td[2][kSbox[(w >> 8) & 0xff]] ^ kT.Td[3][kSbox[w & 0xff]];
+}
+
+constexpr int kRounds = 10;
+
+/** Round keys for both directions, laid out inside AesSchedule. */
+struct PortableSched
+{
+    /** Encryption round keys: (kRounds + 1) big-endian column words. */
+    std::uint32_t ek[4 * (kRounds + 1)];
+    /** Decryption round keys (equivalent inverse cipher). */
+    std::uint32_t dk[4 * (kRounds + 1)];
+};
+
+static_assert(sizeof(PortableSched) <= AesSchedule::kBytes,
+              "portable schedule must fit the opaque storage");
+
+inline PortableSched *
+sched(AesSchedule &s)
+{
+    return reinterpret_cast<PortableSched *>(s.bytes.data());
+}
+
+inline const PortableSched *
+sched(const AesSchedule &s)
+{
+    return reinterpret_cast<const PortableSched *>(s.bytes.data());
+}
+
+// ---- GHASH: Shoup tables ------------------------------------------------
+
+/**
+ * Multiply @p v by x in the reflected GCM representation: a right
+ * shift of the byte stream, folding the dropped x^127 coefficient
+ * back in through R = 11100001 || 0^120.
+ */
+inline void
+mulByX(Gf128 &v)
+{
+    bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb)
+        v.hi ^= 0xe100000000000000ull;
+}
+
+/**
+ * Reduction constants for the 8-bit windowed multiply: kRem[r] is the
+ * polynomial r * x^128 reduced mod the GCM polynomial, where r holds
+ * the eight coefficients shifted off the low end of the accumulator.
+ * Computed once from first principles (eight single-bit reductions)
+ * rather than transcribed, so a typo cannot silently corrupt tags.
+ */
+struct RemTable
+{
+    std::array<std::uint64_t, 256> r{};
+
+    RemTable()
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            Gf128 v{0, i};
+            for (int b = 0; b < 8; ++b)
+                mulByX(v);
+            r[i] = v.hi; // only the top 16 bits can be set
+        }
+    }
+};
+
+const RemTable kRem;
+
+using Table256 = std::array<Gf128, 256>;
+
+/**
+ * Fill @p t with the 256 multiples b*H. Index bit 7 is the x^0-side
+ * coefficient within a window, so the powers H * x^k land on
+ * descending powers of two: t[0x80] = H, t[0x40] = H*x, ...,
+ * t[0x01] = H*x^7. Every other entry is the XOR of the power-of-two
+ * entries of its set bits; t[0] stays zero.
+ */
+void
+buildLowTable(Table256 &t, const Gf128 &h)
+{
+    Gf128 v = h;
+    for (unsigned i = 0x80; i >= 1; i >>= 1) {
+        t[i] = v;
+        mulByX(v);
+    }
+    for (unsigned i = 2; i < 256; i <<= 1)
+        for (unsigned j = 1; j < i; ++j)
+            t[i + j] = t[i] ^ t[j];
+}
+
+/** The portable backend's per-subkey state: the 64 KiB table set. */
+struct ShoupKey final : GhashKey
+{
+    detail::ShoupTable table;
+};
+
+// ---- the backend --------------------------------------------------------
+
+class PortableBackend final : public CryptoBackend
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "portable";
+    }
+
+    const char *
+    description() const override
+    {
+        return "T-table AES + Shoup-table GHASH (fast anywhere, "
+               "not constant-time)";
+    }
+
+    int
+    rank() const override
+    {
+        return 50;
+    }
+
+    bool
+    available() const override
+    {
+        return true;
+    }
+
+    void
+    aesExpandKey(AesSchedule &s, const std::uint8_t key[16]) const override
+    {
+        auto *ps = new (s.bytes.data()) PortableSched;
+        for (int i = 0; i < 4; ++i)
+            ps->ek[i] = loadBe32(key + 4 * i);
+        std::uint8_t rcon = 1;
+        for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+            std::uint32_t t = ps->ek[i - 1];
+            if (i % 4 == 0) {
+                t = subRotWord(t) ^ (std::uint32_t(rcon) << 24);
+                rcon = xtime(rcon);
+            }
+            ps->ek[i] = ps->ek[i - 4] ^ t;
+        }
+        // Equivalent inverse cipher: reverse the round-key order and
+        // run the middle keys through InvMixColumns so decryption can
+        // use the same fused-table round shape as encryption. Built
+        // here, not lazily on first decrypt, so a schedule shared by
+        // worker threads is immutable after this call.
+        for (int i = 0; i < 4; ++i) {
+            ps->dk[i] = ps->ek[4 * kRounds + i];
+            ps->dk[4 * kRounds + i] = ps->ek[i];
+        }
+        for (int round = 1; round < kRounds; ++round)
+            for (int i = 0; i < 4; ++i)
+                ps->dk[4 * round + i] =
+                    invMixColumn(ps->ek[4 * (kRounds - round) + i]);
+    }
+
+    void
+    aesEncryptBlock(const AesSchedule &s, const std::uint8_t in[16],
+                    std::uint8_t out[16]) const override
+    {
+        const std::uint32_t *ek = sched(s)->ek;
+        std::uint32_t s0 = loadBe32(in) ^ ek[0];
+        std::uint32_t s1 = loadBe32(in + 4) ^ ek[1];
+        std::uint32_t s2 = loadBe32(in + 8) ^ ek[2];
+        std::uint32_t s3 = loadBe32(in + 12) ^ ek[3];
+        for (int round = 1; round < kRounds; ++round) {
+            const std::uint32_t *rk = ek + 4 * round;
+            std::uint32_t t0 = kT.Te[0][s0 >> 24] ^
+                               kT.Te[1][(s1 >> 16) & 0xff] ^
+                               kT.Te[2][(s2 >> 8) & 0xff] ^
+                               kT.Te[3][s3 & 0xff] ^ rk[0];
+            std::uint32_t t1 = kT.Te[0][s1 >> 24] ^
+                               kT.Te[1][(s2 >> 16) & 0xff] ^
+                               kT.Te[2][(s3 >> 8) & 0xff] ^
+                               kT.Te[3][s0 & 0xff] ^ rk[1];
+            std::uint32_t t2 = kT.Te[0][s2 >> 24] ^
+                               kT.Te[1][(s3 >> 16) & 0xff] ^
+                               kT.Te[2][(s0 >> 8) & 0xff] ^
+                               kT.Te[3][s1 & 0xff] ^ rk[2];
+            std::uint32_t t3 = kT.Te[0][s3 >> 24] ^
+                               kT.Te[1][(s0 >> 16) & 0xff] ^
+                               kT.Te[2][(s1 >> 8) & 0xff] ^
+                               kT.Te[3][s2 & 0xff] ^ rk[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+        }
+        // Final round: SubBytes + ShiftRows only.
+        const std::uint32_t *rk = ek + 4 * kRounds;
+        storeBe32(out, packColumn(kSbox[s0 >> 24], kSbox[(s1 >> 16) & 0xff],
+                                  kSbox[(s2 >> 8) & 0xff], kSbox[s3 & 0xff]) ^
+                           rk[0]);
+        storeBe32(out + 4,
+                  packColumn(kSbox[s1 >> 24], kSbox[(s2 >> 16) & 0xff],
+                             kSbox[(s3 >> 8) & 0xff], kSbox[s0 & 0xff]) ^
+                      rk[1]);
+        storeBe32(out + 8,
+                  packColumn(kSbox[s2 >> 24], kSbox[(s3 >> 16) & 0xff],
+                             kSbox[(s0 >> 8) & 0xff], kSbox[s1 & 0xff]) ^
+                      rk[2]);
+        storeBe32(out + 12,
+                  packColumn(kSbox[s3 >> 24], kSbox[(s0 >> 16) & 0xff],
+                             kSbox[(s1 >> 8) & 0xff], kSbox[s2 & 0xff]) ^
+                      rk[3]);
+    }
+
+    void
+    aesDecryptBlock(const AesSchedule &s, const std::uint8_t in[16],
+                    std::uint8_t out[16]) const override
+    {
+        const std::uint32_t *dk = sched(s)->dk;
+        std::uint32_t s0 = loadBe32(in) ^ dk[0];
+        std::uint32_t s1 = loadBe32(in + 4) ^ dk[1];
+        std::uint32_t s2 = loadBe32(in + 8) ^ dk[2];
+        std::uint32_t s3 = loadBe32(in + 12) ^ dk[3];
+        for (int round = 1; round < kRounds; ++round) {
+            const std::uint32_t *rk = dk + 4 * round;
+            std::uint32_t t0 = kT.Td[0][s0 >> 24] ^
+                               kT.Td[1][(s3 >> 16) & 0xff] ^
+                               kT.Td[2][(s2 >> 8) & 0xff] ^
+                               kT.Td[3][s1 & 0xff] ^ rk[0];
+            std::uint32_t t1 = kT.Td[0][s1 >> 24] ^
+                               kT.Td[1][(s0 >> 16) & 0xff] ^
+                               kT.Td[2][(s3 >> 8) & 0xff] ^
+                               kT.Td[3][s2 & 0xff] ^ rk[1];
+            std::uint32_t t2 = kT.Td[0][s2 >> 24] ^
+                               kT.Td[1][(s1 >> 16) & 0xff] ^
+                               kT.Td[2][(s0 >> 8) & 0xff] ^
+                               kT.Td[3][s3 & 0xff] ^ rk[2];
+            std::uint32_t t3 = kT.Td[0][s3 >> 24] ^
+                               kT.Td[1][(s2 >> 16) & 0xff] ^
+                               kT.Td[2][(s1 >> 8) & 0xff] ^
+                               kT.Td[3][s0 & 0xff] ^ rk[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+        }
+        const std::uint32_t *rk = dk + 4 * kRounds;
+        storeBe32(out, packColumn(kT.inv[s0 >> 24], kT.inv[(s3 >> 16) & 0xff],
+                                  kT.inv[(s2 >> 8) & 0xff],
+                                  kT.inv[s1 & 0xff]) ^
+                           rk[0]);
+        storeBe32(out + 4,
+                  packColumn(kT.inv[s1 >> 24], kT.inv[(s0 >> 16) & 0xff],
+                             kT.inv[(s3 >> 8) & 0xff], kT.inv[s2 & 0xff]) ^
+                      rk[1]);
+        storeBe32(out + 8,
+                  packColumn(kT.inv[s2 >> 24], kT.inv[(s1 >> 16) & 0xff],
+                             kT.inv[(s0 >> 8) & 0xff], kT.inv[s3 & 0xff]) ^
+                      rk[2]);
+        storeBe32(out + 12,
+                  packColumn(kT.inv[s3 >> 24], kT.inv[(s2 >> 16) & 0xff],
+                             kT.inv[(s1 >> 8) & 0xff], kT.inv[s0 & 0xff]) ^
+                      rk[3]);
+    }
+
+    std::shared_ptr<const GhashKey>
+    ghashKey(const Gf128 &h) const override
+    {
+        auto key = std::make_shared<ShoupKey>();
+        detail::buildShoupTable(key->table, h);
+        return key;
+    }
+
+    Gf128
+    ghashMul(const GhashKey &key, const Gf128 &x) const override
+    {
+        return static_cast<const ShoupKey &>(key).table.mul(x);
+    }
+};
+
+} // namespace
+
+namespace detail
+{
+
+void
+buildShoupTable(ShoupTable &out, const Gf128 &h)
+{
+    // t[k][b] = shift8^k(b * H): byte position k's table is the
+    // previous one advanced by x^8, i.e. the same shift-plus-reduction
+    // step the serial multiply applies to its accumulator, applied once
+    // per entry at build time instead of once per byte at mul time.
+    buildLowTable(out.t[0], h);
+    for (unsigned k = 1; k < out.t.size(); ++k) {
+        for (unsigned b = 0; b < 256; ++b) {
+            const Gf128 &p = out.t[k - 1][b];
+            std::uint64_t rem = p.lo & 0xff;
+            out.t[k][b].lo = (p.lo >> 8) | (p.hi << 56);
+            out.t[k][b].hi = (p.hi >> 8) ^ kRem.r[rem];
+        }
+    }
+}
+
+Gf128
+ShoupTable::mul(const Gf128 &x) const
+{
+    // Z = XOR over k of t[k][byte_k(x)], where byte 0 is the leading
+    // (x^0-side) byte. Equivalent to the serial Shoup accumulation —
+    // each summand carries its x^(8k) factor in its own table — but the
+    // sixteen lookups are independent, so they overlap instead of
+    // waiting on a shift-and-reduce chain.
+    std::uint64_t hi = 0, lo = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        const Gf128 &a = t[k][(x.hi >> (8 * (7 - k))) & 0xff];
+        const Gf128 &b = t[k + 8][(x.lo >> (8 * (7 - k))) & 0xff];
+        hi ^= a.hi ^ b.hi;
+        lo ^= a.lo ^ b.lo;
+    }
+    return Gf128{hi, lo};
+}
+
+Gf128
+shoupMulSerial(const Gf128 &x, const Gf128 &y)
+{
+    // Z = (Z * x^8 + t[byte]) over the bytes of x from byte 15
+    // (highest powers of x) down to byte 0, with the x^8 step done as
+    // one shift plus a 256-entry reduction lookup.
+    Table256 t{};
+    buildLowTable(t, y);
+    Gf128 z = t[x.lo & 0xff];
+    for (int byte = 14; byte >= 0; --byte) {
+        std::uint64_t rem = z.lo & 0xff;
+        z.lo = (z.lo >> 8) | (z.hi << 56);
+        z.hi = (z.hi >> 8) ^ kRem.r[rem];
+        std::uint64_t b = byte >= 8 ? (x.lo >> (8 * (15 - byte))) & 0xff
+                                    : (x.hi >> (8 * (7 - byte))) & 0xff;
+        z.hi ^= t[b].hi;
+        z.lo ^= t[b].lo;
+    }
+    return z;
+}
+
+} // namespace detail
+
+const CryptoBackend &
+portableCryptoBackend()
+{
+    static const PortableBackend backend;
+    return backend;
+}
+
+} // namespace secmem

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The crypto-backend registry and process-wide active-backend state.
+ *
+ * The registry is the fixed list of backends compiled into this binary
+ * (portable and ct always; hw when the toolchain supported
+ * -maes -mpclmul), ordered by rank. The active backend is a single
+ * atomic pointer: resolved lazily on first use from the
+ * SECMEM_CRYPTO_BACKEND environment variable or rank-based
+ * auto-selection, and settable explicitly (the --crypto-backend flag)
+ * before the datapath objects that bind to it are constructed. Naming
+ * an unknown or CPU-unsupported backend is a hard error — a security
+ * artifact must never silently substitute a different cipher
+ * implementation for the one the user asked for.
+ */
+
+#include "crypto/backend/backend.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+std::atomic<const CryptoBackend *> g_active{nullptr};
+
+std::string
+knownBackendNames()
+{
+    std::string names;
+    for (const CryptoBackend *b : cryptoBackends()) {
+        if (!names.empty())
+            names += ", ";
+        names += b->name();
+    }
+    return names;
+}
+
+} // namespace
+
+const std::vector<const CryptoBackend *> &
+cryptoBackends()
+{
+    static const std::vector<const CryptoBackend *> list = [] {
+        std::vector<const CryptoBackend *> v;
+#if SECMEM_HAVE_HW_CRYPTO
+        v.push_back(&hwCryptoBackend());
+#endif
+        v.push_back(&portableCryptoBackend());
+        v.push_back(&ctCryptoBackend());
+        std::stable_sort(v.begin(), v.end(),
+                         [](const CryptoBackend *a, const CryptoBackend *b) {
+                             return a->rank() > b->rank();
+                         });
+        return v;
+    }();
+    return list;
+}
+
+const CryptoBackend *
+findCryptoBackend(std::string_view name)
+{
+    for (const CryptoBackend *b : cryptoBackends())
+        if (name == b->name())
+            return b;
+    return nullptr;
+}
+
+const CryptoBackend *
+resolveCryptoBackend(const char *flag_name, const char *env_name,
+                     std::string *err)
+{
+    const char *name = nullptr;
+    const char *source = nullptr;
+    if (flag_name && *flag_name) {
+        name = flag_name;
+        source = "--crypto-backend";
+    } else if (env_name && *env_name) {
+        name = env_name;
+        source = "SECMEM_CRYPTO_BACKEND";
+    }
+    if (!name) {
+        // Auto-selection: highest rank whose CPUID check passes. The
+        // portable backend is always compiled in and always available,
+        // so this cannot come up empty.
+        for (const CryptoBackend *b : cryptoBackends())
+            if (b->available())
+                return b;
+        if (err)
+            *err = "no available crypto backend (broken registry)";
+        return nullptr;
+    }
+    const CryptoBackend *b = findCryptoBackend(name);
+    if (!b) {
+        if (err)
+            *err = std::string("unknown crypto backend '") + name +
+                   "' (from " + source +
+                   "); compiled-in backends: " + knownBackendNames();
+        return nullptr;
+    }
+    if (!b->available()) {
+        if (err)
+            *err = std::string("crypto backend '") + name + "' (from " +
+                   source + ") is not supported on this CPU";
+        return nullptr;
+    }
+    return b;
+}
+
+const CryptoBackend &
+activeCryptoBackend()
+{
+    const CryptoBackend *b = g_active.load(std::memory_order_acquire);
+    if (b)
+        return *b;
+    std::string err;
+    const CryptoBackend *resolved = resolveCryptoBackend(
+        nullptr, std::getenv("SECMEM_CRYPTO_BACKEND"), &err);
+    if (!resolved)
+        SECMEM_FATAL("%s", err.c_str());
+    // First resolver to publish wins; a concurrent racer resolved the
+    // same inputs to the same backend, so either store is fine.
+    const CryptoBackend *expected = nullptr;
+    g_active.compare_exchange_strong(expected, resolved,
+                                     std::memory_order_acq_rel);
+    return *g_active.load(std::memory_order_acquire);
+}
+
+bool
+setActiveCryptoBackend(std::string_view name, std::string *err)
+{
+    const CryptoBackend *b = findCryptoBackend(name);
+    if (!b) {
+        if (err)
+            *err = std::string("unknown crypto backend '") +
+                   std::string(name) +
+                   "'; compiled-in backends: " + knownBackendNames();
+        return false;
+    }
+    if (!b->available()) {
+        if (err)
+            *err = std::string("crypto backend '") + std::string(name) +
+                   "' is not supported on this CPU";
+        return false;
+    }
+    g_active.store(b, std::memory_order_release);
+    return true;
+}
+
+} // namespace secmem

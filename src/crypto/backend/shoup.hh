@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internal Shoup-table GF(2^128) machinery shared between the portable
+ * crypto backend (which wraps the sixteen positional tables behind the
+ * CryptoBackend interface) and the one-shot gf128Mul() convenience in
+ * crypto/gf128.cc (which uses the single-table serial form). Both live
+ * in backend/portable.cc; nothing outside src/crypto should include
+ * this header.
+ */
+
+#ifndef SECMEM_CRYPTO_BACKEND_SHOUP_HH
+#define SECMEM_CRYPTO_BACKEND_SHOUP_HH
+
+#include <array>
+
+#include "crypto/gf128.hh"
+
+namespace secmem::detail
+{
+
+/**
+ * Sixteen 256-entry tables for one fixed operand H, one per byte
+ * position k of the other operand: t[k][b] = b * H * x^(8k), with the
+ * index byte read in GCM's reflected bit order (bit 7 of the index is
+ * the x^0-side coefficient). A product is then the XOR of sixteen
+ * independent lookups — no serial shift-and-reduce chain, so the
+ * lookups pipeline. The tables cost 64 KiB and ~4k word operations to
+ * build, which is why one table set per hash subkey is cached (via the
+ * portable backend's GhashKey) rather than rebuilt per tag.
+ */
+struct ShoupTable
+{
+    std::array<std::array<Gf128, 256>, 16> t{};
+
+    /** The product x * H. */
+    Gf128 mul(const Gf128 &x) const;
+};
+
+/** Build the sixteen positional tables for @p h into @p out. */
+void buildShoupTable(ShoupTable &out, const Gf128 &h);
+
+/**
+ * One-shot serial Shoup multiply x * y: builds a single 256-entry
+ * table for @p y and walks the bytes of @p x with a shift-plus-
+ * reduction step per byte. Backs the generic gf128Mul() helper, where
+ * building all sixteen positional tables would dominate.
+ */
+Gf128 shoupMulSerial(const Gf128 &x, const Gf128 &y);
+
+} // namespace secmem::detail
+
+#endif // SECMEM_CRYPTO_BACKEND_SHOUP_HH

@@ -7,11 +7,13 @@
 namespace secmem
 {
 
-Gcm::Gcm(const Block16 &key) : aes_(key)
+Gcm::Gcm(const Block16 &key) : Gcm(activeCryptoBackend(), key) {}
+
+Gcm::Gcm(const CryptoBackend &be, const Block16 &key) : aes_(be, key)
 {
     Block16 zero{};
     h_ = aes_.encrypt(zero);
-    htab_ = Gf128Table(Gf128::fromBlock(h_));
+    htab_ = Gf128Table(be, Gf128::fromBlock(h_));
 }
 
 Block16

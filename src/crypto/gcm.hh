@@ -34,7 +34,11 @@ struct GcmSealed
 class Gcm
 {
   public:
+    /** Key the cipher on the process-wide active crypto backend. */
     explicit Gcm(const Block16 &key);
+
+    /** Same, pinned to @p be (per-backend tests and benchmarks). */
+    Gcm(const CryptoBackend &be, const Block16 &key);
 
     /** Encrypt @p plaintext and authenticate (@p aad, ciphertext). */
     GcmSealed seal(const std::uint8_t *iv96, // 12 bytes

@@ -1,96 +1,9 @@
 #include "crypto/gf128.hh"
 
+#include "crypto/backend/shoup.hh"
+
 namespace secmem
 {
-
-namespace
-{
-
-/**
- * Multiply @p v by x in the reflected GCM representation: a right
- * shift of the byte stream, folding the dropped x^127 coefficient
- * back in through R = 11100001 || 0^120.
- */
-inline void
-mulByX(Gf128 &v)
-{
-    bool lsb = v.lo & 1;
-    v.lo = (v.lo >> 1) | (v.hi << 63);
-    v.hi >>= 1;
-    if (lsb)
-        v.hi ^= 0xe100000000000000ull;
-}
-
-/**
- * Reduction constants for the 8-bit windowed multiply: kRem[r] is the
- * polynomial r * x^128 reduced mod the GCM polynomial, where r holds
- * the eight coefficients shifted off the low end of the accumulator.
- * Computed once from first principles (eight single-bit reductions)
- * rather than transcribed, so a typo cannot silently corrupt tags.
- */
-struct RemTable
-{
-    std::array<std::uint64_t, 256> r{};
-
-    RemTable()
-    {
-        for (unsigned i = 0; i < 256; ++i) {
-            Gf128 v{0, i};
-            for (int b = 0; b < 8; ++b)
-                mulByX(v);
-            r[i] = v.hi; // only the top 16 bits can be set
-        }
-    }
-};
-
-const RemTable kRem;
-
-using Table256 = std::array<Gf128, 256>;
-
-/**
- * Fill @p t with the 256 multiples b*H. Index bit 7 is the x^0-side
- * coefficient within a window, so the powers H * x^k land on
- * descending powers of two: t[0x80] = H, t[0x40] = H*x, ...,
- * t[0x01] = H*x^7. Every other entry is the XOR of the power-of-two
- * entries of its set bits; t[0] stays zero.
- */
-void
-buildLowTable(Table256 &t, const Gf128 &h)
-{
-    Gf128 v = h;
-    for (unsigned i = 0x80; i >= 1; i >>= 1) {
-        t[i] = v;
-        mulByX(v);
-    }
-    for (unsigned i = 2; i < 256; i <<= 1)
-        for (unsigned j = 1; j < i; ++j)
-            t[i + j] = t[i] ^ t[j];
-}
-
-/**
- * Serial Shoup multiply over one 256-entry table, processing the byte
- * stream from byte 15 (highest powers of x) down to byte 0:
- * Z = (Z * x^8 + t[byte]) with the x^8 step done as one shift plus a
- * 256-entry reduction lookup. Used by the one-shot gf128Mul(), where
- * building the sixteen positional tables would dominate.
- */
-Gf128
-mulSerial(const Table256 &t, const Gf128 &x)
-{
-    Gf128 z = t[x.lo & 0xff];
-    for (int byte = 14; byte >= 0; --byte) {
-        std::uint64_t rem = z.lo & 0xff;
-        z.lo = (z.lo >> 8) | (z.hi << 56);
-        z.hi = (z.hi >> 8) ^ kRem.r[rem];
-        std::uint64_t b = byte >= 8 ? (x.lo >> (8 * (15 - byte))) & 0xff
-                                    : (x.hi >> (8 * (7 - byte))) & 0xff;
-        z.hi ^= t[b].hi;
-        z.lo ^= t[b].lo;
-    }
-    return z;
-}
-
-} // namespace
 
 Gf128
 Gf128::fromBlock(const Block16 &blk)
@@ -107,47 +20,13 @@ Gf128::toBlock() const
     return blk;
 }
 
-Gf128Table::Gf128Table(const Gf128 &h)
-{
-    // t_[k][b] = shift8^k(b * H): byte position k's table is the
-    // previous one advanced by x^8, i.e. the same shift-plus-reduction
-    // step the serial multiply applies to its accumulator, applied once
-    // per entry at build time instead of once per byte at mul time.
-    buildLowTable(t_[0], h);
-    for (unsigned k = 1; k < t_.size(); ++k) {
-        for (unsigned b = 0; b < 256; ++b) {
-            const Gf128 &p = t_[k - 1][b];
-            std::uint64_t rem = p.lo & 0xff;
-            t_[k][b].lo = (p.lo >> 8) | (p.hi << 56);
-            t_[k][b].hi = (p.hi >> 8) ^ kRem.r[rem];
-        }
-    }
-}
-
-Gf128
-Gf128Table::mul(const Gf128 &x) const
-{
-    // Z = XOR over k of t_[k][byte_k(x)], where byte 0 is the leading
-    // (x^0-side) byte. Equivalent to the serial Shoup accumulation —
-    // each summand carries its x^(8k) factor in its own table — but the
-    // sixteen lookups are independent, so they overlap instead of
-    // waiting on a shift-and-reduce chain.
-    std::uint64_t hi = 0, lo = 0;
-    for (unsigned k = 0; k < 8; ++k) {
-        const Gf128 &a = t_[k][(x.hi >> (8 * (7 - k))) & 0xff];
-        const Gf128 &b = t_[k + 8][(x.lo >> (8 * (7 - k))) & 0xff];
-        hi ^= a.hi ^ b.hi;
-        lo ^= a.lo ^ b.lo;
-    }
-    return Gf128{hi, lo};
-}
-
 Gf128
 gf128Mul(const Gf128 &x, const Gf128 &y)
 {
-    Table256 t{};
-    buildLowTable(t, y);
-    return mulSerial(t, x);
+    // Deliberately backend-independent (plain serial Shoup): used by
+    // code that multiplies by arbitrary operands once, where no
+    // per-subkey precomputation could pay off.
+    return detail::shoupMulSerial(x, y);
 }
 
 } // namespace secmem

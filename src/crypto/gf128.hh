@@ -6,21 +6,23 @@
  * (leftmost) bit of the byte stream is the coefficient of x^0. The
  * reduction polynomial is x^128 + x^7 + x^2 + x + 1.
  *
- * The production multiply is table-driven (Shoup's precomputed-table
- * method, 8-bit windows): a Gf128Table holds, for each of the 16 byte
- * positions, the 256 multiples b * H * x^(8k) of one fixed operand H,
- * and each product is then the XOR of 16 independent table lookups
- * instead of 128 bit-serial rounds. The historical bit-at-a-time
- * multiply lives on as ref::gf128MulNaive (src/ref/) and serves as the
- * independent oracle for this code.
+ * The production multiply is dispatched through the crypto-backend
+ * layer (crypto/backend/): a Gf128Table binds one fixed operand H to
+ * the active backend's precomputed per-subkey state — Shoup's 8-bit-
+ * window tables on the portable tier, just H itself on the PCLMULQDQ
+ * and constant-time tiers — and mul() runs the backend's multiply.
+ * The historical bit-at-a-time multiply lives on as
+ * ref::gf128MulNaive (src/ref/) and serves as the independent oracle
+ * for every tier.
  */
 
 #ifndef SECMEM_CRYPTO_GF128_HH
 #define SECMEM_CRYPTO_GF128_HH
 
-#include <array>
 #include <cstdint>
+#include <memory>
 
+#include "crypto/backend/backend.hh"
 #include "crypto/bytes.hh"
 
 namespace secmem
@@ -45,34 +47,48 @@ struct Gf128
 };
 
 /**
- * Precomputed multiplication tables for one fixed operand H.
+ * Precomputed multiply-by-H state for one fixed operand H.
  *
- * Sixteen 256-entry tables, one per byte position k of the other
- * operand: t_[k][b] = b * H * x^(8k), with the index byte read in
- * GCM's reflected bit order (bit 7 of the index is the x^0-side
- * coefficient). A product is then the XOR of sixteen independent
- * lookups — no serial shift-and-reduce chain, so the lookups pipeline.
- * The tables cost 64 KiB and ~4k word operations to build, which is
- * why one Gf128Table per hash subkey is cached by long-lived users
- * (Ghash, Gcm, the memory controller) rather than rebuilt per tag.
+ * What "precomputed" means is the backend's business: 64 KiB of Shoup
+ * tables on the portable tier (which is why one Gf128Table per hash
+ * subkey is cached by long-lived users — Ghash, Gcm, the memory
+ * controller — rather than rebuilt per tag), a single xmm-ready H on
+ * the hw tier. The state is immutable and shared, so copies are cheap
+ * and a const Gf128Table is safe to use from many threads.
  */
 class Gf128Table
 {
   public:
     Gf128Table() = default; ///< table for H = 0 (every product is 0)
-    explicit Gf128Table(const Gf128 &h);
+
+    /** Bind @p h on the process-wide active backend. */
+    explicit Gf128Table(const Gf128 &h)
+        : Gf128Table(activeCryptoBackend(), h)
+    {}
+
+    /** Bind @p h on a specific backend (per-backend tests/benches). */
+    Gf128Table(const CryptoBackend &be, const Gf128 &h)
+        : backend_(&be), key_(be.ghashKey(h))
+    {}
 
     /** The product x * H. */
-    Gf128 mul(const Gf128 &x) const;
+    Gf128
+    mul(const Gf128 &x) const
+    {
+        if (!key_)
+            return Gf128{}; // default table: H = 0
+        return backend_->ghashMul(*key_, x);
+    }
 
   private:
-    std::array<std::array<Gf128, 256>, 16> t_{};
+    const CryptoBackend *backend_ = nullptr;
+    std::shared_ptr<const GhashKey> key_;
 };
 
 /**
  * GCM GF(2^128) product of @p x and @p y. One-shot convenience that
- * builds a table for @p y internally; callers multiplying repeatedly
- * by the same operand should keep a Gf128Table instead.
+ * runs a backend-independent serial multiply; callers multiplying
+ * repeatedly by the same operand should keep a Gf128Table instead.
  */
 Gf128 gf128Mul(const Gf128 &x, const Gf128 &y);
 

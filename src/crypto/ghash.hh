@@ -5,13 +5,12 @@
  * GHASH_H(X) = X1*H^m + X2*H^(m-1) + ... + Xm*H over GF(2^128),
  * computed incrementally: Y_i = (Y_{i-1} ^ X_i) * H.
  *
- * The multiply is table-driven: constructing a Ghash from the raw
- * subkey builds the Shoup tables (Gf128Table) once, and every update()
- * is then the XOR of 16 independent lookups instead of 128 bit-serial
- * rounds. Callers that hash many messages under one subkey (the
+ * The multiply runs on the active crypto backend via Gf128Table:
+ * constructing a Ghash from the raw subkey precomputes the backend's
+ * per-subkey state (Shoup tables on the portable tier) once per
+ * message. Callers that hash many messages under one subkey (the
  * controller, Gcm) should build a single Gf128Table and construct
- * Ghash instances from it, which skips even the per-message table
- * build.
+ * Ghash instances from it, which shares even that per-subkey state.
  *
  * In the memory-authentication setting of Yan et al. each chunk update
  * corresponds to one single-cycle Galois-field multiply-accumulate in
@@ -34,23 +33,28 @@ namespace secmem
 class Ghash
 {
   public:
-    /** Build (and own) the multiplication table for subkey @p h. */
-    explicit Ghash(const Block16 &h)
-        : own_(std::make_unique<Gf128Table>(Gf128::fromBlock(h))),
-          table_(own_.get())
+    /**
+     * Build the multiply-by-H state for subkey @p h on the active
+     * backend.
+     */
+    explicit Ghash(const Block16 &h) : table_(Gf128::fromBlock(h)) {}
+
+    /** Same, pinned to @p be (per-backend tests and benchmarks). */
+    Ghash(const CryptoBackend &be, const Block16 &h)
+        : table_(be, Gf128::fromBlock(h))
     {}
 
     /**
-     * Hash under a caller-owned precomputed table, skipping the table
-     * build. @p table must outlive this Ghash.
+     * Hash under a caller-built table, skipping the per-subkey
+     * precomputation. The underlying state is shared, not copied.
      */
-    explicit Ghash(const Gf128Table &table) : table_(&table) {}
+    explicit Ghash(const Gf128Table &table) : table_(table) {}
 
     /** Absorb one 16-byte chunk. */
     void
     update(const Block16 &chunk)
     {
-        y_ = table_->mul(y_ ^ Gf128::fromBlock(chunk));
+        y_ = table_.mul(y_ ^ Gf128::fromBlock(chunk));
     }
 
     /** Absorb a GCM length block for @p aad_bits and @p ct_bits. */
@@ -67,8 +71,7 @@ class Ghash
     void reset() { y_ = Gf128{0, 0}; }
 
   private:
-    std::unique_ptr<Gf128Table> own_; ///< null when table_ is external
-    const Gf128Table *table_;
+    Gf128Table table_;
     Gf128 y_{0, 0};
 };
 

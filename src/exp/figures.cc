@@ -13,6 +13,7 @@
 
 #include "core/controller.hh"
 #include "core/system.hh"
+#include "crypto/backend/backend.hh"
 #include "harness/table.hh"
 #include "obs/registry.hh"
 #include "ref/shadow.hh"
@@ -800,10 +801,12 @@ struct CliOptions
     std::string storeDir;
     std::string statsOut;  ///< per-job stats JSON file, "-" = stdout
     std::string traceFile; ///< Chrome trace of the first simulated job
+    std::string cryptoBackend; ///< --crypto-backend override, "" = auto
     bool smoke = false;
     bool verifyModel = false;
     bool list = false;
     bool listStats = false;
+    bool listCryptoBackends = false;
     int progress = -1; ///< -1 auto (stderr tty), 0 off, 1 on
     RunLengths cliLengths{};
 };
@@ -817,9 +820,11 @@ usage(const char *argv0, bool unified)
         "          [--verify-model] [--out DIR] [--store DIR] [--no-store]\n"
         "          [--sim-instrs N] [--warmup-instrs N]\n"
         "          [--stats-out FILE|-] [--trace FILE]\n"
+        "          [--crypto-backend NAME]\n"
         "          [--progress] [--no-progress]\n\n",
         argv0,
         unified ? " [--figure NAME]... [--all] [--list] [--list-stats]"
+                  " [--list-crypto-backends]"
                 : "");
     std::fprintf(stderr, "figures:\n");
     for (const Figure &f : figures())
@@ -855,6 +860,10 @@ parseCli(int argc, char **argv, bool unified)
             opts.list = true;
         } else if (unified && arg == "--list-stats") {
             opts.listStats = true;
+        } else if (unified && arg == "--list-crypto-backends") {
+            opts.listCryptoBackends = true;
+        } else if (arg == "--crypto-backend") {
+            opts.cryptoBackend = value();
         } else if (arg == "--stats-out") {
             opts.statsOut = value();
         } else if (arg == "--trace") {
@@ -930,6 +939,37 @@ writeStatsOut(const Engine &engine, const std::string &path)
         return 1;
     }
     return 0;
+}
+
+/** The compiled-in crypto backends (--list-crypto-backends). */
+int
+listCryptoBackends()
+{
+    const CryptoBackend &active = activeCryptoBackend();
+    for (const CryptoBackend *b : cryptoBackends()) {
+        const char *status = !b->available() ? "unavailable on this CPU"
+                             : b == &active  ? "active"
+                                             : "available";
+        std::printf("%-10s %-24s %s\n", b->name(), status, b->description());
+    }
+    return 0;
+}
+
+/**
+ * Apply the --crypto-backend override before any datapath object
+ * binds to the active backend. Flag beats SECMEM_CRYPTO_BACKEND.
+ */
+bool
+applyCryptoBackend(const CliOptions &opts)
+{
+    if (opts.cryptoBackend.empty())
+        return true;
+    std::string err;
+    if (!setActiveCryptoBackend(opts.cryptoBackend, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return false;
+    }
+    return true;
 }
 
 /** All stat paths of a representative system (--list-stats). */
@@ -1035,6 +1075,8 @@ int
 benchMain(int argc, char **argv)
 {
     CliOptions opts = parseCli(argc, argv, /*unified=*/true);
+    if (!applyCryptoBackend(opts))
+        return 2;
     if (opts.list) {
         for (const Figure &f : figures())
             std::printf("%-10s %s\n", f.name, f.title);
@@ -1042,6 +1084,8 @@ benchMain(int argc, char **argv)
     }
     if (opts.listStats)
         return listStats();
+    if (opts.listCryptoBackends)
+        return listCryptoBackends();
     if (opts.figureNames.empty())
         usage(argv[0], /*unified=*/true);
     return runFigures(opts);
@@ -1051,6 +1095,8 @@ int
 figureMain(const char *figure, int argc, char **argv)
 {
     CliOptions opts = parseCli(argc, argv, /*unified=*/false);
+    if (!applyCryptoBackend(opts))
+        return 2;
     opts.figureNames = {figure};
     return runFigures(opts);
 }

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the crypto-backend registry and selection logic, plus
+ * per-backend known-answer and thread-safety checks.
+ *
+ * The selection tests go through resolveCryptoBackend(), the pure
+ * flag/env/auto precedence function, so they cover every combination
+ * without mutating the process environment. The known-answer vectors
+ * (FIPS-197 Appendix C.1, the SP 800-38D test cases) run once per
+ * compiled-in, CPU-supported backend through the pinned-backend
+ * constructors; the heavier randomized validation lives in
+ * tests/ref/differential_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "crypto/aes.hh"
+#include "crypto/backend/backend.hh"
+#include "crypto/gcm.hh"
+
+namespace secmem
+{
+namespace
+{
+
+std::vector<const CryptoBackend *>
+availableBackends()
+{
+    std::vector<const CryptoBackend *> v;
+    for (const CryptoBackend *b : cryptoBackends())
+        if (b->available())
+            v.push_back(b);
+    return v;
+}
+
+// ---- registry shape -----------------------------------------------------
+
+TEST(BackendRegistry, PortableAndCtAreAlwaysCompiledIn)
+{
+    ASSERT_NE(findCryptoBackend("portable"), nullptr);
+    ASSERT_NE(findCryptoBackend("ct"), nullptr);
+    EXPECT_TRUE(findCryptoBackend("portable")->available())
+        << "the portable backend must run on every host";
+    EXPECT_TRUE(findCryptoBackend("ct")->available());
+}
+
+TEST(BackendRegistry, ListIsSortedByRankWithUniqueNames)
+{
+    const auto &list = cryptoBackends();
+    ASSERT_GE(list.size(), 2u);
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        EXPECT_TRUE(names.insert(list[i]->name()).second)
+            << "duplicate backend name " << list[i]->name();
+        if (i > 0)
+            EXPECT_GE(list[i - 1]->rank(), list[i]->rank());
+    }
+}
+
+TEST(BackendRegistry, FindRejectsUnknownNames)
+{
+    EXPECT_EQ(findCryptoBackend("nope"), nullptr);
+    EXPECT_EQ(findCryptoBackend(""), nullptr);
+    EXPECT_EQ(findCryptoBackend("Portable"), nullptr) << "names are exact";
+}
+
+// ---- flag / env / auto precedence ---------------------------------------
+
+TEST(BackendSelection, FlagBeatsEnv)
+{
+    std::string err;
+    const CryptoBackend *b = resolveCryptoBackend("ct", "portable", &err);
+    ASSERT_NE(b, nullptr) << err;
+    EXPECT_STREQ(b->name(), "ct");
+}
+
+TEST(BackendSelection, EnvUsedWhenNoFlag)
+{
+    std::string err;
+    const CryptoBackend *b = resolveCryptoBackend(nullptr, "ct", &err);
+    ASSERT_NE(b, nullptr) << err;
+    EXPECT_STREQ(b->name(), "ct");
+}
+
+TEST(BackendSelection, EmptyNamesMeanAuto)
+{
+    std::string err;
+    const CryptoBackend *b = resolveCryptoBackend("", "", &err);
+    ASSERT_NE(b, nullptr) << err;
+    EXPECT_TRUE(b->available());
+}
+
+TEST(BackendSelection, AutoPicksHighestAvailableRankAndNeverCt)
+{
+    std::string err;
+    const CryptoBackend *b = resolveCryptoBackend(nullptr, nullptr, &err);
+    ASSERT_NE(b, nullptr) << err;
+    EXPECT_TRUE(b->available());
+    // The ct tier ranks below portable precisely so that slow,
+    // timing-uniform code is never chosen implicitly.
+    EXPECT_STRNE(b->name(), "ct");
+    for (const CryptoBackend *other : availableBackends())
+        EXPECT_GE(b->rank(), other->rank());
+}
+
+TEST(BackendSelection, ForcedPortableOverridesAutoSelection)
+{
+    // The fallback path, forced: even when a better backend is
+    // available, naming portable must pin portable.
+    std::string err;
+    const CryptoBackend *b = resolveCryptoBackend("portable", nullptr, &err);
+    ASSERT_NE(b, nullptr) << err;
+    EXPECT_STREQ(b->name(), "portable");
+}
+
+TEST(BackendSelection, UnknownFlagNameIsAnErrorNamingTheFlag)
+{
+    std::string err;
+    EXPECT_EQ(resolveCryptoBackend("nope", nullptr, &err), nullptr);
+    EXPECT_NE(err.find("nope"), std::string::npos) << err;
+    EXPECT_NE(err.find("--crypto-backend"), std::string::npos) << err;
+    EXPECT_NE(err.find("portable"), std::string::npos)
+        << "error should list the compiled-in backends: " << err;
+}
+
+TEST(BackendSelection, UnknownEnvNameIsAnErrorNamingTheVariable)
+{
+    std::string err;
+    EXPECT_EQ(resolveCryptoBackend(nullptr, "nope", &err), nullptr);
+    EXPECT_NE(err.find("SECMEM_CRYPTO_BACKEND"), std::string::npos) << err;
+}
+
+TEST(BackendSelection, UnknownFlagDoesNotFallBackToEnv)
+{
+    // An explicit name must never be silently papered over by the
+    // weaker setting.
+    std::string err;
+    EXPECT_EQ(resolveCryptoBackend("nope", "portable", &err), nullptr);
+}
+
+TEST(BackendSelection, SetActiveRoundTripsAndRejectsUnknown)
+{
+    std::string original = activeCryptoBackend().name();
+
+    std::string err;
+    ASSERT_TRUE(setActiveCryptoBackend("portable", &err)) << err;
+    EXPECT_STREQ(activeCryptoBackend().name(), "portable");
+    // New datapath objects bind to the newly active backend.
+    EXPECT_STREQ(Aes128().backend().name(), "portable");
+
+    ASSERT_TRUE(setActiveCryptoBackend("ct", &err)) << err;
+    EXPECT_STREQ(activeCryptoBackend().name(), "ct");
+
+    EXPECT_FALSE(setActiveCryptoBackend("nope", &err));
+    EXPECT_NE(err.find("nope"), std::string::npos);
+    EXPECT_STREQ(activeCryptoBackend().name(), "ct")
+        << "a failed set must leave the active backend unchanged";
+
+    ASSERT_TRUE(setActiveCryptoBackend(original, &err)) << err;
+    EXPECT_EQ(std::string(activeCryptoBackend().name()), original);
+}
+
+// ---- per-backend known answers ------------------------------------------
+
+class BackendKat : public ::testing::TestWithParam<const CryptoBackend *>
+{};
+
+TEST_P(BackendKat, Fips197AppendixC1)
+{
+    const CryptoBackend &be = *GetParam();
+    const std::uint8_t key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                  0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                  0x0e, 0x0f};
+    Block16 pt{{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99,
+                0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}};
+    Block16 expect{{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8,
+                    0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}};
+    Aes128 aes(be, key);
+    EXPECT_EQ(aes.encrypt(pt), expect);
+    EXPECT_EQ(aes.decrypt(expect), pt);
+}
+
+TEST_P(BackendKat, Sp800_38dTestCase2)
+{
+    // All-zero key, IV and one zero plaintext block: exercises the AES
+    // pad path, the hash-subkey derivation and the GHASH multiply in
+    // one known vector.
+    const CryptoBackend &be = *GetParam();
+    Gcm gcm(be, Block16{});
+    Block16 h_expect{{0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88,
+                      0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b, 0x2e}};
+    EXPECT_EQ(gcm.hashSubkey(), h_expect);
+
+    std::uint8_t iv[12] = {};
+    GcmSealed sealed = gcm.seal(iv, std::vector<std::uint8_t>(16, 0));
+    const std::uint8_t ct_expect[16] = {0x03, 0x88, 0xda, 0xce, 0x60, 0xb6,
+                                        0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9,
+                                        0x71, 0xb2, 0xfe, 0x78};
+    Block16 tag_expect{{0xab, 0x6e, 0x47, 0xd4, 0x2c, 0xec, 0x13, 0xbd,
+                        0xf5, 0x3a, 0x67, 0xb2, 0x12, 0x57, 0xbd, 0xdf}};
+    ASSERT_EQ(sealed.ciphertext.size(), 16u);
+    EXPECT_EQ(std::memcmp(sealed.ciphertext.data(), ct_expect, 16), 0);
+    EXPECT_EQ(sealed.tag, tag_expect);
+}
+
+TEST_P(BackendKat, AgreesWithPortableOnRandomishBlocks)
+{
+    const CryptoBackend &be = *GetParam();
+    const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                  0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                  0x4f, 0x3c};
+    Aes128 mine(be, key);
+    Aes128 portable(portableCryptoBackend(), key);
+    Block16 pt{};
+    for (int round = 0; round < 256; ++round) {
+        pt.b[round % 16] ^= static_cast<std::uint8_t>(round * 37 + 11);
+        Block16 ct = mine.encrypt(pt);
+        EXPECT_EQ(ct, portable.encrypt(pt)) << "round " << round;
+        EXPECT_EQ(mine.decrypt(ct), pt) << "round " << round;
+    }
+}
+
+TEST_P(BackendKat, CopiedCipherIsIndependentlyUsable)
+{
+    // AesSchedule is plain bytes: a copied Aes128 must work without
+    // any rebinding, whatever layout the backend placed inside.
+    const CryptoBackend &be = *GetParam();
+    const std::uint8_t key[16] = {1, 2, 3, 4, 5, 6, 7, 8,
+                                  9, 10, 11, 12, 13, 14, 15, 16};
+    Aes128 a(be, key);
+    Aes128 b = a;
+    Block16 pt{{0xde, 0xad, 0xbe, 0xef}};
+    EXPECT_EQ(a.encrypt(pt), b.encrypt(pt));
+    EXPECT_EQ(b.decrypt(a.encrypt(pt)), pt);
+}
+
+TEST_P(BackendKat, SharedCipherDecryptsSafelyFromManyThreads)
+{
+    // Regression test for the lazily built decryption schedule: the
+    // work-stealing engine shares one keyed Aes128 between jobs, and
+    // the first decrypt used to build mutable state on demand. The
+    // schedule is now expanded eagerly for both directions, so
+    // concurrent first decrypts must all succeed bit-exactly.
+    const CryptoBackend &be = *GetParam();
+    const std::uint8_t key[16] = {0xfe, 0xed, 0xfa, 0xce, 0xde, 0xad, 0xbe,
+                                  0xef, 0xfe, 0xed, 0xfa, 0xce, 0xde, 0xad,
+                                  0xbe, 0xef};
+    Block16 pt{{0x42}};
+    Block16 ct = Aes128(be, key).encrypt(pt);
+
+    const Aes128 shared(be, key); // never encrypted/decrypted yet
+    constexpr int kThreads = 4;
+    constexpr int kIters = 200;
+    std::vector<int> bad(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i)
+                if (!(shared.decrypt(ct) == pt))
+                    ++bad[t];
+        });
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(bad[t], 0) << "thread " << t << " saw corrupt decrypts";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendKat, ::testing::ValuesIn(availableBackends()),
+    [](const ::testing::TestParamInfo<const CryptoBackend *> &info) {
+        return std::string(info.param->name());
+    });
+
+} // namespace
+} // namespace secmem

@@ -22,6 +22,7 @@
 
 #include "core/controller.hh"
 #include "crypto/aes.hh"
+#include "crypto/backend/backend.hh"
 #include "crypto/gf128.hh"
 #include "crypto/ghash.hh"
 #include "ref/naive.hh"
@@ -208,6 +209,92 @@ TEST(DifferentialAes, KeyChangeInvalidatesCachedSchedules)
         EXPECT_EQ(dec_first.decrypt(ct2), pt);
     }
 }
+
+// ---- every registered backend vs the naive oracle ----------------------
+
+/**
+ * The suites above validate whichever backend is active for the
+ * process (normally the auto-selected best). These run the same
+ * fast-vs-naive fuzz once per compiled-in, CPU-supported backend via
+ * the pinned-backend constructors, so a broken backend cannot hide
+ * behind the auto-selection picking a different one.
+ */
+class BackendDifferential
+    : public ::testing::TestWithParam<const CryptoBackend *>
+{};
+
+TEST_P(BackendDifferential, AesMatchesNaiveAcrossKeysAndBlocks)
+{
+    const CryptoBackend &be = *GetParam();
+    Rng rng(68);
+    Aes128 fast(be);
+    ref::AesNaive naive;
+    Block16 key = randomChunk(rng);
+    fast.setKey(key.b.data());
+    naive.setKey(key.b.data());
+    for (int round = 0; round < 10000; ++round) {
+        if (round % 64 == 0) {
+            key = randomChunk(rng);
+            fast.setKey(key.b.data());
+            naive.setKey(key.b.data());
+        }
+        Block16 pt = randomChunk(rng);
+        Block16 ct = fast.encrypt(pt);
+        ASSERT_EQ(ct, naive.encrypt(pt)) << "round " << round;
+        ASSERT_EQ(fast.decrypt(ct), pt) << "round " << round;
+    }
+}
+
+TEST_P(BackendDifferential, GhashMulMatchesNaive)
+{
+    const CryptoBackend &be = *GetParam();
+    Rng rng(69);
+    Gf128 h = randomGf(rng);
+    Gf128Table table(be, h);
+    for (int round = 0; round < 10000; ++round) {
+        Gf128 x = randomGf(rng);
+        Gf128 fast = table.mul(x);
+        Gf128 naive = ref::gf128MulNaive(x, h);
+        ASSERT_EQ(fast.hi, naive.hi) << "round " << round;
+        ASSERT_EQ(fast.lo, naive.lo) << "round " << round;
+    }
+}
+
+TEST_P(BackendDifferential, GhashEdgeOperandsMatchNaive)
+{
+    const CryptoBackend &be = *GetParam();
+    std::vector<Gf128> edges = {Gf128{0, 0}, Gf128{0, 1},
+                                Gf128{1ull << 63, 0}, Gf128{0, 1ull << 63},
+                                Gf128{~0ull, ~0ull}};
+    for (int bit = 0; bit < 128; ++bit)
+        edges.push_back(Gf128{bit < 64 ? 1ull << (63 - bit) : 0,
+                              bit >= 64 ? 1ull << (127 - bit) : 0});
+    for (const Gf128 &h : edges) {
+        Gf128Table table(be, h);
+        for (const Gf128 &x : edges) {
+            Gf128 fast = table.mul(x);
+            Gf128 naive = ref::gf128MulNaive(x, h);
+            ASSERT_EQ(fast.hi, naive.hi);
+            ASSERT_EQ(fast.lo, naive.lo);
+        }
+    }
+}
+
+std::vector<const CryptoBackend *>
+availableBackends()
+{
+    std::vector<const CryptoBackend *> v;
+    for (const CryptoBackend *b : cryptoBackends())
+        if (b->available())
+            v.push_back(b);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendDifferential, ::testing::ValuesIn(availableBackends()),
+    [](const ::testing::TestParamInfo<const CryptoBackend *> &info) {
+        return std::string(info.param->name());
+    });
 
 // ---- end-to-end: the oracle (naive path) checks the table path ---------
 
