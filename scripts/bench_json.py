@@ -27,6 +27,24 @@ Usage:
       --out BENCH_crypto.json [--baseline bench/BENCH_crypto.baseline.json]
       [--write-baseline] [--tolerance 2.0]
 
+Second mode (--sim-metrics): validate, distill and gate the simulator
+telemetry JSON emitted by `secmem-bench --profile --metrics-out`
+(schema "secmem-bench-sim-v1") into BENCH_sim.json:
+
+  * schema validity — positive wall-clock, events/s and instructions/s,
+    at least one simulated job;
+  * the representative job stats must carry >= MIN_SIM_HISTOGRAMS
+    latency log-histograms (objects with both p50 and p99);
+  * profiler zone shares must each lie in [0, 1] and sum to <= 100%;
+  * against bench/BENCH_sim.baseline.json, events/s and instructions/s
+    may not drop more than the tolerance (2x default) and the fig4
+    smoke wall-clock may not grow more than the tolerance.
+
+Usage:
+  bench_json.py --sim-metrics raw.json --out BENCH_sim.json \
+      [--baseline bench/BENCH_sim.baseline.json]
+      [--write-baseline] [--tolerance 2.0]
+
 Exit status is non-zero on any validation or regression failure.
 """
 
@@ -35,6 +53,13 @@ import json
 import sys
 
 MIN_GHASH_SPEEDUP = 5.0
+MIN_SIM_HISTOGRAMS = 5
+
+SIM_SCHEMA = "secmem-bench-sim-v1"
+# Baseline-gated fields of BENCH_sim.json: higher is better for the
+# throughputs, lower is better for the wall-clock.
+SIM_THROUGHPUT_FIELDS = ["events_per_sec", "instructions_per_sec"]
+SIM_LATENCY_FIELDS = ["wall_seconds"]
 
 # BENCH_crypto.json field  ->  (microbench name, counter)
 FIELDS = {
@@ -182,14 +207,138 @@ def check_baseline(out, path, tolerance):
           f"(tolerance {tolerance:.1f}x)")
 
 
+def collect_histograms(node, path=""):
+    """Dotted paths of every log-histogram object (has p50 and p99)."""
+    found = {}
+    if not isinstance(node, dict):
+        return found
+    if "p50" in node and "p99" in node:
+        found[path] = node
+    for key, value in node.items():
+        child = f"{path}.{key}" if path else key
+        found.update(collect_histograms(value, child))
+    return found
+
+
+def build_sim(args):
+    with open(args.sim_metrics) as f:
+        raw = json.load(f)
+    if raw.get("schema") != SIM_SCHEMA:
+        fail(f"{args.sim_metrics} schema is {raw.get('schema')!r}, "
+             f"expected {SIM_SCHEMA!r}")
+
+    for field in ("wall_seconds", "events_per_sec", "instructions_per_sec"):
+        value = raw.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"{field} must be positive, got {value!r}")
+    if raw.get("jobs_simulated", 0) <= 0:
+        fail("no jobs were simulated (everything served from a store?)")
+
+    hists = collect_histograms(raw.get("job_stats") or {})
+    if len(hists) < MIN_SIM_HISTOGRAMS:
+        fail(f"job_stats carries {len(hists)} latency histograms "
+             f"(p50+p99), need >= {MIN_SIM_HISTOGRAMS}: "
+             f"{sorted(hists) or 'none'}")
+    print(f"bench_json: {len(hists)} latency histograms: "
+          + ", ".join(sorted(hists)))
+
+    zones = raw.get("zones") or []
+    share_total = 0.0
+    for zone in zones:
+        share = zone.get("share", 0.0)
+        if not 0.0 <= share <= 1.0:
+            fail(f"zone {zone.get('name')!r} share {share} outside [0, 1]")
+        share_total += share
+    if share_total > 1.0 + 1e-6:
+        fail(f"zone shares sum to {share_total:.3f} > 1.0 — self-time "
+             "attribution is double-counting")
+    if raw.get("profile_enabled") and not zones:
+        fail("profiling was enabled but no zones reported any self-time")
+    if zones:
+        top = ", ".join(f"{z['name']} {z['share']:.0%}" for z in zones[:3])
+        print(f"bench_json: zone self-time {share_total:.0%} tracked "
+              f"({top})")
+
+    out = {
+        "schema": SIM_SCHEMA,
+        "figures": raw.get("figures", []),
+        "wall_seconds": raw["wall_seconds"],
+        "job_wall_seconds": raw.get("job_wall_seconds", 0.0),
+        "jobs_simulated": raw["jobs_simulated"],
+        "jobs_cached": raw.get("jobs_cached", 0),
+        "sim_cycles": raw.get("sim_cycles", 0),
+        "sim_instructions": raw.get("sim_instructions", 0),
+        "events_per_sec": raw["events_per_sec"],
+        "instructions_per_sec": raw["instructions_per_sec"],
+        "pool": raw.get("pool", {}),
+        "zones": zones,
+        "zone_share_total": share_total,
+        "histograms": {
+            path: {k: hist[k] for k in ("count", "mean", "p50", "p90",
+                                        "p99", "max") if k in hist}
+            for path, hist in sorted(hists.items())
+        },
+        "sampler_rows": len((raw.get("sampler") or {}).get("rows", [])),
+    }
+    return out
+
+
+def check_sim_baseline(out, path, tolerance):
+    try:
+        with open(path) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        fail(f"baseline {path} not found (generate with --write-baseline)")
+
+    bad = []
+    for field in SIM_THROUGHPUT_FIELDS:
+        if field in base and out[field] * tolerance < base[field]:
+            bad.append(f"{field}: {out[field]:.3g} vs baseline "
+                       f"{base[field]:.3g} (>{tolerance:.1f}x slower)")
+    for field in SIM_LATENCY_FIELDS:
+        if field in base and out[field] > base[field] * tolerance:
+            bad.append(f"{field}: {out[field]:.3g}s vs baseline "
+                       f"{base[field]:.3g}s (>{tolerance:.1f}x slower)")
+    if bad:
+        fail("simulator performance regression vs " + path + ":\n  " +
+             "\n  ".join(bad))
+    print(f"bench_json: no sim regression vs {path} "
+          f"(tolerance {tolerance:.1f}x)")
+
+
+def run_sim_mode(args):
+    out = build_sim(args)
+
+    if args.baseline and not args.write_baseline:
+        check_sim_baseline(out, args.baseline, args.tolerance)
+
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_json: wrote {args.out}")
+
+    if args.write_baseline:
+        if not args.baseline:
+            fail("--write-baseline needs --baseline for the target path")
+        base = {field: out[field]
+                for field in SIM_THROUGHPUT_FIELDS + SIM_LATENCY_FIELDS}
+        with open(args.baseline, "w") as f:
+            json.dump(base, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_json: wrote baseline {args.baseline}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--microbench", required=True,
+    ap.add_argument("--microbench",
                     help="google-benchmark JSON from crypto_microbench")
-    ap.add_argument("--fig4-seconds", type=float, required=True,
+    ap.add_argument("--fig4-seconds", type=float,
                     help="wall-clock seconds of the fig4 smoke run")
+    ap.add_argument("--sim-metrics",
+                    help="secmem-bench --metrics-out JSON; switches to "
+                         "the BENCH_sim flow")
     ap.add_argument("--out", required=True,
-                    help="where to write BENCH_crypto.json")
+                    help="where to write BENCH_crypto.json / BENCH_sim.json")
     ap.add_argument("--baseline", default=None,
                     help="checked-in baseline to compare against")
     ap.add_argument("--write-baseline", action="store_true",
@@ -197,6 +346,13 @@ def main():
     ap.add_argument("--tolerance", type=float, default=2.0,
                     help="allowed slowdown factor vs the baseline")
     args = ap.parse_args()
+
+    if args.sim_metrics:
+        run_sim_mode(args)
+        return
+    if not args.microbench or args.fig4_seconds is None:
+        fail("--microbench and --fig4-seconds are required without "
+             "--sim-metrics")
 
     out = build(args)
     check_speedup(out)

@@ -50,6 +50,20 @@ echo "== secmem-bench smoke (fig4, parallel, no store) =="
 ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
     --no-progress >/dev/null
 
+echo "== profiler + telemetry smoke (fig4 --profile --metrics-out) =="
+# The profiled run must emit a valid BENCH_sim telemetry JSON (zone
+# self-times, latency histograms, sampler series) and a zone table on
+# stderr — while leaving the figure tables bit-identical to the
+# unprofiled run above (the CI bench-smoke job diffs them; here we
+# just prove the plumbing works end to end).
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress --profile --sample-every 200000 \
+    --metrics-out build/bench_sim_raw.json \
+    >/dev/null 2>build/profile-err.txt
+grep -q "^profile:" build/profile-err.txt
+python3 scripts/bench_json.py --sim-metrics build/bench_sim_raw.json \
+    --out build/BENCH_sim.json
+
 echo "== crypto backend smoke (registry + per-backend oracle) =="
 # Every compiled-in, CPU-supported backend must drive the whole fig4
 # datapath bit-exactly against the untimed reference model; a bad

@@ -5,6 +5,12 @@
 # schema and scripts/bench_json.py for the gates: GHASH table speedup
 # >= 5x, no >2x regression vs bench/BENCH_crypto.baseline.json).
 #
+# A second profiled fig4 run then emits the simulator telemetry
+# (--profile --metrics-out: events/s, instructions/s, zone self-times,
+# latency histograms, sampler series), which bench_json.py
+# --sim-metrics validates and gates into BENCH_sim.json against
+# bench/BENCH_sim.baseline.json with the same 2x tolerance.
+#
 # Usage: scripts/perf_smoke.sh [--write-baseline] [--out DIR]
 set -euo pipefail
 
@@ -51,5 +57,18 @@ python3 scripts/bench_json.py \
     --fig4-seconds "$fig4_seconds" \
     --out "$outdir/BENCH_crypto.json" \
     "${baseline_args[@]}"
+
+echo "== BENCH_sim.json (profiled fig4 smoke) =="
+./build-perf/bench/secmem-bench --figure fig4 --smoke --jobs "$jobs" \
+    --no-store --no-progress --profile --sample-every 200000 \
+    --metrics-out "$outdir/bench_sim_raw.json" >/dev/null
+sim_baseline_args=(--baseline bench/BENCH_sim.baseline.json)
+if [[ "$write_baseline" == 1 ]]; then
+    sim_baseline_args+=(--write-baseline)
+fi
+python3 scripts/bench_json.py \
+    --sim-metrics "$outdir/bench_sim_raw.json" \
+    --out "$outdir/BENCH_sim.json" \
+    "${sim_baseline_args[@]}"
 
 echo "perf_smoke.sh: all green"

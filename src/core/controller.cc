@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "crypto/seed.hh"
+#include "obs/profiler.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "ref/shadow.hh"
@@ -137,6 +138,13 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     stats_.counter("quarantines");
     stats_.counter("quarantine_blocked_reads");
     stats_.counter("quarantine_blocked_writes");
+    // Latency distributions (log-bucketed, p50/p90/p99 in dumps), also
+    // pre-registered for a uniform stat set.
+    stats_.logHistogram("read_latency");
+    stats_.logHistogram("write_latency");
+    stats_.logHistogram("ctr_miss_penalty");
+    stats_.logHistogram("recovery_retries");
+    stats_.gauge("inflight");
 }
 
 SecureMemoryController::~SecureMemoryController() = default;
@@ -370,6 +378,7 @@ SecureMemoryController::runRecovery(Addr addr, AccessTiming timing,
         timing = readBlockImpl(addr, timing.authDone + backoff, out);
     }
 
+    stats_.logHistogram("recovery_retries").record(tries);
     if (cur_.valid) {
         cur_.retries = tries;
         cur_.recovered = timing.authOk;
@@ -473,6 +482,7 @@ SecureMemoryController::encryptData(Addr addr, const Block64 &pt,
                                     std::uint64_t ctr,
                                     std::uint8_t epoch) const
 {
+    SECMEM_PROF(Crypto);
     switch (cfg_.enc) {
       case EncKind::None:
         return pt;
@@ -495,6 +505,7 @@ SecureMemoryController::decryptData(Addr addr, const Block64 &ct,
                                     std::uint64_t ctr,
                                     std::uint8_t epoch) const
 {
+    SECMEM_PROF(Crypto);
     switch (cfg_.enc) {
       case EncKind::None:
         return ct;
@@ -519,6 +530,7 @@ SecureMemoryController::nodeTag(const NodeRef &node, const Block64 &content,
                                 std::uint64_t counter,
                                 std::uint8_t epoch) const
 {
+    SECMEM_PROF(Crypto);
     if (cfg_.auth == AuthKind::Gcm) {
         // GHASH absorbs the 4 ciphertext chunks plus the length block.
         stats_.counter("ghash_chunks").inc(kChunksPerBlock + 1);
@@ -691,6 +703,7 @@ SecureMemoryController::getDerivCtr(std::uint64_t deriv_idx, Tick now)
             channel_.writeBlockTiming(now);
         }
         inflight_[addr] = ready;
+        stats_.gauge("inflight").set(inflight_.size());
         line = derivCache_.peek(addr);
     }
     return {ready, MonoCounterBlock(64, *line).counter(slot)};
@@ -721,6 +734,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
                                             Tick issue, Tick arrive,
                                             Tick counter_ready, bool *ok)
 {
+    SECMEM_PROF(MerkleVerify);
     const bool gcm = cfg_.auth == AuthKind::Gcm;
 
     // Functional check of the node itself against its stored tag.
@@ -793,6 +807,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
             if (ev.valid && ev.dirty)
                 writebackMacBlock(ev.addr, ev.data, issue);
             inflight_[loc.blockAddr] = content_ready;
+            stats_.gauge("inflight").set(inflight_.size());
             terminal = false;
         }
 
@@ -918,6 +933,7 @@ SecureMemoryController::getMacBlock(const TagLocation &loc, Tick now,
     if (ev.valid && ev.dirty)
         writebackMacBlock(ev.addr, ev.data, now);
     inflight_[loc.blockAddr] = arrive;
+    stats_.gauge("inflight").set(inflight_.size());
     acc.line = macCache_.peek(loc.blockAddr);
     if (!acc.line) {
         // A cascaded eviction displaced the block we just inserted
@@ -1098,6 +1114,8 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
     stats_.counter("ctr_fetches").inc();
     Block64 raw = dram_.readBlock(ctr_addr);
     Tick arrive = channel_.readBlockTiming(now);
+    stats_.logHistogram("ctr_miss_penalty")
+        .record(arrive > now ? arrive - now : 0);
     acc.ready = arrive;
     acc.authDone = arrive;
 
@@ -1121,6 +1139,7 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
     if (ev.valid && ev.dirty)
         writebackMetaBlock(ev.addr, ev.data, now);
     inflight_[ctr_addr] = arrive;
+    stats_.gauge("inflight").set(inflight_.size());
     acc.line = ctrCache_.peek(ctr_addr);
     if (trace_)
         trace_->complete("ctr", "ctr_fetch", now, arrive, {{"addr", ctr_addr}});
@@ -1298,6 +1317,7 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
     free_rsr->freeAt = last_done;
     free_rsr->blockReady = std::move(block_ready);
     if (shadow_) {
+        SECMEM_PROF(ShadowOracle);
         // Record only; the enclosing write's shadow event validates and
         // applies the re-encryption once the counter block settles.
         shadow_->onPageReenc(ctr_addr, new_major, std::move(lazy_blocks));
@@ -1372,7 +1392,10 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
         timing.authOk ? AccessStatus::Ok : AccessStatus::AuthFailed;
     lastStatus_ = timing.status;
     finishAccess(timing.authOk, timing.authDone);
+    stats_.logHistogram("read_latency")
+        .record(timing.dataReady > now ? timing.dataReady - now : 0);
     if (shadow_) {
+        SECMEM_PROF(ShadowOracle);
         // Only clean accesses are shadow-checked: tamper campaigns
         // exercise the detection machinery, not the oracle.
         if (lastAccessOk_) {
@@ -1520,7 +1543,10 @@ SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
     // the counter increment has already been applied on-chip.
     lastStatus_ = cur_.valid ? AccessStatus::AuthFailed : AccessStatus::Ok;
     finishAccess(!cur_.valid, done);
+    stats_.logHistogram("write_latency")
+        .record(done > now ? done - now : 0);
     if (shadow_) {
+        SECMEM_PROF(ShadowOracle);
         if (lastAccessOk_) {
             CtrlShadowView view(*this);
             shadow_->onWrite(view, blockBase(addr), data);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -81,6 +82,8 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
                   "access outside protected data region: %llx",
                   static_cast<unsigned long long>(addr));
     stats_.counter(is_write ? "stores" : "loads").inc();
+    if (sampler_)
+        sampler_->maybeSample(now);
 
     // L1 lookup. A hit on a line whose fill is still in flight must
     // wait for the fill (the line was inserted functionally at request
@@ -158,6 +161,25 @@ SecureSystem::registerStats(obs::StatRegistry &reg)
     reg.addRatio("l2.hit_rate", "l2.hits", "l2.accesses");
     reg.addRatio("l2.miss_rate", "l2.misses", "l2.accesses");
     reg.addRatio("cpu.ipc", "cpu.instructions", "cpu.cycles");
+
+    // Process-wide SECMEM_WARN rate-limiter state, surfaced so
+    // --stats-out dumps show when (and how hard) warning suppression
+    // kicked in. Zero on clean runs, so the jobs-1-vs-4 stats diffs in
+    // CI stay identical.
+    reg.addFormula("log.warn_emitted", "SECMEM_WARN lines printed",
+                   [] { return static_cast<double>(
+                            log_detail::warnEmitted()); });
+    reg.addFormula("log.warn_suppressed",
+                   "SECMEM_WARN repeats silenced by the per-site cap",
+                   [] { return static_cast<double>(
+                            log_detail::warnSuppressed()); });
+    reg.addFormula("log.warn_sites", "distinct (file, line) warn sites",
+                   [] { return static_cast<double>(
+                            log_detail::warnSites()); });
+    reg.addFormula("log.warn_suppressed_sites",
+                   "warn sites that hit the suppression cap",
+                   [] { return static_cast<double>(
+                            log_detail::warnSuppressedSites()); });
 }
 
 void

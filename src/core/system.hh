@@ -28,6 +28,11 @@
 namespace secmem
 {
 
+namespace obs
+{
+class Sampler;
+} // namespace obs
+
 /** Cache hierarchy parameters (paper Section 5). */
 struct SystemParams
 {
@@ -72,6 +77,14 @@ class SecureSystem : public MemorySystem
     /** Attach (or detach) an event-trace sink; forwarded below L2. */
     void setTraceSink(obs::TraceSink *sink) { ctrl_.setTraceSink(sink); }
 
+    /**
+     * Attach a time-series sampler, polled with the simulated time of
+     * every memory access (see obs::Sampler). Observation only: one
+     * pointer test per access when detached, and the sampled registry
+     * paths never feed back into timing.
+     */
+    void setSampler(obs::Sampler *sampler) { sampler_ = sampler; }
+
     /** Dump every statistics group (caches, engines, bus, controller). */
     void dumpStats(std::ostream &os) const;
 
@@ -97,6 +110,7 @@ class SecureSystem : public MemorySystem
     stats::Group stats_;
     /** Core counters, accumulated across run() calls (see OooCore). */
     stats::Group cpuStats_{"cpu"};
+    obs::Sampler *sampler_ = nullptr;
 };
 
 } // namespace secmem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "sim/cancel.hh"
 #include "sim/log.hh"
 
@@ -13,6 +14,7 @@ CoreRunResult
 OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
              std::uint64_t measured, Tick start_tick)
 {
+    SECMEM_PROF(Core);
     const std::uint64_t total = warmup + measured;
 
     // Reorder buffer: completion wakes dependents, retireAt gates

@@ -57,6 +57,9 @@ class CryptoEngine
         SECMEM_ASSERT(stages >= 1 && engines >= 1,
                       "bad engine shape: stages=%u engines=%u", stages,
                       engines);
+        // Pre-register so every configuration dumps the distribution,
+        // even when an engine never issues.
+        stats_.logHistogram("issue_wait");
     }
 
     /**
@@ -68,6 +71,7 @@ class CryptoEngine
     {
         Tick start = reserveEarliest(ready);
         stats_.counter("ops").inc();
+        stats_.logHistogram("issue_wait").record(start - ready);
         if (start > ready)
             stats_.counter("issue_stall_ticks").inc(start - ready);
         return start + latency_;

@@ -8,7 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "sim/atomic_file.hh"
 #include "sim/cancel.hh"
 #include "sim/log.hh"
 
@@ -193,8 +195,8 @@ class Watchdog
 Engine::Engine(const EngineOptions &opts)
     : opts_(opts), store_(opts.storeDir), pool_(opts.jobs),
       runner_(opts.runner ? opts.runner
-                          : [](const JobSpec &s, obs::TraceSink *t) {
-                                return runJob(s, t);
+                          : [](const JobSpec &s, const RunObservers &o) {
+                                return runJob(s, o);
                             })
 {}
 
@@ -233,11 +235,18 @@ Engine::run(const std::vector<JobSpec> &specs)
 
     Progress progress(pending.size(), pool_.threads(), opts_.progress);
 
-    // Tracing: the first actually-simulated job (pending index 0, a
-    // deterministic choice) carries the sink. Each job owns its system,
-    // so the trace content is identical under --jobs 1 and --jobs N.
+    // Tracing and sampling: the first actually-simulated job (pending
+    // index 0, a deterministic choice) carries the observers. Each job
+    // owns its system, so the trace and time-series content is
+    // identical under --jobs 1 and --jobs N.
     obs::TraceSink traceSink;
     const bool tracing = !opts_.traceFile.empty();
+    obs::Sampler sampler(opts_.sampleEvery, opts_.samplePaths);
+    const bool sampling = opts_.sampleEvery > 0;
+
+    // Wall-clock spent simulating each spec (telemetry only; indexed
+    // writes, one writer per slot — no lock needed).
+    std::vector<double> wallSecs(specs.size(), 0.0);
 
     Watchdog watchdog(opts_.jobTimeoutSec);
     const unsigned maxAttempts = std::max(1u, opts_.jobAttempts);
@@ -249,7 +258,14 @@ Engine::run(const std::vector<JobSpec> &specs)
         if (opts_.verifyModel)
             spec.config.verifyModel = true;
         progress.began(worker, spec);
-        obs::TraceSink *sink = tracing && idx == 0 ? &traceSink : nullptr;
+        RunObservers observers;
+        if (idx == 0) {
+            if (tracing)
+                observers.trace = &traceSink;
+            if (sampling)
+                observers.sampler = &sampler;
+        }
+        Clock::time_point jobStart = Clock::now();
 
         // Crash isolation: each attempt runs under a fresh cancel token
         // (for the watchdog) with panics converted to exceptions, so a
@@ -272,7 +288,7 @@ Engine::run(const std::vector<JobSpec> &specs)
             try {
                 CancelScope cancellable(&token);
                 PanicThrowScope recoverable;
-                out = runner_(spec, sink);
+                out = runner_(spec, observers);
                 ok = true;
             } catch (const JobCancelled &) {
                 timedOut = true;
@@ -293,8 +309,14 @@ Engine::run(const std::vector<JobSpec> &specs)
             }
         }
 
+        wallSecs[pending[idx].specIndex] =
+            std::chrono::duration<double>(Clock::now() - jobStart).count();
+
         if (ok) {
             store_.put(spec, out);
+            simInstructions_.fetch_add(out.instructions,
+                                       std::memory_order_relaxed);
+            simCycles_.fetch_add(out.cycles, std::memory_order_relaxed);
         } else {
             out = RunOutput{};
             out.workload = spec.profile.name;
@@ -326,12 +348,26 @@ Engine::run(const std::vector<JobSpec> &specs)
     if (tracing && !traceSink.writeChromeJsonFile(opts_.traceFile))
         SECMEM_WARN("cannot write trace file '%s'", opts_.traceFile.c_str());
 
+    // Keep the series of the last run() call that actually simulated
+    // something; a fully-cached batch must not clobber it with an
+    // empty one.
+    if (sampling && !pending.empty()) {
+        samplerCsv_ = sampler.csvString();
+        samplerJson_ = sampler.jsonString();
+        if (!opts_.sampleFile.empty() && opts_.sampleFile != "-" &&
+            !atomicWriteFile(opts_.sampleFile, samplerCsv_)) {
+            SECMEM_WARN("cannot write sample file '%s'",
+                        opts_.sampleFile.c_str());
+        }
+    }
+
     executed_ += pending.size();
     progress.close(cached_);
 
     for (std::size_t i = 0; i < specs.size(); ++i) {
         history_.push_back({specs[i].profile.name, specs[i].scheme,
-                            specs[i].hash(), results[i].statsJson});
+                            specs[i].hash(), results[i].statsJson,
+                            wallSecs[i]});
     }
     return results;
 }

@@ -20,6 +20,7 @@
 #ifndef SECMEM_EXP_ENGINE_HH
 #define SECMEM_EXP_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -80,7 +81,21 @@ struct EngineOptions
      * (and chaos drills) can substitute crashing / hanging / flaky
      * runners without simulating anything.
      */
-    std::function<RunOutput(const JobSpec &, obs::TraceSink *)> runner;
+    std::function<RunOutput(const JobSpec &, const RunObservers &)> runner;
+
+    // Observability knobs (appended last, like the resilience knobs).
+    /**
+     * Sample the stat registry every N *simulated* cycles (0 = off).
+     * The sampler rides the same deterministic job as the trace sink
+     * (first actually-simulated job of each run() call), so the series
+     * is bit-identical across --jobs values. Observation only — never
+     * part of JobSpec canonicalization.
+     */
+    std::uint64_t sampleEvery = 0;
+    /** Registry paths to sample; empty = obs::Sampler::defaultPaths(). */
+    std::vector<std::string> samplePaths;
+    /** Time-series CSV destination; empty = keep in memory only. */
+    std::string sampleFile;
 };
 
 class Engine
@@ -96,11 +111,25 @@ class Engine
 
     ResultStore &store() { return store_; }
     unsigned jobs() const { return pool_.threads(); }
+    const WorkStealingPool &pool() const { return pool_; }
 
     /** Simulations actually executed (lifetime, across run() calls). */
     std::uint64_t executed() const { return executed_; }
     /** Jobs served from the result store (lifetime). */
     std::uint64_t cached() const { return cached_; }
+
+    /** Instructions simulated by fresh (non-cached) jobs, lifetime. */
+    std::uint64_t simInstructions() const { return simInstructions_; }
+    /** Cycles simulated by fresh (non-cached) jobs, lifetime. */
+    std::uint64_t simCycles() const { return simCycles_; }
+
+    /**
+     * Time series captured by the sampler of the most recent run()
+     * call with sampleEvery set (see EngineOptions); empty strings
+     * when sampling was off or everything was served from the store.
+     */
+    const std::string &samplerCsv() const { return samplerCsv_; }
+    const std::string &samplerJson() const { return samplerJson_; }
 
     /** One completed job, for per-job stat dumps (--stats-out). */
     struct JobRecord
@@ -110,6 +139,13 @@ class Engine
         std::string hash;      ///< JobSpec::hash() of the spec
         std::string statsJson; ///< hierarchical dump; may be empty for
                                ///< records cached before observability
+        /**
+         * Wall-clock seconds this engine spent simulating the job
+         * (all attempts); 0 for results served from the store or
+         * shared with an identical spec in the same batch. Telemetry
+         * only — never stored, never part of RunOutput.
+         */
+        double wallSeconds = 0.0;
     };
 
     /**
@@ -141,9 +177,13 @@ class Engine
     EngineOptions opts_;
     ResultStore store_;
     WorkStealingPool pool_;
-    std::function<RunOutput(const JobSpec &, obs::TraceSink *)> runner_;
+    std::function<RunOutput(const JobSpec &, const RunObservers &)> runner_;
     std::uint64_t executed_ = 0;
     std::uint64_t cached_ = 0;
+    std::atomic<std::uint64_t> simInstructions_{0};
+    std::atomic<std::uint64_t> simCycles_{0};
+    std::string samplerCsv_;
+    std::string samplerJson_;
     std::vector<JobRecord> history_;
     std::vector<JobFailure> failures_;
 };

@@ -1,6 +1,7 @@
 #include "exp/figures.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include "core/system.hh"
 #include "crypto/backend/backend.hh"
 #include "harness/table.hh"
+#include "obs/profiler.hh"
 #include "obs/registry.hh"
 #include "ref/shadow.hh"
 #include "sim/atomic_file.hh"
@@ -802,6 +804,10 @@ struct CliOptions
     std::string statsOut;  ///< per-job stats JSON file, "-" = stdout
     std::string traceFile; ///< Chrome trace of the first simulated job
     std::string cryptoBackend; ///< --crypto-backend override, "" = auto
+    std::string metricsOut;    ///< BENCH_sim perf telemetry, "-" = stdout
+    std::string sampleOut;     ///< time-series CSV file, "-" = stdout
+    std::uint64_t sampleEvery = 0; ///< sampler period in simulated cycles
+    bool profile = false;          ///< enable wall-clock zone profiling
     bool smoke = false;
     bool verifyModel = false;
     bool list = false;
@@ -820,6 +826,8 @@ usage(const char *argv0, bool unified)
         "          [--verify-model] [--out DIR] [--store DIR] [--no-store]\n"
         "          [--sim-instrs N] [--warmup-instrs N]\n"
         "          [--stats-out FILE|-] [--trace FILE]\n"
+        "          [--profile] [--metrics-out FILE|-]\n"
+        "          [--sample-every CYCLES] [--sample-out FILE|-]\n"
         "          [--crypto-backend NAME]\n"
         "          [--progress] [--no-progress]\n\n",
         argv0,
@@ -868,6 +876,14 @@ parseCli(int argc, char **argv, bool unified)
             opts.statsOut = value();
         } else if (arg == "--trace") {
             opts.traceFile = value();
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = value();
+        } else if (arg == "--sample-every") {
+            opts.sampleEvery = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--sample-out") {
+            opts.sampleOut = value();
         } else if (arg == "--jobs") {
             opts.jobs = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 0));
@@ -936,6 +952,105 @@ writeStatsOut(const Engine &engine, const std::string &path)
     }
     if (!atomicWriteFile(path, os.str())) {
         std::fprintf(stderr, "cannot write stats file '%s'\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+std::string
+jnum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/**
+ * BENCH_sim.json: host-side performance telemetry of this invocation —
+ * wall-clock, simulation throughput (cycles and instructions per wall
+ * second), work-stealing pool telemetry, profiler zone self-times, a
+ * representative per-job stats dump (which carries the latency
+ * histograms), and the sampler time series. Schema ("secmem-bench-
+ * sim-v1") documented in EXPERIMENTS.md; consumed and gated by
+ * scripts/bench_json.py --sim-metrics.
+ */
+int
+writeMetricsOut(const Engine &engine, const CliOptions &opts,
+                double wallSeconds)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"secmem-bench-sim-v1\",\n";
+
+    os << "  \"figures\": [";
+    for (std::size_t i = 0; i < opts.figureNames.size(); ++i) {
+        os << (i ? ", " : "") << '"' << jsonEscape(opts.figureNames[i])
+           << '"';
+    }
+    os << "],\n";
+
+    double cycles = static_cast<double>(engine.simCycles());
+    double instrs = static_cast<double>(engine.simInstructions());
+    double jobWall = 0.0;
+    for (const Engine::JobRecord &rec : engine.history())
+        jobWall += rec.wallSeconds;
+
+    os << "  \"wall_seconds\": " << jnum(wallSeconds) << ",\n"
+       << "  \"job_wall_seconds\": " << jnum(jobWall) << ",\n"
+       << "  \"jobs_simulated\": " << ull(engine.executed()) << ",\n"
+       << "  \"jobs_cached\": " << ull(engine.cached()) << ",\n"
+       << "  \"sim_cycles\": " << ull(engine.simCycles()) << ",\n"
+       << "  \"sim_instructions\": " << ull(engine.simInstructions())
+       << ",\n"
+       << "  \"events_per_sec\": "
+       << jnum(wallSeconds > 0 ? cycles / wallSeconds : 0.0) << ",\n"
+       << "  \"instructions_per_sec\": "
+       << jnum(wallSeconds > 0 ? instrs / wallSeconds : 0.0) << ",\n";
+
+    os << "  \"pool\": {\"threads\": " << engine.jobs()
+       << ", \"steals\": " << ull(engine.pool().steals())
+       << ", \"idle_sleeps\": " << ull(engine.pool().idleSleeps())
+       << "},\n";
+
+    obs::ProfReport prof = obs::Profiler::report();
+    double shareTotal = 0.0;
+    os << "  \"profile_enabled\": "
+       << (obs::Profiler::enabled() ? "true" : "false") << ",\n"
+       << "  \"tracked_seconds\": " << jnum(prof.trackedSeconds) << ",\n"
+       << "  \"zones\": [";
+    for (std::size_t i = 0; i < prof.zones.size(); ++i) {
+        const obs::ZoneReport &z = prof.zones[i];
+        shareTotal += z.share;
+        os << (i ? "," : "") << "\n    {\"name\": \"" << jsonEscape(z.name)
+           << "\", \"self_seconds\": " << jnum(z.selfSeconds)
+           << ", \"share\": " << jnum(z.share)
+           << ", \"hits\": " << ull(z.hits) << "}";
+    }
+    os << (prof.zones.empty() ? "]" : "\n  ]") << ",\n"
+       << "  \"zone_share_total\": " << jnum(shareTotal) << ",\n";
+
+    // A representative per-job stat dump: the last fresh job's (cached
+    // records from pre-observability stores may lack one). This is
+    // where the latency log-histograms (p50/p90/p99) live.
+    const std::string *stats = nullptr;
+    for (const Engine::JobRecord &rec : engine.history()) {
+        if (!rec.statsJson.empty())
+            stats = &rec.statsJson;
+    }
+    os << "  \"job_stats\": " << (stats ? *stats : "null") << ",\n";
+
+    os << "  \"sampler\": "
+       << (engine.samplerJson().empty() ? "null" : engine.samplerJson())
+       << "\n}\n";
+
+    if (opts.metricsOut == "-") {
+        std::fputs(os.str().c_str(), stdout);
+        return 0;
+    }
+    if (!atomicWriteFile(opts.metricsOut, os.str())) {
+        std::fprintf(stderr, "cannot write metrics file '%s'\n",
+                     opts.metricsOut.c_str());
         return 1;
     }
     return 0;
@@ -1014,12 +1129,18 @@ runFigures(const CliOptions &opts)
     eopts.progress = opts.progress == -1 ? isatty(2) : opts.progress;
     eopts.traceFile = opts.traceFile;
     eopts.verifyModel = opts.verifyModel;
+    eopts.sampleEvery = opts.sampleEvery;
+    eopts.sampleFile = opts.sampleOut;
     if (opts.verifyModel) {
         // A stored result would satisfy the spec without the oracle
         // ever executing; verification runs must simulate every job.
         eopts.storeDir.clear();
     }
     Engine engine(eopts);
+
+    if (opts.profile)
+        obs::Profiler::setEnabled(true);
+    auto wallStart = std::chrono::steady_clock::now();
 
     bool first = true;
     for (const std::string &name : opts.figureNames) {
@@ -1035,6 +1156,10 @@ runFigures(const CliOptions &opts)
         fig->run(engine, ctx);
         std::fflush(stdout);
     }
+
+    double wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wallStart)
+                             .count();
 
     if (eopts.progress) {
         std::fprintf(stderr,
@@ -1062,6 +1187,37 @@ runFigures(const CliOptions &opts)
                          "events?)\n");
             return 1;
         }
+    }
+
+    // The zone table goes to stderr: stdout carries figure tables that
+    // CI diffs for bit-identity, and wall-clock numbers must never
+    // land there.
+    if (opts.profile) {
+        obs::ProfReport prof = obs::Profiler::report();
+        std::fprintf(stderr,
+                     "\nprofile: %.2fs wall, %.2fs tracked across "
+                     "threads\n%-16s %12s %8s %12s\n",
+                     wallSeconds, prof.trackedSeconds, "zone",
+                     "self(s)", "share", "hits");
+        for (const obs::ZoneReport &z : prof.zones) {
+            std::fprintf(stderr, "%-16s %12.3f %7.1f%% %12llu\n",
+                         z.name.c_str(), z.selfSeconds, z.share * 100.0,
+                         static_cast<unsigned long long>(z.hits));
+        }
+        double wall = wallSeconds > 0 ? wallSeconds : 1e-9;
+        std::fprintf(stderr,
+                     "profile: %.3g sim cycles/s, %.3g sim instrs/s\n",
+                     static_cast<double>(engine.simCycles()) / wall,
+                     static_cast<double>(engine.simInstructions()) / wall);
+    }
+
+    if (!opts.sampleOut.empty() && opts.sampleOut == "-")
+        std::fputs(engine.samplerCsv().c_str(), stdout);
+
+    if (!opts.metricsOut.empty()) {
+        int rc = writeMetricsOut(engine, opts, wallSeconds);
+        if (rc)
+            return rc;
     }
 
     if (!opts.statsOut.empty())

@@ -160,10 +160,10 @@ makeJob(std::string scheme, const SpecProfile &profile,
 }
 
 RunOutput
-runJob(const JobSpec &spec, obs::TraceSink *trace)
+runJob(const JobSpec &spec, const RunObservers &observers)
 {
     return runWorkload(spec.profile, spec.config, spec.core, spec.sys,
-                       spec.lengths, trace);
+                       spec.lengths, observers);
 }
 
 namespace

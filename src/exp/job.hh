@@ -55,11 +55,12 @@ JobSpec makeJob(std::string scheme, const SpecProfile &profile,
                 const CoreParams &core = {}, const SystemParams &sys = {});
 
 /**
- * Execute one job (fresh system + generator; deterministic). @p trace,
- * when non-null, collects the run's cycle-level events (observation
- * only — a traced job produces the same RunOutput as an untraced one).
+ * Execute one job (fresh system + generator; deterministic). The
+ * observers, when attached, collect the run's cycle-level events and
+ * stat time series (observation only — an observed job produces the
+ * same RunOutput as an unobserved one).
  */
-RunOutput runJob(const JobSpec &spec, obs::TraceSink *trace = nullptr);
+RunOutput runJob(const JobSpec &spec, const RunObservers &observers = {});
 
 /**
  * Serialize a RunOutput as a flat JSON object (plus a trailing nested

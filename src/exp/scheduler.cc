@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -83,8 +84,10 @@ WorkStealingPool::run(std::size_t count, const Task &task)
         workers = static_cast<unsigned>(count);
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            SECMEM_PROF(EngineSchedule);
             runGuarded(task, i, 0);
+        }
         return;
     }
 
@@ -96,10 +99,18 @@ WorkStealingPool::run(std::size_t count, const Task &task)
 
     auto worker_loop = [&](unsigned w) {
         for (;;) {
+            // Everything a worker iteration spends outside the probed
+            // simulation zones (deque locks, dispatch, idle waits)
+            // shows up as EngineSchedule self-time in the profiler.
+            SECMEM_PROF(EngineSchedule);
             std::size_t idx;
             bool found = popOwn(deques[w], &idx);
-            for (unsigned v = 1; !found && v < workers; ++v)
-                found = stealFrom(deques[(w + v) % workers], &idx);
+            for (unsigned v = 1; !found && v < workers; ++v) {
+                if (stealFrom(deques[(w + v) % workers], &idx)) {
+                    found = true;
+                    steals_.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
             if (found) {
                 runGuarded(task, idx, w);
                 remaining.fetch_sub(1, std::memory_order_release);
@@ -110,6 +121,7 @@ WorkStealingPool::run(std::size_t count, const Task &task)
             // All deques are empty but peers are still executing;
             // a late steal is impossible (tasks never spawn tasks),
             // so just wait for the stragglers cheaply.
+            idleSleeps_.fetch_add(1, std::memory_order_relaxed);
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
     };

@@ -60,11 +60,27 @@ class WorkStealingPool
         return escaped_.load(std::memory_order_relaxed);
     }
 
+    /** Tasks taken from another worker's deque (lifetime). */
+    std::uint64_t
+    steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /** 1 ms waits with every deque empty but peers busy (lifetime). */
+    std::uint64_t
+    idleSleeps() const
+    {
+        return idleSleeps_.load(std::memory_order_relaxed);
+    }
+
   private:
     void runGuarded(const Task &task, std::size_t idx, unsigned worker);
 
     unsigned threads_;
     std::atomic<std::uint64_t> escaped_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> idleSleeps_{0};
 };
 
 } // namespace secmem::exp

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
 
@@ -97,11 +98,20 @@ runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
 RunOutput
 runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
             const CoreParams &core, const SystemParams &sys,
-            RunLengths lengths, obs::TraceSink *trace)
+            RunLengths lengths, const RunObservers &observers)
 {
     SecureSystem system(cfg, sys);
-    if (trace)
-        system.setTraceSink(trace);
+    if (observers.trace)
+        system.setTraceSink(observers.trace);
+    // The registry is built before the run (groups register by
+    // reference, so counters created during the run still appear in
+    // the final dump) — the sampler polls it while simulating.
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+    if (observers.sampler) {
+        observers.sampler->bind(&reg);
+        system.setSampler(observers.sampler);
+    }
     SpecWorkload gen(profile);
     CoreRunResult r = system.run(gen, lengths.warmup, lengths.sim, core);
 
@@ -156,8 +166,6 @@ runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
             static_cast<double>(out.writebacks) / out.simSeconds;
     }
 
-    obs::StatRegistry reg;
-    system.registerStats(reg);
     out.statsJson = reg.jsonString();
     return out;
 }

@@ -26,6 +26,26 @@
 namespace secmem
 {
 
+namespace obs
+{
+class Sampler;
+class TraceSink;
+} // namespace obs
+
+/**
+ * Observation-only attachments for one simulation run. Everything here
+ * is read-out instrumentation: an attached observer never changes the
+ * run's timing or its RunOutput (tested), so runs with and without
+ * observers share result-store entries.
+ */
+struct RunObservers
+{
+    /** Cycle-level event trace of the memory controller. */
+    obs::TraceSink *trace = nullptr;
+    /** Periodic stat-registry time series (see obs::Sampler). */
+    obs::Sampler *sampler = nullptr;
+};
+
 /** Everything a figure might want from one simulation run. */
 struct RunOutput
 {
@@ -115,13 +135,14 @@ RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
                       const SystemParams &sys = {});
 
 /**
- * Same, with an explicit instruction budget instead of the cached env.
- * @p trace, when non-null, collects cycle-level events from the secure
- * memory controller (see obs::TraceSink); tracing never changes timing.
+ * Same, with an explicit instruction budget instead of the cached env,
+ * plus optional observers (trace sink, time-series sampler). Observers
+ * never change timing or the returned RunOutput.
  */
 RunOutput runWorkload(const SpecProfile &profile, const SecureMemConfig &cfg,
                       const CoreParams &core, const SystemParams &sys,
-                      RunLengths lengths, obs::TraceSink *trace = nullptr);
+                      RunLengths lengths,
+                      const RunObservers &observers = {});
 
 /**
  * Run a whole sweep: every profile in @p workloads against @p cfg.

@@ -46,7 +46,9 @@ class Bus
   public:
     explicit Bus(const MemTimingParams &params = {})
         : params_(params), stats_("bus")
-    {}
+    {
+        stats_.logHistogram("wait_ticks");
+    }
 
     /**
      * Reserve the bus for @p bytes starting no earlier than @p earliest.
@@ -67,6 +69,7 @@ class Bus
         stats_.counter("busy_thirds").inc(dur3);
         if (start3 > earliest3)
             stats_.counter("contention_thirds").inc(start3 - earliest3);
+        stats_.logHistogram("wait_ticks").record((start3 - earliest3) / 3);
         // Completion rounds up to a whole tick.
         return static_cast<Tick>((nextFree3_ + 2) / 3);
     }
@@ -115,7 +118,9 @@ class MemChannel
     explicit MemChannel(const MemTimingParams &params = {})
         : params_(params), addrBus_(params), dataBus_(params),
           stats_("dram_channel")
-    {}
+    {
+        stats_.logHistogram("read_latency");
+    }
 
     /**
      * Schedule a read of @p bytes issued at @p when; returns the tick
@@ -129,7 +134,9 @@ class MemChannel
         // Command on the address channel.
         Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
         // DRAM access below the bus, then the data transfer back.
-        return dataBus_.acquire(req_done + params_.dramLatency, bytes);
+        Tick done = dataBus_.acquire(req_done + params_.dramLatency, bytes);
+        stats_.logHistogram("read_latency").record(done - when);
+        return done;
     }
 
     /** Schedule a write of @p bytes issued at @p when; returns done tick. */

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -69,6 +70,7 @@ Cache::contains(Addr addr) const
 Block64 *
 Cache::access(Addr addr, bool is_write)
 {
+    SECMEM_PROF(CacheLookup);
     stats_.counter("accesses").inc();
     if (is_write)
         stats_.counter("writes").inc();

@@ -1,0 +1,201 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace secmem::obs
+{
+
+std::atomic<bool> Profiler::enabled_{false};
+
+namespace prof_detail
+{
+
+namespace
+{
+
+/**
+ * Process-global accumulator: totals flushed by exited threads plus a
+ * registry of live per-thread accumulators so report() can see the
+ * main thread (which never exits) and any still-attached workers.
+ */
+struct GlobalProf
+{
+    std::mutex mu;
+    std::uint64_t selfNs[kProfZones] = {};
+    std::uint64_t hits[kProfZones] = {};
+    std::uint64_t spanNs = 0;
+    std::vector<ThreadProf *> live;
+
+    static GlobalProf &
+    instance()
+    {
+        static GlobalProf g;
+        return g;
+    }
+};
+
+thread_local ProfScope *tlsTop = nullptr;
+
+} // namespace
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ThreadProf::ThreadProf()
+{
+    auto &g = GlobalProf::instance();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.live.push_back(this);
+}
+
+ThreadProf::~ThreadProf()
+{
+    auto &g = GlobalProf::instance();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (std::size_t z = 0; z < kProfZones; ++z) {
+        g.selfNs[z] += selfNs[z];
+        g.hits[z] += hits[z];
+    }
+    if (lastNs > firstNs)
+        g.spanNs += lastNs - firstNs;
+    g.live.erase(std::remove(g.live.begin(), g.live.end(), this),
+                 g.live.end());
+}
+
+ThreadProf &
+threadProf()
+{
+    thread_local ThreadProf tp;
+    return tp;
+}
+
+} // namespace prof_detail
+
+const char *
+profZoneName(ProfZone z)
+{
+    switch (z) {
+      case ProfZone::Core: return "core";
+      case ProfZone::EventQueue: return "event_queue";
+      case ProfZone::CacheLookup: return "cache_lookup";
+      case ProfZone::Crypto: return "crypto";
+      case ProfZone::MerkleVerify: return "merkle_verify";
+      case ProfZone::ShadowOracle: return "shadow_oracle";
+      case ProfZone::EngineSchedule: return "engine_schedule";
+      case ProfZone::kCount: break;
+    }
+    return "?";
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+ProfReport
+Profiler::report()
+{
+    using prof_detail::GlobalProf;
+    auto &g = GlobalProf::instance();
+    std::uint64_t selfNs[kProfZones] = {};
+    std::uint64_t hits[kProfZones] = {};
+    std::uint64_t spanNs = 0;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        for (std::size_t z = 0; z < kProfZones; ++z) {
+            selfNs[z] = g.selfNs[z];
+            hits[z] = g.hits[z];
+        }
+        spanNs = g.spanNs;
+        for (const auto *tp : g.live) {
+            for (std::size_t z = 0; z < kProfZones; ++z) {
+                selfNs[z] += tp->selfNs[z];
+                hits[z] += tp->hits[z];
+            }
+            if (tp->lastNs > tp->firstNs)
+                spanNs += tp->lastNs - tp->firstNs;
+        }
+    }
+
+    ProfReport rep;
+    rep.trackedSeconds = static_cast<double>(spanNs) * 1e-9;
+    for (std::size_t z = 0; z < kProfZones; ++z) {
+        if (!hits[z])
+            continue;
+        ZoneReport zr;
+        zr.name = profZoneName(static_cast<ProfZone>(z));
+        zr.selfSeconds = static_cast<double>(selfNs[z]) * 1e-9;
+        zr.hits = hits[z];
+        zr.share = spanNs ? static_cast<double>(selfNs[z]) /
+                                static_cast<double>(spanNs)
+                          : 0.0;
+        rep.zones.push_back(std::move(zr));
+    }
+    std::sort(rep.zones.begin(), rep.zones.end(),
+              [](const ZoneReport &a, const ZoneReport &b) {
+                  if (a.selfSeconds != b.selfSeconds)
+                      return a.selfSeconds > b.selfSeconds;
+                  return a.name < b.name;
+              });
+    return rep;
+}
+
+void
+Profiler::reset()
+{
+    using prof_detail::GlobalProf;
+    auto &g = GlobalProf::instance();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (std::size_t z = 0; z < kProfZones; ++z) {
+        g.selfNs[z] = 0;
+        g.hits[z] = 0;
+    }
+    g.spanNs = 0;
+    for (auto *tp : g.live) {
+        for (std::size_t z = 0; z < kProfZones; ++z) {
+            tp->selfNs[z] = 0;
+            tp->hits[z] = 0;
+        }
+        tp->firstNs = tp->lastNs = 0;
+    }
+}
+
+void
+ProfScope::begin(ProfZone zone)
+{
+    auto &tp = prof_detail::threadProf();
+    zone_ = zone;
+    parent_ = prof_detail::tlsTop;
+    prof_detail::tlsTop = this;
+    startNs_ = prof_detail::nowNs();
+    if (!tp.firstNs)
+        tp.firstNs = startNs_;
+    active_ = true;
+}
+
+void
+ProfScope::end()
+{
+    std::uint64_t endNs = prof_detail::nowNs();
+    std::uint64_t elapsed = endNs - startNs_;
+    std::uint64_t self = elapsed > childNs_ ? elapsed - childNs_ : 0;
+    auto &tp = prof_detail::threadProf();
+    std::size_t z = static_cast<std::size_t>(zone_);
+    tp.selfNs[z] += self;
+    ++tp.hits[z];
+    tp.lastNs = endNs;
+    if (parent_)
+        parent_->childNs_ += elapsed;
+    prof_detail::tlsTop = parent_;
+}
+
+} // namespace secmem::obs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Wall-clock zone profiler with cheap scoped probes.
+ *
+ * `SECMEM_PROF(Zone)` drops an RAII probe into a scope; when profiling
+ * is enabled the probe attributes the scope's wall-clock *self* time
+ * (elapsed minus time spent in nested probes) to its zone on a
+ * thread-local accumulator. When profiling is disabled a probe costs a
+ * single relaxed atomic load and nothing else — no clock reads, no
+ * TLS traffic — so instrumented hot paths stay hot.
+ *
+ * Wall-clock time never feeds back into the simulation: the profiler
+ * is pure observation, and a profiled run's simulated results are
+ * bit-identical to an unprofiled run's (tested).
+ *
+ * Aggregation model: each thread accumulates self-nanoseconds and hit
+ * counts per zone plus the span [first probe start, last probe end].
+ * Exiting threads flush into a process-global accumulator;
+ * Profiler::report() merges flushed totals with still-live threads.
+ * Because self times within one thread are disjoint sub-intervals of
+ * that thread's span, zone shares computed against the summed spans
+ * are <= 100% by construction. Call report()/reset() only while
+ * worker threads are quiesced (after the pool has joined).
+ */
+
+#ifndef SECMEM_OBS_PROFILER_HH
+#define SECMEM_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace secmem::obs
+{
+
+/** Instrumented zones; keep profZoneName() in sync. */
+enum class ProfZone : unsigned
+{
+    Core = 0,       ///< OooCore cycle loop
+    EventQueue,     ///< sim::EventQueue pop/dispatch
+    CacheLookup,    ///< mem::Cache tag lookup + fill
+    Crypto,         ///< AES pad/ECB + GHASH/SHA-1 invocations
+    MerkleVerify,   ///< authentication tree walk
+    ShadowOracle,   ///< differential reference-model cross-check
+    EngineSchedule, ///< experiment engine + work-stealing pool overhead
+    kCount
+};
+
+constexpr std::size_t kProfZones = static_cast<std::size_t>(ProfZone::kCount);
+
+const char *profZoneName(ProfZone z);
+
+struct ZoneReport
+{
+    std::string name;
+    double selfSeconds = 0.0;
+    std::uint64_t hits = 0;
+    double share = 0.0; ///< selfSeconds / trackedSeconds, in [0, 1]
+};
+
+struct ProfReport
+{
+    std::vector<ZoneReport> zones; ///< by selfSeconds descending
+    double trackedSeconds = 0.0;   ///< sum of per-thread probe spans
+};
+
+class Profiler
+{
+  public:
+    static void setEnabled(bool on);
+
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Merge flushed + live thread accumulators. Quiesced threads only. */
+    static ProfReport report();
+
+    /** Drop all accumulated data (for tests). Quiesced threads only. */
+    static void reset();
+
+  private:
+    static std::atomic<bool> enabled_;
+};
+
+namespace prof_detail
+{
+
+std::uint64_t nowNs();
+
+struct ThreadProf
+{
+    std::uint64_t selfNs[kProfZones] = {};
+    std::uint64_t hits[kProfZones] = {};
+    std::uint64_t firstNs = 0; ///< 0 = no probe seen yet
+    std::uint64_t lastNs = 0;
+
+    ThreadProf();
+    ~ThreadProf();
+};
+
+ThreadProf &threadProf();
+
+} // namespace prof_detail
+
+/** RAII probe; use via SECMEM_PROF, not directly. */
+class ProfScope
+{
+  public:
+    explicit ProfScope(ProfZone zone)
+    {
+        if (!Profiler::enabled())
+            return;
+        begin(zone);
+    }
+
+    ~ProfScope()
+    {
+        if (active_)
+            end();
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    void begin(ProfZone zone);
+    void end();
+
+    ProfZone zone_ = ProfZone::Core;
+    std::uint64_t startNs_ = 0;
+    std::uint64_t childNs_ = 0; ///< wall time of directly nested probes
+    ProfScope *parent_ = nullptr;
+    bool active_ = false;
+};
+
+} // namespace secmem::obs
+
+#define SECMEM_PROF_CAT2(a, b) a##b
+#define SECMEM_PROF_CAT(a, b) SECMEM_PROF_CAT2(a, b)
+#define SECMEM_PROF(zone)                                                   \
+    ::secmem::obs::ProfScope SECMEM_PROF_CAT(secmem_prof_scope_, __LINE__)( \
+        ::secmem::obs::ProfZone::zone)
+
+#endif // SECMEM_OBS_PROFILER_HH

@@ -129,6 +129,18 @@ histogramJson(const stats::Histogram &h)
     return out;
 }
 
+std::string
+logHistogramJson(const stats::LogHistogram &h)
+{
+    return "{\"count\": " + std::to_string(h.count()) +
+           ", \"mean\": " + fmtExact(h.mean()) +
+           ", \"min\": " + std::to_string(h.min()) +
+           ", \"p50\": " + std::to_string(h.percentile(0.50)) +
+           ", \"p90\": " + std::to_string(h.percentile(0.90)) +
+           ", \"p99\": " + std::to_string(h.percentile(0.99)) +
+           ", \"max\": " + std::to_string(h.max()) + "}";
+}
+
 } // namespace
 
 void
@@ -207,6 +219,8 @@ StatRegistry::statNames() const
             names.push_back(path + "." + kv.first + " sample");
         for (const auto &kv : group->histograms())
             names.push_back(path + "." + kv.first + " histogram");
+        for (const auto &kv : group->logHistograms())
+            names.push_back(path + "." + kv.first + " loghistogram");
     }
     for (const auto &[path, formula] : formulas_)
         names.push_back(path + " formula (" + formula.description + ")");
@@ -234,6 +248,16 @@ StatRegistry::flattened() const
         for (const auto &kv : group->histograms())
             out.push_back({path + "." + kv.first + ".mean",
                            kv.second.sample().mean(), false});
+        for (const auto &kv : group->logHistograms()) {
+            out.push_back({path + "." + kv.first + ".mean",
+                           kv.second.mean(), false});
+            out.push_back({path + "." + kv.first + ".p50",
+                           static_cast<double>(kv.second.percentile(0.50)),
+                           true});
+            out.push_back({path + "." + kv.first + ".p99",
+                           static_cast<double>(kv.second.percentile(0.99)),
+                           true});
+        }
     }
     for (const auto &[path, formula] : formulas_)
         out.push_back({path, formula.fn(), false});
@@ -271,6 +295,9 @@ StatRegistry::dumpJson(std::ostream &os) const
         for (const auto &kv : group->histograms())
             insertLeaf(root, path + "." + kv.first,
                        histogramJson(kv.second));
+        for (const auto &kv : group->logHistograms())
+            insertLeaf(root, path + "." + kv.first,
+                       logHistogramJson(kv.second));
     }
     for (const auto &[path, formula] : formulas_)
         insertLeaf(root, path, fmtExact(formula.fn()));

@@ -1,0 +1,80 @@
+#include "obs/sampler.hh"
+
+#include <sstream>
+
+#include "obs/registry.hh"
+
+namespace secmem::obs
+{
+
+Sampler::Sampler(std::uint64_t everyCycles, std::vector<std::string> paths)
+    : every_(everyCycles), next_(everyCycles), paths_(std::move(paths))
+{
+    if (paths_.empty())
+        paths_ = defaultPaths();
+}
+
+std::vector<std::string>
+Sampler::defaultPaths()
+{
+    // Counters that advance continuously during a run. cpu.* are
+    // deliberately absent: OooCore writes them once at run end, so
+    // mid-run snapshots would read 0.
+    return {"system.loads", "system.stores", "l2.misses",
+            "ctrcache.hits", "ctrl.reads",   "ctrl.writes"};
+}
+
+void
+Sampler::sampleOnce()
+{
+    Row row;
+    row.cycle = next_;
+    row.values.reserve(paths_.size());
+    for (const auto &p : paths_)
+        row.values.push_back(reg_->counterValue(p));
+    rows_.push_back(std::move(row));
+    next_ += every_;
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const auto &p : paths_)
+        os << ',' << p;
+    os << '\n';
+    for (const Row &row : rows_) {
+        os << row.cycle;
+        for (std::uint64_t v : row.values)
+            os << ',' << v;
+        os << '\n';
+    }
+}
+
+std::string
+Sampler::csvString() const
+{
+    std::ostringstream os;
+    writeCsv(os);
+    return os.str();
+}
+
+std::string
+Sampler::jsonString() const
+{
+    std::ostringstream os;
+    os << "{\"every\": " << every_ << ", \"paths\": [";
+    for (std::size_t i = 0; i < paths_.size(); ++i)
+        os << (i ? ", " : "") << '"' << paths_[i] << '"';
+    os << "], \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        os << (i ? ", " : "") << '[' << rows_[i].cycle;
+        for (std::uint64_t v : rows_[i].values)
+            os << ", " << v;
+        os << ']';
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace secmem::obs

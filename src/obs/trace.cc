@@ -5,9 +5,20 @@
 #include <sstream>
 
 #include "sim/atomic_file.hh"
+#include "sim/log.hh"
 
 namespace secmem::obs
 {
+
+void
+TraceSink::noteDrop()
+{
+    if (++dropped_ == 1) {
+        SECMEM_WARN("trace buffer full (%zu events); further events are "
+                    "counted as dropped_events trace metadata",
+                    maxEvents_);
+    }
+}
 
 void
 TraceSink::writeChromeJson(std::ostream &os) const
@@ -35,6 +46,18 @@ TraceSink::writeChromeJson(std::ostream &os) const
            << ", \"name\": \"thread_name\", \"args\": {\"name\": \"" << cat
            << "\"}}";
     }
+    if (dropped_) {
+        // Instant marker at the wrap point so the viewer shows where
+        // the record stops being complete.
+        Tick wrap = events_.empty() ? 0 : events_.back().start;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"cat\": "
+              "\"trace\", \"name\": \"buffer_full\", \"ts\": "
+           << wrap << ", \"s\": \"g\", \"args\": {\"dropped_events\": "
+           << dropped_ << "}}";
+    }
     for (const TraceEvent &e : events_) {
         if (!first)
             os << ",";
@@ -58,7 +81,10 @@ TraceSink::writeChromeJson(std::ostream &os) const
         }
         os << '}';
     }
-    os << "\n]}\n";
+    os << "\n]";
+    if (dropped_)
+        os << ", \"otherData\": {\"dropped_events\": " << dropped_ << "}";
+    os << "}\n";
 }
 
 bool

@@ -13,7 +13,10 @@
  * Components hold a `TraceSink *` that is null by default: the
  * instrumentation sites compile down to one pointer test when tracing
  * is off, which keeps --jobs sweeps at full speed. The sink is bounded
- * (default 4M events); events past the cap are counted, not stored.
+ * (default 4M events); events past the cap are counted, not stored,
+ * and the emitted JSON carries the loss as `otherData.dropped_events`
+ * plus an instant marker at the wrap point, so a truncated trace is
+ * never mistaken for a complete one.
  *
  * Each event category gets its own lane (Chrome "tid"), assigned in
  * first-appearance order, so related events stack in one track.
@@ -63,7 +66,7 @@ class TraceSink
              std::initializer_list<TraceArg> args = {})
     {
         if (events_.size() >= maxEvents_) {
-            ++dropped_;
+            noteDrop();
             return;
         }
         std::int64_t dur =
@@ -77,7 +80,7 @@ class TraceSink
             std::initializer_list<TraceArg> args = {})
     {
         if (events_.size() >= maxEvents_) {
-            ++dropped_;
+            noteDrop();
             return;
         }
         events_.push_back({category, name, at, -1, args});
@@ -105,6 +108,9 @@ class TraceSink
     bool writeChromeJsonFile(const std::string &path) const;
 
   private:
+    /** Count an overflowed event; warns (rate-limited) on first drop. */
+    void noteDrop();
+
     std::size_t maxEvents_;
     std::vector<TraceEvent> events_;
     std::uint64_t dropped_ = 0;

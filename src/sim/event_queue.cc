@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -22,6 +23,7 @@ EventQueue::schedule(Tick when, Callback cb)
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    SECMEM_PROF(EventQueue);
     while (!heap_.empty() && heap_.top().when <= limit) {
         // Move out before pop: the callback may schedule new events.
         Entry e = popEntry();
@@ -38,6 +40,7 @@ EventQueue::runUntil(Tick limit)
 bool
 EventQueue::step()
 {
+    SECMEM_PROF(EventQueue);
     if (heap_.empty())
         return false;
     Entry e = popEntry();

@@ -124,6 +124,26 @@ warnSuppressed()
     return state.suppressed;
 }
 
+std::uint64_t
+warnSites()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.sites.size();
+}
+
+std::uint64_t
+warnSuppressedSites()
+{
+    WarnState &state = warnState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::uint64_t n = 0;
+    for (const auto &kv : state.sites)
+        if (kv.second > kWarnSiteLimit)
+            ++n;
+    return n;
+}
+
 void
 warnResetForTests()
 {

@@ -51,6 +51,11 @@ constexpr std::uint64_t kWarnSiteLimit = 8;
 /** Warnings actually printed / silently suppressed (process-wide). */
 std::uint64_t warnEmitted();
 std::uint64_t warnSuppressed();
+/** Distinct (file, line) sites that warned at least once / that hit
+ * the suppression cap. Together with the totals above these are what
+ * SecureSystem::registerStats() exports as `log.*` formula stats. */
+std::uint64_t warnSites();
+std::uint64_t warnSuppressedSites();
 /** Forget all per-site warning history (test support). */
 void warnResetForTests();
 

@@ -36,6 +36,17 @@ Group::dump(std::ostream &os) const
             os << (i ? "," : "") << b[i];
         os << "]\n";
     }
+    for (const auto &kv : logHistograms_) {
+        const LogHistogram &h = kv.second;
+        os << name_ << '.' << kv.first
+           << " mean=" << std::setprecision(6) << h.mean()
+           << " count=" << h.count()
+           << " min=" << h.min()
+           << " p50=" << h.percentile(0.50)
+           << " p90=" << h.percentile(0.90)
+           << " p99=" << h.percentile(0.99)
+           << " max=" << h.max() << '\n';
+    }
 }
 
 } // namespace secmem::stats

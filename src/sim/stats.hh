@@ -135,6 +135,132 @@ class Histogram
 };
 
 /**
+ * Log-bucketed integer histogram with cheap percentile queries.
+ *
+ * Buckets are HDR-style: values below 2^kSubBits map to their own
+ * bucket exactly; above that, each power of two is split into
+ * 2^kSubBits sub-buckets, so relative resolution is bounded at
+ * 2^-kSubBits (12.5%) across the whole 64-bit range while the bucket
+ * array stays small and fixed-size. Unlike the fixed-width Histogram
+ * this needs no a-priori range, which is what latency distributions
+ * (ticks from one to millions) require. Mergeable, so per-shard
+ * histograms can be combined into a fleet view.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kSubBits = 3;
+    static constexpr std::size_t kBuckets =
+        (64 - kSubBits + 1) << kSubBits; // covers all of uint64_t
+
+    void
+    record(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        sum_ += v;
+        ++count_;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Value at quantile @p q in [0, 1]: the lower bound of the bucket
+     * holding the ceil(q * count)-th observation. Exact below
+     * 2^kSubBits, within 12.5% above.
+     */
+    std::uint64_t
+    percentile(double q) const
+    {
+        if (!count_)
+            return 0;
+        if (q <= 0.0)
+            return min_;
+        if (q >= 1.0)
+            return max_;
+        std::uint64_t target = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_));
+        if (target * 1.0 < q * static_cast<double>(count_))
+            ++target; // ceil
+        if (!target)
+            target = 1;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= target)
+                return std::max(bucketLow(i), min_);
+        }
+        return max_;
+    }
+
+    void
+    merge(const LogHistogram &other)
+    {
+        if (!other.count_)
+            return;
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        sum_ += other.sum_;
+        min_ = count_ ? std::min(min_, other.min_) : other.min_;
+        max_ = count_ ? std::max(max_, other.max_) : other.max_;
+        count_ += other.count_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        sum_ = count_ = 0;
+        min_ = max_ = 0;
+    }
+
+    static std::size_t
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < (std::uint64_t{1} << kSubBits))
+            return static_cast<std::size_t>(v);
+        unsigned lz = 63;
+        while (!(v >> lz))
+            --lz; // lz = floor(log2(v)), v >= 2^kSubBits so lz >= kSubBits
+        std::size_t sub = static_cast<std::size_t>(
+            (v >> (lz - kSubBits)) & ((std::uint64_t{1} << kSubBits) - 1));
+        return ((static_cast<std::size_t>(lz) - kSubBits + 1) << kSubBits) +
+               sub;
+    }
+
+    /** Smallest value mapping to bucket @p idx (inverse of bucketIndex). */
+    static std::uint64_t
+    bucketLow(std::size_t idx)
+    {
+        if (idx < (std::size_t{1} << kSubBits))
+            return idx;
+        std::size_t shift = (idx >> kSubBits) - 1;
+        std::uint64_t sub = idx & ((std::size_t{1} << kSubBits) - 1);
+        return ((std::uint64_t{1} << kSubBits) | sub) << shift;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_ =
+        std::vector<std::uint64_t>(kBuckets, 0);
+    std::uint64_t sum_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * Named collection of stats belonging to one component.
  *
  * Stats are registered lazily by name; dump() emits "group.name value"
@@ -166,6 +292,12 @@ class Group
         return it->second;
     }
 
+    /** Named log-bucketed histogram (see LogHistogram). */
+    LogHistogram &logHistogram(const std::string &name)
+    {
+        return logHistograms_[name];
+    }
+
     const std::string &name() const { return name_; }
 
     /** Value of a counter, 0 if never touched. */
@@ -184,6 +316,10 @@ class Group
     {
         return histograms_;
     }
+    const std::map<std::string, LogHistogram> &logHistograms() const
+    {
+        return logHistograms_;
+    }
 
     void dump(std::ostream &os) const;
 
@@ -198,6 +334,8 @@ class Group
             kv.second.reset();
         for (auto &kv : histograms_)
             kv.second.reset();
+        for (auto &kv : logHistograms_)
+            kv.second.reset();
     }
 
   private:
@@ -206,6 +344,7 @@ class Group
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Sample> samples_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, LogHistogram> logHistograms_;
 };
 
 } // namespace secmem::stats

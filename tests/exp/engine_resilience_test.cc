@@ -45,7 +45,7 @@ TEST(EngineResilience, FlakyRunnerSucceedsOnRetry)
     opts.jobs = 1;
     opts.jobAttempts = 3;
     opts.backoffMs = 1;
-    opts.runner = [&](const JobSpec &s, obs::TraceSink *) {
+    opts.runner = [&](const JobSpec &s, const RunObservers &) {
         if (calls.fetch_add(1) < 2)
             throw std::runtime_error("transient infrastructure failure");
         return okOutput(s);
@@ -65,7 +65,7 @@ TEST(EngineResilience, CrashingJobIsIsolatedFromTheBatch)
     opts.jobs = 2;
     opts.jobAttempts = 2;
     opts.backoffMs = 1;
-    opts.runner = [&](const JobSpec &s, obs::TraceSink *) {
+    opts.runner = [&](const JobSpec &s, const RunObservers &) {
         if (s.profile.name == "mcf")
             throw std::runtime_error("boom");
         return okOutput(s);
@@ -93,7 +93,7 @@ TEST(EngineResilience, PanickingRunnerIsContained)
     EngineOptions opts;
     opts.jobs = 1;
     opts.jobAttempts = 1;
-    opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+    opts.runner = [](const JobSpec &s, const RunObservers &) -> RunOutput {
         if (s.profile.name == "gzip")
             SECMEM_PANIC("runner panicked on %s", s.profile.name.c_str());
         return okOutput(s);
@@ -112,7 +112,7 @@ TEST(EngineResilience, WatchdogCancelsHungJobs)
     opts.jobs = 1;
     opts.jobAttempts = 1;
     opts.jobTimeoutSec = 0.2;
-    opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+    opts.runner = [](const JobSpec &s, const RunObservers &) -> RunOutput {
         if (s.profile.name == "gzip") {
             // A hung simulation: spins forever, but polls its cancel
             // token the way OooCore::run does.
@@ -138,7 +138,7 @@ TEST(EngineResilience, FailureReportIsDeterministicAcrossJobCounts)
         opts.jobs = jobs;
         opts.jobAttempts = 2;
         opts.backoffMs = 1;
-        opts.runner = [](const JobSpec &s, obs::TraceSink *) -> RunOutput {
+        opts.runner = [](const JobSpec &s, const RunObservers &) -> RunOutput {
             if (s.lengths.sim % 2 == 1)
                 throw std::runtime_error("odd jobs fail");
             return okOutput(s);
@@ -167,7 +167,7 @@ TEST(EngineResilience, FailedJobsAreNotPersisted)
     EngineOptions opts;
     opts.jobs = 1;
     opts.jobAttempts = 1;
-    opts.runner = [](const JobSpec &, obs::TraceSink *) -> RunOutput {
+    opts.runner = [](const JobSpec &, const RunObservers &) -> RunOutput {
         throw std::runtime_error("always fails");
     };
     Engine engine(opts);

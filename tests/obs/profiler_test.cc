@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wall-clock zone profiler tests: disabled probes are inert, enabled
+ * probes attribute self-time with nested-child subtraction, and the
+ * report is ordered and share-bounded.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "obs/profiler.hh"
+
+namespace secmem::obs
+{
+namespace
+{
+
+/** RAII guard: every test leaves the profiler disabled and empty. */
+struct ProfilerFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        Profiler::setEnabled(false);
+        Profiler::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        Profiler::setEnabled(false);
+        Profiler::reset();
+    }
+};
+
+void
+spinFor(std::chrono::milliseconds d)
+{
+    auto until = std::chrono::steady_clock::now() + d;
+    while (std::chrono::steady_clock::now() < until) {
+        // busy-wait: sleep granularity is too coarse for short probes
+    }
+}
+
+using Ms = std::chrono::milliseconds;
+
+TEST_F(ProfilerFixture, DisabledProbesRecordNothing)
+{
+    ASSERT_FALSE(Profiler::enabled());
+    for (int i = 0; i < 100; ++i) {
+        SECMEM_PROF(Crypto);
+        SECMEM_PROF(Core);
+    }
+    ProfReport rep = Profiler::report();
+    EXPECT_TRUE(rep.zones.empty());
+    EXPECT_DOUBLE_EQ(rep.trackedSeconds, 0.0);
+}
+
+TEST_F(ProfilerFixture, EnabledProbeAttributesSelfTimeAndHits)
+{
+    Profiler::setEnabled(true);
+    for (int i = 0; i < 4; ++i) {
+        SECMEM_PROF(Crypto);
+        spinFor(Ms(2));
+    }
+    Profiler::setEnabled(false);
+
+    ProfReport rep = Profiler::report();
+    ASSERT_EQ(rep.zones.size(), 1u);
+    EXPECT_EQ(rep.zones[0].name, "crypto");
+    EXPECT_EQ(rep.zones[0].hits, 4u);
+    EXPECT_GT(rep.zones[0].selfSeconds, 0.004);
+    EXPECT_GT(rep.trackedSeconds, 0.0);
+    EXPECT_GT(rep.zones[0].share, 0.0);
+    EXPECT_LE(rep.zones[0].share, 1.0);
+}
+
+TEST_F(ProfilerFixture, NestedChildTimeIsSubtractedFromParent)
+{
+    Profiler::setEnabled(true);
+    {
+        SECMEM_PROF(Core);
+        spinFor(Ms(2)); // parent self
+        {
+            SECMEM_PROF(Crypto);
+            spinFor(Ms(6)); // child self, must NOT count as Core
+        }
+        spinFor(Ms(2)); // parent self again
+    }
+    Profiler::setEnabled(false);
+
+    ProfReport rep = Profiler::report();
+    ASSERT_EQ(rep.zones.size(), 2u);
+    // Sorted by self-time descending: the 6ms child leads the ~4ms parent.
+    EXPECT_EQ(rep.zones[0].name, "crypto");
+    EXPECT_EQ(rep.zones[1].name, "core");
+    // Without child subtraction the parent would own all ~10ms and
+    // outrank the 6ms child; with it the parent keeps only its ~4ms.
+    EXPECT_GT(rep.zones[0].selfSeconds, rep.zones[1].selfSeconds);
+    EXPECT_GT(rep.zones[1].selfSeconds, 0.002);
+    // Self times are disjoint sub-intervals of the thread span.
+    double total = rep.zones[0].selfSeconds + rep.zones[1].selfSeconds;
+    EXPECT_LE(total, rep.trackedSeconds * 1.001);
+    double shares = rep.zones[0].share + rep.zones[1].share;
+    EXPECT_LE(shares, 1.001);
+}
+
+TEST_F(ProfilerFixture, WorkerThreadFlushIsMerged)
+{
+    Profiler::setEnabled(true);
+    std::thread worker([] {
+        SECMEM_PROF(EngineSchedule);
+        spinFor(Ms(3));
+    });
+    worker.join(); // dtor of the thread-local accumulator flushes
+    {
+        SECMEM_PROF(EngineSchedule);
+        spinFor(Ms(1));
+    }
+    Profiler::setEnabled(false);
+
+    ProfReport rep = Profiler::report();
+    ASSERT_EQ(rep.zones.size(), 1u);
+    EXPECT_EQ(rep.zones[0].name, "engine_schedule");
+    EXPECT_EQ(rep.zones[0].hits, 2u);
+    EXPECT_GT(rep.zones[0].selfSeconds, 0.003);
+    // Both thread spans contribute, so the share stays <= 1 even
+    // though the two spans overlap zero wall-clock here.
+    EXPECT_LE(rep.zones[0].share, 1.0);
+}
+
+TEST_F(ProfilerFixture, ResetDropsAccumulatedData)
+{
+    Profiler::setEnabled(true);
+    {
+        SECMEM_PROF(MerkleVerify);
+        spinFor(Ms(1));
+    }
+    Profiler::setEnabled(false);
+    ASSERT_FALSE(Profiler::report().zones.empty());
+    Profiler::reset();
+    ProfReport rep = Profiler::report();
+    EXPECT_TRUE(rep.zones.empty());
+    EXPECT_DOUBLE_EQ(rep.trackedSeconds, 0.0);
+}
+
+} // namespace
+} // namespace secmem::obs

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <map>
@@ -329,6 +330,40 @@ TEST(Registry, DumpTextIsFlatAndDiffable)
     std::ostringstream os;
     reg.dumpText(os);
     EXPECT_NE(os.str().find("grp.n 5"), std::string::npos) << os.str();
+}
+
+TEST(Registry, LogHistogramDumpsQuantileLeaves)
+{
+    stats::Group g("ctrl");
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        g.logHistogram("read_latency").record(v);
+    obs::StatRegistry reg;
+    reg.add("ctrl", g);
+
+    // statNames annotates the kind for --list-stats.
+    auto names = reg.statNames();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "ctrl.read_latency loghistogram"),
+              names.end());
+
+    // flattened() exposes p50/p99 leaves for the time-series sampler.
+    std::map<std::string, double> flat;
+    for (const auto &s : reg.flattened())
+        flat[s.path] = s.value;
+    ASSERT_TRUE(flat.count("ctrl.read_latency.p50"));
+    ASSERT_TRUE(flat.count("ctrl.read_latency.p99"));
+    EXPECT_GT(flat.at("ctrl.read_latency.p50"), 0.0);
+    EXPECT_GE(flat.at("ctrl.read_latency.p99"),
+              flat.at("ctrl.read_latency.p50"));
+
+    // JSON carries the full summary object.
+    std::string json = reg.jsonString();
+    EXPECT_NE(json.find("\"read_latency\": {\"count\": 1000"),
+              std::string::npos)
+        << json;
+    for (const char *key : {"\"mean\"", "\"min\"", "\"p50\"", "\"p90\"",
+                            "\"p99\"", "\"max\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 
 TEST(Registry, DeterministicOutputForSameState)

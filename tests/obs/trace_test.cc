@@ -124,5 +124,35 @@ TEST(Trace, EmptySinkStillWritesValidEnvelope)
         << os.str();
 }
 
+TEST(Trace, OverflowCountsDropsAndEmitsMetadata)
+{
+    obs::TraceSink sink(4); // tiny buffer so the wrap path triggers
+    for (int i = 0; i < 10; ++i)
+        sink.instant("mem", "ev", Tick(i));
+    EXPECT_EQ(sink.dropped(), 6u);
+
+    std::ostringstream os;
+    sink.writeChromeJson(os);
+    std::string json = os.str();
+    // The loss is visible both as an instant marker at the wrap point
+    // and as machine-readable envelope metadata, so a truncated trace
+    // can never pass for a complete one.
+    EXPECT_NE(json.find("\"buffer_full\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"dropped_events\": 6"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"otherData\": {\"dropped_events\": 6}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Trace, NoDropNoDropMetadata)
+{
+    obs::TraceSink sink(8);
+    sink.instant("mem", "ev", Tick(1));
+    EXPECT_EQ(sink.dropped(), 0u);
+    std::ostringstream os;
+    sink.writeChromeJson(os);
+    EXPECT_EQ(os.str().find("dropped_events"), std::string::npos);
+}
+
 } // namespace
 } // namespace secmem

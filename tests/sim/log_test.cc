@@ -62,5 +62,33 @@ TEST(Log, ResetForgetsHistory)
     EXPECT_EQ(warnEmitted(), 1u);
 }
 
+TEST(Log, SiteCountersDistinguishWarnedFromSuppressed)
+{
+    using log_detail::warnSites;
+    using log_detail::warnSuppressedSites;
+
+    warnResetForTests();
+    EXPECT_EQ(warnSites(), 0u);
+    EXPECT_EQ(warnSuppressedSites(), 0u);
+
+    // Site A warns once: counted as a site, but never suppressed.
+    SECMEM_WARN("site a");
+    EXPECT_EQ(warnSites(), 1u);
+    EXPECT_EQ(warnSuppressedSites(), 0u);
+
+    // Site B blows past the cap: both counters see it; repeats at the
+    // same site never inflate the site counts (these feed the
+    // log.warn_sites / log.warn_suppressed_sites registry stats, which
+    // must stay per-site, not per-event).
+    for (std::uint64_t i = 0; i < kWarnSiteLimit * 2; ++i)
+        SECMEM_WARN("site b");
+    EXPECT_EQ(warnSites(), 2u);
+    EXPECT_EQ(warnSuppressedSites(), 1u);
+
+    warnResetForTests();
+    EXPECT_EQ(warnSites(), 0u);
+    EXPECT_EQ(warnSuppressedSites(), 0u);
+}
+
 } // namespace
 } // namespace secmem

@@ -122,11 +122,141 @@ TEST(StatsGroup, ResetClearsAll)
     g.counter("c").inc(5);
     g.gauge("g").set(3);
     g.sample("s").record(1.0);
+    g.logHistogram("h").record(42);
     g.reset();
     EXPECT_EQ(g.counterValue("c"), 0u);
     EXPECT_EQ(g.gauge("g").value(), 0u);
     EXPECT_EQ(g.gauge("g").max(), 0u);
     EXPECT_EQ(g.sample("s").count(), 0u);
+    EXPECT_EQ(g.logHistogram("h").count(), 0u);
+    EXPECT_EQ(g.logHistogram("h").percentile(0.5), 0u);
+}
+
+TEST(LogHistogram, SmallValuesBucketExactly)
+{
+    // Below 2^kSubBits every value owns its own bucket, so quantiles
+    // of small latencies are exact.
+    stats::LogHistogram h;
+    for (std::uint64_t v = 0; v < 8; ++v)
+        EXPECT_EQ(stats::LogHistogram::bucketLow(
+                      stats::LogHistogram::bucketIndex(v)),
+                  v);
+}
+
+TEST(LogHistogram, BucketLowInvertsBucketIndexAcrossMagnitudes)
+{
+    // bucketLow must return the smallest value mapping to its bucket,
+    // for every power of two and its neighbours up to 2^63.
+    for (unsigned shift = 3; shift < 64; ++shift) {
+        std::uint64_t v = std::uint64_t(1) << shift;
+        for (std::uint64_t probe : {v - 1, v, v + 1, v + (v >> 1)}) {
+            std::size_t idx = stats::LogHistogram::bucketIndex(probe);
+            std::uint64_t low = stats::LogHistogram::bucketLow(idx);
+            EXPECT_LE(low, probe);
+            EXPECT_EQ(stats::LogHistogram::bucketIndex(low), idx);
+            if (idx + 1 < stats::LogHistogram::kBuckets) {
+                EXPECT_GT(stats::LogHistogram::bucketLow(idx + 1), probe)
+                    << probe;
+            }
+        }
+    }
+}
+
+TEST(LogHistogram, BucketIndexIsMonotonic)
+{
+    std::size_t prev = stats::LogHistogram::bucketIndex(0);
+    for (unsigned shift = 0; shift < 63; ++shift) {
+        std::uint64_t lo = std::uint64_t(1) << shift;
+        // Ascending probes through the octave: 2^s, 1.5 * 2^s, 2^(s+1)-1.
+        for (std::uint64_t v : {lo, lo + (lo >> 1), 2 * lo - 1}) {
+            std::size_t idx = stats::LogHistogram::bucketIndex(v);
+            EXPECT_GE(idx, prev) << v;
+            EXPECT_LT(idx, stats::LogHistogram::kBuckets);
+            prev = std::max(prev, idx);
+        }
+    }
+}
+
+TEST(LogHistogram, ExactStatsOnUniformDistribution)
+{
+    stats::LogHistogram h;
+    std::uint64_t sum = 0;
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+
+    // Quantiles land within one log-bucket (12.5%) of the true value.
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    std::uint64_t p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 448u); // 500 / (1 + 1/8)
+    EXPECT_LE(p50, 500u); // bucket lower bound never exceeds the value
+    std::uint64_t p99 = h.percentile(0.99);
+    EXPECT_GE(p99, 880u);
+    EXPECT_LE(p99, 990u);
+}
+
+TEST(LogHistogram, PercentilesOfPointMassAreExactish)
+{
+    stats::LogHistogram h;
+    h.record(1); // keep min_ below the mass so the clamp stays inert
+    for (int i = 0; i < 100; ++i)
+        h.record(640);
+    std::uint64_t low = stats::LogHistogram::bucketLow(
+        stats::LogHistogram::bucketIndex(640));
+    EXPECT_EQ(h.percentile(0.5), low);
+    EXPECT_EQ(h.percentile(0.99), low);
+    EXPECT_EQ(h.percentile(1.0), 640u);
+    // The bucket lower bound is at most 12.5% below the recorded value.
+    EXPECT_GE(static_cast<double>(low), 640.0 / 1.125);
+}
+
+TEST(LogHistogram, PercentileNeverBelowMin)
+{
+    // A single observation far from a bucket edge: every quantile is
+    // clamped up to the true minimum, not the bucket lower bound.
+    stats::LogHistogram h;
+    h.record(1000);
+    EXPECT_EQ(h.percentile(0.5), 1000u);
+    EXPECT_EQ(h.percentile(0.01), 1000u);
+}
+
+TEST(LogHistogram, MergeMatchesInterleavedRecording)
+{
+    stats::LogHistogram a, b, both;
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        a.record(v * 3);
+        b.record(v * 7 + 1);
+        both.record(v * 3);
+        both.record(v * 7 + 1);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentile(q), both.percentile(q)) << q;
+}
+
+TEST(LogHistogram, DumpShowsQuantiles)
+{
+    stats::Group g("ctrl");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        g.logHistogram("read_latency").record(v);
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("ctrl.read_latency"), std::string::npos) << out;
+    EXPECT_NE(out.find("count=100"), std::string::npos) << out;
+    EXPECT_NE(out.find("p50="), std::string::npos) << out;
+    EXPECT_NE(out.find("p99="), std::string::npos) << out;
 }
 
 } // namespace
