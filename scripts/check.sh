@@ -50,6 +50,17 @@ echo "== secmem-bench smoke (fig4, parallel, no store) =="
 ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
     --no-progress >/dev/null
 
+echo "== event-kernel differential smoke (calendar vs heap oracle) =="
+# Both kernels implement the same (tick, insertion-seq) contract, so
+# the figure tables and the full stats dump must match byte for byte.
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress --stats-out build/stats-cal.json > build/fig4-cal.txt
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress --event-kernel heap \
+    --stats-out build/stats-heap.json > build/fig4-heap.txt
+diff -u build/fig4-cal.txt build/fig4-heap.txt
+diff -u build/stats-cal.json build/stats-heap.json
+
 echo "== profiler + telemetry smoke (fig4 --profile --metrics-out) =="
 # The profiled run must emit a valid BENCH_sim telemetry JSON (zone
 # self-times, latency histograms, sampler series) and a zone table on

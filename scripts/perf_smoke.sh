@@ -71,4 +71,41 @@ python3 scripts/bench_json.py \
     --out "$outdir/BENCH_sim.json" \
     "${sim_baseline_args[@]}"
 
+echo "== heap-oracle reference run (legacy event kernel) =="
+# Same profiled workload on the legacy heap kernel. Validated but not
+# baseline-gated: the heap is the differential oracle and is expected
+# to be slower than the calendar queue — the comparison table below is
+# the before/after evidence for the kernel swap.
+SECMEM_EVENT_KERNEL=heap \
+    ./build-perf/bench/secmem-bench --figure fig4 --smoke --jobs "$jobs" \
+    --no-store --no-progress --profile --sample-every 200000 \
+    --metrics-out "$outdir/bench_sim_heap_raw.json" >/dev/null
+python3 scripts/bench_json.py \
+    --sim-metrics "$outdir/bench_sim_heap_raw.json" \
+    --out "$outdir/BENCH_sim_heap.json"
+
+echo "== event-kernel before/after (heap oracle vs calendar) =="
+python3 - "$outdir/BENCH_sim_heap.json" "$outdir/BENCH_sim.json" <<'EOF'
+import json, sys
+
+heap = json.load(open(sys.argv[1]))
+cal = json.load(open(sys.argv[2]))
+
+print(f"{'metric':<28}{'heap (before)':>16}{'calendar (after)':>18}"
+      f"{'gain':>8}")
+for field in ("events_per_sec", "instructions_per_sec"):
+    h, c = heap[field], cal[field]
+    print(f"{field:<28}{h:>16,.0f}{c:>18,.0f}{c / h:>7.2f}x")
+h, c = heap["wall_seconds"], cal["wall_seconds"]
+print(f"{'wall_seconds':<28}{h:>16.3f}{c:>18.3f}{h / c:>7.2f}x")
+
+print()
+print(f"{'zone self-time':<28}{'heap (before)':>16}{'calendar (after)':>18}")
+zones = {z["name"]: z for z in heap["zones"]}
+for z in cal["zones"]:
+    before = zones.get(z["name"], {}).get("share")
+    before = f"{before:.1%}" if before is not None else "-"
+    print(f"{z['name']:<28}{before:>16}{z['share']:>17.1%}")
+EOF
+
 echo "perf_smoke.sh: all green"

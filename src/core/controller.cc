@@ -138,11 +138,9 @@ SecureMemoryController::SecureMemoryController(const SecureMemConfig &cfg)
     stats_.counter("quarantines");
     stats_.counter("quarantine_blocked_reads");
     stats_.counter("quarantine_blocked_writes");
-    // Latency distributions (log-bucketed, p50/p90/p99 in dumps), also
-    // pre-registered for a uniform stat set.
-    stats_.logHistogram("read_latency");
-    stats_.logHistogram("write_latency");
-    stats_.logHistogram("ctr_miss_penalty");
+    // Latency distributions (log-bucketed, p50/p90/p99 in dumps) are
+    // pre-registered by the cached reference members (readLatencyStat_
+    // and friends), keeping the dumped stat set uniform.
     stats_.logHistogram("recovery_retries");
     stats_.gauge("inflight");
 }
@@ -462,8 +460,8 @@ SecureMemoryController::clearQuarantine()
 std::uint8_t
 SecureMemoryController::epochOf(Addr data_addr) const
 {
-    auto it = blockEpoch_.find(blockBase(data_addr));
-    return it == blockEpoch_.end() ? 0 : it->second;
+    const std::uint8_t *e = blockEpoch_.find(blockBase(data_addr));
+    return e ? *e : 0;
 }
 
 std::uint64_t
@@ -533,13 +531,13 @@ SecureMemoryController::nodeTag(const NodeRef &node, const Block64 &content,
     SECMEM_PROF(Crypto);
     if (cfg_.auth == AuthKind::Gcm) {
         // GHASH absorbs the 4 ciphertext chunks plus the length block.
-        stats_.counter("ghash_chunks").inc(kChunksPerBlock + 1);
+        ghashChunksStat_.inc(kChunksPerBlock + 1);
         return clipTag(
             gcmBlockTag(dataAes_, hashTable_, content, node.addr, counter,
                         static_cast<std::uint8_t>(cfg_.aivByte ^ epoch)),
             cfg_.macBits);
     }
-    stats_.counter("sha1_blocks").inc();
+    sha1BlocksStat_.inc();
     return clipTag(sha1BlockTag(cfg_.macKey, content, node.addr, counter,
                                 epoch),
                    cfg_.macBits);
@@ -686,7 +684,7 @@ SecureMemoryController::getDerivCtr(std::uint64_t deriv_idx, Tick now)
         if (it != inflight_.end()) {
             if (it->second > now) {
                 ready = it->second;
-                stats_.counter("deriv_halfmiss").inc();
+                derivHalfmissStat_.inc();
             } else {
                 inflight_.erase(it);
             }
@@ -694,7 +692,7 @@ SecureMemoryController::getDerivCtr(std::uint64_t deriv_idx, Tick now)
     } else {
         // Unauthenticated fetch: derivative counters are not tree leaves
         // (tampering them is detectable denial-of-service only).
-        stats_.counter("deriv_fetches").inc();
+        derivFetchesStat_.inc();
         Block64 raw = dram_.readBlock(addr);
         ready = channel_.readBlockTiming(now);
         Eviction ev = derivCache_.insert(addr, raw, false);
@@ -703,7 +701,7 @@ SecureMemoryController::getDerivCtr(std::uint64_t deriv_idx, Tick now)
             channel_.writeBlockTiming(now);
         }
         inflight_[addr] = ready;
-        stats_.gauge("inflight").set(inflight_.size());
+        inflightStat_.set(inflight_.size());
         line = derivCache_.peek(addr);
     }
     return {ready, MonoCounterBlock(64, *line).counter(slot)};
@@ -799,7 +797,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
             // write-backs may legitimately update the cached copy
             // before we get to the check; its stored tag corresponds
             // to the fetched bits.
-            stats_.counter("mac_fetches").inc();
+            macFetchesStat_.inc();
             Tick fetch_issue = cfg_.treeParallel ? issue : fetch_gate;
             content_ready = channel_.readBlockTiming(fetch_issue);
             raw = dram_.readBlock(loc.blockAddr);
@@ -807,7 +805,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
             if (ev.valid && ev.dirty)
                 writebackMacBlock(ev.addr, ev.data, issue);
             inflight_[loc.blockAddr] = content_ready;
-            stats_.gauge("inflight").set(inflight_.size());
+            inflightStat_.set(inflight_.size());
             terminal = false;
         }
 
@@ -863,7 +861,7 @@ SecureMemoryController::authenticateFetched(const NodeRef &node,
         below = mac;
     }
 
-    stats_.sample("auth_walk_levels").record(
+    authWalkLevelsStat_.record(
         static_cast<double>(levels_walked));
     if (trace_) {
         trace_->complete("auth", "merkle_walk", issue, auth_done,
@@ -899,7 +897,7 @@ SecureMemoryController::getMacBlock(const TagLocation &loc, Tick now,
         return acc;
     }
 
-    stats_.counter("mac_fetches").inc();
+    macFetchesStat_.inc();
     Block64 raw = dram_.readBlock(loc.blockAddr);
     Tick arrive = channel_.readBlockTiming(now);
     acc.ready = arrive;
@@ -933,7 +931,7 @@ SecureMemoryController::getMacBlock(const TagLocation &loc, Tick now,
     if (ev.valid && ev.dirty)
         writebackMacBlock(ev.addr, ev.data, now);
     inflight_[loc.blockAddr] = arrive;
-    stats_.gauge("inflight").set(inflight_.size());
+    inflightStat_.set(inflight_.size());
     acc.line = macCache_.peek(loc.blockAddr);
     if (!acc.line) {
         // A cascaded eviction displaced the block we just inserted
@@ -964,7 +962,7 @@ void
 SecureMemoryController::writebackMacContent(Addr mac_addr,
                                             const Block64 &data, Tick now)
 {
-    stats_.counter("mac_writebacks").inc();
+    macWritebacksStat_.inc();
 
     // Bump the embedded derivative counter so the GCM pad for this
     // block's new tag is fresh (GMAC nonce-reuse would be fatal).
@@ -998,7 +996,7 @@ SecureMemoryController::writebackMacTag(Addr mac_addr, Tick now)
     // Timing: the tag computation, and (when the parent is off-chip)
     // an update-no-allocate fetch of the parent.
     if (!loc.pinned && !macCache_.contains(loc.blockAddr)) {
-        stats_.counter("mac_update_fetches").inc();
+        macUpdateFetchesStat_.inc();
         channel_.readBlockTiming(now);
     }
     if (cfg_.auth == AuthKind::Gcm)
@@ -1011,7 +1009,7 @@ void
 SecureMemoryController::writebackCtrBlock(Addr ctr_addr, const Block64 &data,
                                           Tick now)
 {
-    stats_.counter("ctr_writebacks").inc();
+    ctrWritebacksStat_.inc();
     dram_.writeBlock(ctr_addr, data);
     if (cfg_.auth != AuthKind::None && cfg_.authenticateCounters) {
         NodeRef node{NodeKind::CtrBlock, ctr_addr, 0, 0};
@@ -1028,7 +1026,7 @@ SecureMemoryController::writebackCtrBlock(Addr ctr_addr, const Block64 &data,
         functionalTagStore(loc, tag);
         hasTag_.insert(ctr_addr);
         if (!loc.pinned && !macCache_.contains(loc.blockAddr)) {
-            stats_.counter("mac_update_fetches").inc();
+            macUpdateFetchesStat_.inc();
             channel_.readBlockTiming(now);
         }
         if (cfg_.auth == AuthKind::Gcm)
@@ -1097,7 +1095,7 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
             if (it->second > now) {
                 acc.ready = it->second;
                 acc.halfMiss = true;
-                stats_.counter("ctr_halfmiss").inc();
+                ctrHalfmissStat_.inc();
             } else {
                 inflight_.erase(it);
             }
@@ -1111,10 +1109,10 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
         return acc;
     }
 
-    stats_.counter("ctr_fetches").inc();
+    ctrFetchesStat_.inc();
     Block64 raw = dram_.readBlock(ctr_addr);
     Tick arrive = channel_.readBlockTiming(now);
-    stats_.logHistogram("ctr_miss_penalty")
+    ctrMissPenaltyStat_
         .record(arrive > now ? arrive - now : 0);
     acc.ready = arrive;
     acc.authDone = arrive;
@@ -1139,7 +1137,7 @@ SecureMemoryController::getCtrBlock(Addr ctr_addr, Tick now, bool for_write)
     if (ev.valid && ev.dirty)
         writebackMetaBlock(ev.addr, ev.data, now);
     inflight_[ctr_addr] = arrive;
-    stats_.gauge("inflight").set(inflight_.size());
+    inflightStat_.set(inflight_.size());
     acc.line = ctrCache_.peek(ctr_addr);
     if (trace_)
         trace_->complete("ctr", "ctr_fetch", now, arrive, {{"addr", ctr_addr}});
@@ -1265,11 +1263,11 @@ SecureMemoryController::triggerPageReenc(Addr ctr_addr, Tick now)
         if (!initialized_.count(a))
             continue;
         unsigned old_minor = cb.minor(j);
-        if (l2_.contains(a)) {
+        if (l2_ && l2_->cacheContains(a)) {
             // Lazy path: the cached copy is simply marked dirty; its
             // natural write-back re-encrypts it under the new major.
             ++onchip;
-            l2_.markDirty(a);
+            l2_->cacheMarkDirty(a);
             if (shadow_)
                 lazy_blocks.push_back(a);
             continue;
@@ -1342,7 +1340,7 @@ SecureMemoryController::predictPads(Addr addr, std::uint64_t actual_ctr,
     Addr page = addr & ~static_cast<Addr>(kPageBytes - 1);
     std::uint64_t base = predBase_[page];
     bool hit = actual_ctr >= base && actual_ctr < base + cfg_.predDepth;
-    stats_.counter("pred_total").inc();
+    predTotalStat_.inc();
     if (authTraceEnabled()) {
         SECMEM_WARN("pred addr=%llx actual=%llu base=%llu hit=%d",
                     (unsigned long long)addr, (unsigned long long)actual_ctr,
@@ -1358,7 +1356,7 @@ SecureMemoryController::predictPads(Addr addr, std::uint64_t actual_ctr,
             pad_ready = done;
     }
     if (hit)
-        stats_.counter("pred_hits").inc();
+        predHitsStat_.inc();
     return {pad_ready, hit};
 }
 
@@ -1392,7 +1390,7 @@ SecureMemoryController::readBlock(Addr addr, Tick now, Block64 *out)
         timing.authOk ? AccessStatus::Ok : AccessStatus::AuthFailed;
     lastStatus_ = timing.status;
     finishAccess(timing.authOk, timing.authDone);
-    stats_.logHistogram("read_latency")
+    readLatencyStat_
         .record(timing.dataReady > now ? timing.dataReady - now : 0);
     if (shadow_) {
         SECMEM_PROF(ShadowOracle);
@@ -1419,7 +1417,7 @@ SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
 {
     Addr base = blockBase(addr);
     ensureDataInit(base);
-    stats_.counter("reads").inc();
+    readsStat_.inc();
 
     AccessTiming timing;
     bool ok = true;
@@ -1464,9 +1462,9 @@ SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
         ct = dram_.readBlock(base);
         arrive = channel_.readBlockTiming(now);
         Tick pad = aes_.scheduleBurst(ctr_ready, kChunksPerBlock);
-        stats_.counter("pad_total").inc();
+        padTotalStat_.inc();
         if (pad <= arrive)
-            stats_.counter("pad_timely").inc();
+            padTimelyStat_.inc();
         if (trace_) {
             // Pad generation vs. data fetch overlap: timely == the pad
             // was ready when the ciphertext arrived (latency hidden).
@@ -1488,9 +1486,9 @@ SecureMemoryController::readBlockImpl(Addr addr, Tick now, Block64 *out)
         Tick pad = pr.predicted ? pr.padReady
                                 : aes_.scheduleBurst(arrive,
                                                      kChunksPerBlock);
-        stats_.counter("pad_total").inc();
+        padTotalStat_.inc();
         if (pad <= arrive)
-            stats_.counter("pad_timely").inc();
+            padTimelyStat_.inc();
         if (trace_) {
             trace_->complete("gcm", "pad_gen", now, pad,
                              {{"addr", base},
@@ -1543,7 +1541,7 @@ SecureMemoryController::writeBlock(Addr addr, const Block64 &data, Tick now)
     // the counter increment has already been applied on-chip.
     lastStatus_ = cur_.valid ? AccessStatus::AuthFailed : AccessStatus::Ok;
     finishAccess(!cur_.valid, done);
-    stats_.logHistogram("write_latency")
+    writeLatencyStat_
         .record(done > now ? done - now : 0);
     if (shadow_) {
         SECMEM_PROF(ShadowOracle);
@@ -1567,7 +1565,7 @@ SecureMemoryController::writeBlockImpl(Addr addr, const Block64 &data,
 {
     Addr base = blockBase(addr);
     ensureDataInit(base);
-    stats_.counter("writes").inc();
+    writesStat_.inc();
     ++totalWritebacks_;
     std::uint64_t &wb = wbCounts_[base];
     ++wb;

@@ -35,7 +35,6 @@
 #define SECMEM_CORE_CONTROLLER_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -52,6 +51,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "sim/flat_hash.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -86,11 +86,21 @@ struct AccessTiming
     AccessStatus status = AccessStatus::Ok; ///< structured outcome
 };
 
-/** Callbacks into the L2 for page re-encryption (paper Section 4.2). */
-struct L2Hooks
+/**
+ * Probe into the cache hierarchy for page re-encryption (paper
+ * Section 4.2). A bound virtual interface — one indirect call per
+ * probe — rather than std::function members, which cost a double
+ * indirection (wrapper + target) per invocation on what is a per-block
+ * operation during every RSR window.
+ */
+class L2Probe
 {
-    std::function<bool(Addr)> contains = [](Addr) { return false; };
-    std::function<void(Addr)> markDirty = [](Addr) {};
+  public:
+    virtual ~L2Probe() = default;
+    /** True when the block at @p a is resident anywhere on-chip. */
+    virtual bool cacheContains(Addr a) const = 0;
+    /** Lazily re-encrypt: mark the cached copy dirty in place. */
+    virtual void cacheMarkDirty(Addr a) = 0;
 };
 
 /** The combined encryption/authentication memory controller. */
@@ -118,8 +128,8 @@ class SecureMemoryController
      */
     Tick writeBlock(Addr addr, const Block64 &data, Tick now);
 
-    /** Attach the L2 probe used by RSR page re-encryption. */
-    void setL2Hooks(L2Hooks hooks) { l2_ = std::move(hooks); }
+    /** Attach the L2 probe used by RSR page re-encryption (not owned). */
+    void setL2Probe(L2Probe *probe) { l2_ = probe; }
 
     // ---- inspection / attack surface ------------------------------------
     /** The DRAM under attack (ciphertext, counters, MACs). */
@@ -440,7 +450,7 @@ class SecureMemoryController
     Block16 hashSubkey_{}; ///< GCM H = AES_K(0)
     Gf128Table hashTable_; ///< Shoup table for H, built once per run
 
-    L2Hooks l2_;
+    L2Probe *l2_ = nullptr;
 
     /** Pinned on-chip top-of-tree block. */
     Block64 pinnedTop_{};
@@ -448,18 +458,23 @@ class SecureMemoryController
     /** In-flight fill arrival times (half-miss modelling). */
     std::unordered_map<Addr, Tick> inflight_;
 
+    // The per-block side tables below are insert/lookup-only and sit on
+    // the access hot path (ensureDataInit probes initialized_ on every
+    // read and write), so they use the flat tables from sim/flat_hash.hh
+    // rather than node-based std containers.
+
     /** Lazily formatted data blocks. */
-    std::unordered_set<Addr> initialized_;
+    FlatAddrSet initialized_;
     /** Nodes whose stored tags are valid (lazy tree format). */
-    std::unordered_set<Addr> hasTag_;
+    FlatAddrSet hasTag_;
     /** Tag slot key for leaves that share a MAC block: child address. */
 
     /** Whole-memory re-encryption epoch per block (monolithic freeze). */
-    std::unordered_map<Addr, std::uint8_t> blockEpoch_;
+    FlatAddrMap<std::uint8_t> blockEpoch_;
     std::uint8_t epoch_ = 0;
 
     /** Per-block write-back counts (Table 2 growth rates). */
-    std::unordered_map<Addr, std::uint64_t> wbCounts_;
+    FlatAddrMap<std::uint64_t> wbCounts_;
     std::uint64_t totalWritebacks_ = 0;
     std::uint64_t maxBlockWritebacks_ = 0;
     std::uint64_t freezes_ = 0;
@@ -501,14 +516,43 @@ class SecureMemoryController
     std::vector<Rsr> rsrs_;
 
     /** Counter-prediction state: per-block counters and page bases. */
-    std::unordered_map<Addr, std::uint64_t> predCtr_;
-    std::unordered_map<Addr, std::uint64_t> predBase_;
+    FlatAddrMap<std::uint64_t> predCtr_;
+    FlatAddrMap<std::uint64_t> predBase_;
 
     /** Differential oracle shadow-executing this controller (optional). */
     std::unique_ptr<ref::ShadowModel> shadow_;
 
     /** mutable: nodeTag() is const but counts GHASH/SHA-1 work. */
     mutable stats::Group stats_;
+    // Cached references for the per-access hot path: stats::Group keys
+    // by string, and a map lookup per counter bump is measurable at
+    // fig9 scale. Cold paths (tamper, recovery, re-enc) still look up.
+    stats::Counter &readsStat_ = stats_.counter("reads");
+    stats::Counter &writesStat_ = stats_.counter("writes");
+    stats::Counter &ctrFetchesStat_ = stats_.counter("ctr_fetches");
+    stats::Counter &ctrHalfmissStat_ = stats_.counter("ctr_halfmiss");
+    stats::Counter &macFetchesStat_ = stats_.counter("mac_fetches");
+    stats::Counter &padTotalStat_ = stats_.counter("pad_total");
+    stats::Counter &padTimelyStat_ = stats_.counter("pad_timely");
+    stats::Counter &predTotalStat_ = stats_.counter("pred_total");
+    stats::Counter &predHitsStat_ = stats_.counter("pred_hits");
+    // (references reach non-const members even from const methods)
+    stats::Counter &ghashChunksStat_ = stats_.counter("ghash_chunks");
+    stats::Counter &sha1BlocksStat_ = stats_.counter("sha1_blocks");
+    stats::Gauge &inflightStat_ = stats_.gauge("inflight");
+    stats::LogHistogram &readLatencyStat_ =
+        stats_.logHistogram("read_latency");
+    stats::LogHistogram &writeLatencyStat_ =
+        stats_.logHistogram("write_latency");
+    stats::LogHistogram &ctrMissPenaltyStat_ =
+        stats_.logHistogram("ctr_miss_penalty");
+    stats::Counter &derivFetchesStat_ = stats_.counter("deriv_fetches");
+    stats::Counter &derivHalfmissStat_ = stats_.counter("deriv_halfmiss");
+    stats::Counter &macWritebacksStat_ = stats_.counter("mac_writebacks");
+    stats::Counter &macUpdateFetchesStat_ =
+        stats_.counter("mac_update_fetches");
+    stats::Counter &ctrWritebacksStat_ = stats_.counter("ctr_writebacks");
+    stats::Sample &authWalkLevelsStat_ = stats_.sample("auth_walk_levels");
     obs::TraceSink *trace_ = nullptr;
     unsigned updateDepth_ = 0; ///< recursion guard for tree updates
 };

@@ -17,15 +17,7 @@ SecureSystem::SecureSystem(const SecureMemConfig &cfg,
       l2_("l2", params.l2Bytes, params.l2Assoc),
       stats_("system")
 {
-    L2Hooks hooks;
-    hooks.contains = [this](Addr a) {
-        return l2_.contains(a) || l1_.contains(a);
-    };
-    hooks.markDirty = [this](Addr a) {
-        l2_.markDirty(a);
-        l1_.markDirty(a);
-    };
-    ctrl_.setL2Hooks(std::move(hooks));
+    ctrl_.setL2Probe(this);
 }
 
 void
@@ -55,7 +47,8 @@ SecureSystem::insertL2(Addr base, const Block64 &data, bool dirty, Tick now)
     }
     if (victim_dirty)
         ctrl_.writeBlock(ev.addr, victim, now);
-    l2Inflight_.erase(ev.addr);
+    if (Pending *p = findInflight(ev.addr))
+        eraseInflight(p);
 }
 
 void
@@ -81,7 +74,7 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
     SECMEM_ASSERT(base < ctrl_.config().memoryBytes,
                   "access outside protected data region: %llx",
                   static_cast<unsigned long long>(addr));
-    stats_.counter(is_write ? "stores" : "loads").inc();
+    (is_write ? storesStat_ : loadsStat_).inc();
     if (sampler_)
         sampler_->maybeSample(now);
 
@@ -93,13 +86,15 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
             stampStore(*line, base, now);
         Tick done = now + params_.l1Latency;
         Tick auth_done = done;
-        auto it = l2Inflight_.find(base);
-        if (it != l2Inflight_.end()) {
-            if (it->second.authDone <= now && it->second.dataReady <= now) {
-                l2Inflight_.erase(it);
+        // The event kernel reclaims completed fills, so the in-flight
+        // list is empty whenever no miss is outstanding — this, the
+        // hottest path in the simulator, usually scans nothing.
+        if (Pending *p = findInflight(base)) {
+            if (p->authDone <= now && p->dataReady <= now) {
+                eraseInflight(p);
             } else {
-                done = std::max(done, it->second.dataReady);
-                auth_done = std::max(done, it->second.authDone);
+                done = std::max(done, p->dataReady);
+                auth_done = std::max(done, p->authDone);
             }
         }
         return {done, auth_done, false};
@@ -111,14 +106,13 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
     if (Block64 *line = l2_.access(base, is_write)) {
         Tick ready = l2_at + params_.l2Latency;
         Tick auth_ready = ready;
-        auto it = l2Inflight_.find(base);
-        if (it != l2Inflight_.end()) {
-            if (it->second.authDone <= now && it->second.dataReady <= now) {
-                l2Inflight_.erase(it);
+        if (Pending *p = findInflight(base)) {
+            if (p->authDone <= now && p->dataReady <= now) {
+                eraseInflight(p);
             } else {
                 // Hit under an in-flight fill: merge with it.
-                ready = std::max(ready, it->second.dataReady);
-                auth_ready = std::max(auth_ready, it->second.authDone);
+                ready = std::max(ready, p->dataReady);
+                auth_ready = std::max(auth_ready, p->authDone);
             }
         }
         if (is_write)
@@ -135,7 +129,24 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
         stampStore(data, base, now);
     insertL2(base, data, is_write, now);
     fillL1(base, data, is_write, now);
-    l2Inflight_[base] = {timing.dataReady, timing.authDone};
+    std::uint64_t gen = ++l2InflightGen_;
+    if (Pending *p = findInflight(base))
+        *p = {base, timing.dataReady, timing.authDone, gen};
+    else
+        l2Inflight_.push_back({base, timing.dataReady, timing.authDone, gen});
+    // Completion housekeeping rides the event kernel: when the fill is
+    // done the entry is reclaimed, instead of lingering until the next
+    // same-block access or an L2 eviction notices. The pump only runs
+    // to the core's dispatch frontier (advanceTo), below which every
+    // future access's lazy check would drop the entry anyway, so the
+    // event changes nothing observable. Issue ticks themselves are not
+    // monotonic, hence the clamp to the kernel's own now.
+    Tick done = std::max(timing.dataReady, timing.authDone);
+    events_.schedule(std::max(done, events_.now()), [this, base, gen] {
+        Pending *p = findInflight(base);
+        if (p && p->gen == gen)
+            eraseInflight(p);
+    });
     return {timing.dataReady, timing.authDone, true};
 }
 
@@ -152,6 +163,7 @@ void
 SecureSystem::registerStats(obs::StatRegistry &reg)
 {
     reg.add("system", stats_);
+    reg.add("events", events_.stats());
     reg.add("cpu", cpuStats_);
     reg.add("l1d", l1_.stats());
     reg.add("l2", l2_.stats());

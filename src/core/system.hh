@@ -23,6 +23,7 @@
 #include "cpu/ooo_core.hh"
 #include "cpu/trace.hh"
 #include "mem/cache.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace secmem
@@ -45,13 +46,16 @@ struct SystemParams
 };
 
 /** One processor + memory-hierarchy instance. */
-class SecureSystem : public MemorySystem
+class SecureSystem : public MemorySystem, private L2Probe
 {
   public:
     explicit SecureSystem(const SecureMemConfig &cfg,
                           const SystemParams &params = {});
 
     MemAccess access(Addr addr, bool is_write, Tick now) override;
+
+    /** Pump the event kernel to the core's dispatch frontier. */
+    void advanceTo(Tick cycle) override { events_.runUntil(cycle); }
 
     /** Run a workload on a fresh core attached to this system. */
     CoreRunResult run(WorkloadGenerator &gen, std::uint64_t warmup,
@@ -88,7 +92,27 @@ class SecureSystem : public MemorySystem
     /** Dump every statistics group (caches, engines, bus, controller). */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * The system's event kernel. Drives completion housekeeping for
+     * in-flight L2 fills; pumped to the access frontier on every L2
+     * miss. Exposed so tests can drain or inspect it.
+     */
+    EventQueue &events() { return events_; }
+
   private:
+    // L2Probe: the controller's view of the cache hierarchy during RSR
+    // page re-encryption (see core/controller.hh).
+    bool
+    cacheContains(Addr a) const override
+    {
+        return l2_.contains(a) || l1_.contains(a);
+    }
+    void
+    cacheMarkDirty(Addr a) override
+    {
+        l2_.markDirty(a);
+        l1_.markDirty(a);
+    }
     void fillL1(Addr base, const Block64 &data, bool dirty, Tick now);
     void insertL2(Addr base, const Block64 &data, bool dirty, Tick now);
     /** Stamp store-dependent bytes so ciphertexts stay diverse. */
@@ -101,13 +125,45 @@ class SecureSystem : public MemorySystem
 
     struct Pending
     {
+        Addr addr;
         Tick dataReady;
         Tick authDone;
+        /** Guards the completion event against entry reuse: eviction +
+         * re-miss on the same base makes a stale event's erase wrong. */
+        std::uint64_t gen;
     };
-    /** In-flight L2 fills, for hit-under-miss merging. */
-    std::unordered_map<Addr, Pending> l2Inflight_;
+    /**
+     * In-flight L2 fills, for hit-under-miss merging. A plain vector:
+     * the event kernel reclaims completed fills, so only the handful
+     * of genuinely outstanding misses are ever live and a linear scan
+     * is cheaper than any hash probe.
+     */
+    std::vector<Pending> l2Inflight_;
+    std::uint64_t l2InflightGen_ = 0;
+
+    Pending *
+    findInflight(Addr base)
+    {
+        for (Pending &p : l2Inflight_)
+            if (p.addr == base)
+                return &p;
+        return nullptr;
+    }
+
+    /** Swap-pop removal; entry order carries no meaning. */
+    void
+    eraseInflight(Pending *p)
+    {
+        *p = l2Inflight_.back();
+        l2Inflight_.pop_back();
+    }
+
+    EventQueue events_;
 
     stats::Group stats_;
+    // Cached: one of these is bumped on every memory access.
+    stats::Counter &loadsStat_ = stats_.counter("loads");
+    stats::Counter &storesStat_ = stats_.counter("stores");
     /** Core counters, accumulated across run() calls (see OooCore). */
     stats::Group cpuStats_{"cpu"};
     obs::Sampler *sampler_ = nullptr;

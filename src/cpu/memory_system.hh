@@ -27,6 +27,16 @@ class MemorySystem
 
     /** Perform a load/store issued at @p now. */
     virtual MemAccess access(Addr addr, bool is_write, Tick now) = 0;
+
+    /**
+     * Advance the hierarchy's event kernel to @p cycle, the core's
+     * monotonic dispatch frontier. The core promises every later
+     * access() will carry now >= cycle (individual issue ticks are not
+     * monotonic — a dependent load can issue after a younger
+     * independent one — but the dispatch cycle only moves forward), so
+     * the hierarchy may safely retire any event at or before @p cycle.
+     */
+    virtual void advanceTo(Tick cycle) { (void)cycle; }
 };
 
 } // namespace secmem

@@ -6,6 +6,7 @@
 #include "obs/profiler.hh"
 #include "sim/cancel.hh"
 #include "sim/log.hh"
+#include "workload/spec_profiles.hh"
 
 namespace secmem
 {
@@ -14,16 +15,29 @@ CoreRunResult
 OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
              std::uint64_t measured, Tick start_tick)
 {
+    if (auto *spec = dynamic_cast<SpecWorkload *>(&gen))
+        return runLoop(*spec, warmup, measured, start_tick);
+    return runLoop(gen, warmup, measured, start_tick);
+}
+
+template <typename Gen>
+CoreRunResult
+OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
+                 Tick start_tick)
+{
     SECMEM_PROF(Core);
     const std::uint64_t total = warmup + measured;
 
-    // Reorder buffer: completion wakes dependents, retireAt gates
-    // in-order retirement.
-    struct RobEntry
-    {
-        Tick retireAt;
+    // Reorder buffer: a fixed ring of retirement ticks, sized once for
+    // the whole run. A deque here cost a paged allocation every few
+    // hundred instructions; the ring is allocation-free and its head
+    // test is one load on the retire fast path.
+    std::vector<Tick> rob(params_.robSize);
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
+    auto robAdvance = [&rob](std::size_t i) {
+        return i + 1 == rob.size() ? 0 : i + 1;
     };
-    std::deque<RobEntry> rob;
 
     Tick cycle = start_tick;
     std::uint64_t dispatched = 0;
@@ -53,12 +67,21 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
         // relaxed thread-local load) when no cancel scope is active.
         if ((++cancelPoll & 0xfff) == 0)
             pollCancellation();
+        // Let the hierarchy retire completion events up to the dispatch
+        // frontier (see MemorySystem::advanceTo). Every 16 iterations:
+        // the pump amortizes to a no-op, but it is still a call. (The
+        // cadence is NOT free to change: the kernel clock feeds the
+        // completion-housekeeping schedule clamp in SecureSystem::
+        // access, so a lazier pump shifts event ticks and the stats.)
+        if ((cancelPoll & 0xf) == 0)
+            mem_.advanceTo(cycle);
 
         // Retire up to `width` completed instructions in order.
         unsigned n_retired = 0;
-        while (n_retired < params_.width && !rob.empty() &&
-               rob.front().retireAt <= cycle) {
-            rob.pop_front();
+        while (n_retired < params_.width && robCount != 0 &&
+               rob[robHead] <= cycle) {
+            robHead = robAdvance(robHead);
+            --robCount;
             ++retired;
             ++n_retired;
             if (retired == warmup && warmup > 0)
@@ -68,21 +91,30 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
         // Dispatch up to `width` new instructions.
         unsigned n_dispatched = 0;
         while (n_dispatched < params_.width && dispatched < total &&
-               rob.size() < params_.robSize) {
+               robCount < rob.size()) {
             TraceOp op = gen.next();
-            RobEntry entry{cycle + 1};
+            Tick retire_at = cycle + 1;
             if (op.isMem && !op.isStore) {
                 ++res.loads;
                 Tick issue = cycle;
                 if (op.dependsOnPrev)
                     issue = std::max(issue, lastLoadComplete);
-                pruneOutstanding(issue);
+                // Prune lazily: completed entries only matter once the
+                // MSHR count could gate an issue, so the common
+                // under-occupancy case skips the scan entirely. When
+                // the unpruned count trips the check, prune and
+                // re-check — decisions match the eager-prune original
+                // (stale entries are <= issue, so they never raise
+                // free_at above it).
                 if (outstanding.size() >= params_.mshrs) {
-                    Tick free_at =
-                        *std::min_element(outstanding.begin(),
-                                          outstanding.end());
-                    issue = std::max(issue, free_at);
                     pruneOutstanding(issue);
+                    if (outstanding.size() >= params_.mshrs) {
+                        Tick free_at =
+                            *std::min_element(outstanding.begin(),
+                                              outstanding.end());
+                        issue = std::max(issue, free_at);
+                        pruneOutstanding(issue);
+                    }
                 }
                 MemAccess acc = mem_.access(op.addr, false, issue);
                 if (acc.l2Miss) {
@@ -91,10 +123,10 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
                 }
                 Tick complete = mode_ == AuthMode::Safe ? acc.authDone
                                                         : acc.dataReady;
-                Tick retire_at = mode_ == AuthMode::Lazy ? acc.dataReady
-                                                         : acc.authDone;
+                Tick done = mode_ == AuthMode::Lazy ? acc.dataReady
+                                                    : acc.authDone;
                 lastLoadComplete = complete;
-                entry.retireAt = std::max<Tick>(cycle + 1, retire_at);
+                retire_at = std::max<Tick>(cycle + 1, done);
             } else if (op.isMem) {
                 ++res.stores;
                 // Stores retire through the store buffer; the memory
@@ -103,21 +135,26 @@ OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
                 if (acc.l2Miss)
                     ++res.l2Misses;
             }
-            rob.push_back(entry);
+            std::size_t tail = robHead + robCount;
+            if (tail >= rob.size())
+                tail -= rob.size();
+            rob[tail] = retire_at;
+            ++robCount;
             ++dispatched;
             ++n_dispatched;
         }
 
         // Advance time. When blocked on the ROB head, jump straight to
         // its retirement tick instead of idling cycle by cycle.
-        if (n_retired == 0 && n_dispatched == 0 && !rob.empty()) {
-            Tick next = std::max(cycle + 1, rob.front().retireAt);
+        if (n_retired == 0 && n_dispatched == 0 && robCount != 0) {
+            Tick next = std::max(cycle + 1, rob[robHead]);
             robStallCycles += next - cycle;
             cycle = next;
         } else {
             ++cycle;
         }
     }
+    mem_.advanceTo(cycle);
 
     res.instructions = measured;
     res.cycles = cycle - warmupEndCycle;

@@ -23,7 +23,6 @@
 #define SECMEM_CPU_OOO_CORE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "core/config.hh"
 #include "cpu/memory_system.hh"
@@ -78,6 +77,19 @@ class OooCore
                       std::uint64_t measured, Tick start_tick = 0);
 
   private:
+    /**
+     * The actual cycle loop, templated on the concrete generator type.
+     * run() dispatches here with the generator's dynamic type when it
+     * is the (final) SpecWorkload, which devirtualizes and inlines the
+     * per-instruction next() call — the hottest call in timing runs —
+     * and falls back to the virtual interface for everything else.
+     * Both instantiations execute the identical statement sequence, so
+     * results do not depend on which one runs.
+     */
+    template <typename Gen>
+    CoreRunResult runLoop(Gen &gen, std::uint64_t warmup,
+                          std::uint64_t measured, Tick start_tick);
+
     CoreParams params_;
     MemorySystem &mem_;
     AuthMode mode_;

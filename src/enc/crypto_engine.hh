@@ -26,10 +26,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "sim/fastdiv.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -51,15 +51,13 @@ class CryptoEngine
                  unsigned engines = 1)
         : latency_(latency),
           interval_(std::max<Tick>(1, latency / stages)),
+          intervalDiv_(interval_),
           pipes_(engines),
           stats_(std::move(name))
     {
         SECMEM_ASSERT(stages >= 1 && engines >= 1,
                       "bad engine shape: stages=%u engines=%u", stages,
                       engines);
-        // Pre-register so every configuration dumps the distribution,
-        // even when an engine never issues.
-        stats_.logHistogram("issue_wait");
     }
 
     /**
@@ -70,10 +68,10 @@ class CryptoEngine
     schedule(Tick ready)
     {
         Tick start = reserveEarliest(ready);
-        stats_.counter("ops").inc();
-        stats_.logHistogram("issue_wait").record(start - ready);
+        opsStat_.inc();
+        issueWaitStat_.record(start - ready);
         if (start > ready)
-            stats_.counter("issue_stall_ticks").inc(start - ready);
+            issueStallTicksStat_.inc(start - ready);
         return start + latency_;
     }
 
@@ -87,7 +85,7 @@ class CryptoEngine
     {
         Tick start = reserveEarliest(std::max(ready, nextBackground_));
         nextBackground_ = start + interval_;
-        stats_.counter("background_ops").inc();
+        backgroundOpsStat_.inc();
         return start + latency_;
     }
 
@@ -122,25 +120,129 @@ class CryptoEngine
     reset()
     {
         for (auto &pipe : pipes_)
-            pipe.busy.clear();
+            pipe.clear();
         nextBackground_ = 0;
         stats_.reset();
     }
 
     stats::Group &stats() { return stats_; }
 
-  private:
+    /**
+     * Occupied issue-slot indices as a flat open-addressing hash set.
+     * Slot lookups dominate engine scheduling (one membership test per
+     * probed slot, several probes per memory access), and the previous
+     * std::set cost a pointer-chasing tree walk per test. Membership
+     * semantics are exactly the set's, so schedules are bit-identical.
+     */
     struct Pipe
     {
-        std::set<std::uint64_t> busy; ///< occupied issue-slot indices
+        /** Table; kEmpty-filled. Size is a power of two. */
+        std::vector<std::uint64_t> table;
+        std::size_t count = 0; ///< occupied entries
+        /** Highest index ever inserted: issue slots advance with
+         *  simulated time, so most probes land beyond every occupied
+         *  slot and can skip the hash entirely. */
+        std::uint64_t maxIdx = 0;
+
+        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+        bool
+        contains(std::uint64_t idx) const
+        {
+            if (count == 0 || idx > maxIdx)
+                return false;
+            std::size_t mask = table.size() - 1;
+            std::size_t h = hashOf(idx) & mask;
+            while (table[h] != kEmpty) {
+                if (table[h] == idx)
+                    return true;
+                h = (h + 1) & mask;
+            }
+            return false;
+        }
+
+        void
+        insert(std::uint64_t idx)
+        {
+            if (table.empty() || (count + 1) * 4 > table.size() * 3)
+                rehash(table.empty() ? 64 : table.size() * 2);
+            std::size_t mask = table.size() - 1;
+            std::size_t h = hashOf(idx) & mask;
+            while (table[h] != kEmpty) {
+                if (table[h] == idx)
+                    return;
+                h = (h + 1) & mask;
+            }
+            table[h] = idx;
+            ++count;
+            maxIdx = std::max(maxIdx, idx);
+        }
+
+        /** Drop every index below @p horizon (cold: calendar bound). */
+        void
+        pruneBelow(std::uint64_t horizon)
+        {
+            std::vector<std::uint64_t> old = std::move(table);
+            table.assign(old.size(), kEmpty);
+            count = 0;
+            std::size_t mask = table.size() - 1;
+            for (std::uint64_t idx : old) {
+                if (idx == kEmpty || idx < horizon)
+                    continue;
+                std::size_t h = hashOf(idx) & mask;
+                while (table[h] != kEmpty)
+                    h = (h + 1) & mask;
+                table[h] = idx;
+                ++count;
+            }
+        }
+
+        void
+        clear()
+        {
+            table.clear();
+            count = 0;
+            maxIdx = 0;
+        }
+
+        static std::uint64_t
+        hashOf(std::uint64_t v)
+        {
+            // splitmix64 finalizer: guards the power-of-two mask
+            // against strided slot patterns from multi-slot bursts.
+            v ^= v >> 30;
+            v *= 0xbf58476d1ce4e5b9ull;
+            v ^= v >> 27;
+            v *= 0x94d049bb133111ebull;
+            v ^= v >> 31;
+            return v;
+        }
+
+        void
+        rehash(std::size_t n)
+        {
+            std::vector<std::uint64_t> old = std::move(table);
+            table.assign(n, kEmpty);
+            std::size_t mask = n - 1;
+            for (std::uint64_t idx : old) {
+                if (idx == kEmpty)
+                    continue;
+                std::size_t h = hashOf(idx) & mask;
+                while (table[h] != kEmpty)
+                    h = (h + 1) & mask;
+                table[h] = idx;
+            }
+        }
     };
 
     /** First free slot index at or after @p earliest on one pipe. */
     std::uint64_t
     probe(const Pipe &pipe, Tick earliest) const
     {
-        std::uint64_t idx = (earliest + interval_ - 1) / interval_;
-        while (pipe.busy.count(idx))
+        // Ceil-divide via the precomputed reciprocal: the hardware
+        // divide here was measurable at several probes per miss.
+        std::uint64_t idx = intervalDiv_.ceilDiv(earliest);
+        while (pipe.contains(idx))
             ++idx;
         return idx;
     }
@@ -157,14 +259,13 @@ class CryptoEngine
                 best = &pipes_[i];
             }
         }
-        best->busy.insert(best_idx);
+        best->insert(best_idx);
         // Bound the calendar: drop slots far behind the issue horizon
         // (nothing is ever requested that far in the past).
-        if (best->busy.size() > kCalendarSlots) {
+        if (best->count > kCalendarSlots) {
             std::uint64_t horizon =
                 best_idx > kCalendarSlots ? best_idx - kCalendarSlots : 0;
-            best->busy.erase(best->busy.begin(),
-                             best->busy.lower_bound(horizon));
+            best->pruneBelow(horizon);
         }
         return best_idx * interval_;
     }
@@ -173,9 +274,18 @@ class CryptoEngine
 
     Tick latency_;
     Tick interval_;
+    FastDiv intervalDiv_;
     std::vector<Pipe> pipes_;
     Tick nextBackground_ = 0;
     stats::Group stats_;
+    // Cached: schedule() runs several times per miss (pads, tags,
+    // MAC-tree levels); the refs double as pre-registration so every
+    // configuration dumps the same stat set even when idle.
+    stats::Counter &opsStat_ = stats_.counter("ops");
+    stats::Counter &backgroundOpsStat_ = stats_.counter("background_ops");
+    stats::Counter &issueStallTicksStat_ =
+        stats_.counter("issue_stall_ticks");
+    stats::LogHistogram &issueWaitStat_ = stats_.logHistogram("issue_wait");
 };
 
 } // namespace secmem

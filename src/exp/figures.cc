@@ -20,6 +20,7 @@
 #include "obs/registry.hh"
 #include "ref/shadow.hh"
 #include "sim/atomic_file.hh"
+#include "sim/event_queue.hh"
 #include "sim/log.hh"
 
 namespace secmem::exp
@@ -804,6 +805,7 @@ struct CliOptions
     std::string statsOut;  ///< per-job stats JSON file, "-" = stdout
     std::string traceFile; ///< Chrome trace of the first simulated job
     std::string cryptoBackend; ///< --crypto-backend override, "" = auto
+    std::string eventKernel;   ///< --event-kernel override, "" = default
     std::string metricsOut;    ///< BENCH_sim perf telemetry, "-" = stdout
     std::string sampleOut;     ///< time-series CSV file, "-" = stdout
     std::uint64_t sampleEvery = 0; ///< sampler period in simulated cycles
@@ -828,7 +830,7 @@ usage(const char *argv0, bool unified)
         "          [--stats-out FILE|-] [--trace FILE]\n"
         "          [--profile] [--metrics-out FILE|-]\n"
         "          [--sample-every CYCLES] [--sample-out FILE|-]\n"
-        "          [--crypto-backend NAME]\n"
+        "          [--crypto-backend NAME] [--event-kernel NAME]\n"
         "          [--progress] [--no-progress]\n\n",
         argv0,
         unified ? " [--figure NAME]... [--all] [--list] [--list-stats]"
@@ -872,6 +874,8 @@ parseCli(int argc, char **argv, bool unified)
             opts.listCryptoBackends = true;
         } else if (arg == "--crypto-backend") {
             opts.cryptoBackend = value();
+        } else if (arg == "--event-kernel") {
+            opts.eventKernel = value();
         } else if (arg == "--stats-out") {
             opts.statsOut = value();
         } else if (arg == "--trace") {
@@ -1087,6 +1091,20 @@ applyCryptoBackend(const CliOptions &opts)
     return true;
 }
 
+/**
+ * Apply the --event-kernel override before any EventQueue is built.
+ * Flag beats SECMEM_EVENT_KERNEL; unknown names are a hard error
+ * (parseKernelName aborts with the known-kernel list).
+ */
+void
+applyEventKernel(const CliOptions &opts)
+{
+    if (opts.eventKernel.empty())
+        return;
+    EventQueue::setDefaultKernel(
+        EventQueue::parseKernelName(opts.eventKernel, "--event-kernel"));
+}
+
 /** All stat paths of a representative system (--list-stats). */
 int
 listStats()
@@ -1233,6 +1251,7 @@ benchMain(int argc, char **argv)
     CliOptions opts = parseCli(argc, argv, /*unified=*/true);
     if (!applyCryptoBackend(opts))
         return 2;
+    applyEventKernel(opts);
     if (opts.list) {
         for (const Figure &f : figures())
             std::printf("%-10s %s\n", f.name, f.title);
@@ -1253,6 +1272,7 @@ figureMain(const char *figure, int argc, char **argv)
     CliOptions opts = parseCli(argc, argv, /*unified=*/false);
     if (!applyCryptoBackend(opts))
         return 2;
+    applyEventKernel(opts);
     opts.figureNames = {figure};
     return runFigures(opts);
 }

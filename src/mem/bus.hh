@@ -47,7 +47,16 @@ class Bus
     explicit Bus(const MemTimingParams &params = {})
         : params_(params), stats_("bus")
     {
-        stats_.logHistogram("wait_ticks");
+        // Runtime-divide elimination for acquire(): the default shape
+        // (16-byte beats, 25/3 tick ratio) divides exactly, and two
+        // divisions per transfer were visible in profiles. Both fast
+        // paths produce bit-identical values to the general forms.
+        if (isPowerOfTwo(params_.busBytesPerBeat))
+            beatShift_ = static_cast<int>(log2i(params_.busBytesPerBeat));
+        std::uint64_t num3 =
+            static_cast<std::uint64_t>(params_.beatTicksNum) * 3;
+        if (num3 % params_.beatTicksDen == 0)
+            dur3PerBeat_ = num3 / params_.beatTicksDen;
     }
 
     /**
@@ -60,16 +69,21 @@ class Bus
         std::uint64_t earliest3 = static_cast<std::uint64_t>(earliest) * 3;
         std::uint64_t start3 = std::max(nextFree3_, earliest3);
         std::uint64_t beats =
-            (bytes + params_.busBytesPerBeat - 1) / params_.busBytesPerBeat;
+            beatShift_ >= 0
+                ? (bytes + params_.busBytesPerBeat - 1) >> beatShift_
+                : (bytes + params_.busBytesPerBeat - 1) /
+                      params_.busBytesPerBeat;
         std::uint64_t dur3 =
-            beats * params_.beatTicksNum * 3 / params_.beatTicksDen;
+            dur3PerBeat_
+                ? beats * dur3PerBeat_
+                : beats * params_.beatTicksNum * 3 / params_.beatTicksDen;
         nextFree3_ = start3 + dur3;
-        stats_.counter("bytes").inc(bytes);
-        stats_.counter("transfers").inc();
-        stats_.counter("busy_thirds").inc(dur3);
+        bytesStat_.inc(bytes);
+        transfersStat_.inc();
+        busyThirdsStat_.inc(dur3);
         if (start3 > earliest3)
-            stats_.counter("contention_thirds").inc(start3 - earliest3);
-        stats_.logHistogram("wait_ticks").record((start3 - earliest3) / 3);
+            contentionThirdsStat_.inc(start3 - earliest3);
+        waitTicksStat_.record((start3 - earliest3) / 3);
         // Completion rounds up to a whole tick.
         return static_cast<Tick>((nextFree3_ + 2) / 3);
     }
@@ -83,7 +97,7 @@ class Bus
     {
         if (now == 0)
             return 0.0;
-        return static_cast<double>(stats_.counterValue("busy_thirds")) /
+        return static_cast<double>(busyThirdsStat_.value()) /
                (3.0 * static_cast<double>(now));
     }
 
@@ -99,7 +113,17 @@ class Bus
   private:
     MemTimingParams params_;
     std::uint64_t nextFree3_ = 0; ///< next-free time in thirds of a tick
+    int beatShift_ = -1;          ///< log2(bytes/beat), -1 = not a pow2
+    std::uint64_t dur3PerBeat_ = 0; ///< thirds per beat, 0 = inexact
     stats::Group stats_;
+    // Cached: acquire() runs several times per L2 miss (data, counter
+    // and MAC transfers all pass through here); no map lookups on it.
+    stats::Counter &bytesStat_ = stats_.counter("bytes");
+    stats::Counter &transfersStat_ = stats_.counter("transfers");
+    stats::Counter &busyThirdsStat_ = stats_.counter("busy_thirds");
+    stats::Counter &contentionThirdsStat_ =
+        stats_.counter("contention_thirds");
+    stats::LogHistogram &waitTicksStat_ = stats_.logHistogram("wait_ticks");
 };
 
 /**
@@ -118,9 +142,7 @@ class MemChannel
     explicit MemChannel(const MemTimingParams &params = {})
         : params_(params), addrBus_(params), dataBus_(params),
           stats_("dram_channel")
-    {
-        stats_.logHistogram("read_latency");
-    }
+    {}
 
     /**
      * Schedule a read of @p bytes issued at @p when; returns the tick
@@ -129,13 +151,13 @@ class MemChannel
     Tick
     readTiming(Tick when, std::uint32_t bytes)
     {
-        stats_.counter("reads").inc();
-        stats_.counter("read_bytes").inc(bytes);
+        readsStat_.inc();
+        readBytesStat_.inc(bytes);
         // Command on the address channel.
         Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
         // DRAM access below the bus, then the data transfer back.
         Tick done = dataBus_.acquire(req_done + params_.dramLatency, bytes);
-        stats_.logHistogram("read_latency").record(done - when);
+        readLatencyStat_.record(done - when);
         return done;
     }
 
@@ -143,8 +165,8 @@ class MemChannel
     Tick
     writeTiming(Tick when, std::uint32_t bytes)
     {
-        stats_.counter("writes").inc();
-        stats_.counter("write_bytes").inc(bytes);
+        writesStat_.inc();
+        writeBytesStat_.inc(bytes);
         Tick req_done = addrBus_.acquire(when, params_.busBytesPerBeat);
         return dataBus_.acquire(req_done, bytes);
     }
@@ -176,6 +198,13 @@ class MemChannel
     Bus addrBus_;
     Bus dataBus_;
     stats::Group stats_;
+    // Cached: one read/write per off-chip transfer; see Bus above.
+    stats::Counter &readsStat_ = stats_.counter("reads");
+    stats::Counter &readBytesStat_ = stats_.counter("read_bytes");
+    stats::Counter &writesStat_ = stats_.counter("writes");
+    stats::Counter &writeBytesStat_ = stats_.counter("write_bytes");
+    stats::LogHistogram &readLatencyStat_ =
+        stats_.logHistogram("read_latency");
 };
 
 } // namespace secmem

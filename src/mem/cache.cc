@@ -1,8 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <functional>
 
-#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace secmem
@@ -15,160 +15,97 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     SECMEM_ASSERT(size_bytes % (assoc * kBlockBytes) == 0,
                   "cache size %zu not a multiple of assoc*block",
                   size_bytes);
-    std::size_t n_sets = size_bytes / (assoc * kBlockBytes);
-    SECMEM_ASSERT(isPowerOfTwo(n_sets), "set count %zu not a power of two",
-                  n_sets);
-    sets_.resize(n_sets);
-    for (auto &set : sets_)
-        set.ways.resize(assoc);
-
-    // Pre-register the core counters so every cache dumps a uniform set
-    // of stats even when a run never exercises some of them.
-    stats_.counter("accesses");
-    stats_.counter("hits");
-    stats_.counter("misses");
-    stats_.counter("writes");
-    stats_.counter("evictions");
-    stats_.counter("writebacks");
-    stats_.counter("fills");
-}
-
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> log2i(kBlockBytes)) & (sets_.size() - 1);
-}
-
-Cache::Line *
-Cache::findLine(Addr addr)
-{
-    Addr base = blockBase(addr);
-    for (auto &line : sets_[setIndex(addr)].ways) {
-        if (line.valid && line.tag == base)
-            return &line;
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr addr) const
-{
-    Addr base = blockBase(addr);
-    for (const auto &line : sets_[setIndex(addr)].ways) {
-        if (line.valid && line.tag == base)
-            return &line;
-    }
-    return nullptr;
-}
-
-bool
-Cache::contains(Addr addr) const
-{
-    return findLine(addr) != nullptr;
-}
-
-Block64 *
-Cache::access(Addr addr, bool is_write)
-{
-    SECMEM_PROF(CacheLookup);
-    stats_.counter("accesses").inc();
-    if (is_write)
-        stats_.counter("writes").inc();
-    Line *line = findLine(addr);
-    if (!line) {
-        stats_.counter("misses").inc();
-        return nullptr;
-    }
-    stats_.counter("hits").inc();
-    line->lru = ++lruClock_;
-    if (is_write)
-        line->dirty = true;
-    return &line->data;
-}
-
-const Block64 *
-Cache::peek(Addr addr) const
-{
-    const Line *line = findLine(addr);
-    return line ? &line->data : nullptr;
-}
-
-Block64 *
-Cache::peek(Addr addr)
-{
-    Line *line = findLine(addr);
-    return line ? &line->data : nullptr;
+    numSets_ = size_bytes / (assoc * kBlockBytes);
+    SECMEM_ASSERT(isPowerOfTwo(numSets_), "set count %zu not a power of two",
+                  numSets_);
+    std::size_t n = numSets_ * assoc_;
+    // kAddrInvalid doubles as the "no line" tag: real tags are always
+    // block-aligned and the all-ones address is not, so a tag compare
+    // alone decides residency (no valid_ load on the probe path).
+    tags_.assign(n, kAddrInvalid);
+    valid_.assign(n, 0);
+    dirty_.assign(n, 0);
+    lru_.assign(n, 0);
+    data_.assign(n, Block64{});
+    mru_.resize(numSets_);
+    for (std::size_t s = 0; s < numSets_; ++s)
+        mru_[s] = s * assoc_;
+    // The cached stat references double as pre-registration: every
+    // cache dumps a uniform set of counters even when a run never
+    // exercises some of them.
 }
 
 Eviction
 Cache::insert(Addr addr, const Block64 &data, bool dirty)
 {
     Addr base = blockBase(addr);
-    if (Line *line = findLine(base)) {
-        line->data = data;
-        line->dirty = line->dirty || dirty;
-        line->lru = ++lruClock_;
+    if (std::size_t i = findIndex(base); i != kNoLine) {
+        data_[i] = data;
+        dirty_[i] = dirty_[i] || dirty;
+        lru_[i] = ++lruClock_;
         return {};
     }
 
-    Set &set = sets_[setIndex(base)];
-    Line *victim = nullptr;
-    for (auto &line : set.ways) {
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-        if (!victim || line.lru < victim->lru)
-            victim = &line;
+    // Pure first-argmin over lru_: invalid lines hold the 0 sentinel
+    // (the clock starts at 1), so the first invalid way wins exactly as
+    // the old explicit !valid_ scan did, without loading valid_ at all.
+    std::size_t begin = setIndex(base) * assoc_;
+    std::size_t victim = begin;
+    for (std::size_t i = begin + 1; i < begin + assoc_; ++i) {
+        if (lru_[i] < lru_[victim])
+            victim = i;
     }
 
     Eviction ev;
-    if (victim->valid) {
+    if (valid_[victim]) {
         ev.valid = true;
-        ev.dirty = victim->dirty;
-        ev.addr = victim->tag;
-        ev.data = victim->data;
-        stats_.counter("evictions").inc();
-        if (victim->dirty)
-            stats_.counter("writebacks").inc();
+        ev.dirty = dirty_[victim];
+        ev.addr = tags_[victim];
+        ev.data = data_[victim];
+        evictionsStat_.inc();
+        if (dirty_[victim])
+            writebacksStat_.inc();
     }
 
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->tag = base;
-    victim->lru = ++lruClock_;
-    victim->data = data;
-    stats_.counter("fills").inc();
+    valid_[victim] = 1;
+    dirty_[victim] = dirty;
+    tags_[victim] = base;
+    lru_[victim] = ++lruClock_;
+    data_[victim] = data;
+    mru_[setIndex(base)] = victim;
+    fillsStat_.inc();
     return ev;
 }
 
 void
 Cache::markDirty(Addr addr)
 {
-    if (Line *line = findLine(addr))
-        line->dirty = true;
+    if (std::size_t i = findIndex(addr); i != kNoLine)
+        dirty_[i] = 1;
 }
 
 bool
 Cache::isDirty(Addr addr) const
 {
-    const Line *line = findLine(addr);
-    return line && line->dirty;
+    std::size_t i = findIndex(addr);
+    return i != kNoLine && dirty_[i];
 }
 
 Eviction
 Cache::invalidate(Addr addr)
 {
-    Line *line = findLine(addr);
-    if (!line)
+    std::size_t i = findIndex(addr);
+    if (i == kNoLine)
         return {};
     Eviction ev;
     ev.valid = true;
-    ev.dirty = line->dirty;
-    ev.addr = line->tag;
-    ev.data = line->data;
-    line->valid = false;
-    line->dirty = false;
+    ev.dirty = dirty_[i];
+    ev.addr = tags_[i];
+    ev.data = data_[i];
+    valid_[i] = 0;
+    dirty_[i] = 0;
+    tags_[i] = kAddrInvalid;
+    lru_[i] = 0; // victim-scan sentinel: free way
     return ev;
 }
 
@@ -176,11 +113,9 @@ void
 Cache::forEachLine(
     const std::function<void(Addr, const Block64 &, bool)> &fn) const
 {
-    for (const auto &set : sets_) {
-        for (const auto &line : set.ways) {
-            if (line.valid)
-                fn(line.tag, line.data, line.dirty);
-        }
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        if (valid_[i])
+            fn(tags_[i], data_[i], dirty_[i] != 0);
     }
 }
 
@@ -188,21 +123,21 @@ std::vector<Eviction>
 Cache::flush()
 {
     std::vector<Eviction> dirty;
-    for (auto &set : sets_) {
-        for (auto &line : set.ways) {
-            if (!line.valid)
-                continue;
-            if (line.dirty) {
-                Eviction ev;
-                ev.valid = true;
-                ev.dirty = true;
-                ev.addr = line.tag;
-                ev.data = line.data;
-                dirty.push_back(ev);
-            }
-            line.valid = false;
-            line.dirty = false;
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        if (!valid_[i])
+            continue;
+        if (dirty_[i]) {
+            Eviction ev;
+            ev.valid = true;
+            ev.dirty = true;
+            ev.addr = tags_[i];
+            ev.data = data_[i];
+            dirty.push_back(ev);
         }
+        valid_[i] = 0;
+        dirty_[i] = 0;
+        tags_[i] = kAddrInvalid;
+        lru_[i] = 0;
     }
     return dirty;
 }
@@ -210,12 +145,10 @@ Cache::flush()
 void
 Cache::clear()
 {
-    for (auto &set : sets_) {
-        for (auto &line : set.ways) {
-            line.valid = false;
-            line.dirty = false;
-        }
-    }
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    std::fill(tags_.begin(), tags_.end(), kAddrInvalid);
+    std::fill(lru_.begin(), lru_.end(), 0);
 }
 
 double

@@ -50,22 +50,58 @@ class Cache
     Cache(std::string name, std::size_t size_bytes, unsigned assoc);
 
     /** Number of sets. */
-    std::size_t numSets() const { return sets_.size(); }
+    std::size_t numSets() const { return numSets_; }
     unsigned assoc() const { return assoc_; }
     std::size_t capacityBytes() const { return numSets() * assoc_ * kBlockBytes; }
 
     /** True iff the block at @p addr is resident (no LRU update). */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const { return findIndex(addr) != kNoLine; }
 
     /**
      * Look up a block; on hit, updates LRU and returns a pointer to the
      * line payload (mutable). On miss returns nullptr. Counts stats.
+     *
+     * Defined inline (with peek and the tag probe): every memory op
+     * funnels through these from controller/system code in other TUs,
+     * and the out-of-line call was the single largest remaining cost
+     * on the probe path.
      */
-    Block64 *access(Addr addr, bool is_write);
+    Block64 *
+    access(Addr addr, bool is_write)
+    {
+        // No profiler zone here: the lookup itself is a handful of
+        // loads, so a per-access probe would cost several times the
+        // work it measures and dominate the zone table (it did, at
+        // ~24% of wall).
+        accessesStat_.inc();
+        if (is_write)
+            writesStat_.inc();
+        std::size_t i = findIndex(addr);
+        if (i == kNoLine) {
+            missesStat_.inc();
+            return nullptr;
+        }
+        hitsStat_.inc();
+        lru_[i] = ++lruClock_;
+        if (is_write)
+            dirty_[i] = 1;
+        return &data_[i];
+    }
 
     /** Look up without touching LRU or stats (for probes / RSR scans). */
-    const Block64 *peek(Addr addr) const;
-    Block64 *peek(Addr addr);
+    const Block64 *
+    peek(Addr addr) const
+    {
+        std::size_t i = findIndex(addr);
+        return i == kNoLine ? nullptr : &data_[i];
+    }
+
+    Block64 *
+    peek(Addr addr)
+    {
+        std::size_t i = findIndex(addr);
+        return i == kNoLine ? nullptr : &data_[i];
+    }
 
     /**
      * Insert a block (fill after miss). The victim, if dirty, is
@@ -100,28 +136,62 @@ class Cache
     double hitRate() const;
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        Addr tag = 0;
-        std::uint64_t lru = 0; ///< larger = more recently used
-        Block64 data{};
-    };
+    /** Sentinel way index: no matching line. */
+    static constexpr std::size_t kNoLine = ~std::size_t{0};
 
-    struct Set
+    std::size_t
+    setIndex(Addr addr) const
     {
-        std::vector<Line> ways;
-    };
+        return (addr >> log2i(kBlockBytes)) & (numSets_ - 1);
+    }
 
-    std::size_t setIndex(Addr addr) const;
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+    /** Way-array index of @p addr's line, or kNoLine. */
+    std::size_t
+    findIndex(Addr addr) const
+    {
+        Addr base = blockBase(addr);
+        std::size_t set = setIndex(addr);
+        std::size_t hint = mru_[set];
+        if (tags_[hint] == base)
+            return hint;
+        std::size_t begin = set * assoc_;
+        for (std::size_t i = begin; i < begin + assoc_; ++i) {
+            if (tags_[i] == base) {
+                mru_[set] = i;
+                return i;
+            }
+        }
+        return kNoLine;
+    }
 
     unsigned assoc_;
-    std::vector<Set> sets_;
+    std::size_t numSets_ = 0;
     std::uint64_t lruClock_ = 0;
+    // Structure-of-arrays line state, indexed set * assoc_ + way. A
+    // tag probe walks only tags_ (invalid lines hold kAddrInvalid, which
+    // no block-aligned tag can equal) — with the 64-byte payloads stored
+    // inline (the old layout), every probed way dragged its own cache
+    // line through the L1 even on a first-way hit.
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint64_t> lru_; ///< larger = more recently used
+    std::vector<Block64> data_;
+    /** Per-set most-recently-matched way (absolute index): burst
+     *  accesses re-touch the same line, so probe it before the scan.
+     *  Pure lookup memo — never affects results, hence mutable. */
+    mutable std::vector<std::size_t> mru_;
     stats::Group stats_;
+    // Cached references: access() and insert() run once per memory
+    // operation per cache level; the string-keyed map lookup behind
+    // stats_.counter("...") is pure overhead at that rate.
+    stats::Counter &accessesStat_ = stats_.counter("accesses");
+    stats::Counter &hitsStat_ = stats_.counter("hits");
+    stats::Counter &missesStat_ = stats_.counter("misses");
+    stats::Counter &writesStat_ = stats_.counter("writes");
+    stats::Counter &evictionsStat_ = stats_.counter("evictions");
+    stats::Counter &writebacksStat_ = stats_.counter("writebacks");
+    stats::Counter &fillsStat_ = stats_.counter("fills");
 };
 
 } // namespace secmem

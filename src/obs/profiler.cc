@@ -4,6 +4,10 @@
 #include <chrono>
 #include <mutex>
 
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 namespace secmem::obs
 {
 
@@ -15,24 +19,62 @@ namespace prof_detail
 namespace
 {
 
+std::uint64_t
+chronoNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 /**
  * Process-global accumulator: totals flushed by exited threads plus a
  * registry of live per-thread accumulators so report() can see the
  * main thread (which never exits) and any still-attached workers.
+ * Also holds the tick->ns calibration anchor (captured at first use,
+ * i.e. when the first probe fires).
  */
 struct GlobalProf
 {
     std::mutex mu;
-    std::uint64_t selfNs[kProfZones] = {};
+    std::uint64_t selfTicks[kProfZones] = {};
     std::uint64_t hits[kProfZones] = {};
-    std::uint64_t spanNs = 0;
+    std::uint64_t spanTicks = 0;
     std::vector<ThreadProf *> live;
+    std::uint64_t anchorNs = 0;
+    std::uint64_t anchorTick = 0;
+
+    GlobalProf()
+    {
+        anchorNs = chronoNs();
+        anchorTick = nowStamp();
+    }
 
     static GlobalProf &
     instance()
     {
         static GlobalProf g;
         return g;
+    }
+
+    /**
+     * Nanoseconds per tick, measured from the anchor to now. The
+     * baseline spans the whole profiled run by report time, so the
+     * ratio is far more accurate than any up-front spin calibration.
+     */
+    double
+    nsPerTick() const
+    {
+#if defined(__x86_64__)
+        std::uint64_t now_tick = nowStamp();
+        if (now_tick <= anchorTick)
+            return 1.0;
+        return static_cast<double>(chronoNs() - anchorNs) /
+               static_cast<double>(now_tick - anchorTick);
+#else
+        return 1.0; // ticks are already nanoseconds
+#endif
     }
 };
 
@@ -41,12 +83,13 @@ thread_local ProfScope *tlsTop = nullptr;
 } // namespace
 
 std::uint64_t
-nowNs()
+nowStamp()
 {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+#if defined(__x86_64__)
+    return __rdtsc();
+#else
+    return chronoNs();
+#endif
 }
 
 ThreadProf::ThreadProf()
@@ -61,11 +104,11 @@ ThreadProf::~ThreadProf()
     auto &g = GlobalProf::instance();
     std::lock_guard<std::mutex> lock(g.mu);
     for (std::size_t z = 0; z < kProfZones; ++z) {
-        g.selfNs[z] += selfNs[z];
+        g.selfTicks[z] += selfTicks[z];
         g.hits[z] += hits[z];
     }
-    if (lastNs > firstNs)
-        g.spanNs += lastNs - firstNs;
+    if (lastTick > firstTick)
+        g.spanTicks += lastTick - firstTick;
     g.live.erase(std::remove(g.live.begin(), g.live.end(), this),
                  g.live.end());
 }
@@ -106,38 +149,41 @@ Profiler::report()
 {
     using prof_detail::GlobalProf;
     auto &g = GlobalProf::instance();
-    std::uint64_t selfNs[kProfZones] = {};
+    std::uint64_t selfTicks[kProfZones] = {};
     std::uint64_t hits[kProfZones] = {};
-    std::uint64_t spanNs = 0;
+    std::uint64_t spanTicks = 0;
     {
         std::lock_guard<std::mutex> lock(g.mu);
         for (std::size_t z = 0; z < kProfZones; ++z) {
-            selfNs[z] = g.selfNs[z];
+            selfTicks[z] = g.selfTicks[z];
             hits[z] = g.hits[z];
         }
-        spanNs = g.spanNs;
+        spanTicks = g.spanTicks;
         for (const auto *tp : g.live) {
             for (std::size_t z = 0; z < kProfZones; ++z) {
-                selfNs[z] += tp->selfNs[z];
+                selfTicks[z] += tp->selfTicks[z];
                 hits[z] += tp->hits[z];
             }
-            if (tp->lastNs > tp->firstNs)
-                spanNs += tp->lastNs - tp->firstNs;
+            if (tp->lastTick > tp->firstTick)
+                spanTicks += tp->lastTick - tp->firstTick;
         }
     }
+    double ns_per_tick = g.nsPerTick();
 
     ProfReport rep;
-    rep.trackedSeconds = static_cast<double>(spanNs) * 1e-9;
+    rep.trackedSeconds =
+        static_cast<double>(spanTicks) * ns_per_tick * 1e-9;
     for (std::size_t z = 0; z < kProfZones; ++z) {
         if (!hits[z])
             continue;
         ZoneReport zr;
         zr.name = profZoneName(static_cast<ProfZone>(z));
-        zr.selfSeconds = static_cast<double>(selfNs[z]) * 1e-9;
+        zr.selfSeconds =
+            static_cast<double>(selfTicks[z]) * ns_per_tick * 1e-9;
         zr.hits = hits[z];
-        zr.share = spanNs ? static_cast<double>(selfNs[z]) /
-                                static_cast<double>(spanNs)
-                          : 0.0;
+        zr.share = spanTicks ? static_cast<double>(selfTicks[z]) /
+                                   static_cast<double>(spanTicks)
+                             : 0.0;
         rep.zones.push_back(std::move(zr));
     }
     std::sort(rep.zones.begin(), rep.zones.end(),
@@ -156,16 +202,16 @@ Profiler::reset()
     auto &g = GlobalProf::instance();
     std::lock_guard<std::mutex> lock(g.mu);
     for (std::size_t z = 0; z < kProfZones; ++z) {
-        g.selfNs[z] = 0;
+        g.selfTicks[z] = 0;
         g.hits[z] = 0;
     }
-    g.spanNs = 0;
+    g.spanTicks = 0;
     for (auto *tp : g.live) {
         for (std::size_t z = 0; z < kProfZones; ++z) {
-            tp->selfNs[z] = 0;
+            tp->selfTicks[z] = 0;
             tp->hits[z] = 0;
         }
-        tp->firstNs = tp->lastNs = 0;
+        tp->firstTick = tp->lastTick = 0;
     }
 }
 
@@ -176,25 +222,25 @@ ProfScope::begin(ProfZone zone)
     zone_ = zone;
     parent_ = prof_detail::tlsTop;
     prof_detail::tlsTop = this;
-    startNs_ = prof_detail::nowNs();
-    if (!tp.firstNs)
-        tp.firstNs = startNs_;
+    startTick_ = prof_detail::nowStamp();
+    if (!tp.firstTick)
+        tp.firstTick = startTick_;
     active_ = true;
 }
 
 void
 ProfScope::end()
 {
-    std::uint64_t endNs = prof_detail::nowNs();
-    std::uint64_t elapsed = endNs - startNs_;
-    std::uint64_t self = elapsed > childNs_ ? elapsed - childNs_ : 0;
+    std::uint64_t end_tick = prof_detail::nowStamp();
+    std::uint64_t elapsed = end_tick - startTick_;
+    std::uint64_t self = elapsed > childTicks_ ? elapsed - childTicks_ : 0;
     auto &tp = prof_detail::threadProf();
     std::size_t z = static_cast<std::size_t>(zone_);
-    tp.selfNs[z] += self;
+    tp.selfTicks[z] += self;
     ++tp.hits[z];
-    tp.lastNs = endNs;
+    tp.lastTick = end_tick;
     if (parent_)
-        parent_->childNs_ += elapsed;
+        parent_->childTicks_ += elapsed;
     prof_detail::tlsTop = parent_;
 }
 

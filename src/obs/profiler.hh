@@ -89,14 +89,25 @@ class Profiler
 namespace prof_detail
 {
 
-std::uint64_t nowNs();
+/**
+ * Raw timestamp in profiler ticks. On x86-64 this is the TSC — a
+ * fraction of the cost of a clock_gettime call, which matters because
+ * probes sit on paths hit hundreds of thousands of times per run.
+ * Ticks are converted to nanoseconds only when a report is built, via
+ * a (steady_clock, TSC) anchor pair captured at first use: the ratio
+ * is measured over the whole run, so calibration costs nothing up
+ * front and converges to the true TSC rate. Elsewhere ticks ARE
+ * nanoseconds (steady_clock fallback).
+ */
+std::uint64_t nowStamp();
 
 struct ThreadProf
 {
-    std::uint64_t selfNs[kProfZones] = {};
+    /** All accumulators below are in raw nowStamp() ticks. */
+    std::uint64_t selfTicks[kProfZones] = {};
     std::uint64_t hits[kProfZones] = {};
-    std::uint64_t firstNs = 0; ///< 0 = no probe seen yet
-    std::uint64_t lastNs = 0;
+    std::uint64_t firstTick = 0; ///< 0 = no probe seen yet
+    std::uint64_t lastTick = 0;
 
     ThreadProf();
     ~ThreadProf();
@@ -131,8 +142,8 @@ class ProfScope
     void end();
 
     ProfZone zone_ = ProfZone::Core;
-    std::uint64_t startNs_ = 0;
-    std::uint64_t childNs_ = 0; ///< wall time of directly nested probes
+    std::uint64_t startTick_ = 0;
+    std::uint64_t childTicks_ = 0; ///< wall time of directly nested probes
     ProfScope *parent_ = nullptr;
     bool active_ = false;
 };

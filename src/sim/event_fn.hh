@@ -1,0 +1,155 @@
+/**
+ * @file
+ * EventFn: a move-only type-erased callable with inline storage, built
+ * for the event kernel's hot path.
+ *
+ * std::function is the wrong tool for a discrete-event simulator: it
+ * copy-constructs on heap pops unless carefully moved, its small-buffer
+ * window is implementation-defined (16 bytes on libstdc++), and larger
+ * captures silently heap-allocate on every schedule(). EventFn gives
+ * the kernel a fixed, known inline window (kInlineBytes) sized for the
+ * simulator's actual closures (a couple of pointers plus an address and
+ * a generation counter), a hand-rolled two-entry vtable, and a stats
+ * hook so the rare heap-fallback path is observable instead of silent.
+ *
+ * Callables larger than the inline window still work — they are boxed
+ * on the heap — but the event queue counts them ("cb_heap_fallback")
+ * so a hot path that regresses into the fallback shows up in stats
+ * diffs rather than only in wall-clock.
+ */
+
+#ifndef SECMEM_SIM_EVENT_FN_HH
+#define SECMEM_SIM_EVENT_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace secmem
+{
+
+/** Move-only void() callable with a fixed inline capture window. */
+class EventFn
+{
+  public:
+    /**
+     * Inline capture budget. Sized for the kernel's real closures:
+     * a this-pointer, a block address, a generation counter and one
+     * spare word, with room left for lambdas tests write casually.
+     */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &inlineVTable<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            vt_ = &boxedVTable<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&o) noexcept { moveFrom(o); }
+
+    EventFn &
+    operator=(EventFn &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { destroy(); }
+
+    void operator()() { vt_->invoke(buf_); }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /** True when the wrapped callable lives in the heap fallback box. */
+    bool onHeap() const { return vt_ && vt_->boxed; }
+
+    /** Compile-time predicate: does @p Fn fit the inline window? */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        void (*moveTo)(void *from, void *to);
+        void (*destroy)(void *);
+        bool boxed;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *from, void *to) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(from));
+            ::new (to) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr VTable boxedVTable = {
+        [](void *p) { (**std::launder(reinterpret_cast<Fn **>(p)))(); },
+        [](void *from, void *to) {
+            Fn **slot = std::launder(reinterpret_cast<Fn **>(from));
+            ::new (to) Fn *(*slot);
+            *slot = nullptr;
+        },
+        [](void *p) {
+            delete *std::launder(reinterpret_cast<Fn **>(p));
+        },
+        true,
+    };
+
+    void
+    moveFrom(EventFn &o) noexcept
+    {
+        vt_ = o.vt_;
+        if (vt_)
+            vt_->moveTo(o.buf_, buf_);
+        o.vt_ = nullptr;
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (vt_) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_EVENT_FN_HH

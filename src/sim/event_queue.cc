@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <cstdlib>
 #include <utility>
 
 #include "obs/profiler.hh"
@@ -8,6 +9,66 @@
 namespace secmem
 {
 
+namespace
+{
+
+/**
+ * Process-wide default-kernel slot. Lazily seeded from the
+ * SECMEM_EVENT_KERNEL environment variable on first use so headless
+ * runs (tests, CI differential legs) can flip kernels without plumbing
+ * a flag; setDefaultKernel() (the CLI flag) overwrites it.
+ */
+EventKernel &
+defaultKernelSlot()
+{
+    static EventKernel slot = [] {
+        const char *env = std::getenv("SECMEM_EVENT_KERNEL");
+        if (env && *env)
+            return EventQueue::parseKernelName(env,
+                                               "SECMEM_EVENT_KERNEL");
+        return EventKernel::Calendar;
+    }();
+    return slot;
+}
+
+} // namespace
+
+EventKernel
+EventQueue::defaultKernel()
+{
+    return defaultKernelSlot();
+}
+
+void
+EventQueue::setDefaultKernel(EventKernel k)
+{
+    defaultKernelSlot() = k;
+}
+
+const char *
+EventQueue::kernelName(EventKernel k)
+{
+    switch (k) {
+      case EventKernel::Calendar:
+        return "calendar";
+      case EventKernel::LegacyHeap:
+        return "heap";
+    }
+    return "?";
+}
+
+EventKernel
+EventQueue::parseKernelName(std::string_view name, const char *source)
+{
+    if (name == "calendar")
+        return EventKernel::Calendar;
+    if (name == "heap" || name == "legacy-heap")
+        return EventKernel::LegacyHeap;
+    SECMEM_FATAL("unknown event kernel '%.*s' (from %s); "
+                 "known kernels: calendar, heap",
+        static_cast<int>(name.size()), name.data(), source);
+}
+
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
@@ -15,25 +76,116 @@ EventQueue::schedule(Tick when, Callback cb)
         "event scheduled in the past: when=%llu now=%llu",
         static_cast<unsigned long long>(when),
         static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, seq_++, std::move(cb)});
+    if (cb.onHeap())
+        cbHeapFallbackStat_.inc();
     scheduledStat_.inc();
-    pendingStat_.set(heap_.size());
+    ++pendingCount_;
+    pendingStat_.set(pendingCount_);
+    if (kernel_ == EventKernel::LegacyHeap) {
+        heap_.push(HeapEntry{when, seq_++, std::move(cb)});
+        return;
+    }
+    EventNode *n = slab_.alloc();
+    n->when = when;
+    n->seq = seq_++;
+    n->fn = std::move(cb);
+    if (when - now_ < kRingSlots)
+        appendToRing(n);
+    else {
+        spill_.push_back(n);
+        std::push_heap(spill_.begin(), spill_.end(), SpillLater{});
+    }
+}
+
+EventNode *
+EventQueue::popCalendarUpTo(Tick limit)
+{
+    if (pendingCount_ == 0)
+        return nullptr;
+    promote();
+    if (ringCount_ == 0) {
+        // Everything pending is beyond the window: jump time to the
+        // spill frontier (or stop at the limit, whichever is first).
+        Tick first = spill_.front()->when;
+        if (first > limit) {
+            if (now_ < limit)
+                now_ = limit;
+            promote();
+            return nullptr;
+        }
+        now_ = first;
+        promote();
+    }
+    // Ring invariant: every resident event lies in [now_, now_ +
+    // kRingSlots), so bucket (now_ + k) & mask holds only tick
+    // now_ + k, and the circular slot distance from now_'s slot to the
+    // first occupied slot is exactly the tick distance to the earliest
+    // ring event.
+    std::size_t s = now_ & kRingMask;
+    std::size_t f = nextOccupiedSlot(s);
+    Tick next = now_ + static_cast<Tick>((f - s) & kRingMask);
+    if (next > limit) {
+        if (now_ < limit) {
+            now_ = limit;
+            // Restore the promote-before-anyone-can-schedule invariant
+            // for the ticks the window just slid over.
+            promote();
+        }
+        return nullptr;
+    }
+    now_ = next;
+    // now_ advanced: restore the promote-before-anyone-can-schedule
+    // invariant before the caller runs the event's callback.
+    promote();
+    Bucket &b = ring_[f];
+    EventNode *n = b.head;
+    b.head = n->next;
+    if (!b.head) {
+        b.tail = nullptr;
+        clearSlot(f);
+    }
+    --ringCount_;
+    --pendingCount_;
+    return n;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    SECMEM_PROF(EventQueue);
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        // Move out before pop: the callback may schedule new events.
-        Entry e = popEntry();
-        pendingStat_.set(heap_.size());
-        now_ = e.when;
-        executedStat_.inc();
-        e.cb();
+    // The profiler zone lives inside the pop loops, not around the
+    // whole call: the core pumps this every few cycles and usually
+    // finds nothing due, and a zone entry/exit per pump would cost
+    // more than the bookkeeping it measures. Zone hits therefore
+    // count executed events.
+    if (kernel_ == EventKernel::LegacyHeap) {
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            SECMEM_PROF(EventQueue);
+            // Move out before pop: the callback may schedule events.
+            HeapEntry e = popEntry();
+            --pendingCount_;
+            now_ = e.when;
+            executedStat_.inc();
+            e.cb();
+        }
+        if (now_ < limit && limit != kTickNever)
+            now_ = limit;
+        return now_;
     }
-    if (now_ < limit && limit != kTickNever)
+    if (limit < now_)
+        return now_; // nothing can be due: events are never in the past
+    while (EventNode *n = popCalendarUpTo(limit)) {
+        SECMEM_PROF(EventQueue);
+        executedStat_.inc();
+        // Free the node before invoking so a rescheduling callback can
+        // recycle it; the callable is moved out first.
+        EventFn fn = std::move(n->fn);
+        slab_.release(n);
+        fn();
+    }
+    if (now_ < limit && limit != kTickNever) {
         now_ = limit;
+        promote();
+    }
     return now_;
 }
 
@@ -41,20 +193,49 @@ bool
 EventQueue::step()
 {
     SECMEM_PROF(EventQueue);
-    if (heap_.empty())
+    if (kernel_ == EventKernel::LegacyHeap) {
+        if (heap_.empty())
+            return false;
+        HeapEntry e = popEntry();
+        --pendingCount_;
+        now_ = e.when;
+        executedStat_.inc();
+        e.cb();
+        return true;
+    }
+    EventNode *n = popCalendarUpTo(kTickNever);
+    if (!n)
         return false;
-    Entry e = popEntry();
-    pendingStat_.set(heap_.size());
-    now_ = e.when;
     executedStat_.inc();
-    e.cb();
+    EventFn fn = std::move(n->fn);
+    slab_.release(n);
+    fn();
     return true;
+}
+
+void
+EventQueue::clearPending()
+{
+    for (Bucket &b : ring_) {
+        while (EventNode *n = b.head) {
+            b.head = n->next;
+            slab_.release(n);
+        }
+        b.tail = nullptr;
+    }
+    for (EventNode *n : spill_)
+        slab_.release(n);
+    spill_.clear();
+    ringBits_.fill(0);
+    ringCount_ = 0;
+    heap_ = {};
+    pendingCount_ = 0;
 }
 
 void
 EventQueue::reset()
 {
-    heap_ = {};
+    clearPending();
     now_ = 0;
     seq_ = 0;
     stats_.reset();

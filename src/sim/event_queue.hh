@@ -6,40 +6,102 @@
  * insertion sequence). Components schedule work in the future; the
  * system driver advances simulated time by draining events. Ties are
  * broken by insertion order, which makes runs fully deterministic.
+ *
+ * Two kernels implement that contract behind one API:
+ *
+ *  - **calendar** (default): a ring of kRingSlots one-tick buckets
+ *    covering [now, now + kRingSlots), backed by a spill min-heap for
+ *    events beyond the window. Event nodes come from a slab allocator
+ *    and carry an EventFn inline callable, so the steady-state loop
+ *    does no heap allocation. O(1) schedule and pop for the near-future
+ *    traffic a cycle-level simulator generates.
+ *  - **heap**: the original std::priority_queue kernel, kept as a
+ *    *differential oracle* — same layering as the naive crypto
+ *    reference (src/ref/naive.*). CI runs both and requires
+ *    bit-identical stats and final tick.
+ *
+ * Because the ring spans exactly kRingSlots ticks with one-tick-wide
+ * buckets, every bucket chain holds events of a single tick, and chain
+ * order (FIFO append) *is* insertion-seq order. Spill events promote
+ * into the ring in (when, seq) order before any same-tick event can be
+ * scheduled directly, so the two kernels pop in exactly the same order.
  */
 
 #ifndef SECMEM_SIM_EVENT_QUEUE_HH
 #define SECMEM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <queue>
+#include <string_view>
 #include <vector>
 
+#include "sim/event_fn.hh"
+#include "sim/event_slab.hh"
+#include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace secmem
 {
 
-/** Deterministic min-heap event queue keyed by tick. */
+/** Which event-queue implementation a queue instance runs on. */
+enum class EventKernel
+{
+    Calendar,   ///< bucket-ring + spill heap, slab-allocated nodes
+    LegacyHeap, ///< std::priority_queue oracle kernel
+};
+
+/** Deterministic event queue keyed by (tick, insertion seq). */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventFn;
 
-    EventQueue() = default;
+    /** Bucket ring size; also the span of the near-future window. */
+    static constexpr std::size_t kRingBits = 12;
+    static constexpr std::size_t kRingSlots = std::size_t{1} << kRingBits;
+    static constexpr std::size_t kRingMask = kRingSlots - 1;
+    /** Occupancy bitmap words (64 slots per word). */
+    static constexpr std::size_t kRingWords = kRingSlots / 64;
+
+    explicit EventQueue(EventKernel kernel = defaultKernel())
+        : kernel_(kernel)
+    {}
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue() { clearPending(); }
+
+    /**
+     * Process-wide default kernel for new queues: setDefaultKernel()
+     * override first, then the SECMEM_EVENT_KERNEL environment
+     * variable, else Calendar. Unknown env names are hard errors.
+     */
+    static EventKernel defaultKernel();
+    /** Override the default (CLI flag beats env beats built-in). */
+    static void setDefaultKernel(EventKernel k);
+
+    /** Canonical name of @p k: "calendar" or "heap". */
+    static const char *kernelName(EventKernel k);
+    /**
+     * Parse a kernel name; unknown names are hard errors naming
+     * @p source (e.g. "--event-kernel" or "SECMEM_EVENT_KERNEL").
+     */
+    static EventKernel parseKernelName(std::string_view name,
+                                       const char *source);
+
+    /** The kernel this queue instance runs on. */
+    EventKernel kernel() const { return kernel_; }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return pendingCount_; }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pendingCount_ == 0; }
 
     /**
      * Schedule @p cb to run at absolute tick @p when.
@@ -47,8 +109,19 @@ class EventQueue
      */
     void schedule(Tick when, Callback cb);
 
-    /** Schedule @p cb to run @p delta ticks from now. */
-    void scheduleIn(Tick delta, Callback cb) { schedule(now_ + delta, std::move(cb)); }
+    /**
+     * Schedule @p cb to run @p delta ticks from now. Saturates at
+     * kTickNever: a kTickNever-derived timeout must park at the end of
+     * time, not wrap Tick and trip the scheduled-in-the-past assert
+     * (or silently reorder in release builds).
+     */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        Tick when =
+            delta > kTickNever - now_ ? kTickNever : now_ + delta;
+        schedule(when, std::move(cb));
+    }
 
     /**
      * Run events until the queue is empty or @p limit is reached.
@@ -64,15 +137,120 @@ class EventQueue
     void reset();
 
     /**
-     * Kernel statistics: "scheduled"/"executed" counters plus a
-     * "pending" gauge whose max() is the high-water mark of queued
-     * events.
+     * Kernel statistics: "scheduled"/"executed" counters, a
+     * "cb_heap_fallback" counter (callables too big for EventFn's
+     * inline window), plus a "pending" gauge whose max() is the
+     * high-water mark of queued events. The gauge is updated on
+     * schedule only: depth can only grow on a push, so a pop-side
+     * update can never advance the high-water mark and was pure
+     * hot-loop overhead.
      */
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }
 
+    // Introspection for the kernel's own tests.
+    /** Calendar kernel's node allocator (empty on the heap kernel). */
+    const EventSlab &slab() const { return slab_; }
+    /** Events parked beyond the ring window (calendar kernel). */
+    std::size_t spillSize() const { return spill_.size(); }
+    /** Events resident in the bucket ring (calendar kernel). */
+    std::size_t ringSize() const { return ringCount_; }
+
   private:
-    struct Entry
+    // ---- calendar kernel ----
+    struct Bucket
+    {
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
+    };
+
+    /** Min-heap order over spill nodes: earliest (when, seq) first. */
+    struct SpillLater
+    {
+        bool
+        operator()(const EventNode *a, const EventNode *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    void
+    appendToRing(EventNode *n)
+    {
+        std::size_t idx = n->when & kRingMask;
+        Bucket &b = ring_[idx];
+        n->next = nullptr;
+        if (b.tail)
+            b.tail->next = n;
+        else
+            b.head = n;
+        b.tail = n;
+        ringBits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        ++ringCount_;
+    }
+
+    /** Clear the occupancy bit of a just-emptied bucket. */
+    void
+    clearSlot(std::size_t idx)
+    {
+        ringBits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /**
+     * First occupied slot at or (circularly) after @p start. Requires
+     * ringCount_ > 0. Word-granular: finding the next event costs at
+     * most a 64-word scan instead of walking up to 4096 buckets —
+     * the per-pop slot walk was measurable once everything around the
+     * kernel got fast.
+     */
+    std::size_t
+    nextOccupiedSlot(std::size_t start) const
+    {
+        std::size_t w = start >> 6;
+        std::uint64_t first =
+            ringBits_[w] & (~std::uint64_t{0} << (start & 63));
+        if (first)
+            return (w << 6) |
+                   static_cast<std::size_t>(__builtin_ctzll(first));
+        for (std::size_t k = 1; k <= kRingWords; ++k) {
+            std::size_t w2 = (w + k) & (kRingWords - 1);
+            if (ringBits_[w2])
+                return (w2 << 6) | static_cast<std::size_t>(
+                                       __builtin_ctzll(ringBits_[w2]));
+        }
+        SECMEM_FATAL("ring bitmap empty with ringCount_=%zu", ringCount_);
+    }
+
+    /**
+     * Move every spill event inside the ring window [now_, now_ +
+     * kRingSlots) into its bucket. Must run whenever now_ advances,
+     * *before* any callback or caller can schedule() — that is what
+     * keeps promoted events ahead of later same-tick direct schedules
+     * in bucket-chain (= seq) order.
+     */
+    void
+    promote()
+    {
+        while (!spill_.empty() &&
+               spill_.front()->when - now_ < kRingSlots) {
+            std::pop_heap(spill_.begin(), spill_.end(), SpillLater{});
+            EventNode *n = spill_.back();
+            spill_.pop_back();
+            appendToRing(n);
+        }
+    }
+
+    /**
+     * Pop the earliest calendar event with when <= @p limit, advancing
+     * now_ to its tick; nullptr when none qualifies (now_ is then left
+     * at min(first-event tick, limit)).
+     */
+    EventNode *popCalendarUpTo(Tick limit);
+
+    // ---- legacy heap kernel (differential oracle) ----
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
@@ -82,7 +260,7 @@ class EventQueue
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -92,27 +270,43 @@ class EventQueue
 
     /**
      * Move the front entry out of the heap. std::priority_queue::top()
-     * is const, so a plain `Entry e = heap_.top()` deep-copies the
-     * std::function (and whatever captures it holds) on every pop. The
-     * const_cast-move is safe here: the comparator orders by when/seq
-     * only, and the moved-from entry is popped before the heap is
-     * touched again.
+     * is const, so the const_cast-move idiom is needed to avoid a deep
+     * copy; it is safe because the comparator orders by when/seq only
+     * and the moved-from entry is popped before the heap is touched
+     * again.
      */
-    Entry
+    HeapEntry
     popEntry()
     {
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        HeapEntry e = std::move(const_cast<HeapEntry &>(heap_.top()));
         heap_.pop();
         return e;
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Destroy all pending events (reset / destruction). */
+    void clearPending();
+
+    EventKernel kernel_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::size_t pendingCount_ = 0;
+
+    std::array<Bucket, kRingSlots> ring_{};
+    /** One bit per slot: bucket non-empty. Kept exactly in sync with
+     *  the bucket chains by appendToRing / clearSlot. */
+    std::array<std::uint64_t, kRingWords> ringBits_{};
+    std::size_t ringCount_ = 0;
+    std::vector<EventNode *> spill_;
+    EventSlab slab_;
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+
     stats::Group stats_{"events"};
-    // Cached references: schedule()/step() are hot, skip the map lookup.
+    // Cached references: schedule()/pop are hot, skip the map lookup.
     stats::Counter &scheduledStat_ = stats_.counter("scheduled");
     stats::Counter &executedStat_ = stats_.counter("executed");
+    stats::Counter &cbHeapFallbackStat_ =
+        stats_.counter("cb_heap_fallback");
     stats::Gauge &pendingStat_ = stats_.gauge("pending");
 };
 

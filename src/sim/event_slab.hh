@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Slab allocator for event-kernel nodes.
+ *
+ * Events are tiny, extremely frequent, and have stack-like lifetimes in
+ * aggregate (everything scheduled is eventually executed), which is the
+ * textbook slab case: nodes are carved from chunk arrays and recycled
+ * through an intrusive free list, so the steady-state event loop does
+ * zero heap allocation. Freed nodes are poisoned (payload overwritten
+ * with kPoisonByte, live flag cleared) so use-after-free of a recycled
+ * event is caught by the kernel's own asserts in debug builds and by
+ * ASan region poisoning in sanitized builds, instead of silently
+ * executing a stale callback.
+ */
+
+#ifndef SECMEM_SIM_EVENT_SLAB_HH
+#define SECMEM_SIM_EVENT_SLAB_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "sim/event_fn.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SECMEM_EVENT_SLAB_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SECMEM_EVENT_SLAB_ASAN 1
+#endif
+#endif
+
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace secmem
+{
+
+/** One pooled event: key, tie-break, chain link, inline callable. */
+struct EventNode
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    EventNode *next = nullptr; ///< bucket chain / free-list link
+    bool live = false;         ///< allocated and not yet freed
+    EventFn fn;
+};
+
+/** Chunked free-list allocator for EventNode (see file comment). */
+class EventSlab
+{
+  public:
+    static constexpr std::size_t kChunkNodes = 256;
+    static constexpr unsigned char kPoisonByte = 0xDD;
+
+    EventSlab() = default;
+    EventSlab(const EventSlab &) = delete;
+    EventSlab &operator=(const EventSlab &) = delete;
+    ~EventSlab() { releaseAll(); }
+
+    /** Take a node off the free list (carving a new chunk if dry). */
+    EventNode *
+    alloc()
+    {
+        if (!free_)
+            grow();
+        EventNode *n = free_;
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+        ASAN_UNPOISON_MEMORY_REGION(n, sizeof(EventNode));
+#endif
+        SECMEM_ASSERT(!n->live, "event slab handed out a live node "
+                                "(free-list corruption)");
+        free_ = n->next;
+        --freeNodes_;
+        ++liveNodes_;
+        n->next = nullptr;
+        n->live = true;
+        return n;
+    }
+
+    /**
+     * Return a node to the free list. The callable must already be
+     * destroyed (EventFn cleared); the payload is poisoned so stale
+     * pointers into the node read garbage, and under ASan the node
+     * body traps on any touch until it is reallocated.
+     */
+    void
+    release(EventNode *n)
+    {
+        SECMEM_ASSERT(n->live, "double free of event node");
+        n->fn = EventFn{};
+        poison(n);
+        n->live = false;
+        n->next = free_;
+        free_ = n;
+        --liveNodes_;
+        ++freeNodes_;
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+        // Keep the chain link and live flag readable for the allocator
+        // itself; everything else traps until realloc.
+        ASAN_POISON_MEMORY_REGION(n, sizeof(EventNode));
+        ASAN_UNPOISON_MEMORY_REGION(n, offsetof(EventNode, fn));
+#endif
+    }
+
+    /** Nodes currently allocated to the queue. */
+    std::uint64_t liveNodes() const { return liveNodes_; }
+    /** Nodes parked on the free list. */
+    std::uint64_t freeNodes() const { return freeNodes_; }
+    /** Chunks ever carved (high-water footprint, never shrinks). */
+    std::uint64_t chunks() const { return chunks_; }
+
+    /**
+     * True when every free-list node still carries the poison pattern
+     * in its key bytes — the reuse-after-free tripwire is armed.
+     */
+    bool
+    freeListPoisoned() const
+    {
+        for (EventNode *n = free_; n; n = n->next) {
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+            ASAN_UNPOISON_MEMORY_REGION(n, sizeof(EventNode));
+#endif
+            unsigned char key[sizeof(n->when)];
+            std::memcpy(key, &n->when, sizeof(key));
+            bool ok = true;
+            for (unsigned char b : key)
+                ok = ok && b == kPoisonByte;
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+            ASAN_POISON_MEMORY_REGION(n, sizeof(EventNode));
+            ASAN_UNPOISON_MEMORY_REGION(n, offsetof(EventNode, fn));
+#endif
+            if (!ok)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    struct Chunk
+    {
+        EventNode nodes[kChunkNodes];
+        std::unique_ptr<Chunk> next;
+    };
+
+    static void
+    poison(EventNode *n)
+    {
+        // Poison the ordering key only: the chain link and live flag
+        // stay meaningful for the free list itself, and EventFn was
+        // already destroyed above.
+        std::memset(&n->when, kPoisonByte, sizeof(n->when));
+        std::memset(&n->seq, kPoisonByte, sizeof(n->seq));
+    }
+
+    void
+    grow()
+    {
+        auto chunk = std::make_unique<Chunk>();
+        for (std::size_t i = kChunkNodes; i-- > 0;) {
+            EventNode *n = &chunk->nodes[i];
+            poison(n);
+            n->live = false;
+            n->next = free_;
+            free_ = n;
+        }
+        freeNodes_ += kChunkNodes;
+        ++chunks_;
+        chunk->next = std::move(chunks_head_);
+        chunks_head_ = std::move(chunk);
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+        for (std::size_t i = 0; i < kChunkNodes; ++i) {
+            EventNode *n = &chunks_head_->nodes[i];
+            ASAN_POISON_MEMORY_REGION(n, sizeof(EventNode));
+            ASAN_UNPOISON_MEMORY_REGION(n, offsetof(EventNode, fn));
+        }
+#endif
+    }
+
+    void
+    releaseAll()
+    {
+#if defined(SECMEM_EVENT_SLAB_ASAN)
+        for (Chunk *c = chunks_head_.get(); c; c = c->next.get())
+            ASAN_UNPOISON_MEMORY_REGION(c->nodes, sizeof(c->nodes));
+#endif
+        // Chunks own the nodes; unique_ptr chain tears them down.
+        free_ = nullptr;
+    }
+
+    EventNode *free_ = nullptr;
+    std::unique_ptr<Chunk> chunks_head_;
+    std::uint64_t liveNodes_ = 0;
+    std::uint64_t freeNodes_ = 0;
+    std::uint64_t chunks_ = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_EVENT_SLAB_HH

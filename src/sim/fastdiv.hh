@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Division by a runtime-constant divisor without the hardware divider.
+ *
+ * The engine-scheduling hot path converts ticks to issue-slot indices
+ * with a ceil-divide by the pipe's issue interval. The interval is
+ * fixed at construction but not a compile-time constant, so the
+ * compiler emits a 64-bit divide (~20-40 cycles) per probe. This
+ * helper precomputes a Granlund-Montgomery reciprocal once and turns
+ * the common case into a widening multiply plus shifts.
+ *
+ * Exactness: for a non-power-of-two divisor d, with l = ceil(log2 d)
+ * and m = floor(2^(63+l) / d) + 1 (which always fits in 64 bits, since
+ * 2^(l-1) < d implies m < 2^64), floor((m * x) / 2^(63+l)) equals
+ * floor(x / d) for every x < 2^63 (Granlund & Montgomery 1994,
+ * Theorem 4.2 with N = 63). Larger x — which simulated ticks never
+ * reach, but the API must not silently corrupt — falls back to the
+ * hardware divide, so results are bit-identical to plain division for
+ * all inputs. Powers of two use a plain shift.
+ */
+
+#ifndef SECMEM_SIM_FASTDIV_HH
+#define SECMEM_SIM_FASTDIV_HH
+
+#include <cstdint>
+
+namespace secmem
+{
+
+/** Exact floor/ceil division by a divisor fixed at construction. */
+class FastDiv
+{
+  public:
+    FastDiv() : FastDiv(1) {}
+
+    explicit FastDiv(std::uint64_t d) : d_(d)
+    {
+        shift_ = 0;
+        while ((std::uint64_t{1} << shift_) < d)
+            ++shift_;
+        if ((d & (d - 1)) == 0) {
+            magic_ = 0; // power of two: shift only
+        } else {
+            unsigned __int128 num =
+                static_cast<unsigned __int128>(1) << (63 + shift_);
+            magic_ = static_cast<std::uint64_t>(num / d) + 1;
+        }
+    }
+
+    /** floor(x / divisor), exact for all 64-bit x. */
+    std::uint64_t
+    div(std::uint64_t x) const
+    {
+        if (magic_ == 0)
+            return x >> shift_;
+        if (x >> 63) // out of the reciprocal's proven range: never in
+            return x / d_; // practice (ticks), but stay exact anyway
+        std::uint64_t hi = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * magic_) >> 64);
+        return hi >> (shift_ - 1);
+    }
+
+    /**
+     * ceil(x / divisor) computed as div(x + divisor - 1): the wrapping
+     * behaviour near 2^64 matches the plain-division expression it
+     * replaces, so callers stay bit-identical even out of range.
+     */
+    std::uint64_t ceilDiv(std::uint64_t x) const { return div(x + d_ - 1); }
+
+    std::uint64_t divisor() const { return d_; }
+
+  private:
+    std::uint64_t d_;
+    std::uint64_t magic_;
+    unsigned shift_;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_FASTDIV_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Flat open-addressing hash containers keyed by block address.
+ *
+ * The functional model keeps several per-block side tables that sit on
+ * the per-access hot path (DRAM backing store, the initialized-block
+ * set, the stored-tag set, the counter-prediction tables). They share
+ * three properties: keys are block-aligned addresses, entries are only
+ * ever inserted and looked up (never erased, never iterated), and the
+ * node-based std::unordered_* containers behind them showed up in
+ * profiles as malloc traffic, rehash copies and pointer-chasing probes.
+ *
+ * These replacements use a single power-of-two table with linear
+ * probing and kAddrInvalid as the empty sentinel (block addresses are
+ * bounded by the memory size, so the all-ones address can never be a
+ * key). Lookups touch one contiguous cache line in the common case and
+ * the containers free exactly one allocation at teardown.
+ */
+
+#ifndef SECMEM_SIM_FLAT_HASH_HH
+#define SECMEM_SIM_FLAT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace secmem
+{
+
+namespace flat_hash_detail
+{
+
+/** splitmix64 finalizer: block addresses are highly regular, so the
+ *  table index needs real avalanche, not identity hashing. */
+inline std::uint64_t
+mixAddr(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ULL;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31);
+}
+
+} // namespace flat_hash_detail
+
+/** Insert/lookup-only set of block addresses. */
+class FlatAddrSet
+{
+  public:
+    bool
+    contains(Addr key) const
+    {
+        if (keys_.empty())
+            return false;
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = flat_hash_detail::mixAddr(key) & mask;
+        while (keys_[i] != kAddrInvalid) {
+            if (keys_[i] == key)
+                return true;
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    /** Insert @p key; returns true iff it was newly added. */
+    bool
+    insert(Addr key)
+    {
+        if (keys_.size() - count_ <= keys_.size() / 4)
+            rehash(keys_.empty() ? kInitialSlots : keys_.size() * 2);
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = flat_hash_detail::mixAddr(key) & mask;
+        while (keys_[i] != kAddrInvalid) {
+            if (keys_[i] == key)
+                return false;
+            i = (i + 1) & mask;
+        }
+        keys_[i] = key;
+        ++count_;
+        return true;
+    }
+
+    /** unordered_set-compatible membership count (0 or 1). */
+    std::size_t count(Addr key) const { return contains(key) ? 1 : 0; }
+
+    std::size_t size() const { return count_; }
+
+    void
+    clear()
+    {
+        keys_.clear();
+        count_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = 64;
+
+    void
+    rehash(std::size_t n)
+    {
+        std::vector<Addr> old;
+        old.swap(keys_);
+        keys_.assign(n, kAddrInvalid);
+        std::size_t mask = n - 1;
+        for (Addr k : old) {
+            if (k == kAddrInvalid)
+                continue;
+            std::size_t i = flat_hash_detail::mixAddr(k) & mask;
+            while (keys_[i] != kAddrInvalid)
+                i = (i + 1) & mask;
+            keys_[i] = k;
+        }
+    }
+
+    std::vector<Addr> keys_; ///< kAddrInvalid = empty slot
+    std::size_t count_ = 0;
+};
+
+/** Insert/lookup-only map from block address to @p V. */
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    const V *
+    find(Addr key) const
+    {
+        if (keys_.empty())
+            return nullptr;
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = flat_hash_detail::mixAddr(key) & mask;
+        while (keys_[i] != kAddrInvalid) {
+            if (keys_[i] == key)
+                return &vals_[i];
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    V *
+    find(Addr key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatAddrMap *>(this)->find(key));
+    }
+
+    /** Reference to the value for @p key, default-constructing it. */
+    V &
+    operator[](Addr key)
+    {
+        if (keys_.size() - count_ <= keys_.size() / 4)
+            rehash(keys_.empty() ? kInitialSlots : keys_.size() * 2);
+        std::size_t mask = keys_.size() - 1;
+        std::size_t i = flat_hash_detail::mixAddr(key) & mask;
+        while (keys_[i] != kAddrInvalid) {
+            if (keys_[i] == key)
+                return vals_[i];
+            i = (i + 1) & mask;
+        }
+        keys_[i] = key;
+        vals_[i] = V{};
+        ++count_;
+        return vals_[i];
+    }
+
+    std::size_t size() const { return count_; }
+
+    /** Pre-size the table (power-of-two slots) to skip growth rehashes
+     *  when the rough population is known up front. */
+    void
+    reserveSlots(std::size_t n)
+    {
+        if (n > keys_.size())
+            rehash(n);
+    }
+
+    void
+    clear()
+    {
+        keys_.clear();
+        vals_.clear();
+        count_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = 64;
+
+    void
+    rehash(std::size_t n)
+    {
+        std::vector<Addr> old_keys;
+        std::vector<V> old_vals;
+        old_keys.swap(keys_);
+        old_vals.swap(vals_);
+        keys_.assign(n, kAddrInvalid);
+        vals_.assign(n, V{});
+        std::size_t mask = n - 1;
+        for (std::size_t j = 0; j < old_keys.size(); ++j) {
+            if (old_keys[j] == kAddrInvalid)
+                continue;
+            std::size_t i = flat_hash_detail::mixAddr(old_keys[j]) & mask;
+            while (keys_[i] != kAddrInvalid)
+                i = (i + 1) & mask;
+            keys_[i] = old_keys[j];
+            vals_[i] = old_vals[j];
+        }
+    }
+
+    std::vector<Addr> keys_; ///< kAddrInvalid = empty slot
+    std::vector<V> vals_;    ///< value for the key at the same index
+    std::size_t count_ = 0;
+};
+
+} // namespace secmem
+
+#endif // SECMEM_SIM_FLAT_HASH_HH

@@ -73,6 +73,30 @@ class Rng
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Integer threshold such that chanceThresh(threshFor(p)) draws the
+     * same stream and returns the same answers as chance(p):
+     * uniform() < p  ⟺  (next() >> 11) * 2^-53 < p  ⟺
+     * next() >> 11 < ceil(p * 2^53), every step exact (the mantissa is
+     * 53 bits wide and scaling by a power of two never rounds). Hoist
+     * the threshold out of per-op loops to trade the int-to-double
+     * conversion and FP compare for one integer compare.
+     */
+    static std::uint64_t
+    threshFor(double p)
+    {
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return std::uint64_t{1} << 53;
+        double scaled = p * 0x1.0p53;
+        auto t = static_cast<std::uint64_t>(scaled);
+        return t + (static_cast<double>(t) < scaled ? 1 : 0);
+    }
+
+    /** chance(p) with a precomputed threshFor(p) threshold. */
+    bool chanceThresh(std::uint64_t t) { return (next() >> 11) < t; }
+
   private:
     std::uint64_t state_[4];
 };

@@ -103,107 +103,21 @@ SpecWorkload::SpecWorkload(const SpecProfile &profile)
       rng_(profile.seed),
       wsBytes_(static_cast<Addr>(profile.workingSetKB) * 1024),
       hotBytes_(static_cast<Addr>(profile.hotKB) * 1024),
-      warmBytes_(static_cast<Addr>(profile.warmKB) * 1024)
+      warmBytes_(static_cast<Addr>(profile.warmKB) * 1024),
+      pCont_(1.0 - 1.0 / std::max(1.0, profile.burst)),
+      hotStoreP_(std::min(0.95, profile.storeFraction *
+                                    (1.0 + profile.hotStoreBoost))),
+      tMem_(Rng::threshFor(profile.memFraction)),
+      tHot_(Rng::threshFor(profile.hotFraction)),
+      tStream_(Rng::threshFor(profile.streamFraction)),
+      tWarm_(Rng::threshFor(profile.warmFraction)),
+      tStore_(Rng::threshFor(profile.storeFraction)),
+      tChase_(Rng::threshFor(profile.chaseFraction)),
+      tCont_(Rng::threshFor(pCont_)),
+      tHotStore_(Rng::threshFor(hotStoreP_))
 {
     SECMEM_ASSERT(hotBytes_ + warmBytes_ < wsBytes_,
                   "hot + warm sets must fit the working set");
-}
-
-Addr
-SpecWorkload::randomBlockIn(Addr base, std::size_t bytes)
-{
-    std::uint64_t blocks = bytes / kBlockBytes;
-    return base + rng_.below(blocks) * kBlockBytes;
-}
-
-Addr
-SpecWorkload::skewedBlockIn(Addr base, std::size_t bytes)
-{
-    // Page- and block-level popularity skew (min of two uniforms gives
-    // a linear ramp at each granularity). Some pages are written back
-    // far more than others, and within every page some blocks advance
-    // their counters much faster than their neighbours — the behaviour
-    // behind the paper's Table 2 counter-growth spread, the 0.3%
-    // re-encryption-work result and the decay of counter-prediction
-    // rates in Figure 6(b).
-    std::uint64_t pages = std::max<std::uint64_t>(1, bytes / kPageBytes);
-    std::uint64_t page = std::min(rng_.below(pages), rng_.below(pages));
-    std::uint64_t blocks_per_page =
-        std::min<std::uint64_t>(kPageBytes / kBlockBytes,
-                                bytes / kBlockBytes);
-    std::uint64_t blk =
-        std::min(rng_.below(blocks_per_page), rng_.below(blocks_per_page));
-    return base + page * kPageBytes + blk * kBlockBytes;
-}
-
-TraceOp
-SpecWorkload::next()
-{
-    if (!rng_.chance(profile_.memFraction))
-        return TraceOp::alu();
-
-    Addr addr;
-    bool fresh_block = false;
-    if (remBurst_ > 0) {
-        // Continue the burst on the current block (varying word).
-        --remBurst_;
-        addr = curBlock_ + rng_.below(kBlockBytes / 8) * 8;
-    } else {
-        bool hot = rng_.chance(profile_.hotFraction);
-        if (hot) {
-            curBlock_ = skewedBlockIn(0, hotBytes_);
-        } else if (rng_.chance(profile_.streamFraction)) {
-            // Sequential scan in 8-byte words through the cold region:
-            // consecutive accesses share a block (spatial locality),
-            // blocks never revisited until the stream wraps.
-            Addr stream_base = hotBytes_ + warmBytes_;
-            addr = stream_base + streamCursor_;
-            streamCursor_ += profile_.streamStepBytes;
-            if (stream_base + streamCursor_ >= wsBytes_)
-                streamCursor_ = 0;
-            curHot_ = false;
-            bool st = rng_.chance(profile_.storeFraction);
-            return st ? TraceOp::store(addr) : TraceOp::load(addr);
-        } else if (rng_.chance(profile_.warmFraction)) {
-            // Warm region: roughly L2-sized, mostly resident.
-            curBlock_ = skewedBlockIn(hotBytes_, warmBytes_);
-        } else {
-            // Cold region: real heaps are pool-allocated, so cold
-            // traffic clusters at page granularity — a new 4 KB page
-            // is picked only every few fresh blocks. This gives cold
-            // misses the counter-cache and MAC-tree page locality real
-            // programs have.
-            if (coldPageRem_ == 0) {
-                Addr cold_base = hotBytes_ + warmBytes_;
-                std::uint64_t pages =
-                    (wsBytes_ - cold_base) / kPageBytes;
-                coldPage_ = cold_base + rng_.below(pages) * kPageBytes;
-                coldPageRem_ = 1 + static_cast<unsigned>(rng_.below(11));
-            }
-            --coldPageRem_;
-            curBlock_ = coldPage_ + rng_.below(kPageBytes / kBlockBytes) *
-                                        kBlockBytes;
-        }
-        curHot_ = hot;
-        fresh_block = true;
-        // Geometric burst length with the profile's mean.
-        double p_cont = 1.0 - 1.0 / std::max(1.0, profile_.burst);
-        remBurst_ = 0;
-        while (rng_.chance(p_cont) && remBurst_ < 64)
-            ++remBurst_;
-        addr = curBlock_ + rng_.below(kBlockBytes / 8) * 8;
-    }
-
-    double store_p = profile_.storeFraction;
-    if (curHot_)
-        store_p = std::min(0.95, store_p * (1.0 + profile_.hotStoreBoost));
-    if (rng_.chance(store_p))
-        return TraceOp::store(addr);
-
-    // Pointer-chase dependence applies to the dereference that reaches
-    // a new node (fresh block), not to the within-block field accesses.
-    bool dep = fresh_block && rng_.chance(profile_.chaseFraction);
-    return TraceOp::load(addr, dep);
 }
 
 } // namespace secmem

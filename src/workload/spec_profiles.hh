@@ -16,6 +16,7 @@
 #ifndef SECMEM_WORKLOAD_SPEC_PROFILES_HH
 #define SECMEM_WORKLOAD_SPEC_PROFILES_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,8 +63,15 @@ const std::vector<std::string> &memoryIntensiveNames();
 /** An artificially write-hot profile for the re-encryption ablation. */
 SpecProfile writeHotProfile();
 
-/** Generator implementing a SpecProfile. */
-class SpecWorkload : public WorkloadGenerator
+/**
+ * Generator implementing a SpecProfile.
+ *
+ * `final`, with next() defined inline below: the out-of-order core
+ * runs a devirtualized loop for this concrete type (see OooCore::run),
+ * and the generator is the single hottest function in timing runs —
+ * one call per simulated instruction.
+ */
+class SpecWorkload final : public WorkloadGenerator
 {
   public:
     explicit SpecWorkload(const SpecProfile &profile);
@@ -74,7 +82,13 @@ class SpecWorkload : public WorkloadGenerator
     const SpecProfile &profile() const { return profile_; }
 
   private:
-    Addr randomBlockIn(Addr base, std::size_t bytes);
+    Addr
+    randomBlockIn(Addr base, std::size_t bytes)
+    {
+        std::uint64_t blocks = bytes / kBlockBytes;
+        return base + rng_.below(blocks) * kBlockBytes;
+    }
+
     Addr skewedBlockIn(Addr base, std::size_t bytes);
 
     SpecProfile profile_;
@@ -82,6 +96,20 @@ class SpecWorkload : public WorkloadGenerator
     Addr wsBytes_;
     Addr hotBytes_;
     Addr warmBytes_;
+    // Hoisted per-op constants (identical values to computing them
+    // inline; next() runs once per simulated instruction). The tXxx_
+    // members are Rng::threshFor() integer thresholds: same draws and
+    // same decisions as chance() on the corresponding probability.
+    double pCont_;     ///< geometric burst continuation probability
+    double hotStoreP_; ///< boosted store probability in the hot set
+    std::uint64_t tMem_;
+    std::uint64_t tHot_;
+    std::uint64_t tStream_;
+    std::uint64_t tWarm_;
+    std::uint64_t tStore_;
+    std::uint64_t tChase_;
+    std::uint64_t tCont_;
+    std::uint64_t tHotStore_;
     Addr streamCursor_ = 0;
 
     // Burst state: consecutive accesses to the current block model the
@@ -95,6 +123,93 @@ class SpecWorkload : public WorkloadGenerator
     Addr coldPage_ = 0;
     unsigned coldPageRem_ = 0;
 };
+
+inline Addr
+SpecWorkload::skewedBlockIn(Addr base, std::size_t bytes)
+{
+    // Page- and block-level popularity skew (min of two uniforms gives
+    // a linear ramp at each granularity). Some pages are written back
+    // far more than others, and within every page some blocks advance
+    // their counters much faster than their neighbours — the behaviour
+    // behind the paper's Table 2 counter-growth spread, the 0.3%
+    // re-encryption-work result and the decay of counter-prediction
+    // rates in Figure 6(b).
+    std::uint64_t pages = std::max<std::uint64_t>(1, bytes / kPageBytes);
+    std::uint64_t page = std::min(rng_.below(pages), rng_.below(pages));
+    std::uint64_t blocks_per_page =
+        std::min<std::uint64_t>(kPageBytes / kBlockBytes,
+                                bytes / kBlockBytes);
+    std::uint64_t blk =
+        std::min(rng_.below(blocks_per_page), rng_.below(blocks_per_page));
+    return base + page * kPageBytes + blk * kBlockBytes;
+}
+
+inline TraceOp
+SpecWorkload::next()
+{
+    if (!rng_.chanceThresh(tMem_))
+        return TraceOp::alu();
+
+    Addr addr;
+    bool fresh_block = false;
+    if (remBurst_ > 0) {
+        // Continue the burst on the current block (varying word).
+        --remBurst_;
+        addr = curBlock_ + rng_.below(kBlockBytes / 8) * 8;
+    } else {
+        bool hot = rng_.chanceThresh(tHot_);
+        if (hot) {
+            curBlock_ = skewedBlockIn(0, hotBytes_);
+        } else if (rng_.chanceThresh(tStream_)) {
+            // Sequential scan in 8-byte words through the cold region:
+            // consecutive accesses share a block (spatial locality),
+            // blocks never revisited until the stream wraps.
+            Addr stream_base = hotBytes_ + warmBytes_;
+            addr = stream_base + streamCursor_;
+            streamCursor_ += profile_.streamStepBytes;
+            if (stream_base + streamCursor_ >= wsBytes_)
+                streamCursor_ = 0;
+            curHot_ = false;
+            bool st = rng_.chanceThresh(tStore_);
+            return st ? TraceOp::store(addr) : TraceOp::load(addr);
+        } else if (rng_.chanceThresh(tWarm_)) {
+            // Warm region: roughly L2-sized, mostly resident.
+            curBlock_ = skewedBlockIn(hotBytes_, warmBytes_);
+        } else {
+            // Cold region: real heaps are pool-allocated, so cold
+            // traffic clusters at page granularity — a new 4 KB page
+            // is picked only every few fresh blocks. This gives cold
+            // misses the counter-cache and MAC-tree page locality real
+            // programs have.
+            if (coldPageRem_ == 0) {
+                Addr cold_base = hotBytes_ + warmBytes_;
+                std::uint64_t pages =
+                    (wsBytes_ - cold_base) / kPageBytes;
+                coldPage_ = cold_base + rng_.below(pages) * kPageBytes;
+                coldPageRem_ = 1 + static_cast<unsigned>(rng_.below(11));
+            }
+            --coldPageRem_;
+            curBlock_ = coldPage_ + rng_.below(kPageBytes / kBlockBytes) *
+                                        kBlockBytes;
+        }
+        curHot_ = hot;
+        fresh_block = true;
+        // Geometric burst length with the profile's mean.
+        remBurst_ = 0;
+        while (rng_.chanceThresh(tCont_) && remBurst_ < 64)
+            ++remBurst_;
+        addr = curBlock_ + rng_.below(kBlockBytes / 8) * 8;
+    }
+
+    std::uint64_t store_t = curHot_ ? tHotStore_ : tStore_;
+    if (rng_.chanceThresh(store_t))
+        return TraceOp::store(addr);
+
+    // Pointer-chase dependence applies to the dereference that reaches
+    // a new node (fresh block), not to the within-block field accesses.
+    bool dep = fresh_block && rng_.chanceThresh(tChase_);
+    return TraceOp::load(addr, dep);
+}
 
 } // namespace secmem
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Calendar-vs-heap event-kernel differential tests.
+ *
+ * The legacy std::priority_queue kernel is kept as a differential
+ * oracle for the calendar queue (same layering as the naive crypto
+ * reference): identical workloads must produce bit-identical timing,
+ * stats and recovery behaviour on both kernels. These tests drive the
+ * full harness — real system, real controller, real chaos storms —
+ * through both kernels and compare everything observable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.hh"
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+namespace
+{
+
+/** Restore the process-default kernel when a test scope ends. */
+class KernelGuard
+{
+  public:
+    KernelGuard() : saved_(EventQueue::defaultKernel()) {}
+    ~KernelGuard() { EventQueue::setDefaultKernel(saved_); }
+
+  private:
+    EventKernel saved_;
+};
+
+RunOutput
+runOn(EventKernel kernel, const SpecProfile &profile,
+      const SecureMemConfig &cfg)
+{
+    EventQueue::setDefaultKernel(kernel);
+    return runWorkload(profile, cfg, CoreParams{}, SystemParams{},
+                       RunLengths{2000, 10000});
+}
+
+TEST(KernelDifferential, WorkloadRunsBitIdenticalAcrossKernels)
+{
+    KernelGuard guard;
+    // mcf exercises dependence chains and heavy metadata traffic;
+    // splitGcm exercises both crypto engines and the counter cache.
+    const SpecProfile &profile = profileByName("mcf");
+    for (const SecureMemConfig &cfg :
+         {SecureMemConfig::splitGcm(), SecureMemConfig::splitSha()}) {
+        RunOutput cal = runOn(EventKernel::Calendar, profile, cfg);
+        RunOutput heap = runOn(EventKernel::LegacyHeap, profile, cfg);
+        ASSERT_FALSE(cal.failed);
+        ASSERT_FALSE(heap.failed);
+        EXPECT_EQ(cal.cycles, heap.cycles);
+        EXPECT_EQ(cal.ipc, heap.ipc);
+        EXPECT_EQ(cal.writebacks, heap.writebacks);
+        // The full hierarchical stat dump — every counter, gauge and
+        // histogram in the system — must match byte for byte.
+        EXPECT_EQ(cal.statsJson, heap.statsJson);
+    }
+}
+
+TEST(KernelDifferential, ChaosStormBitIdenticalAcrossKernels)
+{
+    KernelGuard guard;
+    ChaosConfig cfg;
+    cfg.seed = 23;
+    cfg.workload = "ammp";
+    cfg.scheme = "splitGcm";
+    cfg.events = 2000;
+    cfg.policy = TamperPolicy::Quarantine;
+    cfg.storm.transientRate = 0.05;
+    cfg.storm.persistentRate = 0.01;
+    cfg.storm.metaFraction = 0.4;
+
+    EventQueue::setDefaultKernel(EventKernel::Calendar);
+    ChaosResult cal = runChaosCampaign(cfg);
+    EventQueue::setDefaultKernel(EventKernel::LegacyHeap);
+    ChaosResult heap = runChaosCampaign(cfg);
+
+    EXPECT_EQ(cal.memOps, heap.memOps);
+    EXPECT_EQ(cal.reads, heap.reads);
+    EXPECT_EQ(cal.writes, heap.writes);
+    EXPECT_EQ(cal.checkedReads, heap.checkedReads);
+    EXPECT_EQ(cal.silentCorruptions, heap.silentCorruptions);
+    EXPECT_EQ(cal.detected, heap.detected);
+    EXPECT_EQ(cal.retries, heap.retries);
+    EXPECT_EQ(cal.recovered, heap.recovered);
+    EXPECT_EQ(cal.escalations, heap.escalations);
+    EXPECT_EQ(cal.exhausted, heap.exhausted);
+    EXPECT_EQ(cal.quarantines, heap.quarantines);
+    EXPECT_EQ(cal.blockedReads, heap.blockedReads);
+    EXPECT_EQ(cal.blockedWrites, heap.blockedWrites);
+    EXPECT_EQ(cal.quarantinedAtEnd, heap.quarantinedAtEnd);
+    EXPECT_EQ(cal.silentCorruptions, 0u);
+}
+
+TEST(KernelDifferential, EnvSelectionPicksHeapKernel)
+{
+    KernelGuard guard;
+    // setDefaultKernel (the CLI path) overrides whatever the env said;
+    // queues constructed after it carry the selected kernel.
+    EventQueue::setDefaultKernel(EventKernel::LegacyHeap);
+    EventQueue q;
+    EXPECT_EQ(q.kernel(), EventKernel::LegacyHeap);
+    EXPECT_STREQ(EventQueue::kernelName(q.kernel()), "heap");
+    EventQueue::setDefaultKernel(EventKernel::Calendar);
+    EventQueue q2;
+    EXPECT_EQ(q2.kernel(), EventKernel::Calendar);
+    EXPECT_STREQ(EventQueue::kernelName(q2.kernel()), "calendar");
+}
+
+} // namespace
+} // namespace secmem

@@ -1,23 +1,45 @@
 /**
  * @file
  * Event-queue ordering, determinism and time-advancement tests.
+ *
+ * The ordering contract is kernel-independent, so the core suite is
+ * parameterized over both kernels (calendar + legacy heap oracle); the
+ * calendar-specific structure (bucket-ring wraparound, spill-heap
+ * promotion, slab recycling/poisoning) gets its own targeted tests.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <random>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/log.hh"
 
 namespace secmem
 {
 namespace
 {
 
-TEST(EventQueue, RunsInTickOrder)
+class EventQueueKernels : public ::testing::TestWithParam<EventKernel>
 {
-    EventQueue q;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, EventQueueKernels,
+    ::testing::Values(EventKernel::Calendar, EventKernel::LegacyHeap),
+    [](const ::testing::TestParamInfo<EventKernel> &info) {
+        return EventQueue::kernelName(info.param);
+    });
+
+TEST_P(EventQueueKernels, RunsInTickOrder)
+{
+    EventQueue q(GetParam());
     std::vector<int> order;
     q.schedule(30, [&] { order.push_back(3); });
     q.schedule(10, [&] { order.push_back(1); });
@@ -27,9 +49,9 @@ TEST(EventQueue, RunsInTickOrder)
     EXPECT_EQ(q.now(), 30u);
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder)
+TEST_P(EventQueueKernels, TiesBreakByInsertionOrder)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     std::vector<int> order;
     for (int i = 0; i < 16; ++i)
         q.schedule(5, [&order, i] { order.push_back(i); });
@@ -38,9 +60,9 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
         EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, CallbackMaySchedule)
+TEST_P(EventQueueKernels, CallbackMaySchedule)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     int fired = 0;
     q.schedule(1, [&] {
         ++fired;
@@ -51,9 +73,9 @@ TEST(EventQueue, CallbackMaySchedule)
     EXPECT_EQ(q.now(), 2u);
 }
 
-TEST(EventQueue, RunUntilStopsAtLimit)
+TEST_P(EventQueueKernels, RunUntilStopsAtLimit)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     int fired = 0;
     q.schedule(10, [&] { ++fired; });
     q.schedule(20, [&] { ++fired; });
@@ -65,18 +87,32 @@ TEST(EventQueue, RunUntilStopsAtLimit)
     EXPECT_EQ(fired, 2);
 }
 
-TEST(EventQueue, EventAtLimitRuns)
+TEST_P(EventQueueKernels, RunUntilStopsShortOfFarFutureEvent)
 {
-    EventQueue q;
+    // The next event can be beyond the calendar window; stopping at the
+    // limit must not drag now() to the event's tick.
+    EventQueue q(GetParam());
+    int fired = 0;
+    q.schedule(100000, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), 50u);
+    q.runUntil(100000);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_P(EventQueueKernels, EventAtLimitRuns)
+{
+    EventQueue q(GetParam());
     bool fired = false;
     q.schedule(10, [&] { fired = true; });
     q.runUntil(10);
     EXPECT_TRUE(fired);
 }
 
-TEST(EventQueue, StepRunsOne)
+TEST_P(EventQueueKernels, StepRunsOne)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     int fired = 0;
     q.schedule(1, [&] { ++fired; });
     q.schedule(2, [&] { ++fired; });
@@ -87,24 +123,43 @@ TEST(EventQueue, StepRunsOne)
     EXPECT_FALSE(q.step());
 }
 
-TEST(EventQueue, ResetClearsState)
+TEST_P(EventQueueKernels, ResetClearsState)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     q.schedule(5, [] {});
     q.runUntil();
     EXPECT_EQ(q.now(), 5u);
+    q.schedule(7, [] {});
+    q.schedule(100000, [] {}); // parked beyond the calendar window
     q.reset();
     EXPECT_EQ(q.now(), 0u);
     EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
 }
 
-TEST(EventQueue, ScheduleInUsesNow)
+TEST_P(EventQueueKernels, ScheduleInUsesNow)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     Tick seen = 0;
     q.schedule(7, [&] { q.scheduleIn(3, [&] { seen = q.now(); }); });
     q.runUntil();
     EXPECT_EQ(seen, 10u);
+}
+
+TEST_P(EventQueueKernels, ScheduleInSaturatesInsteadOfWrapping)
+{
+    // Regression: now + delta used to wrap Tick for kTickNever-derived
+    // timeouts and trip the scheduled-in-the-past assert.
+    EventQueue q(GetParam());
+    q.runUntil(100); // advance time so now_ + kTickNever would wrap
+    ASSERT_EQ(q.now(), 100u);
+    bool fired = false;
+    q.scheduleIn(kTickNever, [&] { fired = true; });
+    q.scheduleIn(kTickNever - 1, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.runUntil();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.now(), kTickNever); // parked at the end of time
 }
 
 namespace
@@ -112,10 +167,9 @@ namespace
 
 /**
  * Callable that counts how many times it is copy-constructed after
- * being captured. std::function move construction only swaps pointers
- * (no target copy), so any copies observed after schedule() returns
- * come from the queue copying entries out of the heap on pop — the
- * bug this pins down.
+ * being captured. EventFn is move-only, so any copy observed after
+ * schedule() returns would mean the kernel copied an entry out of its
+ * container on pop — the std::function bug this pins down.
  */
 struct CopyCounter
 {
@@ -129,9 +183,9 @@ struct CopyCounter
 
 } // namespace
 
-TEST(EventQueue, PopDoesNotCopyCallback)
+TEST_P(EventQueueKernels, PopDoesNotCopyCallback)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     auto copies = std::make_shared<int>(0);
     q.schedule(1, CopyCounter(copies));
     q.schedule(2, CopyCounter(copies));
@@ -140,28 +194,30 @@ TEST(EventQueue, PopDoesNotCopyCallback)
     q.step();                   // one pop via step()
     q.runUntil();               // two pops via runUntil()
     EXPECT_EQ(*copies, after_schedule)
-        << "popping the heap copied the callback instead of moving it";
+        << "popping the queue copied the callback instead of moving it";
 }
 
-TEST(EventQueue, PendingGaugeTracksDepthAndHighWater)
+TEST_P(EventQueueKernels, PendingGaugeUpdatesOnPushOnly)
 {
-    EventQueue q;
-    const stats::Gauge &pending =
-        q.stats().gauges().at("pending");
+    // The high-water mark can only advance on a push, so the gauge is
+    // deliberately *not* refreshed on pop: value() reads the depth as
+    // of the last schedule(), pending() reads the live depth.
+    EventQueue q(GetParam());
+    const stats::Gauge &pending = q.stats().gauges().at("pending");
     q.schedule(1, [] {});
     q.schedule(2, [] {});
     q.schedule(3, [] {});
     EXPECT_EQ(pending.value(), 3u);
     EXPECT_EQ(pending.max(), 3u);
     q.step();
-    EXPECT_EQ(pending.value(), 2u);
-    EXPECT_EQ(pending.max(), 3u); // high-water survives the drain
-    q.runUntil();
-    EXPECT_EQ(pending.value(), 0u);
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_EQ(pending.value(), 3u); // stale by design: no pop update
     EXPECT_EQ(pending.max(), 3u);
-    // Refilling after a drain must not need to exceed the old peak for
-    // the gauge to read correctly (the reset()+inc counter idiom only
-    // updated on new maxima).
+    q.runUntil();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(pending.max(), 3u); // high-water survives the drain
+    // A push after the drain reads the true (shallow) depth again, so
+    // the gauge value re-synchronizes on every schedule().
     q.schedule(10, [] {});
     EXPECT_EQ(pending.value(), 1u);
     EXPECT_EQ(pending.max(), 3u);
@@ -170,11 +226,10 @@ TEST(EventQueue, PendingGaugeTracksDepthAndHighWater)
     EXPECT_EQ(pending.max(), 0u);
 }
 
-TEST(EventQueue, SchedulingFromCallbackKeepsGaugeConsistent)
+TEST_P(EventQueueKernels, SchedulingFromCallbackKeepsGaugeConsistent)
 {
-    EventQueue q;
-    const stats::Gauge &pending =
-        q.stats().gauges().at("pending");
+    EventQueue q(GetParam());
+    const stats::Gauge &pending = q.stats().gauges().at("pending");
     std::uint64_t seen_inside = 0;
     q.schedule(1, [&] {
         q.scheduleIn(1, [] {});
@@ -183,10 +238,224 @@ TEST(EventQueue, SchedulingFromCallbackKeepsGaugeConsistent)
     });
     q.runUntil();
     EXPECT_EQ(seen_inside, 2u);
-    EXPECT_EQ(pending.value(), 0u);
     EXPECT_EQ(pending.max(), 2u);
     EXPECT_EQ(q.stats().counterValue("scheduled"), 3u);
     EXPECT_EQ(q.stats().counterValue("executed"), 3u);
+}
+
+TEST_P(EventQueueKernels, OversizedCaptureFallsBackToHeapAndCounts)
+{
+    EventQueue q(GetParam());
+    struct Big
+    {
+        std::uint64_t words[12]; // 96 bytes > EventFn::kInlineBytes
+    };
+    Big big{};
+    big.words[11] = 42;
+    std::uint64_t seen = 0;
+    q.schedule(1, [big, &seen] { seen = big.words[11]; });
+    q.schedule(2, [&seen] { ++seen; });
+    EXPECT_EQ(q.stats().counterValue("cb_heap_fallback"), 1u);
+    q.runUntil();
+    EXPECT_EQ(seen, 43u);
+}
+
+// ---------------------------------------------------------------------
+// Calendar-kernel structure: ring wraparound, spill promotion, slab.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueCalendar, BucketRingWraparound)
+{
+    // Two events kRingSlots ticks apart share a bucket index but not a
+    // tick; the second must wait in the spill heap, then land in the
+    // recycled bucket after the window slides past the first.
+    EventQueue q(EventKernel::Calendar);
+    std::vector<Tick> fired;
+    const Tick a = 4000;
+    const Tick b = a + EventQueue::kRingSlots;
+    const Tick c = b + EventQueue::kRingSlots;
+    q.schedule(c, [&] { fired.push_back(q.now()); });
+    q.schedule(b, [&] { fired.push_back(q.now()); });
+    q.schedule(a, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.ringSize(), 1u);
+    EXPECT_EQ(q.spillSize(), 2u);
+    q.runUntil();
+    EXPECT_EQ(fired, (std::vector<Tick>{a, b, c}));
+    EXPECT_EQ(q.now(), c);
+}
+
+TEST(EventQueueCalendar, RingOrderSurvivesManyWraps)
+{
+    // March a self-rescheduling chain across several full ring
+    // revolutions, interleaved with same-tick ties.
+    EventQueue q(EventKernel::Calendar);
+    std::vector<std::pair<Tick, int>> order;
+    const Tick stride = EventQueue::kRingSlots / 3 + 7;
+    std::function<void(int)> hop = [&](int n) {
+        order.emplace_back(q.now(), 0);
+        q.schedule(q.now(), [&order, &q] {
+            order.emplace_back(q.now(), 1); // same-tick tie
+        });
+        if (n > 0)
+            q.scheduleIn(stride, [&hop, n] { hop(n - 1); });
+    };
+    q.schedule(1, [&] { hop(20); });
+    q.runUntil();
+    ASSERT_EQ(order.size(), 42u);
+    for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+        EXPECT_EQ(order[i].first, order[i + 1].first);
+        EXPECT_EQ(order[i].second, 0);
+        EXPECT_EQ(order[i + 1].second, 1);
+        if (i + 2 < order.size())
+            EXPECT_EQ(order[i + 2].first, order[i].first + stride);
+    }
+}
+
+TEST(EventQueueCalendar, SpillHeapPromotionKeepsSeqOrder)
+{
+    // Three same-tick events parked in the spill heap must promote in
+    // insertion order, and a direct schedule at that tick (only
+    // possible after the window slides, hence with a larger seq) must
+    // land after them.
+    EventQueue q(EventKernel::Calendar);
+    std::vector<int> order;
+    const Tick far = 9000;
+    q.schedule(far, [&] { order.push_back(0); });
+    q.schedule(far, [&] { order.push_back(1); });
+    q.schedule(far, [&] { order.push_back(2); });
+    EXPECT_EQ(q.spillSize(), 3u);
+    q.schedule(far - EventQueue::kRingSlots + 1, [&] {
+        // now_ has advanced: `far` is inside the window and the spill
+        // events are already promoted — this append must come last.
+        q.schedule(far, [&] { order.push_back(3); });
+        EXPECT_EQ(q.spillSize(), 0u);
+    });
+    q.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueCalendar, SlabRecyclesNodesWithoutGrowth)
+{
+    // A long self-rescheduling chain keeps exactly one event live, so
+    // the slab must stay at one chunk no matter how many events run.
+    EventQueue q(EventKernel::Calendar);
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 10000)
+            q.scheduleIn(3, hop);
+    };
+    q.schedule(1, hop);
+    q.runUntil();
+    EXPECT_EQ(hops, 10000);
+    EXPECT_EQ(q.slab().chunks(), 1u);
+    EXPECT_EQ(q.slab().liveNodes(), 0u);
+    EXPECT_TRUE(q.slab().freeListPoisoned());
+}
+
+TEST(EventQueueSlab, ReleasePoisonsAndReuses)
+{
+    EventSlab slab;
+    EventNode *n = slab.alloc();
+    n->when = 123;
+    n->seq = 7;
+    n->fn = [] {};
+    EXPECT_EQ(slab.liveNodes(), 1u);
+    slab.release(n);
+    EXPECT_EQ(slab.liveNodes(), 0u);
+    EXPECT_TRUE(slab.freeListPoisoned());
+    // LIFO free list: the next alloc hands the same node back, with
+    // the poison still in place until the caller overwrites it.
+    EventNode *again = slab.alloc();
+    EXPECT_EQ(again, n);
+    EXPECT_TRUE(again->live);
+    EXPECT_FALSE(again->fn);
+    slab.release(again);
+}
+
+TEST(EventQueueSlab, DoubleFreeIsCaught)
+{
+    EventSlab slab;
+    EventNode *n = slab.alloc();
+    slab.release(n);
+    PanicThrowScope scope; // panics throw instead of aborting
+    EXPECT_THROW(slab.release(n), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Kernel selection and calendar-vs-heap differential.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueKernelSelect, NamesRoundTrip)
+{
+    EXPECT_STREQ(EventQueue::kernelName(EventKernel::Calendar),
+                 "calendar");
+    EXPECT_STREQ(EventQueue::kernelName(EventKernel::LegacyHeap),
+                 "heap");
+    EXPECT_EQ(EventQueue::parseKernelName("calendar", "test"),
+              EventKernel::Calendar);
+    EXPECT_EQ(EventQueue::parseKernelName("heap", "test"),
+              EventKernel::LegacyHeap);
+    EXPECT_EQ(EventQueue::parseKernelName("legacy-heap", "test"),
+              EventKernel::LegacyHeap);
+}
+
+TEST(EventQueueKernelSelect, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(EventQueue::parseKernelName("bogus", "unit-test"),
+                 "unknown event kernel 'bogus' \\(from unit-test\\)");
+}
+
+TEST(EventQueueKernelSelect, SetDefaultKernelSticks)
+{
+    EventKernel before = EventQueue::defaultKernel();
+    EventQueue::setDefaultKernel(EventKernel::LegacyHeap);
+    EXPECT_EQ(EventQueue{}.kernel(), EventKernel::LegacyHeap);
+    EventQueue::setDefaultKernel(EventKernel::Calendar);
+    EXPECT_EQ(EventQueue{}.kernel(), EventKernel::Calendar);
+    EventQueue::setDefaultKernel(before);
+}
+
+/**
+ * Drive both kernels with the same randomized storm — bursty ticks,
+ * same-tick ties, far-future spills, nested scheduling from callbacks —
+ * and require the exact same execution sequence, final tick and stats.
+ */
+TEST(EventQueueDifferential, KernelsAgreeOnRandomStorm)
+{
+    auto run = [](EventKernel k) {
+        EventQueue q(k);
+        std::mt19937 rng(0x5ec123);
+        std::vector<std::pair<Tick, int>> trace;
+        int next_id = 0;
+        std::function<void(int, int)> fire = [&](int id, int depth) {
+            trace.emplace_back(q.now(), id);
+            if (depth > 0) {
+                int fanout = static_cast<int>(rng() % 3);
+                for (int i = 0; i < fanout; ++i) {
+                    Tick delta = rng() % 3 ? rng() % 64
+                                           : 4000 + rng() % 9000;
+                    q.scheduleIn(delta, [&fire, &next_id, depth] {
+                        fire(next_id++, depth - 1);
+                    });
+                }
+            }
+        };
+        for (int i = 0; i < 200; ++i) {
+            Tick when = rng() % 2 ? rng() % 128 : rng() % 20000;
+            q.schedule(when, [&fire, &next_id] { fire(next_id++, 3); });
+        }
+        q.runUntil();
+        return std::tuple(trace, q.now(),
+                          q.stats().counterValue("scheduled"),
+                          q.stats().counterValue("executed"));
+    };
+    auto calendar = run(EventKernel::Calendar);
+    auto heap = run(EventKernel::LegacyHeap);
+    EXPECT_EQ(std::get<0>(calendar), std::get<0>(heap));
+    EXPECT_EQ(std::get<1>(calendar), std::get<1>(heap));
+    EXPECT_EQ(std::get<2>(calendar), std::get<2>(heap));
+    EXPECT_EQ(std::get<3>(calendar), std::get<3>(heap));
+    EXPECT_GT(std::get<3>(calendar), 200u); // the storm actually fanned out
 }
 
 } // namespace
