@@ -61,6 +61,20 @@ echo "== event-kernel differential smoke (calendar vs heap oracle) =="
 diff -u build/fig4-cal.txt build/fig4-heap.txt
 diff -u build/stats-cal.json build/stats-heap.json
 
+echo "== core-loop differential smoke (batched vs per-cycle oracle) =="
+# The per-cycle loop is the differential oracle for the batched
+# retire/dispatch loop; the figure tables and the full stats dump must
+# match byte for byte, through both selection paths (flag and env).
+./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress --core-loop batched \
+    --stats-out build/stats-batched.json > build/fig4-batched.txt
+SECMEM_CORE_LOOP=percycle \
+    ./build/bench/secmem-bench --figure fig4 --smoke --jobs 2 --no-store \
+    --no-progress \
+    --stats-out build/stats-percycle.json > build/fig4-percycle.txt
+diff -u build/fig4-batched.txt build/fig4-percycle.txt
+diff -u build/stats-batched.json build/stats-percycle.json
+
 echo "== profiler + telemetry smoke (fig4 --profile --metrics-out) =="
 # The profiled run must emit a valid BENCH_sim telemetry JSON (zone
 # self-times, latency histograms, sampler series) and a zone table on

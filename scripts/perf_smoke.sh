@@ -71,6 +71,44 @@ python3 scripts/bench_json.py \
     --out "$outdir/BENCH_sim.json" \
     "${sim_baseline_args[@]}"
 
+echo "== percycle-oracle reference run (original core loop) =="
+# Same profiled workload on the original one-cycle-at-a-time core
+# loop. Validated but not baseline-gated: the per-cycle loop is the
+# differential oracle for the batched retire/dispatch loop and is
+# expected to be slower — the comparison table below is the
+# before/after evidence for the core-loop swap.
+./build-perf/bench/secmem-bench --figure fig4 --smoke --jobs "$jobs" \
+    --no-store --no-progress --profile --sample-every 200000 \
+    --core-loop percycle \
+    --metrics-out "$outdir/bench_sim_percycle_raw.json" >/dev/null
+python3 scripts/bench_json.py \
+    --sim-metrics "$outdir/bench_sim_percycle_raw.json" \
+    --out "$outdir/BENCH_sim_percycle.json"
+
+echo "== core-loop before/after (percycle oracle vs batched) =="
+python3 - "$outdir/BENCH_sim_percycle.json" "$outdir/BENCH_sim.json" <<'EOF'
+import json, sys
+
+pc = json.load(open(sys.argv[1]))
+bat = json.load(open(sys.argv[2]))
+
+print(f"{'metric':<28}{'percycle (before)':>18}{'batched (after)':>17}"
+      f"{'gain':>8}")
+for field in ("events_per_sec", "instructions_per_sec"):
+    p, b = pc[field], bat[field]
+    print(f"{field:<28}{p:>18,.0f}{b:>17,.0f}{b / p:>7.2f}x")
+p, b = pc["wall_seconds"], bat["wall_seconds"]
+print(f"{'wall_seconds':<28}{p:>18.3f}{b:>17.3f}{p / b:>7.2f}x")
+
+print()
+print(f"{'zone self-time':<28}{'percycle (before)':>18}{'batched (after)':>17}")
+zones = {z["name"]: z for z in pc["zones"]}
+for z in bat["zones"]:
+    before = zones.get(z["name"], {}).get("share")
+    before = f"{before:.1%}" if before is not None else "-"
+    print(f"{z['name']:<28}{before:>18}{z['share']:>16.1%}")
+EOF
+
 echo "== heap-oracle reference run (legacy event kernel) =="
 # Same profiled workload on the legacy heap kernel. Validated but not
 # baseline-gated: the heap is the differential oracle and is expected

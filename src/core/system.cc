@@ -70,6 +70,67 @@ SecureSystem::fillL1(Addr base, const Block64 &data, bool dirty, Tick now)
 MemAccess
 SecureSystem::access(Addr addr, bool is_write, Tick now)
 {
+    return accessOne(addr, is_write, now);
+}
+
+void
+SecureSystem::accessRun(MemBurstOp *ops, unsigned n)
+{
+    // One pass per leading L1-hit run: probe the burst through the L1
+    // in a single Cache::accessRun call, finish the hits, continue the
+    // first miss below the L1 without re-probing it, then re-batch the
+    // remainder (whose hit/miss outcome may depend on that miss's
+    // fill). Counter increments commute, every probe/fill/stamp runs
+    // in the op order the sequential path would use, so results and
+    // stats are bit-identical to n access() calls.
+    constexpr unsigned kWindow = 8;
+    unsigned i = 0;
+    while (i < n) {
+        unsigned m = std::min(n - i, kWindow);
+        // The sampler is polled once per access in issue order. Cap
+        // the window just before the first op whose poll would record
+        // a row and run that op on the strictly sequential path, so
+        // the sample observes exactly the counters a fully sequential
+        // run would show; the capped-off ops' polls would all have
+        // been no-ops, so skipping them changes nothing.
+        if (sampler_) {
+            unsigned k = 0;
+            while (k < m && !sampler_->wouldSample(ops[i + k].now))
+                ++k;
+            if (k == 0) {
+                ops[i].out =
+                    accessOne(ops[i].addr, ops[i].isWrite, ops[i].now);
+                ++i;
+                continue;
+            }
+            m = k;
+        }
+        Addr bases[kWindow];
+        std::uint8_t writes[kWindow];
+        Block64 *lines[kWindow];
+        for (unsigned j = 0; j < m; ++j) {
+            bases[j] = blockBase(ops[i + j].addr);
+            writes[j] = ops[i + j].isWrite;
+            SECMEM_ASSERT(bases[j] < ctrl_.config().memoryBytes,
+                          "access outside protected data region: %llx",
+                          static_cast<unsigned long long>(ops[i + j].addr));
+        }
+        unsigned h = l1_.accessRun(bases, writes, lines, m);
+        unsigned consumed = std::min(h + 1, m);
+        for (unsigned j = 0; j < consumed; ++j)
+            (writes[j] ? storesStat_ : loadsStat_).inc();
+        for (unsigned j = 0; j < h; ++j)
+            ops[i + j].out =
+                l1HitTail(lines[j], bases[j], writes[j] != 0, ops[i + j].now);
+        if (h < m)
+            ops[i + h].out = l2Onward(bases[h], writes[h] != 0, ops[i + h].now);
+        i += consumed;
+    }
+}
+
+MemAccess
+SecureSystem::accessOne(Addr addr, bool is_write, Tick now)
+{
     Addr base = blockBase(addr);
     SECMEM_ASSERT(base < ctrl_.config().memoryBytes,
                   "access outside protected data region: %llx",
@@ -81,25 +142,35 @@ SecureSystem::access(Addr addr, bool is_write, Tick now)
     // L1 lookup. A hit on a line whose fill is still in flight must
     // wait for the fill (the line was inserted functionally at request
     // time).
-    if (Block64 *line = l1_.access(base, is_write)) {
-        if (is_write)
-            stampStore(*line, base, now);
-        Tick done = now + params_.l1Latency;
-        Tick auth_done = done;
-        // The event kernel reclaims completed fills, so the in-flight
-        // list is empty whenever no miss is outstanding — this, the
-        // hottest path in the simulator, usually scans nothing.
-        if (Pending *p = findInflight(base)) {
-            if (p->authDone <= now && p->dataReady <= now) {
-                eraseInflight(p);
-            } else {
-                done = std::max(done, p->dataReady);
-                auth_done = std::max(done, p->authDone);
-            }
-        }
-        return {done, auth_done, false};
-    }
+    if (Block64 *line = l1_.access(base, is_write))
+        return l1HitTail(line, base, is_write, now);
+    return l2Onward(base, is_write, now);
+}
 
+MemAccess
+SecureSystem::l1HitTail(Block64 *line, Addr base, bool is_write, Tick now)
+{
+    if (is_write)
+        stampStore(*line, base, now);
+    Tick done = now + params_.l1Latency;
+    Tick auth_done = done;
+    // The event kernel reclaims completed fills, so the in-flight
+    // list is empty whenever no miss is outstanding — this, the
+    // hottest path in the simulator, usually scans nothing.
+    if (Pending *p = findInflight(base)) {
+        if (p->authDone <= now && p->dataReady <= now) {
+            eraseInflight(p);
+        } else {
+            done = std::max(done, p->dataReady);
+            auth_done = std::max(done, p->authDone);
+        }
+    }
+    return {done, auth_done, false};
+}
+
+MemAccess
+SecureSystem::l2Onward(Addr base, bool is_write, Tick now)
+{
     Tick l2_at = now + params_.l1Latency;
 
     // L2 lookup.

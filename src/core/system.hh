@@ -54,6 +54,14 @@ class SecureSystem : public MemorySystem, private L2Probe
 
     MemAccess access(Addr addr, bool is_write, Tick now) override;
 
+    /**
+     * Dispatch-burst entry point for the batched core loop: performs
+     * the burst exactly as n sequential access() calls would, but with
+     * one virtual dispatch per burst and the leading L1-hit run probed
+     * in a single Cache::accessRun pass.
+     */
+    void accessRun(MemBurstOp *ops, unsigned n) override;
+
     /** Pump the event kernel to the core's dispatch frontier. */
     void advanceTo(Tick cycle) override { events_.runUntil(cycle); }
 
@@ -117,6 +125,13 @@ class SecureSystem : public MemorySystem, private L2Probe
     void insertL2(Addr base, const Block64 &data, bool dirty, Tick now);
     /** Stamp store-dependent bytes so ciphertexts stay diverse. */
     static void stampStore(Block64 &line, Addr addr, Tick now);
+
+    // access() split along the L1 probe so accessRun can batch the
+    // probe pass and continue a probed miss without re-probing:
+    // accessOne = prelude + L1 probe + (l1HitTail | l2Onward).
+    MemAccess accessOne(Addr addr, bool is_write, Tick now);
+    MemAccess l1HitTail(Block64 *line, Addr base, bool is_write, Tick now);
+    MemAccess l2Onward(Addr base, bool is_write, Tick now);
 
     SystemParams params_;
     SecureMemoryController ctrl_;

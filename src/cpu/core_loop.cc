@@ -1,0 +1,69 @@
+#include "cpu/core_loop.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace secmem
+{
+
+namespace
+{
+
+/**
+ * Process-wide default-loop slot. Lazily seeded from the
+ * SECMEM_CORE_LOOP environment variable on first use so headless runs
+ * (tests, CI differential legs) can flip loops without plumbing a
+ * flag; setDefaultCoreLoop() (the CLI flag) overwrites it.
+ */
+CoreLoop &
+defaultCoreLoopSlot()
+{
+    static CoreLoop slot = [] {
+        const char *env = std::getenv("SECMEM_CORE_LOOP");
+        if (env && *env)
+            return parseCoreLoopName(env, "SECMEM_CORE_LOOP");
+        return CoreLoop::Batched;
+    }();
+    return slot;
+}
+
+} // namespace
+
+CoreLoop
+defaultCoreLoop()
+{
+    return defaultCoreLoopSlot();
+}
+
+void
+setDefaultCoreLoop(CoreLoop loop)
+{
+    defaultCoreLoopSlot() = loop;
+}
+
+const char *
+coreLoopName(CoreLoop loop)
+{
+    switch (loop) {
+      case CoreLoop::Batched:
+        return "batched";
+      case CoreLoop::PerCycle:
+        return "percycle";
+    }
+    return "?";
+}
+
+CoreLoop
+parseCoreLoopName(std::string_view name, const char *source)
+{
+    if (name == "batched")
+        return CoreLoop::Batched;
+    if (name == "percycle" || name == "per-cycle")
+        return CoreLoop::PerCycle;
+    SECMEM_FATAL("unknown core loop '%.*s' (from %s); "
+                 "known loops: batched, percycle",
+        static_cast<int>(name.size()), name.data(), source);
+}
+
+} // namespace secmem

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Runtime selection of the core cycle-loop implementation.
+ *
+ * The batched loop (retire/dispatch runs, ALU steady-state collapse,
+ * bulk workload generation) is the production path; the original
+ * per-cycle loop is preserved as a differential oracle, selected the
+ * same way as the event kernels and crypto backends: a process-wide
+ * default seeded from SECMEM_CORE_LOOP, overridden by the --core-loop
+ * CLI flag (flag beats env), with unknown names a hard error naming
+ * their source. Both loops must produce bit-identical CoreRunResult,
+ * stats and final ticks — enforced by tests/harness/
+ * core_loop_differential_test.cc and a CI leg.
+ */
+
+#ifndef SECMEM_CPU_CORE_LOOP_HH
+#define SECMEM_CPU_CORE_LOOP_HH
+
+#include <string_view>
+
+namespace secmem
+{
+
+/** Which implementation OooCore::run uses for the cycle loop. */
+enum class CoreLoop
+{
+    Batched,  ///< run-batched retire/dispatch with cycle skip-ahead
+    PerCycle, ///< the original one-cycle-at-a-time loop (oracle)
+};
+
+/** Process-wide default; lazily seeded from SECMEM_CORE_LOOP. */
+CoreLoop defaultCoreLoop();
+
+/** Override the default (the --core-loop CLI path). */
+void setDefaultCoreLoop(CoreLoop loop);
+
+/** Canonical name ("batched", "percycle"). */
+const char *coreLoopName(CoreLoop loop);
+
+/**
+ * Parse a loop name; @p source names the flag or env var for the
+ * hard-error message on unknown names.
+ */
+CoreLoop parseCoreLoopName(std::string_view name, const char *source);
+
+} // namespace secmem
+
+#endif // SECMEM_CPU_CORE_LOOP_HH

@@ -19,6 +19,18 @@ struct MemAccess
     bool l2Miss = false;
 };
 
+/**
+ * One operation of a dispatch-burst batch (see MemorySystem::accessRun).
+ * The core fills addr/now/isWrite; the hierarchy fills out.
+ */
+struct MemBurstOp
+{
+    Addr addr = 0;
+    Tick now = 0;
+    bool isWrite = false;
+    MemAccess out{};
+};
+
 /** Anything the core can issue loads and stores to. */
 class MemorySystem
 {
@@ -27,6 +39,23 @@ class MemorySystem
 
     /** Perform a load/store issued at @p now. */
     virtual MemAccess access(Addr addr, bool is_write, Tick now) = 0;
+
+    /**
+     * Perform @p n operations in order, exactly as n successive
+     * access() calls would. The batched core loop issues a whole
+     * dispatch burst through this when no operation's issue tick
+     * depends on an earlier result in the same burst, so the hierarchy
+     * pays one virtual dispatch per burst and can probe/fill the burst
+     * in one pass (SecureSystem overrides this with an inlined L1
+     * probe loop). Results and stats must be bit-identical to the
+     * sequential path.
+     */
+    virtual void
+    accessRun(MemBurstOp *ops, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            ops[i].out = access(ops[i].addr, ops[i].isWrite, ops[i].now);
+    }
 
     /**
      * Advance the hierarchy's event kernel to @p cycle, the core's

@@ -1,6 +1,7 @@
 #include "cpu/ooo_core.hh"
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "obs/profiler.hh"
@@ -11,19 +12,90 @@
 namespace secmem
 {
 
+namespace
+{
+
+/**
+ * Kernel-pump quantum (log2 cycles): mem_.advanceTo fires once per
+ * 16-cycle window, immediately before the window's first memory
+ * access, with the window base as its argument — a pure function of
+ * the dispatch cycle. The old cadence (every 16 loop *iterations*,
+ * with the raw cycle as the argument) made event ticks — and, through
+ * the schedule clamp in SecureSystem::access, the events stat group —
+ * depend on how many iterations the loop happened to execute: a
+ * skip-ahead jump stretched the gap to thousands of cycles, and a
+ * batched loop could not reproduce the sequence at all. Both loop
+ * implementations share this rule, so their advanceTo calls
+ * interleave identically with their access calls.
+ */
+constexpr unsigned kPumpWindowLog2 = 4;
+
+/**
+ * Ops pulled per nextRun refill when the batched loop runs a generic
+ * WorkloadGenerator (one virtual call per run instead of per op). The
+ * SpecWorkload instantiation never buffers: its next() is inline.
+ */
+constexpr unsigned kGenRun = 32;
+
+/** Widest dispatch group the burst path handles on the stack. */
+constexpr unsigned kMaxGroup = 8;
+
+/**
+ * Cap on ops the ALU steady-state collapse consumes per outer loop
+ * iteration, bounding the gap between watchdog cancellation polls on
+ * ALU-only workloads (the collapse resumes on the next iteration).
+ */
+constexpr std::uint64_t kMaxCollapsePull = 16384;
+
+} // namespace
+
 CoreRunResult
 OooCore::run(WorkloadGenerator &gen, std::uint64_t warmup,
              std::uint64_t measured, Tick start_tick)
 {
-    if (auto *spec = dynamic_cast<SpecWorkload *>(&gen))
-        return runLoop(*spec, warmup, measured, start_tick);
-    return runLoop(gen, warmup, measured, start_tick);
+    if (auto *spec = dynamic_cast<SpecWorkload *>(&gen)) {
+        return loop_ == CoreLoop::PerCycle
+                   ? runLoopPerCycle(*spec, warmup, measured, start_tick)
+                   : runLoopBatched(*spec, warmup, measured, start_tick);
+    }
+    return loop_ == CoreLoop::PerCycle
+               ? runLoopPerCycle(gen, warmup, measured, start_tick)
+               : runLoopBatched(gen, warmup, measured, start_tick);
 }
 
+void
+OooCore::finishRun(CoreRunResult &res, std::uint64_t measured, Tick cycle,
+                   Tick warmupEndCycle, Tick robStallCycles)
+{
+    res.instructions = measured;
+    res.cycles = cycle - warmupEndCycle;
+    res.ipc = res.cycles
+                  ? static_cast<double>(measured) /
+                        static_cast<double>(res.cycles)
+                  : 0.0;
+    res.finalTick = cycle;
+
+    if (stats_) {
+        stats_->counter("instructions").inc(res.instructions);
+        stats_->counter("cycles").inc(res.cycles);
+        stats_->counter("loads").inc(res.loads);
+        stats_->counter("stores").inc(res.stores);
+        stats_->counter("l2_misses").inc(res.l2Misses);
+        stats_->counter("rob_stall_cycles").inc(robStallCycles);
+    }
+}
+
+/**
+ * The original per-cycle loop, preserved as the differential oracle
+ * for runLoopBatched (same layering as the heap event kernel and the
+ * naive crypto reference). Any semantic change here must keep the two
+ * loops bit-identical — the harness differential suite and the CI leg
+ * compare whole stats dumps across them.
+ */
 template <typename Gen>
 CoreRunResult
-OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
-                 Tick start_tick)
+OooCore::runLoopPerCycle(Gen &gen, std::uint64_t warmup,
+                         std::uint64_t measured, Tick start_tick)
 {
     SECMEM_PROF(Core);
     const std::uint64_t total = warmup + measured;
@@ -59,6 +131,45 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
             outstanding.end());
     };
 
+    // MSHR gating, shared by loads and stores. Prune lazily: completed
+    // entries only matter once the MSHR count could gate an issue, so
+    // the common under-occupancy case skips the scan entirely. When
+    // the unpruned count trips the check, prune and re-check —
+    // decisions match the eager-prune original (stale entries are
+    // <= issue, so they never raise free_at above it).
+    auto mshrGate = [&](Tick issue) {
+        if (outstanding.size() >= params_.mshrs) {
+            pruneOutstanding(issue);
+            if (outstanding.size() >= params_.mshrs) {
+                Tick free_at = *std::min_element(outstanding.begin(),
+                                                 outstanding.end());
+                issue = std::max(issue, free_at);
+                pruneOutstanding(issue);
+            }
+        }
+        return issue;
+    };
+
+    // Measured-window counter snapshots: loads/stores/misses are
+    // counted at dispatch, so the warmup share is the value when the
+    // first measured instruction dispatches (instructions/cycles
+    // already covered only the measured window; before this snapshot
+    // the miss-rate style stats mixed the two windows).
+    std::uint64_t warmLoads = 0;
+    std::uint64_t warmStores = 0;
+    std::uint64_t warmMisses = 0;
+    bool snapped = false;
+
+    // Cycle-quantized kernel pump (see kPumpWindowLog2 above).
+    Tick pumpedWindow = ~Tick{0};
+    auto pump = [&] {
+        Tick w = cycle >> kPumpWindowLog2;
+        if (w != pumpedWindow) {
+            pumpedWindow = w;
+            mem_.advanceTo(w << kPumpWindowLog2);
+        }
+    };
+
     std::uint64_t cancelPoll = 0;
     while (retired < total) {
         // Cooperative cancellation for the engine watchdog: polled
@@ -67,14 +178,6 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
         // relaxed thread-local load) when no cancel scope is active.
         if ((++cancelPoll & 0xfff) == 0)
             pollCancellation();
-        // Let the hierarchy retire completion events up to the dispatch
-        // frontier (see MemorySystem::advanceTo). Every 16 iterations:
-        // the pump amortizes to a no-op, but it is still a call. (The
-        // cadence is NOT free to change: the kernel clock feeds the
-        // completion-housekeeping schedule clamp in SecureSystem::
-        // access, so a lazier pump shifts event ticks and the stats.)
-        if ((cancelPoll & 0xf) == 0)
-            mem_.advanceTo(cycle);
 
         // Retire up to `width` completed instructions in order.
         unsigned n_retired = 0;
@@ -92,6 +195,12 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
         unsigned n_dispatched = 0;
         while (n_dispatched < params_.width && dispatched < total &&
                robCount < rob.size()) {
+            if (!snapped && dispatched >= warmup) {
+                warmLoads = res.loads;
+                warmStores = res.stores;
+                warmMisses = res.l2Misses;
+                snapped = true;
+            }
             TraceOp op = gen.next();
             Tick retire_at = cycle + 1;
             if (op.isMem && !op.isStore) {
@@ -99,23 +208,8 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
                 Tick issue = cycle;
                 if (op.dependsOnPrev)
                     issue = std::max(issue, lastLoadComplete);
-                // Prune lazily: completed entries only matter once the
-                // MSHR count could gate an issue, so the common
-                // under-occupancy case skips the scan entirely. When
-                // the unpruned count trips the check, prune and
-                // re-check — decisions match the eager-prune original
-                // (stale entries are <= issue, so they never raise
-                // free_at above it).
-                if (outstanding.size() >= params_.mshrs) {
-                    pruneOutstanding(issue);
-                    if (outstanding.size() >= params_.mshrs) {
-                        Tick free_at =
-                            *std::min_element(outstanding.begin(),
-                                              outstanding.end());
-                        issue = std::max(issue, free_at);
-                        pruneOutstanding(issue);
-                    }
-                }
+                issue = mshrGate(issue);
+                pump();
                 MemAccess acc = mem_.access(op.addr, false, issue);
                 if (acc.l2Miss) {
                     ++res.l2Misses;
@@ -129,11 +223,18 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
                 retire_at = std::max<Tick>(cycle + 1, done);
             } else if (op.isMem) {
                 ++res.stores;
-                // Stores retire through the store buffer; the memory
-                // system sees them now for traffic and dirtying.
-                MemAccess acc = mem_.access(op.addr, true, cycle);
-                if (acc.l2Miss)
+                // Stores retire through the store buffer — retirement
+                // never waits on them — but their fills contend for
+                // the same miss-handling registers as loads, so a
+                // store miss occupies an MSHR slot and gates issue
+                // like any other outstanding fill.
+                Tick issue = mshrGate(cycle);
+                pump();
+                MemAccess acc = mem_.access(op.addr, true, issue);
+                if (acc.l2Miss) {
                     ++res.l2Misses;
+                    outstanding.push_back(acc.dataReady);
+                }
             }
             std::size_t tail = robHead + robCount;
             if (tail >= rob.size())
@@ -156,22 +257,447 @@ OooCore::runLoop(Gen &gen, std::uint64_t warmup, std::uint64_t measured,
     }
     mem_.advanceTo(cycle);
 
-    res.instructions = measured;
-    res.cycles = cycle - warmupEndCycle;
-    res.ipc = res.cycles
-                  ? static_cast<double>(measured) /
-                        static_cast<double>(res.cycles)
-                  : 0.0;
-    res.finalTick = cycle;
-
-    if (stats_) {
-        stats_->counter("instructions").inc(res.instructions);
-        stats_->counter("cycles").inc(res.cycles);
-        stats_->counter("loads").inc(res.loads);
-        stats_->counter("stores").inc(res.stores);
-        stats_->counter("l2_misses").inc(res.l2Misses);
-        stats_->counter("rob_stall_cycles").inc(robStallCycles);
+    if (!snapped) {
+        // measured == 0: everything dispatched was warmup.
+        warmLoads = res.loads;
+        warmStores = res.stores;
+        warmMisses = res.l2Misses;
     }
+    res.loads -= warmLoads;
+    res.stores -= warmStores;
+    res.l2Misses -= warmMisses;
+
+    finishRun(res, measured, cycle, warmupEndCycle, robStallCycles);
+    return res;
+}
+
+/**
+ * The batched loop: same simulated machine, fewer host instructions.
+ *
+ *  - Lookahead without a buffer: the loop holds at most one parked op
+ *    plus a count of pending ALU ops (which are fungible — every ALU
+ *    TraceOp is identical), so for SpecWorkload — whose next() is
+ *    already inlined into this template — ops never round-trip through
+ *    memory. (A materialized run buffer measured ~6 ns/op of pure
+ *    store/reload cost, more than every batching win combined.) Only
+ *    the generic WorkloadGenerator instantiation buffers, via
+ *    nextRun(), where it amortizes a real virtual call per op.
+ *  - Full-width ALU steady state — the ROB holding exactly `width`
+ *    entries that all retire this cycle, with a run of non-memory ops
+ *    next — is collapsed arithmetically: k cycles of retire-width/
+ *    dispatch-width advance in O(width) instead of O(k * width).
+ *  - A dispatch group of independent memory ops (no load chasing a
+ *    load issued in the same group, MSHR gate provably idle) issues as
+ *    one MemorySystem::accessRun burst: one virtual call and one
+ *    hierarchy pass per group instead of per op.
+ *
+ * Every deviation from runLoopPerCycle is an equivalence, not a model
+ * change: the visited cycles, the access/advanceTo call sequence and
+ * every counter are bit-identical, which the differential suite
+ * enforces on whole stats dumps.
+ */
+template <typename Gen>
+CoreRunResult
+OooCore::runLoopBatched(Gen &gen, std::uint64_t warmup,
+                        std::uint64_t measured, Tick start_tick)
+{
+    SECMEM_PROF(Core);
+    const std::uint64_t total = warmup + measured;
+
+    std::vector<Tick> rob(params_.robSize);
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
+    auto robAdvance = [&rob](std::size_t i) {
+        return i + 1 == rob.size() ? 0 : i + 1;
+    };
+    auto robAt = [&](std::size_t off) -> Tick & {
+        std::size_t i = robHead + off;
+        if (i >= rob.size())
+            i -= rob.size();
+        return rob[i];
+    };
+    auto pushRob = [&](Tick retire_at) {
+        std::size_t tail = robHead + robCount;
+        if (tail >= rob.size())
+            tail -= rob.size();
+        rob[tail] = retire_at;
+        ++robCount;
+    };
+
+    Tick cycle = start_tick;
+    std::uint64_t dispatched = 0;
+    std::uint64_t retired = 0;
+    Tick warmupEndCycle = start_tick;
+
+    CoreRunResult res;
+
+    Tick lastLoadComplete = 0;
+    Tick robStallCycles = 0;
+    std::vector<Tick> outstanding;
+
+    auto pruneOutstanding = [&](Tick now) {
+        outstanding.erase(
+            std::remove_if(outstanding.begin(), outstanding.end(),
+                           [now](Tick t) { return t <= now; }),
+            outstanding.end());
+    };
+    auto mshrGate = [&](Tick issue) {
+        if (outstanding.size() >= params_.mshrs) {
+            pruneOutstanding(issue);
+            if (outstanding.size() >= params_.mshrs) {
+                Tick free_at = *std::min_element(outstanding.begin(),
+                                                 outstanding.end());
+                issue = std::max(issue, free_at);
+                pruneOutstanding(issue);
+            }
+        }
+        return issue;
+    };
+
+    std::uint64_t warmLoads = 0;
+    std::uint64_t warmStores = 0;
+    std::uint64_t warmMisses = 0;
+    bool snapped = false;
+    auto snapWarmup = [&] {
+        warmLoads = res.loads;
+        warmStores = res.stores;
+        warmMisses = res.l2Misses;
+        snapped = true;
+    };
+
+    Tick pumpedWindow = ~Tick{0};
+    auto pump = [&] {
+        Tick w = cycle >> kPumpWindowLog2;
+        if (w != pumpedWindow) {
+            pumpedWindow = w;
+            mem_.advanceTo(w << kPumpWindowLog2);
+        }
+    };
+
+    // Op source. rawNext() hands out the stream one op at a time and is
+    // called exactly `total` times per run (lookahead never pulls an op
+    // it will not dispatch), so a generator shared across successive
+    // run() calls stays in sync with the per-cycle oracle. SpecWorkload
+    // reads the generator directly (next() is inline in this template);
+    // other generators refill a small buffer through one virtual
+    // nextRun() per kGenRun ops instead of one virtual next() per op.
+    constexpr bool kBuffered = !std::is_same_v<Gen, SpecWorkload>;
+    [[maybe_unused]] TraceOp buf[kGenRun];
+    [[maybe_unused]] unsigned bufPos = 0;
+    [[maybe_unused]] unsigned bufLen = 0;
+    [[maybe_unused]] std::uint64_t pulled = 0;
+    auto rawNext = [&]() -> TraceOp {
+        if constexpr (kBuffered) {
+            if (bufPos == bufLen) {
+                unsigned want = static_cast<unsigned>(
+                    std::min<std::uint64_t>(kGenRun, total - pulled));
+                bufLen = gen.nextRun(buf, want);
+                bufPos = 0;
+            }
+            ++pulled;
+            return buf[bufPos++];
+        } else {
+            return gen.next();
+        }
+    };
+
+    // Parked lookahead: at most one op pulled past the current dispatch
+    // point (the op that ended an ALU run or a burst), plus a count of
+    // already-pulled ALU ops (fungible, so a count is enough). Stream
+    // order is pending ALU ops first, then the parked op, then fresh
+    // pulls.
+    TraceOp lookahead{};
+    bool haveLookahead = false;
+    std::uint64_t pendingAlu = 0;
+    auto pull = [&]() -> TraceOp {
+        if (pendingAlu != 0) {
+            --pendingAlu;
+            return TraceOp::alu();
+        }
+        if (haveLookahead) {
+            haveLookahead = false;
+            return lookahead;
+        }
+        return rawNext();
+    };
+
+    std::uint64_t cancelPoll = 0;
+    while (retired < total) {
+        // Outer iterations cover at least a cycle (the collapse, up to
+        // kMaxCollapsePull ops), so a tighter mask than the per-cycle
+        // loop's keeps the watchdog poll interval comparable.
+        if ((++cancelPoll & 0xff) == 0)
+            pollCancellation();
+
+        // ---- ALU steady-state collapse ----------------------------
+        // Signature of back-to-back full-width ALU cycles: exactly
+        // `width` ROB entries, all retiring at `cycle` (each cycle
+        // retires the previous cycle's dispatch group and refills).
+        // With a ALU ops ahead, k = a / width such cycles advance in
+        // one arithmetic step: per-cycle this would touch the ring
+        // k * width times to write the same final picture.
+        if (robCount == params_.width && dispatched < total &&
+            !haveLookahead) {
+            bool steady = true;
+            for (unsigned w = 0; w < params_.width; ++w) {
+                if (robAt(w) != cycle) {
+                    steady = false;
+                    break;
+                }
+            }
+            if (steady) {
+                // Pull ALU ops; the memory op that ends the run (if
+                // one arrives) parks in the lookahead slot.
+                std::uint64_t aluRun = pendingAlu;
+                pendingAlu = 0;
+                const std::uint64_t maxPull = std::min<std::uint64_t>(
+                    total - dispatched, kMaxCollapsePull);
+                while (aluRun < maxPull) {
+                    TraceOp op = rawNext();
+                    if (op.isMem) {
+                        lookahead = op;
+                        haveLookahead = true;
+                        break;
+                    }
+                    ++aluRun;
+                }
+                std::uint64_t k = aluRun / params_.width;
+                std::uint64_t nops = k * params_.width;
+                pendingAlu = aluRun - nops;
+                if (k != 0) {
+                    // Warmup boundary retire lands at the cycle whose
+                    // retire burst crosses `warmup`.
+                    if (warmup > 0 && retired < warmup &&
+                        retired + nops >= warmup) {
+                        warmupEndCycle =
+                            cycle + (warmup - retired - 1) / params_.width;
+                    }
+                    // Counters are unchanged across a pure-ALU run, so
+                    // a snapshot anywhere inside it equals the oracle's
+                    // at-the-boundary one.
+                    if (!snapped && dispatched + nops > warmup)
+                        snapWarmup();
+                    retired += nops;
+                    dispatched += nops;
+                    cycle += k;
+                    robHead = (robHead + nops) % rob.size();
+                    for (unsigned w = 0; w < params_.width; ++w)
+                        robAt(w) = cycle;
+                    continue;
+                }
+            }
+        }
+
+        // ---- General cycle (oracle-equivalent) --------------------
+        unsigned n_retired = 0;
+        while (n_retired < params_.width && robCount != 0 &&
+               rob[robHead] <= cycle) {
+            robHead = robAdvance(robHead);
+            --robCount;
+            ++retired;
+            ++n_retired;
+            if (retired == warmup && warmup > 0)
+                warmupEndCycle = cycle;
+        }
+
+        unsigned n_dispatched = 0;
+        while (n_dispatched < params_.width && dispatched < total &&
+               robCount < rob.size()) {
+            if (!snapped && dispatched >= warmup)
+                snapWarmup();
+            const TraceOp op = pull();
+            Tick retire_at = cycle + 1;
+
+            if (!op.isMem) {
+                pushRob(retire_at);
+                ++dispatched;
+                ++n_dispatched;
+                continue;
+            }
+
+            if (!op.isStore && op.dependsOnPrev) {
+                // Chased load: its issue tick consumes the previous
+                // load's completion, so it can never join a burst led
+                // by a load. Oracle body, statement for statement.
+                ++res.loads;
+                Tick issue = std::max(cycle, lastLoadComplete);
+                issue = mshrGate(issue);
+                pump();
+                MemAccess acc = mem_.access(op.addr, false, issue);
+                if (acc.l2Miss) {
+                    ++res.l2Misses;
+                    outstanding.push_back(acc.dataReady);
+                }
+                Tick complete = mode_ == AuthMode::Safe ? acc.authDone
+                                                        : acc.dataReady;
+                Tick done = mode_ == AuthMode::Lazy ? acc.dataReady
+                                                    : acc.authDone;
+                lastLoadComplete = complete;
+                pushRob(std::max<Tick>(cycle + 1, done));
+                ++dispatched;
+                ++n_dispatched;
+                continue;
+            }
+
+            // Independent load or store.
+            if (outstanding.size() >= params_.mshrs) {
+                // The MSHR gate may engage: oracle body, gate and all.
+                ++(op.isStore ? res.stores : res.loads);
+                Tick issue = mshrGate(cycle);
+                pump();
+                MemAccess acc = mem_.access(op.addr, op.isStore, issue);
+                if (acc.l2Miss) {
+                    ++res.l2Misses;
+                    outstanding.push_back(acc.dataReady);
+                }
+                if (!op.isStore) {
+                    Tick complete = mode_ == AuthMode::Safe ? acc.authDone
+                                                            : acc.dataReady;
+                    Tick done = mode_ == AuthMode::Lazy ? acc.dataReady
+                                                        : acc.authDone;
+                    lastLoadComplete = complete;
+                    retire_at = std::max<Tick>(cycle + 1, done);
+                }
+                pushRob(retire_at);
+                ++dispatched;
+                ++n_dispatched;
+                continue;
+            }
+
+            // Occupancy is below the MSHR limit, so the gate is a
+            // provable no-op for this op — and stays one for every op
+            // a burst adds while occupancy + group size - 1 holds
+            // under the limit (each op can push at most one entry, and
+            // the gate's pruning only ever removes entries that are
+            // already stale for every later decision). Pair a
+            // store-led op with following burst-safe mem ops. Only
+            // store-led: finding a partner means pulling the next op
+            // before this one dispatches, and when the pull comes up
+            // non-mem (the majority, at SPEC memFraction) the op parks
+            // in the lookahead slot — a round trip through memory that
+            // measured ~20 ns, more than the one-pass fill saves on a
+            // pair. Store-led groups keep that speculation off the
+            // load path while still covering the write-clustered
+            // traffic that groups most often. The op that ends a group
+            // parks in the lookahead slot and dispatches through the
+            // paths above with group-updated lastLoadComplete, exactly
+            // as the oracle would order it.
+            if (op.isStore && n_dispatched + 1 < params_.width &&
+                robCount + 1 < rob.size() &&
+                outstanding.size() + 1 < params_.mshrs &&
+                dispatched + 1 < total) {
+                TraceOp nx = rawNext();
+                if (nx.isMem &&
+                    (nx.isStore || !nx.dependsOnPrev || op.isStore)) {
+                    // Group formed: one hierarchy pass for the run.
+                    MemBurstOp burst[kMaxGroup];
+                    burst[0] = MemBurstOp{op.addr, cycle, op.isStore, {}};
+                    Tick at = cycle;
+                    if (!nx.isStore && nx.dependsOnPrev)
+                        at = std::max(at, lastLoadComplete);
+                    burst[1] = MemBurstOp{nx.addr, at, nx.isStore, {}};
+                    bool seenLoad = !op.isStore || !nx.isStore;
+                    unsigned nMem = 2;
+                    while (n_dispatched + nMem < params_.width &&
+                           robCount + nMem < rob.size() &&
+                           nMem < kMaxGroup &&
+                           outstanding.size() + nMem < params_.mshrs &&
+                           dispatched + nMem < total) {
+                        TraceOp more = rawNext();
+                        if (!more.isMem || (!more.isStore &&
+                                            more.dependsOnPrev && seenLoad)) {
+                            lookahead = more;
+                            haveLookahead = true;
+                            break;
+                        }
+                        at = cycle;
+                        if (!more.isStore && more.dependsOnPrev)
+                            at = std::max(at, lastLoadComplete);
+                        burst[nMem] =
+                            MemBurstOp{more.addr, at, more.isStore, {}};
+                        seenLoad = seenLoad || !more.isStore;
+                        ++nMem;
+                    }
+
+                    pump();
+                    mem_.accessRun(burst, nMem);
+                    for (unsigned j = 0; j < nMem; ++j) {
+                        if (!snapped && dispatched >= warmup)
+                            snapWarmup();
+                        const MemAccess &acc = burst[j].out;
+                        Tick rat = cycle + 1;
+                        if (!burst[j].isWrite) {
+                            ++res.loads;
+                            if (acc.l2Miss) {
+                                ++res.l2Misses;
+                                outstanding.push_back(acc.dataReady);
+                            }
+                            Tick complete = mode_ == AuthMode::Safe
+                                                ? acc.authDone
+                                                : acc.dataReady;
+                            Tick done = mode_ == AuthMode::Lazy
+                                            ? acc.dataReady
+                                            : acc.authDone;
+                            lastLoadComplete = complete;
+                            rat = std::max<Tick>(cycle + 1, done);
+                        } else {
+                            ++res.stores;
+                            if (acc.l2Miss) {
+                                ++res.l2Misses;
+                                outstanding.push_back(acc.dataReady);
+                            }
+                        }
+                        pushRob(rat);
+                        ++dispatched;
+                        ++n_dispatched;
+                    }
+                    continue;
+                }
+                lookahead = nx;
+                haveLookahead = true;
+            }
+
+            // Isolated memory op: skip the accessRun machinery.
+            ++(op.isStore ? res.stores : res.loads);
+            pump();
+            MemAccess acc = mem_.access(op.addr, op.isStore, cycle);
+            if (acc.l2Miss) {
+                ++res.l2Misses;
+                outstanding.push_back(acc.dataReady);
+            }
+            if (!op.isStore) {
+                Tick complete = mode_ == AuthMode::Safe ? acc.authDone
+                                                        : acc.dataReady;
+                Tick done = mode_ == AuthMode::Lazy ? acc.dataReady
+                                                    : acc.authDone;
+                lastLoadComplete = complete;
+                retire_at = std::max<Tick>(cycle + 1, done);
+            }
+            pushRob(retire_at);
+            ++dispatched;
+            ++n_dispatched;
+        }
+
+        if (n_retired == 0 && n_dispatched == 0 && robCount != 0) {
+            Tick next = std::max(cycle + 1, rob[robHead]);
+            robStallCycles += next - cycle;
+            cycle = next;
+        } else {
+            ++cycle;
+        }
+    }
+    mem_.advanceTo(cycle);
+
+    if (!snapped) {
+        warmLoads = res.loads;
+        warmStores = res.stores;
+        warmMisses = res.l2Misses;
+    }
+    res.loads -= warmLoads;
+    res.stores -= warmStores;
+    res.l2Misses -= warmMisses;
+
+    finishRun(res, measured, cycle, warmupEndCycle, robStallCycles);
     return res;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "core/config.hh"
+#include "cpu/core_loop.hh"
 #include "cpu/memory_system.hh"
 #include "cpu/trace.hh"
 #include "sim/stats.hh"
@@ -61,11 +62,16 @@ class OooCore
      * @p stats, when non-null, accumulates per-run core counters
      * (instructions, cycles, loads, stores, l2_misses, rob_stall_cycles)
      * across every run() call; it is never touched on the per-cycle path.
+     * @p loop selects the cycle-loop implementation; it defaults to the
+     * process-wide selection (--core-loop / SECMEM_CORE_LOOP). Both
+     * implementations are bit-identical in results and stats.
      */
     OooCore(const CoreParams &params, MemorySystem &mem, AuthMode mode,
-            stats::Group *stats = nullptr)
-        : params_(params), mem_(mem), mode_(mode), stats_(stats)
+            stats::Group *stats = nullptr, CoreLoop loop = defaultCoreLoop())
+        : params_(params), mem_(mem), mode_(mode), stats_(stats), loop_(loop)
     {}
+
+    CoreLoop loop() const { return loop_; }
 
     /**
      * Execute @p warmup + @p measured instructions from @p gen;
@@ -78,22 +84,38 @@ class OooCore
 
   private:
     /**
-     * The actual cycle loop, templated on the concrete generator type.
-     * run() dispatches here with the generator's dynamic type when it
-     * is the (final) SpecWorkload, which devirtualizes and inlines the
-     * per-instruction next() call — the hottest call in timing runs —
-     * and falls back to the virtual interface for everything else.
-     * Both instantiations execute the identical statement sequence, so
-     * results do not depend on which one runs.
+     * The cycle loops, templated on the concrete generator type.
+     * run() dispatches with the generator's dynamic type when it is
+     * the (final) SpecWorkload, which devirtualizes and inlines the
+     * per-instruction next()/nextRun() calls — the hottest calls in
+     * timing runs — and falls back to the virtual interface for
+     * everything else. All instantiations produce bit-identical
+     * results, stats and event timelines:
+     *
+     *  - runLoopPerCycle is the original one-cycle-at-a-time walk,
+     *    preserved as the differential oracle;
+     *  - runLoopBatched retires/dispatches in runs, collapses ALU
+     *    steady-state stretches arithmetically, pulls the workload
+     *    through nextRun() and issues independent dispatch bursts
+     *    through MemorySystem::accessRun (DESIGN.md §3d).
      */
     template <typename Gen>
-    CoreRunResult runLoop(Gen &gen, std::uint64_t warmup,
-                          std::uint64_t measured, Tick start_tick);
+    CoreRunResult runLoopPerCycle(Gen &gen, std::uint64_t warmup,
+                                  std::uint64_t measured, Tick start_tick);
+
+    template <typename Gen>
+    CoreRunResult runLoopBatched(Gen &gen, std::uint64_t warmup,
+                                 std::uint64_t measured, Tick start_tick);
+
+    /** Shared epilogue: derived fields + stat-group accumulation. */
+    void finishRun(CoreRunResult &res, std::uint64_t measured, Tick cycle,
+                   Tick warmupEndCycle, Tick robStallCycles);
 
     CoreParams params_;
     MemorySystem &mem_;
     AuthMode mode_;
     stats::Group *stats_;
+    CoreLoop loop_;
 };
 
 } // namespace secmem

@@ -66,6 +66,21 @@ class WorkloadGenerator
     /** Produce the next dynamic instruction. */
     virtual TraceOp next() = 0;
 
+    /**
+     * Fill @p out with the next @p n instructions and return n. The
+     * stream is identical to n successive next() calls — the batched
+     * core loop pulls runs through this so the per-op virtual dispatch
+     * disappears from the hot path; generators with cheap per-op state
+     * (SpecWorkload) override it with a register-resident loop.
+     */
+    virtual unsigned
+    nextRun(TraceOp *out, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out[i] = next();
+        return n;
+    }
+
     /** Workload label for reports. */
     virtual const std::string &name() const = 0;
 };

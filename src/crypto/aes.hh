@@ -93,6 +93,18 @@ class Aes128
         backend_->aesDecryptBlock(sched_, in, out);
     }
 
+    /**
+     * Encrypt @p n consecutive 16-byte chunks in one backend call.
+     * Identical output to n encryptBlock calls; pipelined backends
+     * overlap the independent streams.
+     */
+    void
+    encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                  unsigned n) const
+    {
+        backend_->aesEncryptBlocks(sched_, in, out, n);
+    }
+
     Block16
     encrypt(const Block16 &in) const
     {

@@ -114,6 +114,23 @@ class CryptoBackend
                                  const std::uint8_t in[16],
                                  std::uint8_t out[16]) const = 0;
 
+    /**
+     * Encrypt @p n consecutive 16-byte chunks (in/out may alias).
+     * Semantically identical to n aesEncryptBlock calls; backends with
+     * pipelined cipher units override it to run the independent
+     * streams in flight together — a single AES block is latency-bound
+     * (~10 dependent rounds), so four interleaved blocks cost barely
+     * more than one. Counter-mode pad generation feeds every data
+     * block through here four chunks at a time.
+     */
+    virtual void
+    aesEncryptBlocks(const AesSchedule &s, const std::uint8_t *in,
+                     std::uint8_t *out, unsigned n) const
+    {
+        for (unsigned i = 0; i < n; ++i)
+            aesEncryptBlock(s, in + 16 * i, out + 16 * i);
+    }
+
     /** Precompute whatever this backend wants for a fixed subkey H. */
     virtual std::shared_ptr<const GhashKey>
     ghashKey(const Gf128 &h) const = 0;

@@ -206,6 +206,43 @@ class HwBackend final : public CryptoBackend
     }
 
     void
+    aesEncryptBlocks(const AesSchedule &s, const std::uint8_t *in,
+                     std::uint8_t *out, unsigned n) const override
+    {
+        // Four independent streams per pass: AESENC latency is ~4
+        // cycles but throughput is 1/cycle, so interleaving hides the
+        // round-to-round dependency chain that serializes the
+        // one-block path.
+        const __m128i *ek = sched(s)->ek;
+        unsigned i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m128i *src =
+                reinterpret_cast<const __m128i *>(in + 16 * i);
+            __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), ek[0]);
+            __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), ek[0]);
+            __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), ek[0]);
+            __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), ek[0]);
+            for (int r = 1; r < kRounds; ++r) {
+                b0 = _mm_aesenc_si128(b0, ek[r]);
+                b1 = _mm_aesenc_si128(b1, ek[r]);
+                b2 = _mm_aesenc_si128(b2, ek[r]);
+                b3 = _mm_aesenc_si128(b3, ek[r]);
+            }
+            b0 = _mm_aesenclast_si128(b0, ek[kRounds]);
+            b1 = _mm_aesenclast_si128(b1, ek[kRounds]);
+            b2 = _mm_aesenclast_si128(b2, ek[kRounds]);
+            b3 = _mm_aesenclast_si128(b3, ek[kRounds]);
+            __m128i *dst = reinterpret_cast<__m128i *>(out + 16 * i);
+            _mm_storeu_si128(dst + 0, b0);
+            _mm_storeu_si128(dst + 1, b1);
+            _mm_storeu_si128(dst + 2, b2);
+            _mm_storeu_si128(dst + 3, b3);
+        }
+        for (; i < n; ++i)
+            aesEncryptBlock(s, in + 16 * i, out + 16 * i);
+    }
+
+    void
     aesDecryptBlock(const AesSchedule &s, const std::uint8_t in[16],
                     std::uint8_t out[16]) const override
     {

@@ -28,12 +28,16 @@ Block64
 makePad(const Aes128 &aes, Addr block_addr, std::uint64_t counter,
         std::uint8_t iv_byte)
 {
+    // All four chunk seeds up front, then one batched encrypt: the
+    // chunks are independent AES streams, and pipelined backends
+    // overlap them instead of paying the full cipher latency four
+    // times back to back.
+    Block64 seeds;
+    for (unsigned c = 0; c < kChunksPerBlock; ++c)
+        seeds.setChunk(c, makeSeed(block_addr, counter, c,
+                                   SeedDomain::Encrypt, iv_byte));
     Block64 pad;
-    for (unsigned c = 0; c < kChunksPerBlock; ++c) {
-        Block16 s = makeSeed(block_addr, counter, c, SeedDomain::Encrypt,
-                             iv_byte);
-        pad.setChunk(c, aes.encrypt(s));
-    }
+    aes.encryptBlocks(seeds.b.data(), pad.b.data(), kChunksPerBlock);
     return pad;
 }
 

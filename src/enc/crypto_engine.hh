@@ -128,110 +128,99 @@ class CryptoEngine
     stats::Group &stats() { return stats_; }
 
     /**
-     * Occupied issue-slot indices as a flat open-addressing hash set.
-     * Slot lookups dominate engine scheduling (one membership test per
-     * probed slot, several probes per memory access), and the previous
-     * std::set cost a pointer-chasing tree walk per test. Membership
-     * semantics are exactly the set's, so schedules are bit-identical.
+     * Occupied issue-slot indices as a flat bitmap (bit i = slot i
+     * taken). Slot numbers are tick / interval, so even a long run
+     * stays under ~1M slots (~128 KB of bits), and the live frontier
+     * — the only region schedule() ever probes — spans a few cache
+     * lines. The previous open-addressing hash set spread the same
+     * membership over a 256 KB table, turning every frontier probe
+     * into a cold miss; "first free slot at or after idx" is now a
+     * word-wise scan instead of one hashed lookup per occupied slot.
+     * Membership semantics are exactly the set's (including pruning,
+     * which just clears low bits), so schedules are bit-identical.
      */
     struct Pipe
     {
-        /** Table; kEmpty-filled. Size is a power of two. */
-        std::vector<std::uint64_t> table;
-        std::size_t count = 0; ///< occupied entries
+        /** Occupancy bits; bit (w*64 + b) of words[w] = slot taken. */
+        std::vector<std::uint64_t> words;
+        std::size_t count = 0; ///< occupied slots
         /** Highest index ever inserted: issue slots advance with
          *  simulated time, so most probes land beyond every occupied
-         *  slot and can skip the hash entirely. */
+         *  slot and can skip the scan entirely. */
         std::uint64_t maxIdx = 0;
-
-        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
 
         bool
         contains(std::uint64_t idx) const
         {
+            std::size_t w = idx >> 6;
+            return w < words.size() &&
+                   (words[w] >> (idx & 63)) & 1;
+        }
+
+        /** Smallest free slot index >= @p idx. */
+        std::uint64_t
+        firstFreeFrom(std::uint64_t idx) const
+        {
             if (count == 0 || idx > maxIdx)
-                return false;
-            std::size_t mask = table.size() - 1;
-            std::size_t h = hashOf(idx) & mask;
-            while (table[h] != kEmpty) {
-                if (table[h] == idx)
-                    return true;
-                h = (h + 1) & mask;
+                return idx;
+            std::size_t w = idx >> 6;
+            if (w >= words.size())
+                return idx;
+            // Treat bits below idx as occupied so the scan cannot
+            // land before the requested slot.
+            std::uint64_t occ =
+                words[w] | ((std::uint64_t{1} << (idx & 63)) - 1);
+            while (occ == ~std::uint64_t{0}) {
+                if (++w >= words.size())
+                    return std::uint64_t{w} << 6;
+                occ = words[w];
             }
-            return false;
+            return (std::uint64_t{w} << 6) +
+                   static_cast<unsigned>(__builtin_ctzll(~occ));
         }
 
         void
         insert(std::uint64_t idx)
         {
-            if (table.empty() || (count + 1) * 4 > table.size() * 3)
-                rehash(table.empty() ? 64 : table.size() * 2);
-            std::size_t mask = table.size() - 1;
-            std::size_t h = hashOf(idx) & mask;
-            while (table[h] != kEmpty) {
-                if (table[h] == idx)
-                    return;
-                h = (h + 1) & mask;
+            std::size_t w = idx >> 6;
+            if (w >= words.size())
+                words.resize(
+                    std::max({w + 1, words.size() * 2, std::size_t{256}}),
+                    0);
+            std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+            if (!(words[w] & bit)) {
+                words[w] |= bit;
+                ++count;
+                maxIdx = std::max(maxIdx, idx);
             }
-            table[h] = idx;
-            ++count;
-            maxIdx = std::max(maxIdx, idx);
         }
 
         /** Drop every index below @p horizon (cold: calendar bound). */
         void
         pruneBelow(std::uint64_t horizon)
         {
-            std::vector<std::uint64_t> old = std::move(table);
-            table.assign(old.size(), kEmpty);
-            count = 0;
-            std::size_t mask = table.size() - 1;
-            for (std::uint64_t idx : old) {
-                if (idx == kEmpty || idx < horizon)
-                    continue;
-                std::size_t h = hashOf(idx) & mask;
-                while (table[h] != kEmpty)
-                    h = (h + 1) & mask;
-                table[h] = idx;
-                ++count;
+            std::size_t wend = std::min(words.size(), horizon >> 6);
+            for (std::size_t w = 0; w < wend; ++w) {
+                count -= static_cast<std::size_t>(
+                    __builtin_popcountll(words[w]));
+                words[w] = 0;
+            }
+            std::size_t w = horizon >> 6;
+            if (w < words.size() && (horizon & 63)) {
+                std::uint64_t low =
+                    (std::uint64_t{1} << (horizon & 63)) - 1;
+                count -= static_cast<std::size_t>(
+                    __builtin_popcountll(words[w] & low));
+                words[w] &= ~low;
             }
         }
 
         void
         clear()
         {
-            table.clear();
+            words.clear();
             count = 0;
             maxIdx = 0;
-        }
-
-        static std::uint64_t
-        hashOf(std::uint64_t v)
-        {
-            // splitmix64 finalizer: guards the power-of-two mask
-            // against strided slot patterns from multi-slot bursts.
-            v ^= v >> 30;
-            v *= 0xbf58476d1ce4e5b9ull;
-            v ^= v >> 27;
-            v *= 0x94d049bb133111ebull;
-            v ^= v >> 31;
-            return v;
-        }
-
-        void
-        rehash(std::size_t n)
-        {
-            std::vector<std::uint64_t> old = std::move(table);
-            table.assign(n, kEmpty);
-            std::size_t mask = n - 1;
-            for (std::uint64_t idx : old) {
-                if (idx == kEmpty)
-                    continue;
-                std::size_t h = hashOf(idx) & mask;
-                while (table[h] != kEmpty)
-                    h = (h + 1) & mask;
-                table[h] = idx;
-            }
         }
     };
 
@@ -241,10 +230,7 @@ class CryptoEngine
     {
         // Ceil-divide via the precomputed reciprocal: the hardware
         // divide here was measurable at several probes per miss.
-        std::uint64_t idx = intervalDiv_.ceilDiv(earliest);
-        while (pipe.contains(idx))
-            ++idx;
-        return idx;
+        return pipe.firstFreeFrom(intervalDiv_.ceilDiv(earliest));
     }
 
     Tick

@@ -14,6 +14,7 @@
 
 #include "core/controller.hh"
 #include "core/system.hh"
+#include "cpu/core_loop.hh"
 #include "crypto/backend/backend.hh"
 #include "harness/table.hh"
 #include "obs/profiler.hh"
@@ -806,6 +807,7 @@ struct CliOptions
     std::string traceFile; ///< Chrome trace of the first simulated job
     std::string cryptoBackend; ///< --crypto-backend override, "" = auto
     std::string eventKernel;   ///< --event-kernel override, "" = default
+    std::string coreLoop;      ///< --core-loop override, "" = default
     std::string metricsOut;    ///< BENCH_sim perf telemetry, "-" = stdout
     std::string sampleOut;     ///< time-series CSV file, "-" = stdout
     std::uint64_t sampleEvery = 0; ///< sampler period in simulated cycles
@@ -831,6 +833,7 @@ usage(const char *argv0, bool unified)
         "          [--profile] [--metrics-out FILE|-]\n"
         "          [--sample-every CYCLES] [--sample-out FILE|-]\n"
         "          [--crypto-backend NAME] [--event-kernel NAME]\n"
+        "          [--core-loop NAME]\n"
         "          [--progress] [--no-progress]\n\n",
         argv0,
         unified ? " [--figure NAME]... [--all] [--list] [--list-stats]"
@@ -876,6 +879,8 @@ parseCli(int argc, char **argv, bool unified)
             opts.cryptoBackend = value();
         } else if (arg == "--event-kernel") {
             opts.eventKernel = value();
+        } else if (arg == "--core-loop") {
+            opts.coreLoop = value();
         } else if (arg == "--stats-out") {
             opts.statsOut = value();
         } else if (arg == "--trace") {
@@ -1105,6 +1110,19 @@ applyEventKernel(const CliOptions &opts)
         EventQueue::parseKernelName(opts.eventKernel, "--event-kernel"));
 }
 
+/**
+ * Apply the --core-loop override before any core runs. Flag beats
+ * SECMEM_CORE_LOOP; unknown names are a hard error (parseCoreLoopName
+ * aborts with the known-loop list).
+ */
+void
+applyCoreLoop(const CliOptions &opts)
+{
+    if (opts.coreLoop.empty())
+        return;
+    setDefaultCoreLoop(parseCoreLoopName(opts.coreLoop, "--core-loop"));
+}
+
 /** All stat paths of a representative system (--list-stats). */
 int
 listStats()
@@ -1252,6 +1270,7 @@ benchMain(int argc, char **argv)
     if (!applyCryptoBackend(opts))
         return 2;
     applyEventKernel(opts);
+    applyCoreLoop(opts);
     if (opts.list) {
         for (const Figure &f : figures())
             std::printf("%-10s %s\n", f.name, f.title);
@@ -1273,6 +1292,7 @@ figureMain(const char *figure, int argc, char **argv)
     if (!applyCryptoBackend(opts))
         return 2;
     applyEventKernel(opts);
+    applyCoreLoop(opts);
     opts.figureNames = {figure};
     return runFigures(opts);
 }

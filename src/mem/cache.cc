@@ -26,7 +26,7 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     valid_.assign(n, 0);
     dirty_.assign(n, 0);
     lru_.assign(n, 0);
-    data_.assign(n, Block64{});
+    data_.resize(n); // payloads stay uninitialized until first fill
     mru_.resize(numSets_);
     for (std::size_t s = 0; s < numSets_; ++s)
         mru_[s] = s * assoc_;
@@ -35,12 +35,29 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     // exercises some of them.
 }
 
+unsigned
+Cache::accessRun(const Addr *addrs, const std::uint8_t *is_write,
+                 Block64 **lines, unsigned n)
+{
+    // The burst shares the callers' instruction cycle, so the probes
+    // run back to back with the tag arrays and the per-set MRU memo
+    // hot; access() is inline, making this the one out-of-line call
+    // for the whole burst.
+    for (unsigned i = 0; i < n; ++i) {
+        Block64 *line = access(addrs[i], is_write[i] != 0);
+        lines[i] = line;
+        if (!line)
+            return i;
+    }
+    return n;
+}
+
 Eviction
 Cache::insert(Addr addr, const Block64 &data, bool dirty)
 {
     Addr base = blockBase(addr);
     if (std::size_t i = findIndex(base); i != kNoLine) {
-        data_[i] = data;
+        data_[i].block = data;
         dirty_[i] = dirty_[i] || dirty;
         lru_[i] = ++lruClock_;
         return {};
@@ -61,7 +78,7 @@ Cache::insert(Addr addr, const Block64 &data, bool dirty)
         ev.valid = true;
         ev.dirty = dirty_[victim];
         ev.addr = tags_[victim];
-        ev.data = data_[victim];
+        ev.data = data_[victim].block;
         evictionsStat_.inc();
         if (dirty_[victim])
             writebacksStat_.inc();
@@ -71,7 +88,7 @@ Cache::insert(Addr addr, const Block64 &data, bool dirty)
     dirty_[victim] = dirty;
     tags_[victim] = base;
     lru_[victim] = ++lruClock_;
-    data_[victim] = data;
+    data_[victim].block = data;
     mru_[setIndex(base)] = victim;
     fillsStat_.inc();
     return ev;
@@ -101,7 +118,7 @@ Cache::invalidate(Addr addr)
     ev.valid = true;
     ev.dirty = dirty_[i];
     ev.addr = tags_[i];
-    ev.data = data_[i];
+    ev.data = data_[i].block;
     valid_[i] = 0;
     dirty_[i] = 0;
     tags_[i] = kAddrInvalid;
@@ -115,7 +132,7 @@ Cache::forEachLine(
 {
     for (std::size_t i = 0; i < valid_.size(); ++i) {
         if (valid_[i])
-            fn(tags_[i], data_[i], dirty_[i] != 0);
+            fn(tags_[i], data_[i].block, dirty_[i] != 0);
     }
 }
 
@@ -131,7 +148,7 @@ Cache::flush()
             ev.valid = true;
             ev.dirty = true;
             ev.addr = tags_[i];
-            ev.data = data_[i];
+            ev.data = data_[i].block;
             dirty.push_back(ev);
         }
         valid_[i] = 0;

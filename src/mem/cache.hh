@@ -85,22 +85,36 @@ class Cache
         lru_[i] = ++lruClock_;
         if (is_write)
             dirty_[i] = 1;
-        return &data_[i];
+        return &data_[i].block;
     }
+
+    /**
+     * One-pass probe of a dispatch burst: performs
+     * access(addrs[i], is_write[i]) in order, filling @p lines with
+     * the hit payload pointers, and stops after the first miss.
+     * Returns the number of leading hits; if that is < @p n, the probe
+     * for the missing op HAS run (and counted its miss) and
+     * lines[return] is nullptr — the caller continues that op below
+     * this cache without re-probing, and re-batches the rest (their
+     * outcome may depend on the miss's fill). Stats and LRU state are
+     * exactly those of the equivalent sequential access() calls.
+     */
+    unsigned accessRun(const Addr *addrs, const std::uint8_t *is_write,
+                       Block64 **lines, unsigned n);
 
     /** Look up without touching LRU or stats (for probes / RSR scans). */
     const Block64 *
     peek(Addr addr) const
     {
         std::size_t i = findIndex(addr);
-        return i == kNoLine ? nullptr : &data_[i];
+        return i == kNoLine ? nullptr : &data_[i].block;
     }
 
     Block64 *
     peek(Addr addr)
     {
         std::size_t i = findIndex(addr);
-        return i == kNoLine ? nullptr : &data_[i];
+        return i == kNoLine ? nullptr : &data_[i].block;
     }
 
     /**
@@ -172,11 +186,24 @@ class Cache
     // no block-aligned tag can equal) — with the 64-byte payloads stored
     // inline (the old layout), every probed way dragged its own cache
     // line through the L1 even on a first-way hit.
+    /**
+     * Payload storage that skips Block64's zero-initialization: a
+     * line's data is always written (insert) before it can be read
+     * (tag-gated access/peek/flush), so the construction-time zeroing
+     * of the full data array — 1 MB for the L2, once per experiment
+     * job — bought nothing.
+     */
+    union LineData
+    {
+        Block64 block;
+        LineData() noexcept {} ///< deliberately leaves block uninitialized
+    };
+
     std::vector<Addr> tags_;
     std::vector<std::uint8_t> valid_;
     std::vector<std::uint8_t> dirty_;
     std::vector<std::uint64_t> lru_; ///< larger = more recently used
-    std::vector<Block64> data_;
+    std::vector<LineData> data_;
     /** Per-set most-recently-matched way (absolute index): burst
      *  accesses re-touch the same line, so probe it before the scan.
      *  Pure lookup memo — never affects results, hence mutable. */

@@ -48,10 +48,14 @@ class Dram
   public:
     Dram() : stats_("dram")
     {
-        // Typical runs touch tens of thousands of blocks; starting at
-        // 32k slots skips the whole growth-rehash ladder (each step of
-        // which recopies every 72-byte entry written so far).
-        blocks_.reserveSlots(std::size_t{1} << 15);
+        // Smoke-length runs write only a few thousand distinct blocks,
+        // so a large up-front reserve costs more in page zeroing than
+        // the growth ladder it avoids (32k slots = 2.3 MB zeroed per
+        // run, ~0.4 ms, visible in per-job overhead). 4k slots covers
+        // the short runs outright; longer runs ladder up from there,
+        // and the ladder's recopy work is bounded by twice the final
+        // table size anyway.
+        blocks_.reserveSlots(std::size_t{1} << 12);
     }
 
     /** Read a 64-byte block; untouched blocks read as zero. */

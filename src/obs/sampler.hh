@@ -59,6 +59,17 @@ class Sampler
             sampleOnce();
     }
 
+    /**
+     * True iff maybeSample(@p now) would record at least one row.
+     * Lets batched access paths poll cheaply: ops strictly before the
+     * first would-sample op can skip their (no-op) polls entirely.
+     */
+    bool
+    wouldSample(std::uint64_t now) const
+    {
+        return reg_ && every_ && now >= next_;
+    }
+
     std::uint64_t every() const { return every_; }
     const std::vector<std::string> &paths() const { return paths_; }
     const std::vector<Row> &rows() const { return rows_; }

@@ -77,6 +77,22 @@ class SpecWorkload final : public WorkloadGenerator
     explicit SpecWorkload(const SpecProfile &profile);
 
     TraceOp next() override;
+
+    /**
+     * Bulk generation for the batched core loop: the same stream as n
+     * next() calls (next() is inline and this class is final, so the
+     * whole run compiles into one loop with the generator state —
+     * rng, burst and region cursors — held in registers across ops
+     * instead of reloaded per call).
+     */
+    unsigned
+    nextRun(TraceOp *out, unsigned n) override
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out[i] = next();
+        return n;
+    }
+
     const std::string &name() const override { return profile_.name; }
 
     const SpecProfile &profile() const { return profile_; }

@@ -6,14 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
+#include "cpu/core_loop.hh"
 #include "cpu/ooo_core.hh"
 
 namespace secmem
 {
 namespace
 {
+
+/** Both loop implementations; model tests must hold on each. */
+constexpr CoreLoop kLoops[] = {CoreLoop::Batched, CoreLoop::PerCycle};
 
 /** Fixed-latency memory with separate data/auth delays. */
 class FixedMem : public MemorySystem
@@ -224,6 +230,136 @@ TEST(OooCore, StoresDoNotStallRetirement)
     OooCore core({}, mem, AuthMode::Commit);
     CoreRunResult r = core.run(gen, 1000, 20000);
     EXPECT_NEAR(r.ipc, 3.0, 0.05);
+}
+
+/** Logs every access issue tick and advanceTo argument, in order. */
+class RecordingMem : public MemorySystem
+{
+  public:
+    RecordingMem(Tick data_lat, Tick auth_lat)
+        : dataLat_(data_lat), authLat_(auth_lat)
+    {}
+
+    MemAccess
+    access(Addr, bool, Tick now) override
+    {
+        accesses.push_back(now);
+        lastAdvancePerAccess.push_back(
+            advances.empty() ? kAddrInvalid : advances.back());
+        return {now + dataLat_, now + authLat_, true};
+    }
+
+    void advanceTo(Tick cycle) override { advances.push_back(cycle); }
+
+    Tick dataLat_, authLat_;
+    std::vector<Tick> accesses;
+    std::vector<Tick> advances;
+    std::vector<Tick> lastAdvancePerAccess;
+};
+
+class StoreOnly : public WorkloadGenerator
+{
+  public:
+    TraceOp next() override { return TraceOp::store(++n_ * kBlockBytes); }
+    const std::string &name() const override { return name_; }
+    std::uint64_t n_ = 0;
+    std::string name_ = "stores";
+};
+
+class ChasedLoads : public WorkloadGenerator
+{
+  public:
+    TraceOp next() override { return TraceOp::load(++n_ * kBlockBytes, true); }
+    const std::string &name() const override { return name_; }
+    std::uint64_t n_ = 0;
+    std::string name_ = "chase";
+};
+
+TEST(OooCore, StoreMissesOccupyMshrs)
+{
+    // Regression: store L2 misses never consumed MSHR slots, so an
+    // all-store stream issued every miss at its dispatch cycle no
+    // matter how few miss registers the core had. With stores gated
+    // like loads, at most `mshrs` fills can be outstanding: nearly
+    // every issue must wait for a slot, pushing issue ticks out to the
+    // fill latency, while retirement (store buffer) stays full speed.
+    for (CoreLoop loop : kLoops) {
+        RecordingMem mem(1000, 1000);
+        CoreParams params;
+        params.mshrs = 2;
+        OooCore core(params, mem, AuthMode::Commit, nullptr, loop);
+        StoreOnly gen;
+        CoreRunResult r = core.run(gen, 0, 300);
+        ASSERT_EQ(mem.accesses.size(), 300u) << coreLoopName(loop);
+        // Dispatch covers ~100 cycles; un-gated stores would all issue
+        // below the first fill's completion.
+        std::uint64_t early = 0;
+        Tick max_now = 0;
+        for (Tick now : mem.accesses) {
+            early += now < 1000 ? 1 : 0;
+            max_now = std::max(max_now, now);
+        }
+        EXPECT_LE(early, params.mshrs + 2u) << coreLoopName(loop);
+        EXPECT_GT(max_now, 10000u) << coreLoopName(loop);
+        // The store buffer still hides the latency from retirement.
+        EXPECT_NEAR(r.ipc, 3.0, 0.2) << coreLoopName(loop);
+    }
+}
+
+TEST(OooCore, MeasuredCountersExcludeWarmup)
+{
+    // Regression: loads/stores/l2Misses accumulated over warmup +
+    // measured while instructions/cycles covered only the measured
+    // window, so derived rates (misses per instruction) mixed windows.
+    // With equal warmup and measured halves over a uniform stream, the
+    // pre-fix counters come out double.
+    for (CoreLoop loop : kLoops) {
+        FixedMem mem(50, 50);
+        OooCore core({}, mem, AuthMode::Commit, nullptr, loop);
+        EveryNthLoad gen(10);
+        CoreRunResult r = core.run(gen, 10000, 10000);
+        EXPECT_EQ(r.instructions, 10000u) << coreLoopName(loop);
+        EXPECT_NEAR(static_cast<double>(r.loads), 1000.0, 3.0)
+            << coreLoopName(loop);
+        EXPECT_EQ(r.l2Misses, r.loads + r.stores) << coreLoopName(loop);
+    }
+}
+
+TEST(OooCore, KernelPumpIsCycleQuantized)
+{
+    // Regression: the kernel pump fired every 16 loop *iterations*
+    // with the raw cycle as its argument, so a skip-ahead jump
+    // stretched the pump gap to thousands of cycles and the argument
+    // sequence depended on iteration count — unreproducible by any
+    // batched loop. The fixed cadence pumps once per 16-cycle window,
+    // before the window's first access, with the aligned window base.
+    for (CoreLoop loop : kLoops) {
+        RecordingMem mem(500, 500);
+        OooCore core({}, mem, AuthMode::Commit, nullptr, loop);
+        ChasedLoads gen;
+        CoreRunResult r = core.run(gen, 0, 600);
+        ASSERT_EQ(mem.accesses.size(), 600u) << coreLoopName(loop);
+        ASSERT_FALSE(mem.advances.empty()) << coreLoopName(loop);
+        // A pump precedes the very first access.
+        EXPECT_NE(mem.lastAdvancePerAccess.front(), kAddrInvalid)
+            << coreLoopName(loop);
+        // Every pump argument except the final drain is a window base,
+        // the sequence is monotone, and no access ever runs ahead of
+        // the event kernel's pumped frontier... which is exactly what
+        // lets both loop implementations emit the same sequence.
+        for (std::size_t i = 0; i + 1 < mem.advances.size(); ++i) {
+            EXPECT_EQ(mem.advances[i] % 16, 0u)
+                << coreLoopName(loop) << " pump " << i;
+            EXPECT_LE(mem.advances[i], mem.advances[i + 1])
+                << coreLoopName(loop) << " pump " << i;
+        }
+        for (std::size_t i = 0; i < mem.accesses.size(); ++i) {
+            EXPECT_LE(mem.lastAdvancePerAccess[i], mem.accesses[i])
+                << coreLoopName(loop) << " access " << i;
+        }
+        // The final drain runs the kernel to the loop-exit cycle.
+        EXPECT_EQ(mem.advances.back(), r.finalTick) << coreLoopName(loop);
+    }
 }
 
 } // namespace

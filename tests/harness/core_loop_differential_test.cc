@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Batched-vs-per-cycle core-loop differential tests.
+ *
+ * The original one-cycle-at-a-time core loop is preserved as a
+ * differential oracle for the batched (run-based, skip-ahead) loop,
+ * exactly as the legacy heap kernel oracles the calendar queue: the
+ * same workload must produce bit-identical CoreRunResult metrics,
+ * final ticks and the full hierarchical stat dump on both loops.
+ * These tests drive the complete harness — real system, real
+ * controller, real chaos storms — through both loops and compare
+ * everything observable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_loop.hh"
+#include "harness/chaos.hh"
+#include "harness/runner.hh"
+#include "workload/spec_profiles.hh"
+
+namespace secmem
+{
+namespace
+{
+
+/** Restore the process-default core loop when a test scope ends. */
+class CoreLoopGuard
+{
+  public:
+    CoreLoopGuard() : saved_(defaultCoreLoop()) {}
+    ~CoreLoopGuard() { setDefaultCoreLoop(saved_); }
+
+  private:
+    CoreLoop saved_;
+};
+
+RunOutput
+runOn(CoreLoop loop, const SpecProfile &profile, const SecureMemConfig &cfg,
+      RunLengths lengths)
+{
+    setDefaultCoreLoop(loop);
+    return runWorkload(profile, cfg, CoreParams{}, SystemParams{}, lengths);
+}
+
+/** One differential case: a scheme plus an instruction budget. */
+struct LoopCase
+{
+    const char *scheme;
+    RunLengths lengths;
+};
+
+void
+PrintTo(const LoopCase &c, std::ostream *os)
+{
+    *os << c.scheme << "/w" << c.lengths.warmup << "+s" << c.lengths.sim;
+}
+
+class CoreLoopDifferential : public ::testing::TestWithParam<LoopCase>
+{
+};
+
+SecureMemConfig
+schemeFor(const LoopCase &c)
+{
+    return std::string(c.scheme) == "splitSha" ? SecureMemConfig::splitSha()
+                                               : SecureMemConfig::splitGcm();
+}
+
+TEST_P(CoreLoopDifferential, WorkloadRunsBitIdenticalAcrossLoops)
+{
+    CoreLoopGuard guard;
+    // mcf exercises dependence chains and heavy metadata traffic, so
+    // both the retire/dispatch run batching and the skip-ahead path of
+    // the batched loop see real stalls, bursts and store commits.
+    const SpecProfile &profile = profileByName("mcf");
+    const LoopCase &c = GetParam();
+    SecureMemConfig cfg = schemeFor(c);
+    RunOutput bat = runOn(CoreLoop::Batched, profile, cfg, c.lengths);
+    RunOutput pc = runOn(CoreLoop::PerCycle, profile, cfg, c.lengths);
+    ASSERT_FALSE(bat.failed);
+    ASSERT_FALSE(pc.failed);
+    EXPECT_EQ(bat.instructions, pc.instructions);
+    EXPECT_EQ(bat.cycles, pc.cycles);
+    EXPECT_EQ(bat.ipc, pc.ipc);
+    EXPECT_EQ(bat.writebacks, pc.writebacks);
+    // The full hierarchical stat dump — every counter, gauge and
+    // histogram in the system, cpu.* included — must match byte for
+    // byte: the batched loop may only change how fast the host gets
+    // there, never what the model observes.
+    EXPECT_EQ(bat.statsJson, pc.statsJson);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndLengths, CoreLoopDifferential,
+    ::testing::Values(LoopCase{"splitGcm", RunLengths{2000, 10000}},
+                      LoopCase{"splitSha", RunLengths{2000, 10000}},
+                      // A warmup-free budget pins the stat-window
+                      // snapshot bugfix: with no warmup there is no
+                      // snapshot to hide a mismatched reset.
+                      LoopCase{"splitGcm", RunLengths{0, 6000}}));
+
+TEST(CoreLoopDifferentialChaos, ChaosStormBitIdenticalAcrossLoops)
+{
+    CoreLoopGuard guard;
+    ChaosConfig cfg;
+    cfg.seed = 23;
+    cfg.workload = "ammp";
+    cfg.scheme = "splitGcm";
+    cfg.events = 2000;
+    cfg.policy = TamperPolicy::Quarantine;
+    cfg.storm.transientRate = 0.05;
+    cfg.storm.persistentRate = 0.01;
+    cfg.storm.metaFraction = 0.4;
+
+    setDefaultCoreLoop(CoreLoop::Batched);
+    ChaosResult bat = runChaosCampaign(cfg);
+    setDefaultCoreLoop(CoreLoop::PerCycle);
+    ChaosResult pc = runChaosCampaign(cfg);
+
+    EXPECT_EQ(bat.memOps, pc.memOps);
+    EXPECT_EQ(bat.reads, pc.reads);
+    EXPECT_EQ(bat.writes, pc.writes);
+    EXPECT_EQ(bat.checkedReads, pc.checkedReads);
+    EXPECT_EQ(bat.silentCorruptions, pc.silentCorruptions);
+    EXPECT_EQ(bat.detected, pc.detected);
+    EXPECT_EQ(bat.retries, pc.retries);
+    EXPECT_EQ(bat.recovered, pc.recovered);
+    EXPECT_EQ(bat.escalations, pc.escalations);
+    EXPECT_EQ(bat.exhausted, pc.exhausted);
+    EXPECT_EQ(bat.quarantines, pc.quarantines);
+    EXPECT_EQ(bat.blockedReads, pc.blockedReads);
+    EXPECT_EQ(bat.blockedWrites, pc.blockedWrites);
+    EXPECT_EQ(bat.quarantinedAtEnd, pc.quarantinedAtEnd);
+    EXPECT_EQ(bat.silentCorruptions, 0u);
+}
+
+TEST(CoreLoopSelection, DefaultOverrideAndNames)
+{
+    CoreLoopGuard guard;
+    // setDefaultCoreLoop (the --core-loop CLI path) overrides whatever
+    // SECMEM_CORE_LOOP seeded; cores constructed afterwards carry it.
+    setDefaultCoreLoop(CoreLoop::PerCycle);
+    EXPECT_EQ(defaultCoreLoop(), CoreLoop::PerCycle);
+    EXPECT_STREQ(coreLoopName(defaultCoreLoop()), "percycle");
+    setDefaultCoreLoop(CoreLoop::Batched);
+    EXPECT_EQ(defaultCoreLoop(), CoreLoop::Batched);
+    EXPECT_STREQ(coreLoopName(defaultCoreLoop()), "batched");
+}
+
+TEST(CoreLoopSelection, ParseAcceptsCanonicalAndAliasNames)
+{
+    EXPECT_EQ(parseCoreLoopName("batched", "test"), CoreLoop::Batched);
+    EXPECT_EQ(parseCoreLoopName("percycle", "test"), CoreLoop::PerCycle);
+    EXPECT_EQ(parseCoreLoopName("per-cycle", "test"), CoreLoop::PerCycle);
+}
+
+TEST(CoreLoopSelectionDeathTest, UnknownNameIsAHardError)
+{
+    // Never a silent fallback: a bogus --core-loop/SECMEM_CORE_LOOP
+    // name must abort, naming its source.
+    EXPECT_DEATH(parseCoreLoopName("bogus", "--core-loop"),
+                 "unknown core loop 'bogus'.*--core-loop");
+}
+
+} // namespace
+} // namespace secmem
